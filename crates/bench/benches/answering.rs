@@ -1,0 +1,47 @@
+//! Experiment A7 — the answering layer at data scale: certain-answer
+//! classification and count bounds over school instances of growing size.
+//!
+//! The reasoning part (MCG + completeness check) is data-independent; the
+//! per-query cost should therefore be dominated by two query evaluations
+//! and scale linearly with the instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use magik::workload::paper::school;
+use magik::workload::synth::{lossy_scenario, school_instance, SchoolDataConfig};
+use magik::{classify_answers, count_bounds};
+
+fn bench_answering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("answering");
+    for schools in [8usize, 32, 128] {
+        let w = school();
+        let mut vocab = w.vocab.clone();
+        let ideal = school_instance(
+            &w,
+            &mut vocab,
+            SchoolDataConfig {
+                schools,
+                pupils_per_school: 25,
+                learn_prob: 0.4,
+                seed: 5,
+            },
+        );
+        let db = lossy_scenario(ideal, &w.tcs, 0.5, 6);
+        let size = db.available().len() as u64;
+        group.throughput(Throughput::Elements(size));
+        group.bench_with_input(
+            BenchmarkId::new("classify", size),
+            db.available(),
+            |b, avail| b.iter(|| classify_answers(&w.q_pbl, &w.tcs, avail).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bounds", size),
+            db.available(),
+            |b, avail| b.iter(|| count_bounds(&w.q_pbl, &w.tcs, avail).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_answering);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Experiment A5 — the Theorem 3 completeness check, scaling in |C| and
+//! |Q|, with the direct and the Datalog-encoded `T_C` engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use magik::workload::random::{acyclic_tcs, query, QueryShape, RandomQueryConfig, RandomTcsConfig};
+use magik::{is_complete, is_complete_via_datalog, Vocabulary};
+
+fn bench_scaling_in_statements(c: &mut Criterion) {
+    let mut group = c.benchmark_group("completeness_check/statements");
+    for statements in [1usize, 4, 16, 64] {
+        let mut vocab = Vocabulary::new();
+        let q = query(
+            RandomQueryConfig {
+                shape: QueryShape::Chain,
+                atoms: 8,
+                relations: 4,
+                ..RandomQueryConfig::default()
+            },
+            &mut vocab,
+        );
+        let tcs = acyclic_tcs(
+            RandomTcsConfig {
+                statements,
+                relations: 4,
+                max_condition: 2,
+                seed: 3,
+            },
+            &mut vocab,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("direct", statements),
+            &statements,
+            |b, _| b.iter(|| is_complete(&q, &tcs)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("datalog", statements),
+            &statements,
+            |b, _| {
+                b.iter_batched(
+                    || vocab.clone(),
+                    |mut vocab| is_complete_via_datalog(&q, &tcs, &mut vocab),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scaling_in_query_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("completeness_check/query_size");
+    for atoms in [1usize, 4, 8, 16] {
+        let mut vocab = Vocabulary::new();
+        let q = query(
+            RandomQueryConfig {
+                shape: QueryShape::Chain,
+                atoms,
+                relations: 4,
+                ..RandomQueryConfig::default()
+            },
+            &mut vocab,
+        );
+        let tcs = acyclic_tcs(
+            RandomTcsConfig {
+                statements: 8,
+                relations: 4,
+                max_condition: 2,
+                seed: 3,
+            },
+            &mut vocab,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(atoms), &atoms, |b, _| {
+            b.iter(|| is_complete(&q, &tcs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scaling_in_statements,
+    bench_scaling_in_query_size
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Experiment A6 — finite-domain constraint reasoning (the CIKM'15
+//! extension): cost of the case-split completeness check as a function of
+//! the number of constrained variables and the domain size.
+//!
+//! The number of cases is `|dom|^(constrained vars)`; the bench verifies
+//! the check stays usable in the regimes the paper's follow-up targets
+//! (few constrained attributes, small enumerated domains).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use magik::{
+    is_complete_under, Atom, ConstraintSet, FiniteDomain, Query, TcSet, TcStatement, Term,
+    Vocabulary,
+};
+
+/// Builds a workload with `vars` constrained variables, each over a
+/// domain of `dom` values: a chain of `vars` relations, each with one
+/// statement per domain value (so the query is complete and the check
+/// must visit every case).
+fn workload(vars: usize, dom: usize) -> (Vocabulary, TcSet, Query, ConstraintSet) {
+    let mut v = Vocabulary::new();
+    let mut statements = Vec::new();
+    let mut constraints = ConstraintSet::default();
+    let mut body = Vec::new();
+    for i in 0..vars {
+        let pred = v.pred(&format!("r{i}"), 2);
+        let x = v.var(&format!("K{i}"));
+        let y = v.var(&format!("V{i}"));
+        body.push(Atom::new(pred, vec![Term::Var(x), Term::Var(y)]));
+        constraints.push(FiniteDomain {
+            pred,
+            column: 0,
+            values: (0..dom).map(|d| v.cst(&format!("d{d}"))).collect(),
+        });
+        for d in 0..dom {
+            let value = v.cst(&format!("d{d}"));
+            let z = v.var(&format!("Z{i}_{d}"));
+            statements.push(TcStatement::new(
+                Atom::new(pred, vec![Term::Cst(value), Term::Var(z)]),
+                vec![],
+            ));
+        }
+    }
+    let q = Query::boolean(v.sym("q"), body);
+    (v, TcSet::new(statements), q, constraints)
+}
+
+fn bench_case_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constraints/case_split");
+    for vars in [1usize, 2, 4, 6] {
+        for dom in [2usize, 3] {
+            let (_v, tcs, q, constraints) = workload(vars, dom);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{vars}vars_x_{dom}dom")),
+                &(),
+                |b, ()| {
+                    b.iter(|| {
+                        assert!(is_complete_under(&q, &tcs, &constraints));
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_case_split);
+criterion_main!(benches);

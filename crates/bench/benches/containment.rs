@@ -1,0 +1,72 @@
+//! Experiment A3 — containment checking (Proposition 6).
+//!
+//! The homomorphism search that underlies everything else: self-
+//! containment of chain, star, cycle and random queries of growing size,
+//! plus the hard cross-checks between cycles of coprime lengths (where
+//! no homomorphism exists and the search must exhaust).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use magik::workload::random::{query, QueryShape, RandomQueryConfig};
+use magik::{is_contained_in, Atom, Query, Term, Vocabulary};
+
+fn bench_self_containment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("containment/self");
+    for shape in [
+        QueryShape::Chain,
+        QueryShape::Star,
+        QueryShape::Cycle,
+        QueryShape::Random,
+    ] {
+        for atoms in [4usize, 8, 16] {
+            let mut vocab = Vocabulary::new();
+            let q = query(
+                RandomQueryConfig {
+                    shape,
+                    atoms,
+                    relations: 2,
+                    ..RandomQueryConfig::default()
+                },
+                &mut vocab,
+            );
+            group.bench_with_input(BenchmarkId::new(format!("{shape:?}"), atoms), &q, |b, q| {
+                b.iter(|| assert!(is_contained_in(q, q)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn cycle_query(vocab: &mut Vocabulary, len: usize, tag: &str) -> Query {
+    let conn = vocab.pred("conn", 2);
+    let vars: Vec<_> = (0..len).map(|i| vocab.var(&format!("{tag}{i}"))).collect();
+    let body = (0..len)
+        .map(|i| {
+            Atom::new(
+                conn,
+                vec![Term::Var(vars[i]), Term::Var(vars[(i + 1) % len])],
+            )
+        })
+        .collect();
+    Query::new(vocab.sym("q"), vec![Term::Var(vars[0])], body)
+}
+
+fn bench_coprime_cycles(c: &mut Criterion) {
+    // No homomorphism between cycles of coprime length: worst case for
+    // the backtracking search.
+    let mut group = c.benchmark_group("containment/coprime_cycles");
+    for (a, b) in [(3usize, 4usize), (5, 7), (7, 9), (9, 11)] {
+        let mut vocab = Vocabulary::new();
+        let qa = cycle_query(&mut vocab, a, "A");
+        let qb = cycle_query(&mut vocab, b, "B");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{a}x{b}")),
+            &(qa, qb),
+            |bench, (qa, qb)| bench.iter(|| assert!(!is_contained_in(qa, qb))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_self_containment, bench_coprime_cycles);
+criterion_main!(benches);

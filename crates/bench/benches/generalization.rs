@@ -1,0 +1,58 @@
+//! Experiment A1 — MCG fixed-point computation (Algorithm 1).
+//!
+//! Two axes:
+//! * **cascade depth** — the Proposition 12(c) worst case, where every
+//!   `G_C` application removes exactly one atom, so iterations scale
+//!   linearly with the query size;
+//! * **coverage** — chain queries of fixed size under statement sets
+//!   covering 0 %, 50 % or 100 % of the relations (0 % converges in one
+//!   step; 100 % means the query is already complete).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use magik::workload::random::{cascade, covering_tcs, query, QueryShape, RandomQueryConfig};
+use magik::{mcg_with_stats, Vocabulary};
+
+fn bench_cascade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcg/cascade");
+    for depth in [2usize, 4, 8, 16, 32, 64] {
+        let mut vocab = Vocabulary::new();
+        let (tcs, q) = cascade(depth, &mut vocab);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                let (result, stats) = mcg_with_stats(&q, &tcs);
+                assert_eq!(stats.iterations, depth + 1);
+                result
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_coverage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcg/coverage");
+    const RELATIONS: usize = 4;
+    const ATOMS: usize = 16;
+    for covered_pct in [0usize, 50, 100] {
+        let mut vocab = Vocabulary::new();
+        let q = query(
+            RandomQueryConfig {
+                shape: QueryShape::Chain,
+                atoms: ATOMS,
+                relations: RELATIONS,
+                ..RandomQueryConfig::default()
+            },
+            &mut vocab,
+        );
+        let tcs = covering_tcs(RELATIONS, RELATIONS * covered_pct / 100, &mut vocab);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(covered_pct),
+            &covered_pct,
+            |b, _| b.iter(|| mcg_with_stats(&q, &tcs)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cascade, bench_coverage);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Experiment T1/A4 — k-MCS computation (Algorithm 3).
+//!
+//! Criterion companion to the `table1` binary: measures the k-MCS search
+//! on the paper's Table 1 workload and its satisfiable variant, for both
+//! engines, over the ks that stay within criterion-friendly runtimes.
+//! (The full k = 0..=7 sweep with paper-style reporting is
+//! `cargo run --release -p magik-bench --bin table1 -- --compare`.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use magik::workload::paper::{table1, table1_satisfiable, Table1Workload};
+use magik::{k_mcs, KMcsEngine, KMcsOptions};
+
+fn bench_specialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("k_mcs");
+    group.sample_size(10);
+    type Build = fn() -> Table1Workload;
+    let workloads: [(&str, Build); 2] = [("table1", table1), ("satisfiable", table1_satisfiable)];
+    for (workload_name, build) in workloads {
+        for k in 0..=4usize {
+            for (engine_name, engine) in [
+                ("naive", KMcsEngine::Naive),
+                ("optimized", KMcsEngine::Optimized),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{workload_name}/{engine_name}"), k),
+                    &k,
+                    |b, &k| {
+                        b.iter_batched(
+                            build,
+                            |mut w| {
+                                k_mcs(
+                                    &w.q_l,
+                                    &w.tcs,
+                                    &mut w.vocab,
+                                    KMcsOptions {
+                                        engine,
+                                        ..KMcsOptions::new(k)
+                                    },
+                                )
+                            },
+                            criterion::BatchSize::SmallInput,
+                        )
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_specialization);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Experiment A2 — the `T_C` operator: direct evaluation vs the Section 5
+//! Datalog encoding, on school instances of growing size.
+//!
+//! The paper ran the encoding on dlv; here both engines are in-process,
+//! so the comparison isolates the cost of the encoding itself (relation
+//! copying into `Rⁱ`, rule application, copy-back) against direct
+//! evaluation of the associated queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use magik::workload::paper::school;
+use magik::workload::synth::{school_instance, SchoolDataConfig};
+use magik::{tc_apply, tc_apply_datalog};
+
+fn bench_tc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tc_operator");
+    for schools in [4usize, 16, 64, 256] {
+        let w = school();
+        let mut vocab = w.vocab.clone();
+        let db = school_instance(
+            &w,
+            &mut vocab,
+            SchoolDataConfig {
+                schools,
+                pupils_per_school: 20,
+                learn_prob: 0.4,
+                seed: 7,
+            },
+        );
+        group.throughput(Throughput::Elements(db.len() as u64));
+        group.bench_with_input(BenchmarkId::new("direct", db.len()), &db, |b, db| {
+            b.iter(|| tc_apply(&w.tcs, db))
+        });
+        group.bench_with_input(BenchmarkId::new("datalog", db.len()), &db, |b, db| {
+            b.iter_batched(
+                || vocab.clone(),
+                |mut vocab| tc_apply_datalog(&w.tcs, db, &mut vocab),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tc);
+criterion_main!(benches);

@@ -1,0 +1,212 @@
+//! Reproduction of **Table 1** of *Complete Approximations of Incomplete
+//! Queries*: "Time required for the specialization algorithm to compute
+//! k-MCS of query Q_l", k = 0 … 7.
+//!
+//! The paper ran its (optimized) SWI-Prolog implementation on a 2013
+//! Core i7 and reported 0, 0, 0, 0, 0, 8, 725, 9083 seconds — exponential
+//! growth in k. Absolute numbers are not comparable across substrates and
+//! hardware; the reproduction target is the *shape*: runtime multiplying
+//! by roughly the signature size |Σ_C| per unit of k for the naive
+//! engine, with the Section 5 optimizations flattening the curve.
+//!
+//! ```text
+//! table1 [--max-k N] [--budget CALLS] [--compare] [--satisfiable]
+//!   --max-k N      sweep k = 0..=N (default 7)
+//!   --budget M     abort a run after M unification calls (default unlimited)
+//!   --compare      also run the optimized engine (ablation A4)
+//!   --satisfiable  use the satisfiable workload variant (MCSs exist)
+//! ```
+
+use std::process::ExitCode;
+
+use magik::workload::paper::{table1, table1_satisfiable};
+use magik::KMcsEngine;
+use magik_bench::{fmt_duration, measure_k_mcs, KMcsMeasurement};
+
+struct Args {
+    max_k: usize,
+    budget: u64,
+    compare: bool,
+    satisfiable: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        max_k: 7,
+        budget: u64::MAX,
+        compare: false,
+        satisfiable: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max-k" => {
+                args.max_k = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--max-k needs an integer")?;
+            }
+            "--budget" => {
+                args.budget = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--budget needs an integer")?;
+            }
+            "--compare" => args.compare = true,
+            "--satisfiable" => args.satisfiable = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_row(label: &str, cells: &[String]) {
+    print!("| {label:<22} |");
+    for c in cells {
+        print!(" {c:>8} |");
+    }
+    println!();
+}
+
+fn run_engine(label: &str, engine: KMcsEngine, args: &Args) -> Vec<KMcsMeasurement> {
+    let mut out = Vec::new();
+    for k in 0..=args.max_k {
+        let mut w = if args.satisfiable {
+            table1_satisfiable()
+        } else {
+            table1()
+        };
+        let m = measure_k_mcs(&w.q_l, &w.tcs, &mut w.vocab, k, engine, args.budget);
+        eprintln!(
+            "[{label}] k = {k}: {} ({} extensions, {} unify calls, {} candidates, {} results{})",
+            fmt_duration(m.elapsed),
+            m.outcome.stats.extensions,
+            m.outcome.stats.unify_calls,
+            m.outcome.stats.candidates,
+            m.outcome.queries.len(),
+            if m.outcome.complete_search {
+                ""
+            } else {
+                ", TRUNCATED"
+            }
+        );
+        out.push(m);
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("table1: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    println!(
+        "Table 1 reproduction — k-MCS of Q_l(N) :- learns(N, L) over the \
+         Section 5 statement set{}",
+        if args.satisfiable {
+            " (satisfiable variant)"
+        } else {
+            ""
+        }
+    );
+    println!();
+
+    let ks: Vec<String> = (0..=args.max_k).map(|k| k.to_string()).collect();
+    print_row("k-MCS", &ks);
+
+    // Paper-reported row, for side-by-side comparison.
+    let paper = [0, 0, 0, 0, 0, 8, 725, 9083];
+    let paper_cells: Vec<String> = (0..=args.max_k)
+        .map(|k| {
+            paper
+                .get(k)
+                .map_or_else(|| "-".to_owned(), |s| s.to_string())
+        })
+        .collect();
+    if !args.satisfiable {
+        print_row("paper CPU time (s)", &paper_cells);
+    }
+
+    let naive = run_engine("naive", KMcsEngine::Naive, &args);
+    print_row(
+        "naive engine (this)",
+        &naive
+            .iter()
+            .map(|m| {
+                let mut s = fmt_duration(m.elapsed);
+                if !m.outcome.complete_search {
+                    s.push('*');
+                }
+                s
+            })
+            .collect::<Vec<_>>(),
+    );
+    print_row(
+        "  unify calls",
+        &naive
+            .iter()
+            .map(|m| m.outcome.stats.unify_calls.to_string())
+            .collect::<Vec<_>>(),
+    );
+    print_row(
+        "  results",
+        &naive
+            .iter()
+            .map(|m| m.outcome.queries.len().to_string())
+            .collect::<Vec<_>>(),
+    );
+
+    if args.compare {
+        let optimized = run_engine("optimized", KMcsEngine::Optimized, &args);
+        print_row(
+            "optimized engine",
+            &optimized
+                .iter()
+                .map(|m| {
+                    let mut s = fmt_duration(m.elapsed);
+                    if !m.outcome.complete_search {
+                        s.push('*');
+                    }
+                    s
+                })
+                .collect::<Vec<_>>(),
+        );
+        print_row(
+            "  unify calls",
+            &optimized
+                .iter()
+                .map(|m| m.outcome.stats.unify_calls.to_string())
+                .collect::<Vec<_>>(),
+        );
+        print_row(
+            "  results",
+            &optimized
+                .iter()
+                .map(|m| m.outcome.queries.len().to_string())
+                .collect::<Vec<_>>(),
+        );
+
+        // The two engines must agree on the number of k-MCSs.
+        for (n, o) in naive.iter().zip(&optimized) {
+            if n.outcome.complete_search
+                && o.outcome.complete_search
+                && n.outcome.queries.len() != o.outcome.queries.len()
+            {
+                eprintln!(
+                    "table1: ENGINE MISMATCH at k = {}: naive {} vs optimized {}",
+                    n.k,
+                    n.outcome.queries.len(),
+                    o.outcome.queries.len()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    println!("\n(* = search truncated by --budget)");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,89 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The actual experiments live in `benches/` (criterion microbenchmarks,
+//! one per experiment id of `DESIGN.md`) and in `src/bin/table1.rs` (the
+//! end-to-end reproduction of the paper's Table 1).
+
+use std::time::{Duration, Instant};
+
+use magik::{k_mcs, KMcsEngine, KMcsOptions, KMcsOutcome, Query, TcSet, Vocabulary};
+
+/// One row cell of the Table 1 reproduction.
+#[derive(Debug, Clone)]
+pub struct KMcsMeasurement {
+    /// The k that was run.
+    pub k: usize,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Full outcome (result queries + search statistics).
+    pub outcome: KMcsOutcome,
+}
+
+/// Runs the k-MCS computation once and measures it.
+pub fn measure_k_mcs(
+    q: &Query,
+    tcs: &TcSet,
+    vocab: &mut Vocabulary,
+    k: usize,
+    engine: KMcsEngine,
+    max_unify_calls: u64,
+) -> KMcsMeasurement {
+    let start = Instant::now();
+    let outcome = k_mcs(
+        q,
+        tcs,
+        vocab,
+        KMcsOptions {
+            engine,
+            max_unify_calls,
+            ..KMcsOptions::new(k)
+        },
+    );
+    KMcsMeasurement {
+        k,
+        elapsed: start.elapsed(),
+        outcome,
+    }
+}
+
+/// Formats a duration the way the harness tables print it.
+pub fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 100.0 {
+        format!("{secs:.0}")
+    } else if secs >= 1.0 {
+        format!("{secs:.1}")
+    } else if secs >= 0.001 {
+        format!("{:.1}ms", secs * 1e3)
+    } else {
+        format!("{:.0}us", secs * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_duration_picks_sensible_units() {
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12us");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.0ms");
+        assert_eq!(fmt_duration(Duration::from_secs_f64(1.23)), "1.2");
+        assert_eq!(fmt_duration(Duration::from_secs(500)), "500");
+    }
+
+    #[test]
+    fn measure_reports_outcome() {
+        let mut w = magik::workload::paper::table1();
+        let m = measure_k_mcs(
+            &w.q_l,
+            &w.tcs,
+            &mut w.vocab,
+            0,
+            KMcsEngine::Optimized,
+            u64::MAX,
+        );
+        assert!(m.outcome.complete_search);
+        assert!(m.outcome.queries.is_empty());
+    }
+}

@@ -1,0 +1,398 @@
+//! `magik` — command-line completeness reasoning.
+//!
+//! Reads a document of `compl`/`query`/`fact` items (see `magik-parser`)
+//! and answers completeness questions about its queries:
+//!
+//! ```text
+//! magik check <file>              is each query complete?
+//! magik generalize <file>         minimal complete generalization per query
+//! magik specialize <file> [-k N] [--naive]
+//!                                 k-MCSs per query (default k = 0)
+//! magik eval <file>               evaluate each query over the facts
+//! magik explain <file>            statement-set diagnostics
+//! ```
+//!
+//! `<file>` may be `-` for stdin. Exit code 0 on success, 1 on usage
+//! errors, 2 on parse errors.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+mod repl;
+
+use magik::{
+    answers, classify_answers, count_bounds, counterexample, explain_check, is_complete,
+    is_complete_under, k_mcs, lint, mcg_under, mcg_with_stats, parse_document, publishable_counts,
+    render_counterexample, render_explanation, semantics::IncompleteDatabase, tc_apply,
+    DisplayWith, Document, KMcsEngine, KMcsOptions, Vocabulary,
+};
+
+const USAGE: &str = "usage: magik <check|generalize|specialize|eval|explain> <file> [options]
+
+commands:
+  check      <file>                 report COMPLETE/INCOMPLETE per query
+  generalize <file>                 compute the MCG of each query
+  specialize <file> [-k N] [--naive]
+                                    compute the k-MCSs of each query
+  eval       <file>                 evaluate each query over the `fact` items
+  bounds     <file> [-k N]          certain answers, count bounds and
+                                    publishable partial counts per query
+  why        <file>                 per-atom completeness explanation and,
+                                    for incomplete queries, a counterexample
+  explain    <file>                 statement-set diagnostics and lints
+  simulate   <file>                 treat facts as the ideal state and show
+                                    which query answers are at risk
+  repl       [file]                 interactive session (optionally seeded
+                                    from a file)
+
+<file> may be `-` to read from stdin.";
+
+fn read_input(path: &str) -> std::io::Result<String> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path)
+    }
+}
+
+fn load(path: &str) -> Result<(Vocabulary, Document), ExitCode> {
+    let src = match read_input(path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("magik: cannot read `{path}`: {e}");
+            return Err(ExitCode::from(1));
+        }
+    };
+    let mut vocab = Vocabulary::new();
+    match parse_document(&src, &mut vocab) {
+        Ok(doc) => Ok((vocab, doc)),
+        Err(e) => {
+            eprintln!("magik: {path}:{e}");
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+fn cmd_check(vocab: &Vocabulary, doc: &Document) {
+    for q in &doc.queries {
+        let complete = if doc.constraints.is_empty() {
+            is_complete(q, &doc.tcs)
+        } else {
+            is_complete_under(q, &doc.tcs, &doc.constraints)
+        };
+        let verdict = if complete { "COMPLETE" } else { "INCOMPLETE" };
+        println!("{verdict}: {}", q.display(vocab));
+    }
+}
+
+fn cmd_generalize(vocab: &Vocabulary, doc: &Document) {
+    for q in &doc.queries {
+        let result = if doc.constraints.is_empty() {
+            mcg_with_stats(q, &doc.tcs).0
+        } else {
+            mcg_under(q, &doc.tcs, &doc.constraints)
+        };
+        match result {
+            Some(m) if m.same_as(q) => {
+                println!("already complete: {}", q.display(vocab));
+            }
+            Some(m) => {
+                println!(
+                    "MCG: {}   ({} of {} atoms kept)",
+                    m.display(vocab),
+                    m.size(),
+                    q.size()
+                );
+            }
+            None => {
+                println!("no complete generalization: {}", q.display(vocab));
+            }
+        }
+    }
+}
+
+fn cmd_specialize(vocab: &mut Vocabulary, doc: &Document, k: usize, naive: bool) {
+    let engine = if naive {
+        KMcsEngine::Naive
+    } else {
+        KMcsEngine::Optimized
+    };
+    for q in &doc.queries {
+        println!("query: {}", q.display(vocab));
+        let outcome = k_mcs(
+            q,
+            &doc.tcs,
+            vocab,
+            KMcsOptions {
+                engine,
+                ..KMcsOptions::new(k)
+            },
+        );
+        if outcome.queries.is_empty() {
+            println!("  no complete specialization within {} atoms", q.size() + k);
+        }
+        for m in &outcome.queries {
+            println!("  {k}-MCS: {}", m.display(vocab));
+        }
+        println!(
+            "  [{} extensions, {} unification calls, {} candidates{}]",
+            outcome.stats.extensions,
+            outcome.stats.unify_calls,
+            outcome.stats.candidates,
+            if outcome.complete_search {
+                ""
+            } else {
+                ", SEARCH TRUNCATED"
+            }
+        );
+    }
+}
+
+fn cmd_eval(vocab: &Vocabulary, doc: &Document) {
+    for q in &doc.queries {
+        match answers(q, &doc.facts) {
+            Ok(ans) => {
+                println!("{} answers for {}", ans.len(), q.display(vocab));
+                for tuple in ans {
+                    println!("  {}", tuple.display(vocab));
+                }
+            }
+            Err(e) => println!("cannot evaluate {}: {e}", q.display(vocab)),
+        }
+    }
+}
+
+fn cmd_bounds(vocab: &mut Vocabulary, doc: &Document, k: usize) {
+    for q in &doc.queries {
+        println!("query: {}", q.display(vocab));
+        match classify_answers(q, &doc.tcs, &doc.facts) {
+            Ok(report) => {
+                println!("  certain answers ({}):", report.certain.len());
+                for t in &report.certain {
+                    println!("    {}", t.display(vocab));
+                }
+                match &report.possible {
+                    Some(p) if report.exact => {
+                        debug_assert!(p.is_empty());
+                        println!("  query is complete: the certain answers are all answers");
+                    }
+                    Some(p) => {
+                        println!("  possible further answers ({}):", p.len());
+                        for t in p {
+                            println!("    {}", t.display(vocab));
+                        }
+                    }
+                    None => println!("  possible further answers: unbounded (no MCG)"),
+                }
+            }
+            Err(e) => println!("  cannot evaluate: {e}"),
+        }
+        match count_bounds(q, &doc.tcs, &doc.facts) {
+            Ok(b) => match b.upper {
+                Some(u) if b.exact => println!("  ideal answer count: exactly {u}"),
+                Some(u) => println!("  ideal answer count: between {} and {u}", b.lower),
+                None => println!("  ideal answer count: at least {}", b.lower),
+            },
+            Err(e) => println!("  cannot bound: {e}"),
+        }
+        match publishable_counts(q, &doc.tcs, vocab, &doc.facts, k) {
+            Ok(rows) if rows.is_empty() => {
+                println!(
+                    "  no publishable partial statistics within {} atoms",
+                    q.size() + k
+                );
+            }
+            Ok(rows) => {
+                println!("  publishable partial statistics (k = {k}):");
+                for row in rows {
+                    println!("    |{}| = {}", row.query.display(vocab), row.count);
+                }
+            }
+            Err(e) => println!("  cannot specialize: {e}"),
+        }
+    }
+}
+
+fn cmd_why(vocab: &Vocabulary, doc: &Document) {
+    for q in &doc.queries {
+        let e = explain_check(q, &doc.tcs);
+        print!("{}", render_explanation(q, &doc.tcs, &e, vocab));
+        if !e.complete {
+            if let Some(db) = counterexample(q, &doc.tcs) {
+                print!("{}", render_counterexample(q, &db, vocab));
+            }
+        }
+        println!();
+    }
+}
+
+fn cmd_explain(vocab: &Vocabulary, doc: &Document) {
+    println!("{} statement(s):", doc.tcs.len());
+    for c in doc.tcs.statements() {
+        println!("  {}", c.display(vocab));
+    }
+    if !doc.constraints.is_empty() {
+        println!(
+            "{} finite-domain constraint(s), {} key(s):",
+            doc.constraints.domains().len(),
+            doc.constraints.keys().len()
+        );
+        for d in doc.constraints.domains() {
+            println!("  {}", d.display(vocab));
+        }
+        for k in doc.constraints.keys() {
+            println!("  {}", k.display(vocab));
+        }
+        if let Err(v2) = doc.constraints.check_instance(&doc.facts) {
+            println!(
+                "  WARNING: fact violates domain (column {} of a {} fact)",
+                v2.column,
+                vocab.pred_name(v2.fact.pred)
+            );
+        }
+        for k in doc.constraints.keys() {
+            if let Err(v2) = k.check_instance(&doc.facts) {
+                println!(
+                    "  WARNING: facts violate {} ({} vs {})",
+                    k.display(vocab),
+                    v2.facts.0.display(vocab),
+                    v2.facts.1.display(vocab)
+                );
+            }
+        }
+    }
+    let sigma: Vec<&str> = doc
+        .tcs
+        .signature()
+        .into_iter()
+        .map(|p| vocab.pred_name(p))
+        .collect();
+    println!("signature: {{{}}}", sigma.join(", "));
+    println!(
+        "dependency graph: {}",
+        if doc.tcs.is_acyclic() {
+            "acyclic (MCSs have bounded size)"
+        } else {
+            "cyclic (maximal complete specializations may not exist; use bounded k-MCS)"
+        }
+    );
+    for q in &doc.queries {
+        match doc.tcs.mcs_size_bound(q) {
+            Some(bound) => println!(
+                "MCS size bound for {}: {bound} atoms (Theorem 18)",
+                q.display(vocab)
+            ),
+            None => println!("MCS size bound for {}: none", q.display(vocab)),
+        }
+    }
+    let lints = lint(&doc.tcs);
+    if !lints.is_empty() {
+        println!("{} lint(s):", lints.len());
+        for l in &lints {
+            println!("  {}", l.render(&doc.tcs, vocab));
+        }
+    }
+}
+
+/// Treats the document's facts as the *ideal* state, derives the minimal
+/// available state the statements allow (`T_C`, Proposition 2), and
+/// reports what each query would lose.
+fn cmd_simulate(vocab: &Vocabulary, doc: &Document) {
+    let ideal = doc.facts.clone();
+    let available = tc_apply(&doc.tcs, &ideal);
+    println!(
+        "ideal state: {} facts; minimal guaranteed available state: {} facts",
+        ideal.len(),
+        available.len()
+    );
+    let db = IncompleteDatabase::new(ideal, available).expect("T_C(D) is a subset of D");
+    for q in &doc.queries {
+        match (answers(q, db.ideal()), answers(q, db.available())) {
+            (Ok(ideal_ans), Ok(avail_ans)) => {
+                let lost: Vec<_> = ideal_ans.difference(&avail_ans).collect();
+                println!(
+                    "{}: {} ideal answer(s), {} guaranteed, {} at risk",
+                    q.display(vocab),
+                    ideal_ans.len(),
+                    avail_ans.len(),
+                    lost.len()
+                );
+                for t in lost {
+                    println!("  at risk: {}", t.display(vocab));
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => println!("cannot evaluate {}: {e}", q.display(vocab)),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(1);
+    };
+    if command == "repl" {
+        let mut session = repl::Repl::new();
+        let stdin = std::io::stdin();
+        let mut input = stdin.lock();
+        let stdout = std::io::stdout();
+        let mut output = stdout.lock();
+        if let Some(path) = args.get(1) {
+            if session.load_file(path, &mut output).is_err() {
+                return ExitCode::from(1);
+            }
+        }
+        return match session.run(&mut input, &mut output) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(_) => ExitCode::from(1),
+        };
+    }
+    let Some(path) = args.get(1) else {
+        eprintln!("magik: missing <file>\n{USAGE}");
+        return ExitCode::from(1);
+    };
+
+    // Options (only `specialize` has any today).
+    let mut k = 0usize;
+    let mut naive = false;
+    let mut rest = args[2..].iter();
+    while let Some(opt) = rest.next() {
+        match opt.as_str() {
+            "-k" => match rest.next().and_then(|v| v.parse().ok()) {
+                Some(v) => k = v,
+                None => {
+                    eprintln!("magik: -k requires a non-negative integer");
+                    return ExitCode::from(1);
+                }
+            },
+            "--naive" => naive = true,
+            other => {
+                eprintln!("magik: unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    let (mut vocab, doc) = match load(path) {
+        Ok(x) => x,
+        Err(code) => return code,
+    };
+    match command.as_str() {
+        "check" => cmd_check(&vocab, &doc),
+        "generalize" => cmd_generalize(&vocab, &doc),
+        "specialize" => cmd_specialize(&mut vocab, &doc, k, naive),
+        "eval" => cmd_eval(&vocab, &doc),
+        "bounds" => cmd_bounds(&mut vocab, &doc, k),
+        "why" => cmd_why(&vocab, &doc),
+        "explain" => cmd_explain(&vocab, &doc),
+        "simulate" => cmd_simulate(&vocab, &doc),
+        other => {
+            eprintln!("magik: unknown command `{other}`\n{USAGE}");
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}

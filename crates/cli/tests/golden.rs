@@ -1,0 +1,62 @@
+//! Golden-output tests: every CLI command's output on the checked-in
+//! documents is compared byte-for-byte against `testdata/golden/`.
+//!
+//! To regenerate after an intentional output change:
+//!
+//! ```sh
+//! for cmd in check generalize eval bounds why explain simulate; do
+//!   cargo run -p magik-cli -- $cmd testdata/school.magik > testdata/golden/school_$cmd.txt
+//! done
+//! cargo run -p magik-cli -- specialize testdata/school.magik -k 1 \
+//!   > testdata/golden/school_specialize_k1.txt
+//! cargo run -p magik-cli -- check testdata/classes.magik > testdata/golden/classes_check.txt
+//! cargo run -p magik-cli -- explain testdata/classes.magik > testdata/golden/classes_explain.txt
+//! ```
+
+use std::process::Command;
+
+fn testdata(rel: &str) -> String {
+    format!("{}/../../testdata/{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn assert_golden(args: &[&str], golden: &str) {
+    let out = Command::new(env!("CARGO_BIN_EXE_magik"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "command {args:?} failed");
+    let actual = String::from_utf8_lossy(&out.stdout);
+    let expected = std::fs::read_to_string(testdata(&format!("golden/{golden}")))
+        .unwrap_or_else(|e| panic!("missing golden file {golden}: {e}"));
+    assert_eq!(
+        actual, expected,
+        "output of {args:?} diverged from golden/{golden}"
+    );
+}
+
+#[test]
+fn school_outputs_match_goldens() {
+    let file = testdata("school.magik");
+    for cmd in [
+        "check",
+        "generalize",
+        "eval",
+        "bounds",
+        "why",
+        "explain",
+        "simulate",
+    ] {
+        assert_golden(&[cmd, &file], &format!("school_{cmd}.txt"));
+    }
+    assert_golden(
+        &["specialize", &file, "-k", "1"],
+        "school_specialize_k1.txt",
+    );
+}
+
+#[test]
+fn classes_outputs_match_goldens() {
+    let file = testdata("classes.magik");
+    assert_golden(&["check", &file], "classes_check.txt");
+    assert_golden(&["explain", &file], "classes_explain.txt");
+}

@@ -1,0 +1,247 @@
+//! Query answering with completeness guarantees.
+//!
+//! The introduction of the paper motivates approximation with two use
+//! cases: *searching* (don't miss anything — generalize) and *statistics*
+//! (publish only what is final — specialize). This module packages both
+//! into an answering API over a concrete available database `Dᵃ` that is
+//! assumed to satisfy the statement set:
+//!
+//! * **certain answers** — `Q(Dᵃ)`: by monotonicity and `Dᵃ ⊆ Dⁱ`, every
+//!   one of them is an ideal answer; if `C ⊨ Compl(Q)` they are *all* of
+//!   the ideal answers;
+//! * **possible answers** — `MCG(Dᵃ) \ Q(Dᵃ)`: since the ideal answers
+//!   of `Q` are contained in those of its (complete) MCG, any answer
+//!   that is not in this envelope is certainly *not* an ideal answer;
+//! * **count bounds** — `[|Q(Dᵃ)|, |MCG(Dᵃ)|]` brackets the true count
+//!   `|Q(Dⁱ)|` for every ideal state compatible with the statements;
+//! * **publishable counts** — the k-MCSs evaluated over `Dᵃ` give exact
+//!   sub-statistics (each equals its ideal count).
+
+use magik_relalg::{answers, AnswerSet, EvalError, Instance, Query, Vocabulary};
+
+use crate::check::is_complete;
+use crate::generalize::mcg;
+use crate::specialize::{k_mcs, KMcsOptions};
+use crate::tcs::TcSet;
+
+/// Answers of a query over an available state, classified by certainty.
+#[derive(Debug, Clone)]
+pub struct AnswerReport {
+    /// Answers guaranteed to be ideal answers of the query.
+    pub certain: AnswerSet,
+    /// Further tuples that *may* be ideal answers: the MCG envelope minus
+    /// the certain answers. `None` when the query has no complete
+    /// generalization (the envelope is unbounded).
+    pub possible: Option<AnswerSet>,
+    /// `true` iff `C ⊨ Compl(Q)`: the certain answers are exactly the
+    /// ideal answers.
+    pub exact: bool,
+}
+
+/// Classifies the answers of `q` over the available state `db` (which is
+/// assumed to satisfy `tcs`).
+///
+/// ```
+/// use magik_relalg::Vocabulary;
+/// use magik_parser::parse_document;
+/// use magik_completeness::classify_answers;
+///
+/// let mut v = Vocabulary::new();
+/// let doc = parse_document(
+///     "compl school(S, primary, D) ; true.
+///      compl pupil(N, C, S) ; school(S, T, merano).
+///      compl learns(N, english) ; pupil(N, C, S), school(S, primary, D).
+///      query q(N) :- pupil(N, C, S), school(S, primary, merano), learns(N, L).
+///      fact school(goethe, primary, merano).
+///      fact pupil(john, c1, goethe).
+///      fact pupil(mary, c1, goethe).
+///      fact learns(john, english).",
+///     &mut v,
+/// ).unwrap();
+///
+/// let report = classify_answers(&doc.queries[0], &doc.tcs, &doc.facts).unwrap();
+/// assert_eq!(report.certain.len(), 1);                   // john, final
+/// assert_eq!(report.possible.unwrap().len(), 1);         // mary, pending
+/// assert!(!report.exact);
+/// ```
+pub fn classify_answers(q: &Query, tcs: &TcSet, db: &Instance) -> Result<AnswerReport, EvalError> {
+    let certain = answers(q, db)?;
+    let exact = is_complete(q, tcs);
+    let possible = if exact {
+        Some(AnswerSet::new())
+    } else {
+        match mcg(q, tcs) {
+            Some(envelope) => {
+                let env_answers = answers(&envelope, db)?;
+                Some(env_answers.difference(&certain).cloned().collect())
+            }
+            None => None,
+        }
+    };
+    Ok(AnswerReport {
+        certain,
+        possible,
+        exact,
+    })
+}
+
+/// Bounds on the ideal answer count of a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountBounds {
+    /// `|Q(Dᵃ)| ≤ |Q(Dⁱ)|` always.
+    pub lower: usize,
+    /// `|Q(Dⁱ)| ≤ |MCG(Dᵃ)|` when the MCG exists.
+    pub upper: Option<usize>,
+    /// `true` iff lower is the exact ideal count (`C ⊨ Compl(Q)`).
+    pub exact: bool,
+}
+
+/// Computes certain bounds on `|Q(Dⁱ)|` from the available state alone.
+pub fn count_bounds(q: &Query, tcs: &TcSet, db: &Instance) -> Result<CountBounds, EvalError> {
+    let report = classify_answers(q, tcs, db)?;
+    let lower = report.certain.len();
+    let upper = if report.exact {
+        Some(lower)
+    } else {
+        report.possible.map(|p| lower + p.len())
+    };
+    Ok(CountBounds {
+        lower,
+        upper,
+        exact: report.exact,
+    })
+}
+
+/// A guaranteed-exact partial statistic: a maximal complete
+/// specialization together with its (final) answer count over the
+/// available state.
+#[derive(Debug, Clone)]
+pub struct PublishableCount {
+    /// The complete specialization.
+    pub query: Query,
+    /// Its answer count — equal to the ideal count by completeness.
+    pub count: usize,
+}
+
+/// Evaluates every k-MCS of `q` over the available state: each row is a
+/// partial statistic that can be published immediately (its count cannot
+/// change as missing data arrives).
+pub fn publishable_counts(
+    q: &Query,
+    tcs: &TcSet,
+    vocab: &mut Vocabulary,
+    db: &Instance,
+    k: usize,
+) -> Result<Vec<PublishableCount>, EvalError> {
+    let outcome = k_mcs(q, tcs, vocab, KMcsOptions::new(k));
+    let mut rows = Vec::with_capacity(outcome.queries.len());
+    for m in outcome.queries {
+        let count = answers(&m, db)?.len();
+        rows.push(PublishableCount { query: m, count });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::IncompleteDatabase;
+    use crate::testutil::{q_pbl, q_ppb, school_tcs};
+    use magik_relalg::Fact;
+
+    fn scenario(v: &mut Vocabulary) -> IncompleteDatabase {
+        let school = v.pred("school", 3);
+        let pupil = v.pred("pupil", 3);
+        let learns = v.pred("learns", 2);
+        let mut ideal = Instance::new();
+        ideal.insert(Fact::new(
+            school,
+            vec![v.cst("goethe"), v.cst("primary"), v.cst("merano")],
+        ));
+        for (name, lang) in [("ann", "english"), ("bob", "german"), ("cli", "english")] {
+            ideal.insert(Fact::new(
+                pupil,
+                vec![v.cst(name), v.cst("c1"), v.cst("goethe")],
+            ));
+            ideal.insert(Fact::new(learns, vec![v.cst(name), v.cst(lang)]));
+        }
+        IncompleteDatabase::minimal_completion(ideal, &school_tcs(v))
+    }
+
+    #[test]
+    fn certain_answers_are_ideal_answers() {
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let db = scenario(&mut v);
+        let q = q_pbl(&mut v);
+        let report = classify_answers(&q, &tcs, db.available()).unwrap();
+        let ideal = answers(&q, db.ideal()).unwrap();
+        assert!(report.certain.is_subset(&ideal));
+        assert!(!report.exact);
+        // ann and cli are certain (English learners); bob is possible.
+        assert_eq!(report.certain.len(), 2);
+        let possible = report.possible.unwrap();
+        assert_eq!(possible.len(), 1);
+        assert!(possible.contains(&vec![v.cst("bob")]));
+    }
+
+    #[test]
+    fn exact_report_for_complete_queries() {
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let db = scenario(&mut v);
+        let q = q_ppb(&mut v);
+        let report = classify_answers(&q, &tcs, db.available()).unwrap();
+        assert!(report.exact);
+        assert_eq!(report.possible, Some(AnswerSet::new()));
+        assert_eq!(report.certain, answers(&q, db.ideal()).unwrap());
+    }
+
+    #[test]
+    fn bounds_bracket_the_true_count() {
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let db = scenario(&mut v);
+        let q = q_pbl(&mut v);
+        let bounds = count_bounds(&q, &tcs, db.available()).unwrap();
+        let truth = answers(&q, db.ideal()).unwrap().len();
+        assert!(bounds.lower <= truth);
+        assert!(truth <= bounds.upper.unwrap());
+        assert_eq!((bounds.lower, bounds.upper), (2, Some(3)));
+        assert!(!bounds.exact);
+
+        let complete_q = q_ppb(&mut v);
+        let exact = count_bounds(&complete_q, &tcs, db.available()).unwrap();
+        assert!(exact.exact);
+        assert_eq!(exact.upper, Some(exact.lower));
+    }
+
+    #[test]
+    fn unbounded_envelope_when_no_mcg_exists() {
+        let mut v = Vocabulary::new();
+        let tcs = TcSet::default();
+        let db = Instance::new();
+        let q = q_pbl(&mut v);
+        let report = classify_answers(&q, &tcs, &db).unwrap();
+        assert!(!report.exact);
+        assert_eq!(report.possible, None);
+        let bounds = count_bounds(&q, &tcs, &db).unwrap();
+        assert_eq!(bounds.upper, None);
+    }
+
+    #[test]
+    fn publishable_counts_are_exact() {
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let db = scenario(&mut v);
+        let q = q_pbl(&mut v);
+        let rows = publishable_counts(&q, &tcs, &mut v, db.available(), 0).unwrap();
+        assert_eq!(rows.len(), 1);
+        for row in &rows {
+            let truth = answers(&row.query, db.ideal()).unwrap().len();
+            assert_eq!(row.count, truth);
+        }
+        // The English-learner statistic counts ann and cli.
+        assert_eq!(rows[0].count, 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! Completeness checking (Theorem 3).
+//!
+//! `C ⊨ Compl(Q)` iff `θū ∈ Q(T_C(D_Q))`: freeze the query into its
+//! canonical database, apply `T_C` once, and test whether the query still
+//! retrieves the frozen head tuple.
+
+use magik_relalg::{canonical_database, freeze_term, has_answer, Cst, Query, Vocabulary};
+
+use crate::tc_op::{tc_apply, tc_apply_datalog};
+use crate::tcs::TcSet;
+
+/// Decides `C ⊨ Compl(Q)` (Theorem 3), using the direct `T_C`
+/// implementation.
+pub fn is_complete(q: &Query, tcs: &TcSet) -> bool {
+    let db = canonical_database(q);
+    let guaranteed = tc_apply(tcs, &db);
+    let target: Vec<Cst> = q.head.iter().map(|&t| freeze_term(t)).collect();
+    has_answer(q, &guaranteed, &target)
+}
+
+/// Decides `C ⊨ Compl(Q)` via the Section 5 Datalog encoding of `T_C`.
+///
+/// Computes exactly the same answer as [`is_complete`]; exposed for
+/// cross-validation and benchmarking of the two engines.
+pub fn is_complete_via_datalog(q: &Query, tcs: &TcSet, vocab: &mut Vocabulary) -> bool {
+    let db = canonical_database(q);
+    let guaranteed = tc_apply_datalog(tcs, &db, vocab);
+    let target: Vec<Cst> = q.head.iter().map(|&t| freeze_term(t)).collect();
+    has_answer(q, &guaranteed, &target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::IncompleteDatabase;
+    use crate::tcs::TcStatement;
+    use crate::testutil::{flight, q_pbl, q_ppb, school_tcs, table1};
+    use magik_relalg::{Atom, Fact, Instance, Term};
+
+    #[test]
+    fn q_ppb_is_complete_example_4() {
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let q = q_ppb(&mut v);
+        assert!(is_complete(&q, &tcs));
+        assert!(is_complete_via_datalog(&q, &tcs, &mut v));
+    }
+
+    #[test]
+    fn q_pbl_is_incomplete_example_1() {
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let q = q_pbl(&mut v);
+        assert!(!is_complete(&q, &tcs));
+        assert!(!is_complete_via_datalog(&q, &tcs, &mut v));
+    }
+
+    #[test]
+    fn q_pbl_spec_is_complete_example_5() {
+        // Replacing learns(N, L) with learns(N, english) yields a complete
+        // query thanks to C_enp.
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let q = q_pbl(&mut v);
+        let l = v.var("L");
+        let english = v.cst("english");
+        let spec =
+            magik_relalg::Substitution::from_pairs([(l, Term::Cst(english))]).apply_query(&q);
+        assert!(is_complete(&spec, &tcs));
+    }
+
+    #[test]
+    fn empty_tcs_makes_only_trivial_queries_complete() {
+        let mut v = Vocabulary::new();
+        let tcs = TcSet::default();
+        let q = q_ppb(&mut v);
+        assert!(!is_complete(&q, &tcs));
+        // A query with an empty body has no completeness requirements.
+        let trivial = Query::boolean(v.sym("t"), vec![]);
+        assert!(is_complete(&trivial, &tcs));
+    }
+
+    #[test]
+    fn unconditional_statements_make_their_relation_complete() {
+        let mut v = Vocabulary::new();
+        let r = v.pred("r", 2);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let tcs = TcSet::new(vec![TcStatement::new(
+            Atom::new(r, vec![Term::Var(x), Term::Var(y)]),
+            vec![],
+        )]);
+        let q = Query::new(
+            v.sym("q"),
+            vec![Term::Var(x)],
+            vec![Atom::new(r, vec![Term::Var(x), Term::Var(y)])],
+        );
+        assert!(is_complete(&q, &tcs));
+    }
+
+    #[test]
+    fn flight_query_is_incomplete_theorem_17() {
+        let mut v = Vocabulary::new();
+        let (tcs, q) = flight(&mut v);
+        assert!(!is_complete(&q, &tcs));
+        // But the self-loop specialization conn(X, X) is complete.
+        let conn = v.pred("conn", 2);
+        let x = v.var("X");
+        let self_loop = Query::new(
+            v.sym("q"),
+            vec![Term::Var(x)],
+            vec![Atom::new(conn, vec![Term::Var(x), Term::Var(x)])],
+        );
+        assert!(is_complete(&self_loop, &tcs));
+        assert!(is_complete_via_datalog(&self_loop, &tcs, &mut v));
+    }
+
+    #[test]
+    fn table1_query_is_incomplete() {
+        let mut v = Vocabulary::new();
+        let (tcs, q) = table1(&mut v);
+        assert!(!is_complete(&q, &tcs));
+    }
+
+    #[test]
+    fn completeness_claim_is_sound_on_concrete_pair() {
+        // Soundness spot check: C ⊨ Compl(Q_ppb) per the reasoner, so on a
+        // concrete minimal completion Q_ppb must lose no answers.
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let q = q_ppb(&mut v);
+        assert!(is_complete(&q, &tcs));
+        let mut ideal = Instance::new();
+        let school = v.pred("school", 3);
+        let pupil = v.pred("pupil", 3);
+        ideal.insert(Fact::new(
+            school,
+            vec![v.cst("goethe"), v.cst("primary"), v.cst("merano")],
+        ));
+        ideal.insert(Fact::new(
+            pupil,
+            vec![v.cst("john"), v.cst("c1"), v.cst("goethe")],
+        ));
+        let db = IncompleteDatabase::minimal_completion(ideal, &tcs);
+        assert!(db.satisfies_all(&tcs));
+        assert!(db.query_complete(&q).unwrap());
+    }
+
+    #[test]
+    fn frozen_constants_do_not_clash_with_data_constants() {
+        // A statement conditioned on a constant that also appears as a
+        // variable name elsewhere must not confuse freezing.
+        let mut v = Vocabulary::new();
+        let r = v.pred("r", 1);
+        let x = v.var("X");
+        let x_const = v.cst("X");
+        let tcs = TcSet::new(vec![TcStatement::new(
+            Atom::new(r, vec![Term::Cst(x_const)]),
+            vec![],
+        )]);
+        // q() <- r(X) is incomplete (only the constant X tuple is covered).
+        let q = Query::boolean(v.sym("q"), vec![Atom::new(r, vec![Term::Var(x)])]);
+        assert!(!is_complete(&q, &tcs));
+        // q'() <- r("X") is complete.
+        let qc = Query::boolean(v.sym("q"), vec![Atom::new(r, vec![Term::Cst(x_const)])]);
+        assert!(is_complete(&qc, &tcs));
+    }
+}

@@ -1,0 +1,253 @@
+//! Query generalization: the `G_C` operator and the MCG (Section 3).
+//!
+//! `G_C` keeps exactly the body atoms that are guaranteed complete wrt the
+//! statement set; iterating it from `Q` descends the subquery preorder and
+//! reaches the least fixed point — the **minimal complete generalization**
+//! — in at most `|Q|` steps (Proposition 12). If the fixed point is unsafe,
+//! no complete generalization exists (Proposition 12(e)).
+
+use magik_relalg::{canonical_database, freeze_atom, Query};
+
+use crate::tc_op::tc_apply;
+use crate::tcs::TcSet;
+
+/// Applies the generalization operator `G_C` once: freeze the body, apply
+/// `T_C`, and keep only the atoms that survive.
+///
+/// The result is a subquery of `q` over the same head; it may be unsafe
+/// even when `q` is safe (generalized conjunctive queries, Section 3).
+pub fn g_op(q: &Query, tcs: &TcSet) -> Query {
+    let db = canonical_database(q);
+    let kept = tc_apply(tcs, &db);
+    q.subquery(|a| kept.contains(&freeze_atom(a)))
+}
+
+/// Statistics of an MCG computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McgStats {
+    /// Number of `G_C` applications (Proposition 12(c) bounds this by
+    /// `|Q| + 1`).
+    pub iterations: usize,
+    /// Number of body atoms removed in total.
+    pub atoms_removed: usize,
+}
+
+/// Computes the minimal complete generalization of `q` wrt `tcs`
+/// (Algorithm 1). Returns `None` if no complete generalization exists —
+/// equivalently, if the least fixed point of `G_C` is unsafe.
+///
+/// ```
+/// use magik_relalg::{Vocabulary, DisplayWith};
+/// use magik_parser::{parse_document, parse_query};
+/// use magik_completeness::mcg;
+///
+/// let mut v = Vocabulary::new();
+/// let tcs = parse_document(
+///     "compl school(S, primary, D) ; true.
+///      compl pupil(N, C, S) ; school(S, T, merano).",
+///     &mut v,
+/// ).unwrap().tcs;
+/// let q = parse_query(
+///     "q(N) :- pupil(N, C, S), school(S, primary, merano), learns(N, L).",
+///     &mut v,
+/// ).unwrap();
+///
+/// let m = mcg(&q, &tcs).unwrap();
+/// assert_eq!(m.display(&v).to_string(),
+///            "q(N) :- pupil(N, C, S), school(S, primary, merano)");
+/// ```
+pub fn mcg(q: &Query, tcs: &TcSet) -> Option<Query> {
+    mcg_with_stats(q, tcs).0
+}
+
+/// Decides whether `candidate` is *the* MCG of `q` wrt `tcs` — the
+/// decision problem of Proposition 15 (in `P^NP`): run Algorithm 1 and
+/// compare up to equivalence.
+pub fn is_mcg(candidate: &Query, q: &Query, tcs: &TcSet) -> bool {
+    match mcg(q, tcs) {
+        Some(m) => magik_relalg::are_equivalent(candidate, &m),
+        None => false,
+    }
+}
+
+/// Like [`mcg`], also reporting iteration statistics.
+pub fn mcg_with_stats(q: &Query, tcs: &TcSet) -> (Option<Query>, McgStats) {
+    let mut old = q.clone();
+    let mut new = g_op(&old, tcs);
+    let mut iterations = 1;
+    while new.is_safe() && !new.same_as(&old) {
+        old = new;
+        new = g_op(&old, tcs);
+        iterations += 1;
+    }
+    let stats = McgStats {
+        iterations,
+        atoms_removed: q.size() - new.size(),
+    };
+    if new.is_safe() {
+        (Some(new), stats)
+    } else {
+        (None, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::is_complete;
+    use crate::tcs::TcStatement;
+    use crate::testutil::{flight, q_pbl, q_ppb, school_tcs};
+    use magik_relalg::{are_equivalent, is_contained_in, Atom, Term, Vocabulary};
+
+    #[test]
+    fn g_op_drops_unguaranteed_atoms() {
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let q = q_pbl(&mut v);
+        let g = g_op(&q, &tcs);
+        // learns(N, L) is not guaranteed; the other two atoms are.
+        assert_eq!(g.size(), 2);
+        let learns = v.pred("learns", 2);
+        assert!(g.body.iter().all(|a| a.pred != learns));
+    }
+
+    #[test]
+    fn mcg_of_q_pbl_is_q_ppb_example_5() {
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let q = q_pbl(&mut v);
+        let expected = q_ppb(&mut v);
+        let result = mcg(&q, &tcs).expect("MCG exists");
+        assert!(are_equivalent(&result, &expected));
+        assert!(is_complete(&result, &tcs));
+        // MCG is a generalization: Q ⊑ MCG(Q).
+        assert!(is_contained_in(&q, &result));
+    }
+
+    #[test]
+    fn complete_query_is_its_own_mcg() {
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let q = q_ppb(&mut v);
+        let result = mcg(&q, &tcs).unwrap();
+        assert!(are_equivalent(&result, &q));
+    }
+
+    #[test]
+    fn no_mcg_when_head_atom_support_vanishes() {
+        let mut v = Vocabulary::new();
+        let tcs = TcSet::default();
+        let q = q_ppb(&mut v);
+        // With no statements, G_C drops everything; q(N) becomes unsafe.
+        assert_eq!(mcg(&q, &tcs), None);
+    }
+
+    #[test]
+    fn boolean_query_always_has_mcg() {
+        let mut v = Vocabulary::new();
+        let tcs = TcSet::default();
+        let learns = v.pred("learns", 2);
+        let (n, l) = (v.var("N"), v.var("L"));
+        let q = Query::boolean(
+            v.sym("b"),
+            vec![Atom::new(learns, vec![Term::Var(n), Term::Var(l)])],
+        );
+        // The empty (true) query is a complete generalization of any
+        // Boolean query.
+        let result = mcg(&q, &tcs).unwrap();
+        assert_eq!(result.size(), 0);
+        assert!(is_complete(&result, &tcs));
+    }
+
+    #[test]
+    fn cascading_removal_takes_linearly_many_iterations() {
+        // Compl(r1; r2), Compl(r2; r3), Compl(r3; r4) over body
+        // r1(X), r2(X), r3(X): each iteration peels one atom.
+        let mut v = Vocabulary::new();
+        let preds: Vec<_> = (1..=4).map(|i| v.pred(&format!("r{i}"), 1)).collect();
+        let x = v.var("X");
+        let tcs = TcSet::new(
+            (0..3)
+                .map(|i| {
+                    TcStatement::new(
+                        Atom::new(preds[i], vec![Term::Var(x)]),
+                        vec![Atom::new(preds[i + 1], vec![Term::Var(x)])],
+                    )
+                })
+                .collect(),
+        );
+        let q = Query::boolean(
+            v.sym("b"),
+            (0..3)
+                .map(|i| Atom::new(preds[i], vec![Term::Var(x)]))
+                .collect(),
+        );
+        let (result, stats) = mcg_with_stats(&q, &tcs);
+        let result = result.unwrap();
+        assert_eq!(result.size(), 0);
+        assert_eq!(stats.atoms_removed, 3);
+        // Iterations: three removals plus the fixpoint-confirming pass.
+        assert_eq!(stats.iterations, 4);
+        assert!(stats.iterations <= q.size() + 1);
+    }
+
+    #[test]
+    fn mcg_is_contained_in_every_complete_generalization() {
+        // Proposition 12(d) on the running example: Q_ppb (the MCG of
+        // Q_pbl) is contained in the coarser complete generalization that
+        // keeps only the school atom... which is not a generalization
+        // candidate here because dropping pupil makes q(N) unsafe. Use a
+        // Boolean variant to get a non-trivial lattice.
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let q_named = q_pbl(&mut v);
+        let q = Query::boolean(v.sym("b"), q_named.body.clone());
+        let tilde = mcg(&q, &tcs).unwrap();
+        // Every complete subquery of q must contain tilde.
+        for mask in 0u32..(1 << q.size()) {
+            let mut idx = 0;
+            let sub = q.subquery(|_| {
+                let keep = mask & (1 << idx) != 0;
+                idx += 1;
+                keep
+            });
+            if is_complete(&sub, &tcs) {
+                assert!(
+                    is_contained_in(&tilde, &sub),
+                    "MCG must be contained in every complete generalization"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn g_op_is_monotone_proposition_10() {
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let q = q_pbl(&mut v);
+        let q_gen = q.without_atom(2); // drop learns => more general
+        assert!(is_contained_in(&q, &q_gen));
+        let gq = g_op(&q, &tcs);
+        let gq_gen = g_op(&q_gen, &tcs);
+        assert!(is_contained_in(&gq, &gq_gen));
+    }
+
+    #[test]
+    fn fixed_point_characterizes_completeness_proposition_10() {
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let complete_q = q_ppb(&mut v);
+        let incomplete_q = q_pbl(&mut v);
+        assert!(are_equivalent(&g_op(&complete_q, &tcs), &complete_q));
+        assert!(!are_equivalent(&g_op(&incomplete_q, &tcs), &incomplete_q));
+    }
+
+    #[test]
+    fn flight_example_has_no_mcg() {
+        let mut v = Vocabulary::new();
+        let (tcs, q) = flight(&mut v);
+        // G_C immediately drops the only atom: conn(X, Y) is not complete
+        // (its condition needs an extension), leaving q(X) unsafe.
+        assert_eq!(mcg(&q, &tcs), None);
+    }
+}

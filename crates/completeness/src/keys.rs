@@ -1,0 +1,281 @@
+//! Key constraints: the remaining reasoning feature of the CIKM'15
+//! follow-up (Nutt, Paramonov, Savković).
+//!
+//! A key on relation `R` says that the *ideal* instance never holds two
+//! `R`-tuples agreeing on the key columns. The reasoning mechanism is
+//! **chasing the query** with the key EGDs: two body atoms of `Q` over
+//! `R` that agree on the key columns must denote the same ideal tuple, so
+//! their remaining columns are unified. If unification fails on distinct
+//! constants, `Q` has no answers over any consistent ideal instance and
+//! is trivially complete.
+//!
+//! Notably, the chase is also *complete* for this setting: after chasing,
+//! no two atoms of the canonical database share a key, so the canonical
+//! counterexample of Theorem 3 is itself key-consistent and the classical
+//! check applies verbatim to the chased query. (A "key closure" of the
+//! guaranteed set — adding frozen atoms whose key matches a guaranteed
+//! one — can never fire post-chase and is deliberately absent.)
+
+use std::collections::HashMap;
+use std::fmt;
+
+use magik_relalg::{Atom, Cst, Fact, Instance, Pred, Query, Vocabulary};
+use magik_unify::Unifier;
+
+/// A key constraint: the listed columns functionally determine the rest
+/// of `pred` in every (consistent) ideal instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Key {
+    /// The constrained relation.
+    pub pred: Pred,
+    /// The key columns (0-based, non-empty, strictly increasing).
+    pub columns: Vec<usize>,
+}
+
+impl magik_relalg::DisplayWith for Key {
+    fn fmt_with(&self, vocab: &Vocabulary, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key {}[", vocab.pred_name(self.pred))?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+/// A key violation in a concrete instance: two facts agreeing on the key
+/// columns but differing elsewhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyViolation {
+    /// The violated key.
+    pub key: Key,
+    /// The two conflicting facts.
+    pub facts: (Fact, Fact),
+}
+
+impl Key {
+    /// The key projection of a fact's arguments.
+    fn project<'a>(&self, args: &'a [Cst]) -> Vec<&'a Cst> {
+        self.columns.iter().map(|&c| &args[c]).collect()
+    }
+
+    /// Checks a concrete instance for violations.
+    pub fn check_instance(&self, db: &Instance) -> Result<(), KeyViolation> {
+        let Some(rel) = db.relation(self.pred) else {
+            return Ok(());
+        };
+        let mut seen: HashMap<Vec<&Cst>, &[Cst]> = HashMap::new();
+        for tuple in rel.iter() {
+            if let Some(&other) = seen.get(&self.project(tuple)) {
+                if other != tuple {
+                    return Err(KeyViolation {
+                        key: self.clone(),
+                        facts: (
+                            Fact::new(self.pred, other.to_vec()),
+                            Fact::new(self.pred, tuple.to_vec()),
+                        ),
+                    });
+                }
+            } else {
+                seen.insert(self.project(tuple), tuple);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of chasing a query with key constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaseOutcome {
+    /// The chased query (body atoms merged where keys force equality).
+    Chased(Query),
+    /// The chase failed on distinct constants: the query has no answers
+    /// over any key-consistent ideal instance.
+    Unsatisfiable,
+}
+
+/// Chases `q` with the key EGDs: whenever two body atoms over a keyed
+/// relation agree on the key columns (syntactically, after unification so
+/// far), their remaining columns are unified. Runs to fixpoint.
+pub fn chase_query(q: &Query, keys: &[Key]) -> ChaseOutcome {
+    let mut u = Unifier::new();
+    // Fixpoint: each round scans all pairs under the current bindings.
+    loop {
+        let mut changed = false;
+        for key in keys {
+            let atoms: Vec<&Atom> = q.body.iter().filter(|a| a.pred == key.pred).collect();
+            for i in 0..atoms.len() {
+                for j in i + 1..atoms.len() {
+                    let same_key = key
+                        .columns
+                        .iter()
+                        .all(|&c| u.resolve(atoms[i].args[c]) == u.resolve(atoms[j].args[c]));
+                    if !same_key {
+                        continue;
+                    }
+                    for c in 0..atoms[i].args.len() {
+                        let (ta, tb) = (atoms[i].args[c], atoms[j].args[c]);
+                        if u.resolve(ta) == u.resolve(tb) {
+                            continue;
+                        }
+                        if !u.unify_terms(ta, tb) {
+                            return ChaseOutcome::Unsatisfiable;
+                        }
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    if u.is_empty() {
+        return ChaseOutcome::Chased(q.clone());
+    }
+    let subst = u.to_substitution();
+    let mut chased = subst.apply_query(q);
+    chased.dedup_body();
+    ChaseOutcome::Chased(chased)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magik_relalg::{Term, Var};
+
+    fn setup() -> (Vocabulary, Pred, Var, Var, Var, Var, Var) {
+        let mut v = Vocabulary::new();
+        let pupil = v.pred("pupil", 3);
+        let (n, c, s, c2, s2) = (v.var("N"), v.var("C"), v.var("S"), v.var("C2"), v.var("S2"));
+        (v, pupil, n, c, s, c2, s2)
+    }
+
+    #[test]
+    fn chase_merges_atoms_sharing_a_key() {
+        let (mut v, pupil, n, c, s, c2, s2) = setup();
+        let key = Key {
+            pred: pupil,
+            columns: vec![0],
+        };
+        // q(N) <- pupil(N, C, S), pupil(N, C2, S2): the two atoms denote
+        // the same ideal tuple.
+        let q = Query::new(
+            v.sym("q"),
+            vec![Term::Var(n)],
+            vec![
+                Atom::new(pupil, vec![Term::Var(n), Term::Var(c), Term::Var(s)]),
+                Atom::new(pupil, vec![Term::Var(n), Term::Var(c2), Term::Var(s2)]),
+            ],
+        );
+        let ChaseOutcome::Chased(chased) = chase_query(&q, &[key]) else {
+            panic!("chase must succeed");
+        };
+        assert_eq!(chased.size(), 1, "the atoms merge");
+    }
+
+    #[test]
+    fn chase_fails_on_distinct_constants() {
+        let (mut v, pupil, n, c, s, _, _) = setup();
+        let key = Key {
+            pred: pupil,
+            columns: vec![0],
+        };
+        let (g, d) = (v.cst("goethe"), v.cst("dante"));
+        // Same pupil at two distinct schools: inconsistent with the key.
+        let q = Query::new(
+            v.sym("q"),
+            vec![Term::Var(n)],
+            vec![
+                Atom::new(pupil, vec![Term::Var(n), Term::Var(c), Term::Cst(g)]),
+                Atom::new(pupil, vec![Term::Var(n), Term::Var(s), Term::Cst(d)]),
+            ],
+        );
+        assert_eq!(chase_query(&q, &[key]), ChaseOutcome::Unsatisfiable);
+    }
+
+    #[test]
+    fn chase_propagates_transitively() {
+        // Key forces X = Y in a first merge, which triggers a second.
+        let mut v = Vocabulary::new();
+        let r = v.pred("r", 2);
+        let (x, y, z, w) = (v.var("X"), v.var("Y"), v.var("Z"), v.var("W"));
+        let key = Key {
+            pred: r,
+            columns: vec![0],
+        };
+        let a = v.cst("a");
+        // r(a, X), r(a, Y), r(X, Z), r(Y, W): first merge X = Y, then the
+        // last two atoms share their key and merge Z = W.
+        let q = Query::boolean(
+            v.sym("q"),
+            vec![
+                Atom::new(r, vec![Term::Cst(a), Term::Var(x)]),
+                Atom::new(r, vec![Term::Cst(a), Term::Var(y)]),
+                Atom::new(r, vec![Term::Var(x), Term::Var(z)]),
+                Atom::new(r, vec![Term::Var(y), Term::Var(w)]),
+            ],
+        );
+        let ChaseOutcome::Chased(chased) = chase_query(&q, &[key]) else {
+            panic!()
+        };
+        assert_eq!(chased.size(), 2);
+    }
+
+    #[test]
+    fn composite_keys_use_all_columns() {
+        let mut v = Vocabulary::new();
+        let r = v.pred("r", 3);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let (a, b, c) = (v.cst("a"), v.cst("b"), v.cst("c"));
+        let key = Key {
+            pred: r,
+            columns: vec![0, 1],
+        };
+        // Keys (a, b) and (a, c) differ: no merge.
+        let q = Query::boolean(
+            v.sym("q"),
+            vec![
+                Atom::new(r, vec![Term::Cst(a), Term::Cst(b), Term::Var(x)]),
+                Atom::new(r, vec![Term::Cst(a), Term::Cst(c), Term::Var(y)]),
+            ],
+        );
+        let ChaseOutcome::Chased(chased) = chase_query(&q, std::slice::from_ref(&key)) else {
+            panic!()
+        };
+        assert_eq!(chased.size(), 2);
+        // Keys (a, b) and (a, b) agree: merge.
+        let q2 = Query::boolean(
+            v.sym("q"),
+            vec![
+                Atom::new(r, vec![Term::Cst(a), Term::Cst(b), Term::Var(x)]),
+                Atom::new(r, vec![Term::Cst(a), Term::Cst(b), Term::Var(y)]),
+            ],
+        );
+        let ChaseOutcome::Chased(chased) = chase_query(&q2, &[key]) else {
+            panic!()
+        };
+        assert_eq!(chased.size(), 1);
+    }
+
+    #[test]
+    fn instance_key_validation() {
+        let mut v = Vocabulary::new();
+        let r = v.pred("r", 2);
+        let key = Key {
+            pred: r,
+            columns: vec![0],
+        };
+        let mut ok = Instance::new();
+        ok.insert(Fact::new(r, vec![v.cst("a"), v.cst("x")]));
+        ok.insert(Fact::new(r, vec![v.cst("b"), v.cst("x")]));
+        assert!(key.check_instance(&ok).is_ok());
+        let mut bad = ok.clone();
+        bad.insert(Fact::new(r, vec![v.cst("a"), v.cst("y")]));
+        let violation = key.check_instance(&bad).unwrap_err();
+        assert_eq!(violation.facts.0.args[0], v.cst("a"));
+        assert_eq!(violation.facts.1.args[0], v.cst("a"));
+    }
+}

@@ -1,0 +1,266 @@
+//! Statement-set linting: authoring diagnostics for TCS sets.
+//!
+//! Completeness metadata is hand-written in practice (the MAGIK demo had
+//! administrators enter statements), so a reproduction aimed at real use
+//! needs authoring feedback. The lints here are all *semantic*:
+//!
+//! * **subsumed statements** — `C₂` is redundant when another statement
+//!   `C₁` guarantees everything `C₂` does, i.e. the associated query of
+//!   `C₂` is contained in that of `C₁` (and both constrain the same
+//!   relation);
+//! * **duplicate statements** — syntactic duplicates up to variable
+//!   renaming (a special case of mutual subsumption, reported
+//!   separately because the fix differs);
+//! * **self-conditioned statements** — the condition mentions the head
+//!   relation, which makes the statement fire only when the very data it
+//!   guarantees is already (ideally) present; legal, but a frequent
+//!   authoring accident and the source of the Theorem 17 unboundedness;
+//! * **unguaranteeable conditions** — the condition mentions a relation
+//!   that no statement guarantees, so specializations produced through
+//!   this statement can never be completed (the Table 1 trap: `class`
+//!   heads no statement).
+
+use std::fmt;
+
+use magik_relalg::{is_contained_in, DisplayWith, Pred, Vocabulary};
+
+use crate::tcs::TcSet;
+
+/// One diagnostic about a statement set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lint {
+    /// Statement `subsumed` is implied by statement `by`.
+    Subsumed {
+        /// Index of the redundant statement.
+        subsumed: usize,
+        /// Index of the statement that implies it.
+        by: usize,
+    },
+    /// Two statements are equivalent (mutual subsumption).
+    Duplicate {
+        /// Index of the earlier statement.
+        first: usize,
+        /// Index of the later, duplicate statement.
+        second: usize,
+    },
+    /// The statement's condition mentions its own head relation.
+    SelfConditioned {
+        /// Index of the statement.
+        statement: usize,
+    },
+    /// The statement's condition mentions a relation that heads no
+    /// statement, so the specialization search can never discharge it.
+    UnguaranteeableCondition {
+        /// Index of the statement.
+        statement: usize,
+        /// The unguaranteed condition relation.
+        pred: Pred,
+    },
+}
+
+impl Lint {
+    /// Renders the lint with names resolved.
+    pub fn render(&self, tcs: &TcSet, vocab: &Vocabulary) -> String {
+        match self {
+            Lint::Subsumed { subsumed, by } => format!(
+                "statement [{subsumed}] `{}` is subsumed by [{by}] `{}`",
+                tcs.statements()[*subsumed].display(vocab),
+                tcs.statements()[*by].display(vocab),
+            ),
+            Lint::Duplicate { first, second } => format!(
+                "statement [{second}] duplicates [{first}] `{}`",
+                tcs.statements()[*first].display(vocab),
+            ),
+            Lint::SelfConditioned { statement } => format!(
+                "statement [{statement}] `{}` conditions on its own relation: its guarantee \
+                 never bottoms out (maximal specializations may not exist)",
+                tcs.statements()[*statement].display(vocab),
+            ),
+            Lint::UnguaranteeableCondition { statement, pred } => format!(
+                "statement [{statement}] `{}` conditions on `{}`, which no statement \
+                 guarantees: specializations through it can never be completed",
+                tcs.statements()[*statement].display(vocab),
+                vocab.pred_name(*pred),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lint::Subsumed { subsumed, by } => {
+                write!(f, "statement {subsumed} subsumed by {by}")
+            }
+            Lint::Duplicate { first, second } => {
+                write!(f, "statement {second} duplicates {first}")
+            }
+            Lint::SelfConditioned { statement } => {
+                write!(f, "statement {statement} conditions on its own relation")
+            }
+            Lint::UnguaranteeableCondition { statement, pred } => write!(
+                f,
+                "statement {statement} conditions on unguaranteed relation #{}",
+                pred.index()
+            ),
+        }
+    }
+}
+
+/// Runs all lints over a statement set.
+pub fn lint(tcs: &TcSet) -> Vec<Lint> {
+    let mut out = Vec::new();
+    let statements = tcs.statements();
+    let queries: Vec<_> = statements
+        .iter()
+        .map(crate::tcs::TcStatement::associated_query)
+        .collect();
+
+    // Subsumption and duplicates: C_j redundant if Q_{C_j} ⊑ Q_{C_i}.
+    for j in 0..statements.len() {
+        for i in 0..statements.len() {
+            if i == j || statements[i].head.pred != statements[j].head.pred {
+                continue;
+            }
+            if is_contained_in(&queries[j], &queries[i]) {
+                if i < j && is_contained_in(&queries[i], &queries[j]) {
+                    out.push(Lint::Duplicate {
+                        first: i,
+                        second: j,
+                    });
+                    break;
+                }
+                if !is_contained_in(&queries[i], &queries[j]) {
+                    out.push(Lint::Subsumed { subsumed: j, by: i });
+                    break;
+                }
+            }
+        }
+    }
+
+    // Self-conditioning and unguaranteeable conditions.
+    let head_preds: std::collections::BTreeSet<Pred> =
+        statements.iter().map(|c| c.head.pred).collect();
+    for (si, c) in statements.iter().enumerate() {
+        if c.condition.iter().any(|g| g.pred == c.head.pred) {
+            out.push(Lint::SelfConditioned { statement: si });
+        }
+        for g in &c.condition {
+            if !head_preds.contains(&g.pred) {
+                out.push(Lint::UnguaranteeableCondition {
+                    statement: si,
+                    pred: g.pred,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcs::TcStatement;
+    use crate::testutil::{flight, school_tcs, table1};
+    use magik_relalg::{Atom, Term};
+
+    #[test]
+    fn clean_set_produces_no_subsumption_lints() {
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let lints = lint(&tcs);
+        assert!(
+            lints
+                .iter()
+                .all(|l| !matches!(l, Lint::Subsumed { .. } | Lint::Duplicate { .. })),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn detects_subsumed_statement() {
+        // Compl(p(X, Y); true) subsumes Compl(p(X, b); q(X)).
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 2);
+        let q = v.pred("q", 1);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let b = v.cst("b");
+        let tcs = TcSet::new(vec![
+            TcStatement::new(Atom::new(p, vec![Term::Var(x), Term::Var(y)]), vec![]),
+            TcStatement::new(
+                Atom::new(p, vec![Term::Var(x), Term::Cst(b)]),
+                vec![Atom::new(q, vec![Term::Var(x)])],
+            ),
+        ]);
+        let lints = lint(&tcs);
+        assert!(lints.contains(&Lint::Subsumed { subsumed: 1, by: 0 }));
+        // Rendering resolves names.
+        let rendered = lints[0].render(&tcs, &v);
+        assert!(rendered.contains("subsumed"));
+        assert!(rendered.contains("p(X, Y)"));
+    }
+
+    #[test]
+    fn detects_duplicates_up_to_renaming() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 2);
+        let (x, y, u, w) = (v.var("X"), v.var("Y"), v.var("U"), v.var("W"));
+        let tcs = TcSet::new(vec![
+            TcStatement::new(Atom::new(p, vec![Term::Var(x), Term::Var(y)]), vec![]),
+            TcStatement::new(Atom::new(p, vec![Term::Var(u), Term::Var(w)]), vec![]),
+        ]);
+        let lints = lint(&tcs);
+        assert!(lints.contains(&Lint::Duplicate {
+            first: 0,
+            second: 1
+        }));
+        // Only reported once, on the later statement.
+        assert_eq!(
+            lints
+                .iter()
+                .filter(|l| matches!(l, Lint::Duplicate { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn detects_self_conditioning_on_the_flight_statement() {
+        let mut v = Vocabulary::new();
+        let (tcs, _) = flight(&mut v);
+        let lints = lint(&tcs);
+        assert!(lints.contains(&Lint::SelfConditioned { statement: 0 }));
+    }
+
+    #[test]
+    fn detects_the_table1_trap() {
+        // class heads no statement: both class-conditioned pupil
+        // statements are flagged.
+        let mut v = Vocabulary::new();
+        let (tcs, _) = table1(&mut v);
+        let class = v.pred("class", 4);
+        let flagged: Vec<_> = lint(&tcs)
+            .into_iter()
+            .filter(|l| matches!(l, Lint::UnguaranteeableCondition { pred, .. } if *pred == class))
+            .collect();
+        assert_eq!(flagged.len(), 2);
+    }
+
+    #[test]
+    fn satisfiable_variant_has_no_unguaranteeable_conditions() {
+        let mut v = Vocabulary::new();
+        let (mut tcs, _) = table1(&mut v);
+        let class = v.pred("class", 4);
+        let (c, s, l, t) = (v.var("C"), v.var("S"), v.var("L"), v.var("T"));
+        tcs.push(TcStatement::new(
+            Atom::new(
+                class,
+                vec![Term::Var(c), Term::Var(s), Term::Var(l), Term::Var(t)],
+            ),
+            vec![],
+        ));
+        assert!(lint(&tcs)
+            .iter()
+            .all(|l| !matches!(l, Lint::UnguaranteeableCondition { .. })));
+    }
+}

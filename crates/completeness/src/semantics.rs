@@ -1,0 +1,198 @@
+//! Model-theoretic semantics: incomplete databases, TCS satisfaction, and
+//! query completeness over a concrete ideal/available pair.
+//!
+//! The reasoning algorithms of this crate work symbolically (Theorem 3 and
+//! onward); this module implements the definitions they abstract, so that
+//! soundness can be tested: whenever the reasoner claims `C ⊨ Compl(Q)`,
+//! every generated incomplete database satisfying `C` must satisfy
+//! `Compl(Q)`.
+
+use std::fmt;
+
+use magik_relalg::{answers, AnswerSet, EvalError, Fact, Instance, Query};
+
+use crate::tc_op::tc_apply;
+use crate::tcs::{TcSet, TcStatement};
+
+/// An incomplete database `𝒟 = (Dⁱ, Dᵃ)` with `Dᵃ ⊆ Dⁱ` (Motro-style
+/// "partial database", Section 2 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncompleteDatabase {
+    ideal: Instance,
+    available: Instance,
+}
+
+/// Error constructing an [`IncompleteDatabase`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotASubset {
+    /// A fact of the available state missing from the ideal state.
+    pub witness: Fact,
+}
+
+impl fmt::Display for NotASubset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "available state is not contained in the ideal state (offending relation id {})",
+            self.witness.pred.index()
+        )
+    }
+}
+
+impl std::error::Error for NotASubset {}
+
+impl IncompleteDatabase {
+    /// Creates an incomplete database, validating `Dᵃ ⊆ Dⁱ`.
+    pub fn new(ideal: Instance, available: Instance) -> Result<Self, NotASubset> {
+        if let Some(witness) = available.iter_facts().find(|f| !ideal.contains(f)) {
+            return Err(NotASubset { witness });
+        }
+        Ok(IncompleteDatabase { ideal, available })
+    }
+
+    /// The ideal state `Dⁱ`.
+    pub fn ideal(&self) -> &Instance {
+        &self.ideal
+    }
+
+    /// The available state `Dᵃ`.
+    pub fn available(&self) -> &Instance {
+        &self.available
+    }
+
+    /// `𝒟 ⊨ Compl(R(s̄); G)`: every ideal tuple matching the statement is
+    /// available, i.e. `Q_C(Dⁱ) ⊆ R(Dᵃ)`.
+    pub fn satisfies(&self, c: &TcStatement) -> bool {
+        let q = c.associated_query();
+        let matched = answers(&q, &self.ideal).expect("associated queries are safe");
+        matched
+            .into_iter()
+            .all(|tuple| self.available.contains(&Fact::new(c.head.pred, tuple)))
+    }
+
+    /// `𝒟 ⊨ C` for a whole set.
+    pub fn satisfies_all(&self, tcs: &TcSet) -> bool {
+        tcs.statements().iter().all(|c| self.satisfies(c))
+    }
+
+    /// `𝒟 ⊨ Compl(Q)`: the query returns the same answers over the ideal
+    /// and the available state.
+    pub fn query_complete(&self, q: &Query) -> Result<bool, EvalError> {
+        let ideal: AnswerSet = answers(q, &self.ideal)?;
+        let avail: AnswerSet = answers(q, &self.available)?;
+        // Dᵃ ⊆ Dⁱ and monotonicity make avail ⊆ ideal automatic; equality
+        // reduces to the ⊆ direction.
+        debug_assert!(avail.is_subset(&ideal));
+        Ok(ideal == avail)
+    }
+
+    /// The *minimal completion* of an ideal state under `C`: the pair
+    /// `(D, T_C(D))`, which satisfies `C` with the smallest possible
+    /// available state (Proposition 2). This is the canonical way to build
+    /// adversarial instances in tests.
+    pub fn minimal_completion(ideal: Instance, tcs: &TcSet) -> Self {
+        let available = tc_apply(tcs, &ideal);
+        IncompleteDatabase { ideal, available }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{q_pbl, q_ppb, school_tcs};
+    use magik_relalg::Vocabulary;
+
+    fn fact(v: &mut Vocabulary, name: &str, arity: usize, args: &[&str]) -> Fact {
+        let p = v.pred(name, arity);
+        Fact::new(p, args.iter().map(|s| v.cst(s)).collect())
+    }
+
+    #[test]
+    fn available_must_be_subset_of_ideal() {
+        let mut v = Vocabulary::new();
+        let extra = fact(&mut v, "p", 1, &["a"]);
+        let mut available = Instance::new();
+        available.insert(extra.clone());
+        let err = IncompleteDatabase::new(Instance::new(), available).unwrap_err();
+        assert_eq!(err.witness, extra);
+    }
+
+    #[test]
+    fn paper_example_1_satisfaction() {
+        // D^a = {school(goethe, primary, merano)},
+        // D^i = D^a ∪ {pupil(john, 1, goethe)}:
+        // satisfies C_sp but not C_pb.
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let school_fact = fact(&mut v, "school", 3, &["goethe", "primary", "merano"]);
+        let pupil_fact = fact(&mut v, "pupil", 3, &["john", "1", "goethe"]);
+        let mut available = Instance::new();
+        available.insert(school_fact.clone());
+        let mut ideal = available.clone();
+        ideal.insert(pupil_fact);
+        let db = IncompleteDatabase::new(ideal, available).unwrap();
+        let c_sp = &tcs.statements()[0];
+        let c_pb = &tcs.statements()[1];
+        assert!(db.satisfies(c_sp));
+        assert!(!db.satisfies(c_pb));
+        assert!(!db.satisfies_all(&tcs));
+    }
+
+    #[test]
+    fn query_completeness_over_concrete_pair() {
+        let mut v = Vocabulary::new();
+        let school_fact = fact(&mut v, "school", 3, &["goethe", "primary", "merano"]);
+        let pupil_fact = fact(&mut v, "pupil", 3, &["john", "c1", "goethe"]);
+        let mut ideal = Instance::new();
+        ideal.insert(school_fact.clone());
+        ideal.insert(pupil_fact.clone());
+
+        // Complete pair: available = ideal.
+        let full = IncompleteDatabase::new(ideal.clone(), ideal.clone()).unwrap();
+        let q = q_ppb(&mut v);
+        assert!(full.query_complete(&q).unwrap());
+
+        // Missing pupil: query loses an answer.
+        let mut available = Instance::new();
+        available.insert(school_fact);
+        let partial = IncompleteDatabase::new(ideal, available).unwrap();
+        assert!(!partial.query_complete(&q).unwrap());
+    }
+
+    #[test]
+    fn minimal_completion_satisfies_the_set() {
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let mut ideal = Instance::new();
+        ideal.insert(fact(&mut v, "school", 3, &["goethe", "primary", "merano"]));
+        ideal.insert(fact(&mut v, "pupil", 3, &["john", "c1", "goethe"]));
+        ideal.insert(fact(&mut v, "learns", 2, &["john", "german"]));
+        let db = IncompleteDatabase::minimal_completion(ideal, &tcs);
+        assert!(db.satisfies_all(&tcs));
+        // The german learner is not covered by any statement, so the
+        // minimal completion drops it.
+        let learns = v.pred("learns", 2);
+        assert!(db.ideal().relation(learns).is_some());
+        assert!(db.available().relation(learns).is_none());
+    }
+
+    #[test]
+    fn example_motivating_incompleteness_of_q_pbl() {
+        // Build an ideal state where some pupil learns a non-English
+        // language; the minimal completion satisfies all statements but
+        // Q_pbl loses that answer, witnessing C ⊭ Compl(Q_pbl).
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let mut ideal = Instance::new();
+        ideal.insert(fact(&mut v, "school", 3, &["goethe", "primary", "merano"]));
+        ideal.insert(fact(&mut v, "pupil", 3, &["john", "c1", "goethe"]));
+        ideal.insert(fact(&mut v, "learns", 2, &["john", "german"]));
+        let db = IncompleteDatabase::minimal_completion(ideal, &tcs);
+        assert!(db.satisfies_all(&tcs));
+        let q = q_pbl(&mut v);
+        assert!(!db.query_complete(&q).unwrap());
+        // Q_ppb, in contrast, stays complete on this pair.
+        let q2 = q_ppb(&mut v);
+        assert!(db.query_complete(&q2).unwrap());
+    }
+}

@@ -1,0 +1,430 @@
+//! Complete unifiers (Definition 20) and their enumeration.
+//!
+//! A substitution γ is a *complete unifier* for `Q` and `C` if every body
+//! atom `A` of `Q` unifies with the (renamed-apart) head of some statement
+//! `Compl(A'; G)` and the instantiated condition embeds into the
+//! instantiated body: `γA = γA'` and `γG ⊆ γB`. Applying a complete
+//! unifier yields a complete query (Proposition 21), and every complete
+//! instantiation is subsumed by one obtained from a most general complete
+//! unifier (Theorem 23).
+//!
+//! Enumeration is a backtracking search over *matching configurations*:
+//! for every body atom a statement whose head it unifies with, and for
+//! every condition atom of that statement a body atom it collapses onto.
+//! The search shares one [`Unifier`] and prunes on unification failure —
+//! the discipline a Prolog engine applies when running Algorithm 2.
+
+use magik_relalg::{Atom, Query, Substitution, Term, Var, Vocabulary};
+use magik_unify::Unifier;
+
+use crate::tcs::{TcSet, TcStatement};
+
+/// A stack-like pool of reusable variables.
+///
+/// The unifier search renames a statement apart on every attempt; minting
+/// a fresh interned variable per attempt would grow the vocabulary (and
+/// its string arena) without bound on long runs — the Rust analogue of
+/// the paper's Prolog implementation running out of memory. Instead,
+/// attempts draw variables from this pool and release them on
+/// backtracking, so the vocabulary only ever holds as many scratch
+/// variables as the deepest single search path needs.
+///
+/// Reuse is sound because (a) bindings are rolled back before a variable
+/// is released and (b) variables only need to be distinct *within* one
+/// candidate configuration, never across independent ones.
+#[derive(Debug, Default)]
+pub(crate) struct VarPool {
+    vars: Vec<Var>,
+    top: usize,
+    hint: &'static str,
+}
+
+impl VarPool {
+    pub(crate) fn new(hint: &'static str) -> Self {
+        VarPool {
+            vars: Vec::new(),
+            top: 0,
+            hint,
+        }
+    }
+
+    /// Current stack position; pass to [`VarPool::release`] to free
+    /// everything drawn after this point.
+    pub(crate) fn mark(&self) -> usize {
+        self.top
+    }
+
+    pub(crate) fn release(&mut self, mark: usize) {
+        self.top = mark;
+    }
+
+    pub(crate) fn draw(&mut self, vocab: &mut Vocabulary) -> Var {
+        if self.top == self.vars.len() {
+            self.vars.push(vocab.fresh_var(self.hint));
+        }
+        let v = self.vars[self.top];
+        self.top += 1;
+        v
+    }
+}
+
+/// Renames a statement apart using pool variables (drawn, not minted).
+fn rename_with_pool(c: &TcStatement, pool: &mut VarPool, vocab: &mut Vocabulary) -> TcStatement {
+    let renaming: Substitution = c
+        .all_vars()
+        .into_iter()
+        .map(|v| (v, Term::Var(pool.draw(vocab))))
+        .collect();
+    TcStatement {
+        head: renaming.apply_atom(&c.head),
+        condition: c.condition.iter().map(|a| renaming.apply_atom(a)).collect(),
+    }
+}
+
+/// Counters describing one enumeration run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnifierSearchStats {
+    /// Atom-level unification attempts.
+    pub unify_calls: u64,
+    /// Complete configurations reached (one per unifier visited).
+    pub configurations: u64,
+}
+
+/// Bounded enumeration control: the search aborts once `unify_calls`
+/// exceeds the budget.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SearchBudget {
+    pub max_unify_calls: u64,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        SearchBudget {
+            max_unify_calls: u64::MAX,
+        }
+    }
+}
+
+struct Search<'a> {
+    body: &'a [Atom],
+    statements: &'a [TcStatement],
+    vocab: &'a mut Vocabulary,
+    pool: &'a mut VarPool,
+    /// Use predicate pre-filtering when selecting candidate statements and
+    /// body atoms (the optimized engine). Without it the search still
+    /// succeeds/fails identically — unification rejects mismatched
+    /// predicates — but performs many more calls, like a Prolog program
+    /// without clause indexing.
+    indexed: bool,
+    u: Unifier,
+    stats: UnifierSearchStats,
+    budget: SearchBudget,
+    exhausted: bool,
+}
+
+impl Search<'_> {
+    fn over_budget(&mut self) -> bool {
+        if self.stats.unify_calls > self.budget.max_unify_calls {
+            self.exhausted = true;
+            return true;
+        }
+        false
+    }
+
+    /// Chooses a statement for body atom `i`; `visit` is called on every
+    /// complete configuration. Returns `false` to stop the whole search.
+    fn atom_level(&mut self, i: usize, visit: &mut dyn FnMut(&Unifier) -> bool) -> bool {
+        if i == self.body.len() {
+            self.stats.configurations += 1;
+            return visit(&self.u);
+        }
+        if self.over_budget() {
+            return false;
+        }
+        let atom = &self.body[i];
+        for si in 0..self.statements.len() {
+            if self.indexed && self.statements[si].head.pred != atom.pred {
+                continue;
+            }
+            let cp = self.u.checkpoint();
+            let pool_mark = self.pool.mark();
+            // Each *use* of a statement gets its own (pooled) variables.
+            let renamed = rename_with_pool(&self.statements[si], self.pool, self.vocab);
+            self.stats.unify_calls += 1;
+            if self.u.unify_atoms(&renamed.head, atom)
+                && !self.cond_level(&renamed.condition, 0, i, visit)
+            {
+                self.u.rollback(cp);
+                self.pool.release(pool_mark);
+                return false;
+            }
+            self.u.rollback(cp);
+            self.pool.release(pool_mark);
+        }
+        true
+    }
+
+    /// Chooses a body atom for condition atom `j` of the statement picked
+    /// for body atom `next`, then continues with the next body atom.
+    fn cond_level(
+        &mut self,
+        condition: &[Atom],
+        j: usize,
+        next: usize,
+        visit: &mut dyn FnMut(&Unifier) -> bool,
+    ) -> bool {
+        if j == condition.len() {
+            return self.atom_level(next + 1, visit);
+        }
+        if self.over_budget() {
+            return false;
+        }
+        for b in self.body {
+            if self.indexed && b.pred != condition[j].pred {
+                continue;
+            }
+            let cp = self.u.checkpoint();
+            self.stats.unify_calls += 1;
+            if self.u.unify_atoms(&condition[j], b)
+                && !self.cond_level(condition, j + 1, next, visit)
+            {
+                self.u.rollback(cp);
+                return false;
+            }
+            self.u.rollback(cp);
+        }
+        true
+    }
+}
+
+/// Enumerates the most general complete unifiers of `q` and `tcs` — the
+/// paper's `mgu(Q, 2^C)` — calling `visit` with each (restricted to the
+/// variables of `q`). `visit` returns `false` to stop. Returns the stats
+/// and whether the search ran to exhaustion.
+pub(crate) fn for_each_complete_unifier(
+    q: &Query,
+    tcs: &TcSet,
+    vocab: &mut Vocabulary,
+    pool: &mut VarPool,
+    indexed: bool,
+    budget: SearchBudget,
+    visit: &mut dyn FnMut(&Substitution) -> bool,
+) -> (UnifierSearchStats, bool) {
+    let q_vars = q.all_vars();
+    let mut search = Search {
+        body: &q.body,
+        statements: tcs.statements(),
+        vocab,
+        pool,
+        indexed,
+        u: Unifier::new(),
+        stats: UnifierSearchStats::default(),
+        budget,
+        exhausted: false,
+    };
+    let mut adapter = |u: &Unifier| {
+        let gamma = u.to_substitution().restrict(|v| q_vars.contains(&v));
+        visit(&gamma)
+    };
+    search.atom_level(0, &mut adapter);
+    let exhausted = search.exhausted;
+    (search.stats, !exhausted)
+}
+
+/// Collects all most general complete unifiers of `q` and `tcs`
+/// (duplicates possible: distinct configurations may yield equal
+/// substitutions).
+pub fn complete_unifiers(q: &Query, tcs: &TcSet, vocab: &mut Vocabulary) -> Vec<Substitution> {
+    let mut out = Vec::new();
+    let mut pool = VarPool::new("T");
+    for_each_complete_unifier(
+        q,
+        tcs,
+        vocab,
+        &mut pool,
+        true,
+        SearchBudget::default(),
+        &mut |g| {
+            out.push(g.clone());
+            true
+        },
+    );
+    out
+}
+
+/// Like [`complete_unifiers`] but without predicate indexing: every
+/// statement is tried for every atom and every body atom for every
+/// condition atom, with unification failure as the only pruning. Produces
+/// the same set; exposed to quantify the cost of indexing (ablation A4).
+pub fn complete_unifiers_naive(
+    q: &Query,
+    tcs: &TcSet,
+    vocab: &mut Vocabulary,
+) -> Vec<Substitution> {
+    let mut out = Vec::new();
+    let mut pool = VarPool::new("T");
+    for_each_complete_unifier(
+        q,
+        tcs,
+        vocab,
+        &mut pool,
+        false,
+        SearchBudget::default(),
+        &mut |g| {
+            out.push(g.clone());
+            true
+        },
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::is_complete;
+    use crate::testutil::{flight, q_pbl, school_tcs, table1};
+    use magik_relalg::{Term, Vocabulary};
+
+    #[test]
+    fn example_22_unifier_is_found() {
+        // γ = {L -> english} for Q_pbl and the school statements.
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let q = q_pbl(&mut v);
+        let l = v.var("L");
+        let english = v.cst("english");
+        let unifiers = complete_unifiers(&q, &tcs, &mut v);
+        assert!(!unifiers.is_empty());
+        assert!(
+            unifiers
+                .iter()
+                .any(|g| g.apply_term(Term::Var(l)) == Term::Cst(english)),
+            "the L -> english unifier must be found"
+        );
+        // Every returned unifier yields a complete query (Proposition 21).
+        for g in &unifiers {
+            assert!(is_complete(&g.apply_query(&q), &tcs));
+        }
+    }
+
+    #[test]
+    fn flight_example_unifier_merges_the_cycle() {
+        // For Q(X) <- conn(X, Y), the only complete unifier merges X and Y.
+        let mut v = Vocabulary::new();
+        let (tcs, q) = flight(&mut v);
+        let unifiers = complete_unifiers(&q, &tcs, &mut v);
+        assert!(!unifiers.is_empty());
+        for g in &unifiers {
+            let qi = g.apply_query(&q);
+            assert_eq!(qi.body[0].args[0], qi.body[0].args[1], "X and Y merged");
+            assert!(is_complete(&qi, &tcs));
+        }
+    }
+
+    #[test]
+    fn table1_query_has_no_complete_unifier() {
+        // learns(N, L) must match C_enp, whose condition needs pupil and
+        // school atoms that are not in the body.
+        let mut v = Vocabulary::new();
+        let (tcs, q) = table1(&mut v);
+        assert!(complete_unifiers(&q, &tcs, &mut v).is_empty());
+    }
+
+    #[test]
+    fn indexed_and_naive_enumeration_agree() {
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let q = q_pbl(&mut v);
+        let indexed: Vec<_> = complete_unifiers(&q, &tcs, &mut v)
+            .iter()
+            .map(|g| g.apply_query(&q))
+            .collect();
+        let naive: Vec<_> = complete_unifiers_naive(&q, &tcs, &mut v)
+            .iter()
+            .map(|g| g.apply_query(&q))
+            .collect();
+        assert_eq!(indexed, naive);
+    }
+
+    #[test]
+    fn naive_enumeration_performs_more_unify_calls() {
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let q = q_pbl(&mut v);
+        let run = |v: &mut Vocabulary, indexed: bool| {
+            let mut pool = VarPool::new("T");
+            let (stats, complete) = for_each_complete_unifier(
+                &q,
+                &tcs,
+                v,
+                &mut pool,
+                indexed,
+                SearchBudget::default(),
+                &mut |_| true,
+            );
+            assert!(complete);
+            stats
+        };
+        let fast = run(&mut v, true);
+        let slow = run(&mut v, false);
+        assert!(slow.unify_calls > fast.unify_calls);
+        assert_eq!(slow.configurations, fast.configurations);
+    }
+
+    #[test]
+    fn budget_aborts_search() {
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let q = q_pbl(&mut v);
+        let mut pool = VarPool::new("T");
+        let (_, complete) = for_each_complete_unifier(
+            &q,
+            &tcs,
+            &mut v,
+            &mut pool,
+            true,
+            SearchBudget { max_unify_calls: 1 },
+            &mut |_| true,
+        );
+        assert!(!complete);
+    }
+
+    #[test]
+    fn empty_body_has_the_identity_unifier() {
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let q = magik_relalg::Query::boolean(v.sym("t"), vec![]);
+        let unifiers = complete_unifiers(&q, &tcs, &mut v);
+        assert_eq!(unifiers.len(), 1);
+        assert!(unifiers[0].is_identity());
+    }
+
+    #[test]
+    fn unifier_respects_condition_embedding() {
+        // Compl(r(X); s(X)) and q() <- r(A), s(B): the condition forces
+        // A = B.
+        let mut v = Vocabulary::new();
+        let r = v.pred("r", 1);
+        let s = v.pred("s", 1);
+        let (x, a, b) = (v.var("X"), v.var("A"), v.var("B"));
+        let tcs = TcSet::new(vec![
+            crate::tcs::TcStatement::new(
+                Atom::new(r, vec![Term::Var(x)]),
+                vec![Atom::new(s, vec![Term::Var(x)])],
+            ),
+            crate::tcs::TcStatement::new(Atom::new(s, vec![Term::Var(x)]), vec![]),
+        ]);
+        let q = magik_relalg::Query::boolean(
+            v.sym("q"),
+            vec![
+                Atom::new(r, vec![Term::Var(a)]),
+                Atom::new(s, vec![Term::Var(b)]),
+            ],
+        );
+        let unifiers = complete_unifiers(&q, &tcs, &mut v);
+        assert!(!unifiers.is_empty());
+        for g in &unifiers {
+            assert_eq!(g.apply_term(Term::Var(a)), g.apply_term(Term::Var(b)));
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! Regression tests from an adversarial review pass.
+//!
+//! These cases were found by brute-force coverage checks against the
+//! enumeration algorithms and by probing the constraint extensions; each
+//! one exposed (and now guards against) a real defect:
+//!
+//! * the key chase must be re-run per finite-domain case
+//!   (`is_complete_under`);
+//! * `mcg_under` must return an already-complete query unchanged;
+//! * the k-MCS size budget is defined by the query *as given*, not its
+//!   minimized core.
+
+use magik_completeness::{
+    complete_unifiers, is_complete, k_mcs, mcis, KMcsEngine, KMcsOptions, TcSet, TcStatement,
+};
+use magik_relalg::{is_contained_in, Atom, Query, Substitution, Term, Var, Vocabulary};
+
+/// All substitutions from `vars` to `targets`.
+fn all_substs(vars: &[Var], targets: &[Term]) -> Vec<Substitution> {
+    let mut out = vec![Substitution::identity()];
+    for &v in vars {
+        let mut next = Vec::new();
+        for s in &out {
+            // also allow leaving v unmapped (identity on v)
+            next.push(s.clone());
+            for &t in targets {
+                let mut s2 = s.clone();
+                s2.bind(v, t);
+                next.push(s2);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[test]
+fn mcis_cover_all_complete_instantiations_flight() {
+    let mut v = Vocabulary::new();
+    let conn = v.pred("conn", 2);
+    let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+    let tcs = TcSet::new(vec![TcStatement::new(
+        Atom::new(conn, vec![Term::Var(x), Term::Var(y)]),
+        vec![Atom::new(conn, vec![Term::Var(y), Term::Var(z)])],
+    )]);
+    let q = Query::new(
+        v.sym("q"),
+        vec![Term::Var(x)],
+        vec![Atom::new(conn, vec![Term::Var(x), Term::Var(y)])],
+    );
+    let results = mcis(&q, &tcs, &mut v);
+    let a = v.cst("a");
+    let targets = [Term::Var(x), Term::Var(y), Term::Var(z), Term::Cst(a)];
+    for s in all_substs(&[x, y], &targets) {
+        let qi = s.apply_query(&q);
+        if is_complete(&qi, &tcs) && is_contained_in(&qi, &q) {
+            assert!(
+                results.iter().any(|m| is_contained_in(&qi, m)),
+                "complete instantiation not covered by any MCI: {:?}",
+                qi
+            );
+        }
+    }
+}
+
+#[test]
+fn mcis_cover_all_complete_instantiations_school() {
+    let mut v = Vocabulary::new();
+    let pupil = v.pred("pupil", 3);
+    let school = v.pred("school", 3);
+    let learns = v.pred("learns", 2);
+    let (n, c, s, t, d) = (v.var("N"), v.var("C"), v.var("S"), v.var("T"), v.var("D"));
+    let (primary, merano, english) = (v.cst("primary"), v.cst("merano"), v.cst("english"));
+    let tcs = TcSet::new(vec![
+        TcStatement::new(
+            Atom::new(school, vec![Term::Var(s), Term::Cst(primary), Term::Var(d)]),
+            vec![],
+        ),
+        TcStatement::new(
+            Atom::new(pupil, vec![Term::Var(n), Term::Var(c), Term::Var(s)]),
+            vec![Atom::new(
+                school,
+                vec![Term::Var(s), Term::Var(t), Term::Cst(merano)],
+            )],
+        ),
+        TcStatement::new(
+            Atom::new(learns, vec![Term::Var(n), Term::Cst(english)]),
+            vec![
+                Atom::new(pupil, vec![Term::Var(n), Term::Var(c), Term::Var(s)]),
+                Atom::new(school, vec![Term::Var(s), Term::Cst(primary), Term::Var(d)]),
+            ],
+        ),
+    ]);
+    // q(N) <- pupil(N,C,S), school(S, primary, merano), learns(N, L)
+    let l = v.var("L");
+    let q = Query::new(
+        v.sym("q"),
+        vec![Term::Var(n)],
+        vec![
+            Atom::new(pupil, vec![Term::Var(n), Term::Var(c), Term::Var(s)]),
+            Atom::new(
+                school,
+                vec![Term::Var(s), Term::Cst(primary), Term::Cst(merano)],
+            ),
+            Atom::new(learns, vec![Term::Var(n), Term::Var(l)]),
+        ],
+    );
+    let results = mcis(&q, &tcs, &mut v);
+    let targets = [Term::Var(n), Term::Cst(english), Term::Cst(merano)];
+    for su in all_substs(&[c, s, l], &targets) {
+        let qi = su.apply_query(&q);
+        if is_complete(&qi, &tcs) && is_contained_in(&qi, &q) {
+            assert!(
+                results.iter().any(|m| is_contained_in(&qi, m)),
+                "complete instantiation not covered by any MCI"
+            );
+        }
+    }
+}
+
+/// Enumerate all queries over `conn` with <= max_atoms atoms, vars from a
+/// small pool, head = first var; check k_mcs covers every complete
+/// specialization.
+#[test]
+fn k_mcs_covers_bruteforce_flight() {
+    let mut v = Vocabulary::new();
+    let conn = v.pred("conn", 2);
+    let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+    let tcs = TcSet::new(vec![TcStatement::new(
+        Atom::new(conn, vec![Term::Var(x), Term::Var(y)]),
+        vec![Atom::new(conn, vec![Term::Var(y), Term::Var(z)])],
+    )]);
+    let q = Query::new(
+        v.sym("q"),
+        vec![Term::Var(x)],
+        vec![Atom::new(conn, vec![Term::Var(x), Term::Var(y)])],
+    );
+    let k = 2;
+    let out = k_mcs(&q, &tcs, &mut v, KMcsOptions::new(k));
+    assert!(out.complete_search);
+
+    // brute force: bodies over vars {x,y,z,w} with 1..=3 atoms, head x.
+    let w = v.var("W");
+    let vars = [x, y, z, w];
+    let mut atoms = Vec::new();
+    for &a in &vars {
+        for &b in &vars {
+            atoms.push(Atom::new(conn, vec![Term::Var(a), Term::Var(b)]));
+        }
+    }
+    let n = atoms.len();
+    let mut checked = 0usize;
+    for mask in 1u32..(1 << n) {
+        if mask.count_ones() as usize > q.size() + k {
+            continue;
+        }
+        let body: Vec<Atom> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| atoms[i].clone())
+            .collect();
+        let cand = Query::new(v.sym("q"), vec![Term::Var(x)], body);
+        if !cand.is_safe() {
+            continue;
+        }
+        if is_contained_in(&cand, &q) && is_complete(&cand, &tcs) {
+            checked += 1;
+            assert!(
+                out.queries.iter().any(|m| is_contained_in(&cand, m)),
+                "complete specialization not covered by any {k}-MCS: {} atoms, mask {mask:b}",
+                cand.size()
+            );
+        }
+    }
+    assert!(checked > 0);
+}
+
+#[test]
+fn naive_and_optimized_agree_school_k1() {
+    let mut v = Vocabulary::new();
+    let r = v.pred("r", 2);
+    let s = v.pred("s", 1);
+    let (x, y) = (v.var("X"), v.var("Y"));
+    let a = v.cst("a");
+    // Compl(r(X,Y); s(Y)), Compl(s(a); true)
+    let tcs = TcSet::new(vec![
+        TcStatement::new(
+            Atom::new(r, vec![Term::Var(x), Term::Var(y)]),
+            vec![Atom::new(s, vec![Term::Var(y)])],
+        ),
+        TcStatement::new(Atom::new(s, vec![Term::Cst(a)]), vec![]),
+    ]);
+    let q = Query::new(
+        v.sym("q"),
+        vec![Term::Var(x)],
+        vec![Atom::new(r, vec![Term::Var(x), Term::Var(y)])],
+    );
+    for k in 0..=2 {
+        let naive = k_mcs(
+            &q,
+            &tcs,
+            &mut v,
+            KMcsOptions {
+                engine: KMcsEngine::Naive,
+                ..KMcsOptions::new(k)
+            },
+        );
+        let opt = k_mcs(&q, &tcs, &mut v, KMcsOptions::new(k));
+        assert_eq!(naive.queries.len(), opt.queries.len(), "k={k}");
+        for nq in &naive.queries {
+            assert!(
+                opt.queries
+                    .iter()
+                    .any(|oq| is_contained_in(nq, oq) && is_contained_in(oq, nq)),
+                "k={k}: naive result missing in optimized"
+            );
+        }
+        // also coverage brute force: gamma over {x,y} -> {x,y,a} plus extension s(T)
+        let targets = [Term::Var(x), Term::Var(y), Term::Cst(a)];
+        for su in all_substs(&[x, y], &targets) {
+            let qi = su.apply_query(&q);
+            if !qi.is_safe() {
+                continue;
+            }
+            // extend with s-atom variants too
+            let exts: Vec<Vec<Atom>> = vec![
+                vec![],
+                vec![Atom::new(s, vec![Term::Var(y)])],
+                vec![Atom::new(s, vec![Term::Cst(a)])],
+            ];
+            for e in exts {
+                let mut cand = qi.with_atoms(e);
+                cand.dedup_body();
+                if cand.size() > q.size() + k {
+                    continue;
+                }
+                if is_contained_in(&cand, &q) && is_complete(&cand, &tcs) {
+                    assert!(
+                        opt.queries.iter().any(|m| is_contained_in(&cand, m)),
+                        "k={k}: complete specialization not covered"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn unifier_with_repeated_head_vars_and_constants() {
+    let mut v = Vocabulary::new();
+    let r = v.pred("r", 2);
+    let x = v.var("X");
+    // Compl(r(X,X); true)
+    let tcs = TcSet::new(vec![TcStatement::new(
+        Atom::new(r, vec![Term::Var(x), Term::Var(x)]),
+        vec![],
+    )]);
+    let (a_var, b_var) = (v.var("A"), v.var("B"));
+    let q = Query::new(
+        v.sym("q"),
+        vec![Term::Var(a_var), Term::Var(b_var)],
+        vec![Atom::new(r, vec![Term::Var(a_var), Term::Var(b_var)])],
+    );
+    let us = complete_unifiers(&q, &tcs, &mut v);
+    assert!(!us.is_empty());
+    for g in &us {
+        let qi = g.apply_query(&q);
+        assert!(is_complete(&qi, &tcs), "unifier result must be complete");
+        // no scratch pool variables may leak into the result
+        for var in qi.all_vars() {
+            let name = v.var_name(var).to_owned();
+            assert!(
+                !name.starts_with('T') || name == "T",
+                "unexpected var {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn k_mcs_bound_uses_original_query_size() {
+    let mut v = Vocabulary::new();
+    let conn = v.pred("conn", 2);
+    let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+    let tcs = TcSet::new(vec![TcStatement::new(
+        Atom::new(conn, vec![Term::Var(x), Term::Var(y)]),
+        vec![Atom::new(conn, vec![Term::Var(y), Term::Var(z)])],
+    )]);
+    // Non-minimal q: q(X) <- conn(X,Y), conn(X,Z). |Q| = 2, core = 1.
+    let q = Query::new(
+        v.sym("q"),
+        vec![Term::Var(x)],
+        vec![
+            Atom::new(conn, vec![Term::Var(x), Term::Var(y)]),
+            Atom::new(conn, vec![Term::Var(x), Term::Var(z)]),
+        ],
+    );
+    // Per the definition, 1-MCS space = specializations with <= |Q|+1 = 3 atoms.
+    // The 3-cycle is such a specialization, complete, and maximal there.
+    let w = v.var("W");
+    let three_cycle = Query::new(
+        v.sym("q"),
+        vec![Term::Var(x)],
+        vec![
+            Atom::new(conn, vec![Term::Var(x), Term::Var(y)]),
+            Atom::new(conn, vec![Term::Var(y), Term::Var(w)]),
+            Atom::new(conn, vec![Term::Var(w), Term::Var(x)]),
+        ],
+    );
+    assert!(is_complete(&three_cycle, &tcs));
+    assert!(is_contained_in(&three_cycle, &q));
+    assert!(three_cycle.size() <= q.size() + 1);
+    let out = k_mcs(&q, &tcs, &mut v, KMcsOptions::new(1));
+    assert!(out.complete_search);
+    eprintln!("results: {}", out.queries.len());
+    for m in &out.queries {
+        eprintln!("  size {}", m.size());
+    }
+    assert!(
+        out.queries.iter().any(|m| is_contained_in(&three_cycle, m)),
+        "the 3-cycle (a valid 1-MCS member, size |Q|+1) is not covered by any returned 1-MCS"
+    );
+}
+
+#[test]
+fn key_merge_after_domain_instantiation() {
+    let mut v = Vocabulary::new();
+    let p = v.pred("p", 2);
+    let r = v.pred("r", 1);
+    let s = v.pred("s", 1);
+    let (a, b) = (v.cst("a"), v.cst("b"));
+    let (x, u, z, w) = (v.var("X"), v.var("U"), v.var("Z"), v.var("W"));
+    let tcs = TcSet::new(vec![
+        TcStatement::new(Atom::new(p, vec![Term::Cst(a), Term::Cst(b)]), vec![]),
+        TcStatement::new(Atom::new(r, vec![Term::Var(z)]), vec![]),
+        TcStatement::new(Atom::new(s, vec![Term::Var(w)]), vec![]),
+    ]);
+    let constraints = magik_completeness::ConstraintSet::with_keys(
+        vec![magik_completeness::FiniteDomain {
+            pred: r,
+            column: 0,
+            values: [a].into_iter().collect(),
+        }],
+        vec![magik_completeness::Key {
+            pred: p,
+            columns: vec![0],
+        }],
+    );
+    // q() <- p(X, U), p(a, b), r(X), s(U): the domain forces X = a, then
+    // the key forces U = b, so every match is over guaranteed facts.
+    let q = Query::boolean(
+        v.sym("q"),
+        vec![
+            Atom::new(p, vec![Term::Var(x), Term::Var(u)]),
+            Atom::new(p, vec![Term::Cst(a), Term::Cst(b)]),
+            Atom::new(r, vec![Term::Var(x)]),
+            Atom::new(s, vec![Term::Var(u)]),
+        ],
+    );
+    assert!(magik_completeness::is_complete_under(
+        &q,
+        &tcs,
+        &constraints
+    ));
+}
+
+#[test]
+fn mcg_under_returns_complete_queries_unchanged() {
+    let mut v = Vocabulary::new();
+    let p = v.pred("p", 2);
+    let t = v.pred("t", 1);
+    let (a, b) = (v.cst("a"), v.cst("b"));
+    let (x, u, z, w) = (v.var("X"), v.var("U"), v.var("Z"), v.var("W"));
+    let tcs = TcSet::new(vec![
+        TcStatement::new(Atom::new(p, vec![Term::Cst(a), Term::Cst(b)]), vec![]),
+        TcStatement::new(Atom::new(p, vec![Term::Cst(b), Term::Var(z)]), vec![]),
+        TcStatement::new(Atom::new(t, vec![Term::Var(w)]), vec![]),
+    ]);
+    let constraints =
+        magik_completeness::ConstraintSet::new(vec![magik_completeness::FiniteDomain {
+            pred: t,
+            column: 0,
+            values: [a, b].into_iter().collect(),
+        }]);
+    // Complete by case analysis (X = a folds, X = b is guaranteed).
+    let q = Query::boolean(
+        v.sym("q"),
+        vec![
+            Atom::new(p, vec![Term::Var(x), Term::Var(u)]),
+            Atom::new(p, vec![Term::Cst(a), Term::Cst(b)]),
+            Atom::new(t, vec![Term::Var(x)]),
+        ],
+    );
+    assert!(magik_completeness::is_complete_under(
+        &q,
+        &tcs,
+        &constraints
+    ));
+    let m = magik_completeness::mcg_under(&q, &tcs, &constraints).unwrap();
+    assert!(m.same_as(&q), "a complete query is its own MCG");
+}
+
+use magik_completeness::is_mci;
+
+#[test]
+fn mcis_of_nonminimal_query_misses_two_atom_mci() {
+    let mut v = Vocabulary::new();
+    let p = v.pred("p", 2);
+    let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+    let (a, b) = (v.cst("a"), v.cst("b"));
+    // C1 = Compl(p(X,a); p(X,b)), C2 = Compl(p(X,b); p(X,a))
+    let tcs = TcSet::new(vec![
+        TcStatement::new(
+            Atom::new(p, vec![Term::Var(x), Term::Cst(a)]),
+            vec![Atom::new(p, vec![Term::Var(x), Term::Cst(b)])],
+        ),
+        TcStatement::new(
+            Atom::new(p, vec![Term::Var(x), Term::Cst(b)]),
+            vec![Atom::new(p, vec![Term::Var(x), Term::Cst(a)])],
+        ),
+    ]);
+    // Non-minimal q(X) <- p(X,Y), p(X,Z)  (core is p(X,Y)).
+    let q = Query::new(
+        v.sym("q"),
+        vec![Term::Var(x)],
+        vec![
+            Atom::new(p, vec![Term::Var(x), Term::Var(y)]),
+            Atom::new(p, vec![Term::Var(x), Term::Var(z)]),
+        ],
+    );
+    // gamma = {Y->a, Z->b}: an instantiation of q.
+    let gamma = Substitution::from_pairs([(y, Term::Cst(a)), (z, Term::Cst(b))]);
+    let cand = gamma.apply_query(&q);
+    assert!(is_complete(&cand, &tcs), "candidate is complete");
+    assert!(is_contained_in(&cand, &q), "candidate is a specialization");
+    // Its proper generalizations among instantiations are incomplete:
+    let g1 = Substitution::from_pairs([(y, Term::Cst(a))]).apply_query(&q);
+    assert!(!is_complete(&g1, &tcs));
+    let results = mcis(&q, &tcs, &mut v);
+    eprintln!("mcis count = {}", results.len());
+    assert!(
+        results.iter().any(|m| is_contained_in(&cand, m)),
+        "complete instantiation of q not covered by any reported MCI"
+    );
+    assert!(
+        is_mci(&cand, &q, &tcs, &mut v),
+        "cand is an MCI of q per Definition 19"
+    );
+}

@@ -1,0 +1,528 @@
+//! Bottom-up fixpoint evaluation: naive and semi-naive.
+
+use magik_relalg::{answers, homomorphisms, Atom, Fact, Instance, Query, Substitution};
+use magik_unify::mgu_atoms;
+
+use crate::program::{Program, Rule};
+
+/// The result of a fixpoint computation.
+#[derive(Debug, Clone)]
+pub struct FixpointResult {
+    /// The least model: the EDB plus all derived facts.
+    pub model: Instance,
+    /// Number of iterations until the fixpoint was reached (an iteration
+    /// applies every rule once).
+    pub iterations: usize,
+    /// Number of facts derived that were not in the EDB.
+    pub derived: usize,
+}
+
+/// `true` iff some negated atom of the rule, instantiated by `binding`,
+/// holds in `db` (blocking the derivation). Safe negation guarantees the
+/// instantiated atoms are ground.
+fn negation_blocks(rule: &Rule, binding: &Substitution, db: &Instance) -> bool {
+    rule.negative.iter().any(|n| {
+        let fact = binding
+            .apply_atom(n)
+            .to_fact()
+            .expect("safe negation grounds negated atoms");
+        db.contains(&fact)
+    })
+}
+
+/// Evaluates a rule body over `db` and returns the derivable head facts.
+/// Negated atoms are checked against `neg_db` (the model of the lower
+/// strata; for stratified programs this equals `db`).
+fn apply_rule(rule: &Rule, db: &Instance) -> Vec<Fact> {
+    if rule.negative.is_empty() {
+        // Range restriction guarantees the constructed query is safe. The
+        // query name is display-only; a placeholder suffices.
+        let q = Query::new(
+            magik_relalg::Symbol::placeholder(),
+            rule.head.args.clone(),
+            rule.body.clone(),
+        );
+        let ans = answers(&q, db).expect("range-restricted rule bodies are safe");
+        return ans
+            .into_iter()
+            .map(|tuple| Fact::new(rule.head.pred, tuple))
+            .collect();
+    }
+    // With negation we need full assignments to ground the negated atoms.
+    homomorphisms(&rule.body, db)
+        .into_iter()
+        .filter(|h| !negation_blocks(rule, h, db))
+        .filter_map(|h| h.apply_atom(&rule.head).to_fact())
+        .collect()
+}
+
+/// Like [`apply_rule`], but requires the body atom at `pivot` to match the
+/// fact `delta_fact` (the semi-naive restriction).
+fn apply_rule_with_pivot(
+    rule: &Rule,
+    pivot: usize,
+    delta_fact: &Fact,
+    db: &Instance,
+    out: &mut Vec<Fact>,
+) {
+    let Some(binding) = mgu_atoms(&rule.body[pivot], &delta_fact.to_atom()) else {
+        return;
+    };
+    let rest: Vec<Atom> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != pivot)
+        .map(|(_, a)| binding.apply_atom(a))
+        .collect();
+    if rule.negative.is_empty() {
+        let head = binding.apply_atom(&rule.head);
+        let q = Query::new(magik_relalg::Symbol::placeholder(), head.args.clone(), rest);
+        let ans = answers(&q, db).expect("bound pivot keeps the query safe");
+        out.extend(
+            ans.into_iter()
+                .map(|tuple| Fact::new(rule.head.pred, tuple)),
+        );
+        return;
+    }
+    // Negation: enumerate full assignments of the remaining body and
+    // combine them with the pivot binding before grounding the negated
+    // atoms and the head.
+    for h in homomorphisms(&rest, db) {
+        let full = h.compose(&binding);
+        if negation_blocks(rule, &full, db) {
+            continue;
+        }
+        if let Some(fact) = full.apply_atom(&rule.head).to_fact() {
+            out.push(fact);
+        }
+    }
+}
+
+/// Naive fixpoint of a set of rules over `model` (in place).
+fn fixpoint_naive(rules: &[&Rule], model: &mut Instance) -> (usize, usize) {
+    let mut iterations = 0;
+    let mut derived = 0;
+    loop {
+        iterations += 1;
+        let mut new_facts = 0;
+        for rule in rules {
+            for fact in apply_rule(rule, model) {
+                if model.insert(fact) {
+                    new_facts += 1;
+                }
+            }
+        }
+        derived += new_facts;
+        if new_facts == 0 {
+            return (iterations, derived);
+        }
+    }
+}
+
+/// Semi-naive fixpoint of a set of rules over `model` (in place).
+fn fixpoint_semi_naive(rules: &[&Rule], model: &mut Instance) -> (usize, usize) {
+    let mut iterations = 1;
+    let mut derived = 0;
+
+    // Round 0: full naive pass to seed the deltas.
+    let mut delta: Vec<Fact> = Vec::new();
+    for rule in rules {
+        for fact in apply_rule(rule, model) {
+            if model.insert(fact.clone()) {
+                delta.push(fact);
+                derived += 1;
+            }
+        }
+    }
+
+    let mut buffer = Vec::new();
+    while !delta.is_empty() {
+        iterations += 1;
+        let mut next_delta = Vec::new();
+        for rule in rules {
+            for (pivot, body_atom) in rule.body.iter().enumerate() {
+                for fact in &delta {
+                    if fact.pred != body_atom.pred {
+                        continue;
+                    }
+                    buffer.clear();
+                    apply_rule_with_pivot(rule, pivot, fact, model, &mut buffer);
+                    for derived_fact in buffer.drain(..) {
+                        if model.insert(derived_fact.clone()) {
+                            next_delta.push(derived_fact);
+                            derived += 1;
+                        }
+                    }
+                }
+            }
+        }
+        delta = next_delta;
+    }
+    (iterations, derived)
+}
+
+impl Program {
+    /// Groups rules by the stratum of their head predicate, ascending.
+    fn rules_by_stratum(&self) -> Vec<Vec<&Rule>> {
+        let mut strata: Vec<Vec<&Rule>> = vec![Vec::new(); self.num_strata()];
+        for rule in self.rules() {
+            strata[self.stratum(rule.head.pred)].push(rule);
+        }
+        strata
+    }
+
+    /// Computes the (stratified) least model by **naive** iteration within
+    /// each stratum: apply every rule of the stratum to the full instance
+    /// until no new fact is derived, then move to the next stratum.
+    pub fn eval_naive(&self, edb: &Instance) -> FixpointResult {
+        let mut model = edb.clone();
+        let mut iterations = 0;
+        let mut derived = 0;
+        for stratum in self.rules_by_stratum() {
+            let (i, d) = fixpoint_naive(&stratum, &mut model);
+            iterations += i;
+            derived += d;
+        }
+        FixpointResult {
+            model,
+            iterations,
+            derived,
+        }
+    }
+
+    /// Computes the (stratified) least model by **semi-naive** iteration
+    /// within each stratum: after the first round, a rule is only
+    /// re-evaluated with at least one positive body atom bound to a fact
+    /// derived in the previous round.
+    ///
+    /// Produces exactly the same model as [`Program::eval_naive`]; property
+    /// tests in this crate assert the agreement on random programs.
+    pub fn eval_semi_naive(&self, edb: &Instance) -> FixpointResult {
+        let mut model = edb.clone();
+        let mut iterations = 0;
+        let mut derived = 0;
+        for stratum in self.rules_by_stratum() {
+            let (i, d) = fixpoint_semi_naive(&stratum, &mut model);
+            iterations += i;
+            derived += d;
+        }
+        FixpointResult {
+            model,
+            iterations,
+            derived,
+        }
+    }
+
+    /// Evaluates a conjunctive query over the least model of the program
+    /// on `edb` — the standard "Datalog query" operation.
+    ///
+    /// ```
+    /// # use magik_relalg::{Vocabulary, Atom, Fact, Instance, Term, Query};
+    /// # use magik_datalog::{Program, Rule};
+    /// # let mut v = Vocabulary::new();
+    /// # let edge = v.pred("edge", 2);
+    /// # let path = v.pred("path", 2);
+    /// # let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+    /// # let program = Program::new(vec![
+    /// #     Rule::new(Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
+    /// #               vec![Atom::new(edge, vec![Term::Var(x), Term::Var(y)])]),
+    /// #     Rule::new(Atom::new(path, vec![Term::Var(x), Term::Var(z)]),
+    /// #               vec![Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
+    /// #                    Atom::new(edge, vec![Term::Var(y), Term::Var(z)])]),
+    /// # ]).unwrap();
+    /// # let mut edb = Instance::new();
+    /// # edb.insert(Fact::new(edge, vec![v.cst("a"), v.cst("b")]));
+    /// # edb.insert(Fact::new(edge, vec![v.cst("b"), v.cst("c")]));
+    /// let q = Query::new(v.sym("q"), vec![Term::Var(y)],
+    ///                    vec![Atom::new(path, vec![Term::Cst(v.cst("a")), Term::Var(y)])]);
+    /// let ans = program.query(&q, &edb).unwrap();
+    /// assert_eq!(ans.len(), 2); // b and c
+    /// ```
+    pub fn query(
+        &self,
+        q: &Query,
+        edb: &Instance,
+    ) -> Result<magik_relalg::AnswerSet, magik_relalg::EvalError> {
+        let model = self.eval_semi_naive(edb).model;
+        answers(q, &model)
+    }
+
+    /// Applies every rule **once** to `db` and returns only the derived
+    /// head facts (not the input). This is the single-step immediate
+    /// consequence operator `T_P(db)`, used by the completeness crate to
+    /// implement the paper's `T_C` operator via the Section 5 encoding.
+    pub fn immediate_consequences(&self, db: &Instance) -> Instance {
+        let mut out = Instance::new();
+        for rule in self.rules() {
+            for fact in apply_rule(rule, db) {
+                out.insert(fact);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Rule;
+    use magik_relalg::{Term, Vocabulary};
+
+    fn chain_edb(v: &mut Vocabulary, n: usize) -> (magik_relalg::Pred, Instance) {
+        let edge = v.pred("edge", 2);
+        let mut edb = Instance::new();
+        for i in 0..n {
+            edb.insert(Fact::new(
+                edge,
+                vec![v.cst(&format!("n{i}")), v.cst(&format!("n{}", i + 1))],
+            ));
+        }
+        (edge, edb)
+    }
+
+    fn tc_program(v: &mut Vocabulary) -> (magik_relalg::Pred, Program) {
+        let edge = v.pred("edge", 2);
+        let path = v.pred("path", 2);
+        let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+        let program = Program::new(vec![
+            Rule::new(
+                Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
+                vec![Atom::new(edge, vec![Term::Var(x), Term::Var(y)])],
+            ),
+            Rule::new(
+                Atom::new(path, vec![Term::Var(x), Term::Var(z)]),
+                vec![
+                    Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
+                    Atom::new(path, vec![Term::Var(y), Term::Var(z)]),
+                ],
+            ),
+        ])
+        .unwrap();
+        (path, program)
+    }
+
+    #[test]
+    fn transitive_closure_of_chain() {
+        let mut v = Vocabulary::new();
+        let (_, edb) = chain_edb(&mut v, 5);
+        let (path, program) = tc_program(&mut v);
+        let naive = program.eval_naive(&edb);
+        let semi = program.eval_semi_naive(&edb);
+        // 5 nodes chain: path holds for all i < j: C(6,2) = 15 pairs.
+        let count = |m: &Instance| m.relation(path).map_or(0, |r| r.len());
+        assert_eq!(count(&naive.model), 15);
+        assert_eq!(count(&semi.model), 15);
+        assert_eq!(naive.model, semi.model);
+        assert_eq!(naive.derived, 15);
+        assert_eq!(semi.derived, 15);
+    }
+
+    #[test]
+    fn cycle_closure_terminates() {
+        let mut v = Vocabulary::new();
+        let edge = v.pred("edge", 2);
+        let mut edb = Instance::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "a")] {
+            edb.insert(Fact::new(edge, vec![v.cst(a), v.cst(b)]));
+        }
+        let (path, program) = tc_program(&mut v);
+        let result = program.eval_semi_naive(&edb);
+        // Full 3x3 closure.
+        assert_eq!(result.model.relation(path).unwrap().len(), 9);
+    }
+
+    #[test]
+    fn facts_rules_derive_ground_heads() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let program =
+            Program::new(vec![Rule::fact(Atom::new(p, vec![Term::Cst(v.cst("a"))]))]).unwrap();
+        let result = program.eval_naive(&Instance::new());
+        assert!(result.model.contains(&Fact::new(p, vec![v.cst("a")])));
+        assert_eq!(result.derived, 1);
+    }
+
+    #[test]
+    fn nonrecursive_projection() {
+        let mut v = Vocabulary::new();
+        let r = v.pred("r", 2);
+        let proj = v.pred("proj", 1);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let program = Program::new(vec![Rule::new(
+            Atom::new(proj, vec![Term::Var(x)]),
+            vec![Atom::new(r, vec![Term::Var(x), Term::Var(y)])],
+        )])
+        .unwrap();
+        let mut edb = Instance::new();
+        edb.insert(Fact::new(r, vec![v.cst("a"), v.cst("b")]));
+        edb.insert(Fact::new(r, vec![v.cst("a"), v.cst("c")]));
+        let result = program.eval_semi_naive(&edb);
+        assert_eq!(result.model.relation(proj).unwrap().len(), 1);
+        assert_eq!(result.derived, 1);
+    }
+
+    #[test]
+    fn immediate_consequences_is_single_step() {
+        let mut v = Vocabulary::new();
+        let (_, edb) = chain_edb(&mut v, 3);
+        let (path, program) = tc_program(&mut v);
+        let step1 = program.immediate_consequences(&edb);
+        // One step only copies edges into path (the recursive rule needs
+        // path facts, which do not exist yet).
+        assert_eq!(step1.relation(path).unwrap().len(), 3);
+        assert_eq!(step1.preds().count(), 1);
+    }
+
+    #[test]
+    fn empty_program_returns_edb() {
+        let mut v = Vocabulary::new();
+        let (_, edb) = chain_edb(&mut v, 2);
+        let program = Program::new(vec![]).unwrap();
+        let result = program.eval_semi_naive(&edb);
+        assert_eq!(result.model, edb);
+        assert_eq!(result.derived, 0);
+    }
+
+    #[test]
+    fn constants_in_rule_bodies_filter() {
+        let mut v = Vocabulary::new();
+        let edge = v.pred("edge", 2);
+        let from_a = v.pred("from_a", 1);
+        let y = v.var("Y");
+        let a = v.cst("a");
+        let program = Program::new(vec![Rule::new(
+            Atom::new(from_a, vec![Term::Var(y)]),
+            vec![Atom::new(edge, vec![Term::Cst(a), Term::Var(y)])],
+        )])
+        .unwrap();
+        let mut edb = Instance::new();
+        edb.insert(Fact::new(edge, vec![v.cst("a"), v.cst("b")]));
+        edb.insert(Fact::new(edge, vec![v.cst("c"), v.cst("d")]));
+        let result = program.eval_semi_naive(&edb);
+        let rel = result.model.relation(from_a).unwrap();
+        assert_eq!(rel.len(), 1);
+        assert!(rel.contains(&[v.cst("b")]));
+    }
+
+    #[test]
+    fn stratified_negation_computes_unreachable_nodes() {
+        let mut v = Vocabulary::new();
+        let node = v.pred("node", 1);
+        let edge = v.pred("edge", 2);
+        let reach = v.pred("reach", 1);
+        let unreach = v.pred("unreach", 1);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let root = v.cst("a");
+        let program = Program::new(vec![
+            Rule::new(
+                Atom::new(reach, vec![Term::Cst(root)]),
+                vec![Atom::new(node, vec![Term::Cst(root)])],
+            ),
+            Rule::new(
+                Atom::new(reach, vec![Term::Var(y)]),
+                vec![
+                    Atom::new(reach, vec![Term::Var(x)]),
+                    Atom::new(edge, vec![Term::Var(x), Term::Var(y)]),
+                ],
+            ),
+            Rule::with_negation(
+                Atom::new(unreach, vec![Term::Var(x)]),
+                vec![Atom::new(node, vec![Term::Var(x)])],
+                vec![Atom::new(reach, vec![Term::Var(x)])],
+            ),
+        ])
+        .unwrap();
+        let mut edb = Instance::new();
+        for n in ["a", "b", "c", "d"] {
+            edb.insert(Fact::new(node, vec![v.cst(n)]));
+        }
+        edb.insert(Fact::new(edge, vec![v.cst("a"), v.cst("b")]));
+        edb.insert(Fact::new(edge, vec![v.cst("c"), v.cst("d")]));
+        let naive = program.eval_naive(&edb);
+        let semi = program.eval_semi_naive(&edb);
+        assert_eq!(naive.model, semi.model);
+        let un = naive.model.relation(unreach).unwrap();
+        assert_eq!(un.len(), 2);
+        assert!(un.contains(&[v.cst("c")]));
+        assert!(un.contains(&[v.cst("d")]));
+        // Crucially, NOT b: stratification evaluates reach to completion
+        // before negating it.
+        assert!(!un.contains(&[v.cst("b")]));
+    }
+
+    #[test]
+    fn negation_with_pivot_rest_bindings() {
+        // Exercise the semi-naive pivot path through a negated rule whose
+        // remaining body shares variables with the pivot.
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 2);
+        let q = v.pred("q", 2);
+        let blocked = v.pred("blocked", 2);
+        let out = v.pred("out", 2);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let program = Program::new(vec![
+            // q is derived, so out's body gets delta pivots.
+            Rule::new(
+                Atom::new(q, vec![Term::Var(x), Term::Var(y)]),
+                vec![Atom::new(p, vec![Term::Var(x), Term::Var(y)])],
+            ),
+            Rule::with_negation(
+                Atom::new(out, vec![Term::Var(x), Term::Var(y)]),
+                vec![Atom::new(q, vec![Term::Var(x), Term::Var(y)])],
+                vec![Atom::new(blocked, vec![Term::Var(x), Term::Var(y)])],
+            ),
+        ])
+        .unwrap();
+        let mut edb = Instance::new();
+        edb.insert(Fact::new(p, vec![v.cst("1"), v.cst("2")]));
+        edb.insert(Fact::new(p, vec![v.cst("3"), v.cst("4")]));
+        edb.insert(Fact::new(blocked, vec![v.cst("3"), v.cst("4")]));
+        let naive = program.eval_naive(&edb);
+        let semi = program.eval_semi_naive(&edb);
+        assert_eq!(naive.model, semi.model);
+        let rel = semi.model.relation(out).unwrap();
+        assert_eq!(rel.len(), 1);
+        assert!(rel.contains(&[v.cst("1"), v.cst("2")]));
+    }
+
+    #[test]
+    fn same_generation_program() {
+        // Classic same-generation: sg(X,X) needs person(X); sg via parents.
+        let mut v = Vocabulary::new();
+        let parent = v.pred("parent", 2);
+        let person = v.pred("person", 1);
+        let sg = v.pred("sg", 2);
+        let (x, y, xp, yp) = (v.var("X"), v.var("Y"), v.var("XP"), v.var("YP"));
+        let program = Program::new(vec![
+            Rule::new(
+                Atom::new(sg, vec![Term::Var(x), Term::Var(x)]),
+                vec![Atom::new(person, vec![Term::Var(x)])],
+            ),
+            Rule::new(
+                Atom::new(sg, vec![Term::Var(x), Term::Var(y)]),
+                vec![
+                    Atom::new(parent, vec![Term::Var(x), Term::Var(xp)]),
+                    Atom::new(sg, vec![Term::Var(xp), Term::Var(yp)]),
+                    Atom::new(parent, vec![Term::Var(y), Term::Var(yp)]),
+                ],
+            ),
+        ])
+        .unwrap();
+        let mut edb = Instance::new();
+        for name in ["ann", "bob", "carl", "root"] {
+            edb.insert(Fact::new(person, vec![v.cst(name)]));
+        }
+        // ann and bob are children of root; carl is a child of ann.
+        edb.insert(Fact::new(parent, vec![v.cst("ann"), v.cst("root")]));
+        edb.insert(Fact::new(parent, vec![v.cst("bob"), v.cst("root")]));
+        edb.insert(Fact::new(parent, vec![v.cst("carl"), v.cst("ann")]));
+        let naive = program.eval_naive(&edb);
+        let semi = program.eval_semi_naive(&edb);
+        assert_eq!(naive.model, semi.model);
+        let rel = naive.model.relation(sg).unwrap();
+        assert!(rel.contains(&[v.cst("ann"), v.cst("bob")]));
+        assert!(rel.contains(&[v.cst("bob"), v.cst("ann")]));
+        assert!(!rel.contains(&[v.cst("carl"), v.cst("ann")]));
+    }
+}

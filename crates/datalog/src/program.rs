@@ -1,0 +1,503 @@
+//! Rules, programs and their dependency structure.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use magik_relalg::{Atom, DisplayWith, Pred, Var, Vocabulary};
+
+/// A Datalog rule `head ← body, not n₁, …, not nₘ`.
+///
+/// The positive body is `body`; `negative` lists atoms under
+/// negation-as-failure. Programs with negation must be stratified
+/// ([`Program::new`] rejects recursion through negation) and are
+/// evaluated stratum by stratum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The head atom.
+    pub head: Atom,
+    /// The positive body atoms (conjunction).
+    pub body: Vec<Atom>,
+    /// The negated body atoms.
+    pub negative: Vec<Atom>,
+}
+
+impl Rule {
+    /// Creates a positive rule.
+    pub fn new(head: Atom, body: Vec<Atom>) -> Self {
+        Rule {
+            head,
+            body,
+            negative: Vec::new(),
+        }
+    }
+
+    /// Creates a rule with negated body atoms.
+    pub fn with_negation(head: Atom, body: Vec<Atom>, negative: Vec<Atom>) -> Self {
+        Rule {
+            head,
+            body,
+            negative,
+        }
+    }
+
+    /// A fact rule (empty body, ground head expected).
+    pub fn fact(head: Atom) -> Self {
+        Rule::new(head, Vec::new())
+    }
+
+    /// `true` iff every head variable occurs in the positive body (range
+    /// restriction, a.k.a. safety for Datalog rules).
+    pub fn is_range_restricted(&self) -> bool {
+        let body_vars: BTreeSet<Var> = self.body.iter().flat_map(Atom::vars).collect();
+        self.head.vars().all(|v| body_vars.contains(&v))
+    }
+
+    /// `true` iff every variable of a negated atom occurs in the positive
+    /// body (safe negation — no floundering).
+    pub fn has_safe_negation(&self) -> bool {
+        let body_vars: BTreeSet<Var> = self.body.iter().flat_map(Atom::vars).collect();
+        self.negative
+            .iter()
+            .flat_map(Atom::vars)
+            .all(|v| body_vars.contains(&v))
+    }
+}
+
+impl DisplayWith for Rule {
+    fn fmt_with(&self, vocab: &Vocabulary, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head.display(vocab))?;
+        if !self.body.is_empty() || !self.negative.is_empty() {
+            f.write_str(" :- ")?;
+            for (i, a) in self.body.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{}", a.display(vocab))?;
+            }
+            for (i, a) in self.negative.iter().enumerate() {
+                if i > 0 || !self.body.is_empty() {
+                    f.write_str(", ")?;
+                }
+                write!(f, "not {}", a.display(vocab))?;
+            }
+        }
+        f.write_str(".")
+    }
+}
+
+/// Errors raised when building a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A rule has a head variable that does not occur in its positive
+    /// body, so forward application could derive non-ground facts.
+    NotRangeRestricted {
+        /// Index of the offending rule.
+        rule: usize,
+        /// The unrestricted head variable.
+        var: Var,
+    },
+    /// A negated atom has a variable not bound by the positive body
+    /// (negation would flounder).
+    UnsafeNegation {
+        /// Index of the offending rule.
+        rule: usize,
+    },
+    /// The program is not stratifiable: some predicate depends on itself
+    /// through negation.
+    NotStratifiable {
+        /// A predicate on the offending cycle.
+        pred: Pred,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::NotRangeRestricted { rule, var } => write!(
+                f,
+                "rule #{rule} is not range-restricted: head variable #{} not in body",
+                var.index()
+            ),
+            ProgramError::UnsafeNegation { rule } => write!(
+                f,
+                "rule #{rule} has a negated atom with a variable not bound by the positive body"
+            ),
+            ProgramError::NotStratifiable { pred } => write!(
+                f,
+                "program is not stratifiable: relation #{} depends on itself through negation",
+                pred.index()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A stratified Datalog program: a validated set of range-restricted,
+/// safely negated rules with no recursion through negation.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    rules: Vec<Rule>,
+    /// Stratum of each IDB predicate (EDB predicates are stratum 0).
+    strata: BTreeMap<Pred, usize>,
+}
+
+impl Program {
+    /// Creates a program, validating range restriction, negation safety
+    /// and stratifiability.
+    pub fn new(rules: Vec<Rule>) -> Result<Self, ProgramError> {
+        for (i, rule) in rules.iter().enumerate() {
+            if !rule.is_range_restricted() {
+                let body_vars: BTreeSet<Var> = rule.body.iter().flat_map(Atom::vars).collect();
+                let var = rule
+                    .head
+                    .vars()
+                    .find(|v| !body_vars.contains(v))
+                    .expect("checked unrestricted");
+                return Err(ProgramError::NotRangeRestricted { rule: i, var });
+            }
+            if !rule.has_safe_negation() {
+                return Err(ProgramError::UnsafeNegation { rule: i });
+            }
+        }
+        let strata = compute_strata(&rules)?;
+        Ok(Program { rules, strata })
+    }
+
+    /// The stratum of a predicate (0 for EDB predicates).
+    pub fn stratum(&self, pred: Pred) -> usize {
+        self.strata.get(&pred).copied().unwrap_or(0)
+    }
+
+    /// Number of strata (1 for purely positive programs).
+    pub fn num_strata(&self) -> usize {
+        self.strata.values().max().map_or(1, |m| m + 1)
+    }
+
+    /// The rules of the program.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// The *intensional* predicates: those occurring in some rule head.
+    pub fn idb_preds(&self) -> BTreeSet<Pred> {
+        self.rules.iter().map(|r| r.head.pred).collect()
+    }
+
+    /// The *extensional* predicates: those occurring only in rule bodies.
+    pub fn edb_preds(&self) -> BTreeSet<Pred> {
+        let idb = self.idb_preds();
+        self.rules
+            .iter()
+            .flat_map(|r| r.body.iter().map(|a| a.pred))
+            .filter(|p| !idb.contains(p))
+            .collect()
+    }
+
+    /// The predicate dependency graph: `head → {body predicates}` for every
+    /// rule (positive and negative dependencies alike).
+    pub fn dependency_graph(&self) -> BTreeMap<Pred, BTreeSet<Pred>> {
+        let mut graph: BTreeMap<Pred, BTreeSet<Pred>> = BTreeMap::new();
+        for rule in &self.rules {
+            let entry = graph.entry(rule.head.pred).or_default();
+            entry.extend(rule.body.iter().map(|a| a.pred));
+            entry.extend(rule.negative.iter().map(|a| a.pred));
+        }
+        graph
+    }
+
+    /// `true` iff some IDB predicate (transitively) depends on itself.
+    pub fn is_recursive(&self) -> bool {
+        let graph = self.dependency_graph();
+        // DFS cycle detection restricted to IDB nodes.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            InProgress,
+            Done,
+        }
+        let mut marks: BTreeMap<Pred, Mark> = BTreeMap::new();
+        fn visit(
+            p: Pred,
+            graph: &BTreeMap<Pred, BTreeSet<Pred>>,
+            marks: &mut BTreeMap<Pred, Mark>,
+        ) -> bool {
+            match marks.get(&p) {
+                Some(Mark::InProgress) => return true,
+                Some(Mark::Done) => return false,
+                None => {}
+            }
+            let Some(succs) = graph.get(&p) else {
+                marks.insert(p, Mark::Done);
+                return false;
+            };
+            marks.insert(p, Mark::InProgress);
+            for &s in succs {
+                if visit(s, graph, marks) {
+                    return true;
+                }
+            }
+            marks.insert(p, Mark::Done);
+            false
+        }
+        graph.keys().any(|&p| visit(p, &graph, &mut marks))
+    }
+}
+
+/// Computes the stratum of every IDB predicate by iterative relaxation:
+/// `stratum(head) ≥ stratum(b)` for positive body atoms and
+/// `stratum(head) ≥ stratum(n) + 1` for negated ones. Fails if a stratum
+/// exceeds the number of IDB predicates (a negative cycle).
+fn compute_strata(rules: &[Rule]) -> Result<BTreeMap<Pred, usize>, ProgramError> {
+    let idb: BTreeSet<Pred> = rules.iter().map(|r| r.head.pred).collect();
+    let mut strata: BTreeMap<Pred, usize> = idb.iter().map(|&p| (p, 0)).collect();
+    let limit = idb.len();
+    loop {
+        let mut changed = false;
+        for rule in rules {
+            let head = rule.head.pred;
+            let mut required = strata[&head];
+            for a in &rule.body {
+                if let Some(&s) = strata.get(&a.pred) {
+                    required = required.max(s);
+                }
+            }
+            for n in &rule.negative {
+                let s = strata.get(&n.pred).copied().unwrap_or(0);
+                required = required.max(s + 1);
+            }
+            if required > strata[&head] {
+                if required > limit {
+                    return Err(ProgramError::NotStratifiable { pred: head });
+                }
+                strata.insert(head, required);
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(strata);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magik_relalg::Term;
+
+    fn edge_path(v: &mut Vocabulary) -> (Pred, Pred, Program) {
+        let edge = v.pred("edge", 2);
+        let path = v.pred("path", 2);
+        let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+        let program = Program::new(vec![
+            Rule::new(
+                Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
+                vec![Atom::new(edge, vec![Term::Var(x), Term::Var(y)])],
+            ),
+            Rule::new(
+                Atom::new(path, vec![Term::Var(x), Term::Var(z)]),
+                vec![
+                    Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
+                    Atom::new(edge, vec![Term::Var(y), Term::Var(z)]),
+                ],
+            ),
+        ])
+        .unwrap();
+        (edge, path, program)
+    }
+
+    #[test]
+    fn range_restriction_is_enforced() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let r = v.pred("r", 1);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let bad = Rule::new(
+            Atom::new(p, vec![Term::Var(y)]),
+            vec![Atom::new(r, vec![Term::Var(x)])],
+        );
+        assert!(!bad.is_range_restricted());
+        let err = Program::new(vec![bad]).unwrap_err();
+        assert_eq!(err, ProgramError::NotRangeRestricted { rule: 0, var: y });
+    }
+
+    #[test]
+    fn ground_head_facts_are_range_restricted() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let fact = Rule::fact(Atom::new(p, vec![Term::Cst(v.cst("a"))]));
+        assert!(fact.is_range_restricted());
+        assert!(Program::new(vec![fact]).is_ok());
+    }
+
+    #[test]
+    fn idb_edb_classification() {
+        let mut v = Vocabulary::new();
+        let (edge, path, program) = edge_path(&mut v);
+        assert_eq!(program.idb_preds(), BTreeSet::from([path]));
+        assert_eq!(program.edb_preds(), BTreeSet::from([edge]));
+    }
+
+    #[test]
+    fn recursion_detection() {
+        let mut v = Vocabulary::new();
+        let (_, _, recursive) = edge_path(&mut v);
+        assert!(recursive.is_recursive());
+
+        let p = v.pred("p", 1);
+        let r = v.pred("r", 1);
+        let x = v.var("X");
+        let flat = Program::new(vec![Rule::new(
+            Atom::new(p, vec![Term::Var(x)]),
+            vec![Atom::new(r, vec![Term::Var(x)])],
+        )])
+        .unwrap();
+        assert!(!flat.is_recursive());
+    }
+
+    #[test]
+    fn mutual_recursion_is_detected() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let q = v.pred("q", 1);
+        let x = v.var("X");
+        let program = Program::new(vec![
+            Rule::new(
+                Atom::new(p, vec![Term::Var(x)]),
+                vec![Atom::new(q, vec![Term::Var(x)])],
+            ),
+            Rule::new(
+                Atom::new(q, vec![Term::Var(x)]),
+                vec![Atom::new(p, vec![Term::Var(x)])],
+            ),
+        ])
+        .unwrap();
+        assert!(program.is_recursive());
+    }
+
+    #[test]
+    fn unsafe_negation_is_rejected() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let r = v.pred("r", 1);
+        let s = v.pred("s", 1);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        // p(X) :- r(X), not s(Y): Y unbound.
+        let bad = Rule::with_negation(
+            Atom::new(p, vec![Term::Var(x)]),
+            vec![Atom::new(r, vec![Term::Var(x)])],
+            vec![Atom::new(s, vec![Term::Var(y)])],
+        );
+        assert!(!bad.has_safe_negation());
+        assert_eq!(
+            Program::new(vec![bad]).unwrap_err(),
+            ProgramError::UnsafeNegation { rule: 0 }
+        );
+    }
+
+    #[test]
+    fn negative_self_recursion_is_rejected() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let r = v.pred("r", 1);
+        let x = v.var("X");
+        // p(X) :- r(X), not p(X).
+        let bad = Rule::with_negation(
+            Atom::new(p, vec![Term::Var(x)]),
+            vec![Atom::new(r, vec![Term::Var(x)])],
+            vec![Atom::new(p, vec![Term::Var(x)])],
+        );
+        assert!(matches!(
+            Program::new(vec![bad]),
+            Err(ProgramError::NotStratifiable { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_cycle_through_two_predicates_is_rejected() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let q = v.pred("q", 1);
+        let r = v.pred("r", 1);
+        let x = v.var("X");
+        let rules = vec![
+            Rule::with_negation(
+                Atom::new(p, vec![Term::Var(x)]),
+                vec![Atom::new(r, vec![Term::Var(x)])],
+                vec![Atom::new(q, vec![Term::Var(x)])],
+            ),
+            Rule::with_negation(
+                Atom::new(q, vec![Term::Var(x)]),
+                vec![Atom::new(r, vec![Term::Var(x)])],
+                vec![Atom::new(p, vec![Term::Var(x)])],
+            ),
+        ];
+        assert!(matches!(
+            Program::new(rules),
+            Err(ProgramError::NotStratifiable { .. })
+        ));
+    }
+
+    #[test]
+    fn strata_are_computed_per_predicate() {
+        let mut v = Vocabulary::new();
+        let reach = v.pred("reach", 1);
+        let unreach = v.pred("unreach", 1);
+        let node = v.pred("node", 1);
+        let edge = v.pred("edge", 2);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let program = Program::new(vec![
+            Rule::new(
+                Atom::new(reach, vec![Term::Var(x)]),
+                vec![Atom::new(
+                    edge,
+                    vec![Term::Cst(v.cst("root")), Term::Var(x)],
+                )],
+            ),
+            Rule::new(
+                Atom::new(reach, vec![Term::Var(y)]),
+                vec![
+                    Atom::new(reach, vec![Term::Var(x)]),
+                    Atom::new(edge, vec![Term::Var(x), Term::Var(y)]),
+                ],
+            ),
+            Rule::with_negation(
+                Atom::new(unreach, vec![Term::Var(x)]),
+                vec![Atom::new(node, vec![Term::Var(x)])],
+                vec![Atom::new(reach, vec![Term::Var(x)])],
+            ),
+        ])
+        .unwrap();
+        assert_eq!(program.num_strata(), 2);
+        assert_eq!(program.stratum(reach), 0);
+        assert_eq!(program.stratum(unreach), 1);
+        assert_eq!(program.stratum(edge), 0); // EDB
+    }
+
+    #[test]
+    fn negated_rule_display() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let r = v.pred("r", 1);
+        let s = v.pred("s", 1);
+        let x = v.var("X");
+        let rule = Rule::with_negation(
+            Atom::new(p, vec![Term::Var(x)]),
+            vec![Atom::new(r, vec![Term::Var(x)])],
+            vec![Atom::new(s, vec![Term::Var(x)])],
+        );
+        assert_eq!(rule.display(&v).to_string(), "p(X) :- r(X), not s(X).");
+    }
+
+    #[test]
+    fn rule_display() {
+        let mut v = Vocabulary::new();
+        let (_, _, program) = edge_path(&mut v);
+        assert_eq!(
+            program.rules()[0].display(&v).to_string(),
+            "path(X, Y) :- edge(X, Y)."
+        );
+        let p = v.pred("p", 1);
+        let fact = Rule::fact(Atom::new(p, vec![Term::Cst(v.cst("a"))]));
+        assert_eq!(fact.display(&v).to_string(), "p(a).");
+    }
+}

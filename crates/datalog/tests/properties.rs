@@ -1,0 +1,155 @@
+//! Property-based tests: naive and semi-naive evaluation agree, fixpoints
+//! are fixpoints, and evaluation is monotone in the EDB.
+
+use proptest::prelude::*;
+
+use magik_datalog::{Program, Rule};
+use magik_relalg::{Atom, Fact, Instance, Term, Vocabulary};
+
+const NUM_PREDS: u8 = 3;
+const NUM_VARS: u8 = 4;
+const NUM_CSTS: u8 = 3;
+
+fn pred_arity(p: u8) -> usize {
+    [1, 2, 2][p as usize % 3]
+}
+
+/// Abstract rule: body atoms (pred, var-or-cst args), head args are indexes
+/// into the body variable pool so rules are range-restricted by
+/// construction.
+#[derive(Debug, Clone)]
+struct ARule {
+    head_pred: u8,
+    head_args: Vec<u8>, // index into body vars (mod len), or constant if none
+    body: Vec<(u8, Vec<i8>)>, // positive = var id, negative = constant id
+}
+
+fn arule() -> impl Strategy<Value = ARule> {
+    let atom = (0..NUM_PREDS).prop_flat_map(|p| {
+        proptest::collection::vec(
+            prop_oneof![
+                (0..NUM_VARS).prop_map(|v| v as i8),
+                (1..=NUM_CSTS).prop_map(|c| -(c as i8)),
+            ],
+            pred_arity(p),
+        )
+        .prop_map(move |args| (p, args))
+    });
+    (
+        0..NUM_PREDS,
+        proptest::collection::vec(0..16u8, 0..3),
+        proptest::collection::vec(atom, 1..3),
+    )
+        .prop_map(|(head_pred, head_args, body)| ARule {
+            head_pred,
+            head_args,
+            body,
+        })
+}
+
+fn materialize(v: &mut Vocabulary, rules: &[ARule]) -> Program {
+    let mk_term = |v: &mut Vocabulary, t: i8| {
+        if t >= 0 {
+            Term::Var(v.var(&format!("X{t}")))
+        } else {
+            Term::Cst(v.cst(&format!("c{}", -t)))
+        }
+    };
+    let rules = rules
+        .iter()
+        .map(|r| {
+            let body: Vec<Atom> = r
+                .body
+                .iter()
+                .map(|(p, args)| {
+                    let pred = v.pred(&format!("p{p}"), pred_arity(*p));
+                    let args = args.iter().map(|&t| mk_term(v, t)).collect();
+                    Atom::new(pred, args)
+                })
+                .collect();
+            let body_vars: Vec<_> = body.iter().flat_map(Atom::vars).collect();
+            let head_pred = v.pred(&format!("p{}", r.head_pred), pred_arity(r.head_pred));
+            let arity = pred_arity(r.head_pred);
+            let head_args: Vec<Term> = (0..arity)
+                .map(|i| {
+                    let sel = r.head_args.get(i).copied().unwrap_or(0) as usize;
+                    if body_vars.is_empty() {
+                        Term::Cst(v.cst("c1"))
+                    } else {
+                        Term::Var(body_vars[sel % body_vars.len()])
+                    }
+                })
+                .collect();
+            Rule::new(Atom::new(head_pred, head_args), body)
+        })
+        .collect();
+    Program::new(rules).expect("construction guarantees range restriction")
+}
+
+fn materialize_edb(v: &mut Vocabulary, facts: &[(u8, Vec<u8>)]) -> Instance {
+    facts
+        .iter()
+        .map(|(p, args)| {
+            let pred = v.pred(&format!("p{p}"), pred_arity(*p));
+            Fact::new(
+                pred,
+                (0..pred_arity(*p))
+                    .map(|i| {
+                        v.cst(&format!(
+                            "c{}",
+                            args.get(i).copied().unwrap_or(0) % NUM_CSTS
+                        ))
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn afacts() -> impl Strategy<Value = Vec<(u8, Vec<u8>)>> {
+    proptest::collection::vec(
+        (0..NUM_PREDS).prop_flat_map(|p| {
+            proptest::collection::vec(0..NUM_CSTS, pred_arity(p)).prop_map(move |args| (p, args))
+        }),
+        0..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn naive_and_semi_naive_agree(rules in proptest::collection::vec(arule(), 0..4), facts in afacts()) {
+        let mut v = Vocabulary::new();
+        let program = materialize(&mut v, &rules);
+        let edb = materialize_edb(&mut v, &facts);
+        let naive = program.eval_naive(&edb);
+        let semi = program.eval_semi_naive(&edb);
+        prop_assert_eq!(&naive.model, &semi.model);
+        prop_assert_eq!(naive.derived, semi.derived);
+    }
+
+    #[test]
+    fn model_contains_edb_and_is_fixpoint(rules in proptest::collection::vec(arule(), 0..4), facts in afacts()) {
+        let mut v = Vocabulary::new();
+        let program = materialize(&mut v, &rules);
+        let edb = materialize_edb(&mut v, &facts);
+        let result = program.eval_semi_naive(&edb);
+        prop_assert!(edb.is_subset_of(&result.model));
+        // Applying the rules once more derives nothing new.
+        let more = program.immediate_consequences(&result.model);
+        prop_assert!(more.is_subset_of(&result.model));
+    }
+
+    #[test]
+    fn evaluation_is_monotone_in_edb(rules in proptest::collection::vec(arule(), 0..4), facts1 in afacts(), facts2 in afacts()) {
+        let mut v = Vocabulary::new();
+        let program = materialize(&mut v, &rules);
+        let small = materialize_edb(&mut v, &facts1);
+        let mut big = small.clone();
+        big.extend_from(&materialize_edb(&mut v, &facts2));
+        let m_small = program.eval_semi_naive(&small).model;
+        let m_big = program.eval_semi_naive(&big).model;
+        prop_assert!(m_small.is_subset_of(&m_big));
+    }
+}

@@ -1,0 +1,279 @@
+//! Tokenizer for the MAGIK surface syntax.
+
+use std::fmt;
+
+/// The kind of a token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A lowercase identifier (predicate name or constant) or an integer
+    /// literal or a quoted string; the payload is the spelling (unquoted).
+    Symbol(String),
+    /// A variable name (leading uppercase or underscore).
+    Variable(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `.`
+    Dot,
+    /// `:-`
+    Turnstile,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Symbol(s) => write!(f, "symbol `{s}`"),
+            TokenKind::Variable(s) => write!(f, "variable `{s}`"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Semicolon => f.write_str("`;`"),
+            TokenKind::Dot => f.write_str("`.`"),
+            TokenKind::Turnstile => f.write_str("`:-`"),
+            TokenKind::LBrace => f.write_str("`{`"),
+            TokenKind::RBrace => f.write_str("`}`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// A tokenization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a whole source string.
+pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut pos = 0;
+    let mut line = 1;
+    let mut col = 1;
+    let advance = |pos: &mut usize, line: &mut usize, col: &mut usize| {
+        if bytes[*pos] == b'\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+        *pos += 1;
+    };
+    while pos < bytes.len() {
+        let c = bytes[pos];
+        let (tline, tcol) = (line, col);
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                advance(&mut pos, &mut line, &mut col);
+            }
+            b'%' => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    advance(&mut pos, &mut line, &mut col);
+                }
+            }
+            b'(' | b')' | b',' | b';' | b'.' | b'{' | b'}' => {
+                let kind = match c {
+                    b'(' => TokenKind::LParen,
+                    b')' => TokenKind::RParen,
+                    b',' => TokenKind::Comma,
+                    b';' => TokenKind::Semicolon,
+                    b'{' => TokenKind::LBrace,
+                    b'}' => TokenKind::RBrace,
+                    _ => TokenKind::Dot,
+                };
+                tokens.push(Token {
+                    kind,
+                    line: tline,
+                    col: tcol,
+                });
+                advance(&mut pos, &mut line, &mut col);
+            }
+            b':' => {
+                advance(&mut pos, &mut line, &mut col);
+                if pos < bytes.len() && bytes[pos] == b'-' {
+                    advance(&mut pos, &mut line, &mut col);
+                    tokens.push(Token {
+                        kind: TokenKind::Turnstile,
+                        line: tline,
+                        col: tcol,
+                    });
+                } else {
+                    return Err(LexError {
+                        message: "expected `-` after `:`".to_owned(),
+                        line: tline,
+                        col: tcol,
+                    });
+                }
+            }
+            b'"' => {
+                advance(&mut pos, &mut line, &mut col);
+                let start = pos;
+                while pos < bytes.len() && bytes[pos] != b'"' && bytes[pos] != b'\n' {
+                    advance(&mut pos, &mut line, &mut col);
+                }
+                if pos >= bytes.len() || bytes[pos] != b'"' {
+                    return Err(LexError {
+                        message: "unterminated string literal".to_owned(),
+                        line: tline,
+                        col: tcol,
+                    });
+                }
+                let text = String::from_utf8_lossy(&bytes[start..pos]).into_owned();
+                advance(&mut pos, &mut line, &mut col);
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(text),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            _ if c.is_ascii_lowercase() || c.is_ascii_digit() => {
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    advance(&mut pos, &mut line, &mut col);
+                }
+                let text = String::from_utf8_lossy(&bytes[start..pos]).into_owned();
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(text),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            _ if c.is_ascii_uppercase() || c == b'_' => {
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    advance(&mut pos, &mut line, &mut col);
+                }
+                let text = String::from_utf8_lossy(&bytes[start..pos]).into_owned();
+                tokens.push(Token {
+                    kind: TokenKind::Variable(text),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            _ => {
+                return Err(LexError {
+                    message: format!("unexpected character `{}`", c as char),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_atoms_and_punctuation() {
+        assert_eq!(
+            kinds("q(N) :- p(N, c1)."),
+            vec![
+                TokenKind::Symbol("q".into()),
+                TokenKind::LParen,
+                TokenKind::Variable("N".into()),
+                TokenKind::RParen,
+                TokenKind::Turnstile,
+                TokenKind::Symbol("p".into()),
+                TokenKind::LParen,
+                TokenKind::Variable("N".into()),
+                TokenKind::Comma,
+                TokenKind::Symbol("c1".into()),
+                TokenKind::RParen,
+                TokenKind::Dot,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_positions_tracked() {
+        let tokens = tokenize("% hi\n  p.").unwrap();
+        assert_eq!(tokens[0].kind, TokenKind::Symbol("p".into()));
+        assert_eq!((tokens[0].line, tokens[0].col), (2, 3));
+    }
+
+    #[test]
+    fn quoted_strings_and_numbers_are_symbols() {
+        assert_eq!(
+            kinds("\"hello world\" 42"),
+            vec![
+                TokenKind::Symbol("hello world".into()),
+                TokenKind::Symbol("42".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn underscore_starts_a_variable() {
+        assert_eq!(
+            kinds("_x X1"),
+            vec![
+                TokenKind::Variable("_x".into()),
+                TokenKind::Variable("X1".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_errors_carry_positions() {
+        let err = tokenize("p ?").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 3));
+        let err = tokenize("p :q").unwrap_err();
+        assert!(err.message.contains("`-`"));
+        let err = tokenize("\"oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Surface syntax for MAGIK-rs: parsing and printing of queries, facts and
+//! table-completeness statements.
+//!
+//! The format is Datalog-ish, one item per `.`-terminated statement:
+//!
+//! ```text
+//! % the running example of the paper
+//! compl school(S, primary, D) ; true.
+//! compl pupil(N, C, S) ; school(S, T, merano).
+//! compl learns(N, english) ; pupil(N, C, S), school(S, primary, D).
+//!
+//! query q(N) :- pupil(N, C, S), school(S, primary, merano), learns(N, L).
+//!
+//! fact school(goethe, primary, merano).
+//! fact pupil(john, c1, goethe).
+//! ```
+//!
+//! * Variables start with an uppercase letter or `_`; constants are
+//!   lowercase identifiers, integers, or `"quoted strings"`.
+//! * A predicate must be used with a consistent arity throughout a
+//!   document ([`ParseError`] otherwise).
+//! * `%` starts a comment until end of line.
+//!
+//! Printing is the inverse: [`print_query`], [`print_tcs`],
+//! [`print_document`] produce text that parses back to the same structures
+//! (a property the test suite checks).
+//!
+//! # Example
+//!
+//! ```
+//! use magik_relalg::Vocabulary;
+//! use magik_parser::parse_document;
+//!
+//! let mut v = Vocabulary::new();
+//! let doc = parse_document(
+//!     "compl school(S, primary, D) ; true.
+//!      query q(N) :- pupil(N, C, S), school(S, primary, merano).
+//!      fact school(goethe, primary, merano).",
+//!     &mut v,
+//! ).unwrap();
+//! assert_eq!(doc.tcs.len(), 1);
+//! assert_eq!(doc.queries.len(), 1);
+//! assert_eq!(doc.facts.len(), 1);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lexer;
+mod parse;
+mod print;
+
+pub use lexer::{LexError, Token, TokenKind};
+pub use parse::{
+    parse_atom, parse_document, parse_instance, parse_query, parse_rules, parse_tcs, Document,
+    ParseError,
+};
+pub use print::{print_document, print_domain, print_instance, print_key, print_query, print_tcs};

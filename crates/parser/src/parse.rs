@@ -1,0 +1,675 @@
+//! Recursive-descent parser for the MAGIK surface syntax.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use magik_completeness::{ConstraintSet, FiniteDomain, Key, TcSet, TcStatement};
+use magik_relalg::{Atom, Cst, Fact, Instance, Query, Term, Vocabulary};
+
+use crate::lexer::{tokenize, LexError, Token, TokenKind};
+
+/// A parsed document: queries, TC statements and facts, in source order
+/// within each group.
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    /// Queries introduced with `query`.
+    pub queries: Vec<Query>,
+    /// Table-completeness statements introduced with `compl`.
+    pub tcs: TcSet,
+    /// Ground facts introduced with `fact`, as an instance.
+    pub facts: Instance,
+    /// Finite-domain constraints introduced with `domain`.
+    pub constraints: ConstraintSet,
+}
+
+/// A parse error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    vocab: &'a mut Vocabulary,
+    /// Enforces one arity per predicate name within a parse.
+    arities: HashMap<String, usize>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &str, vocab: &'a mut Vocabulary) -> Result<Self, ParseError> {
+        Ok(Parser {
+            tokens: tokenize(src)?,
+            pos: 0,
+            vocab,
+            arities: HashMap::new(),
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_at(&self, tok: &Token, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: tok.line,
+            col: tok.col,
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        let tok = self.next();
+        if &tok.kind == kind {
+            Ok(())
+        } else {
+            Err(self.error_at(&tok, format!("expected {kind}, found {}", tok.kind)))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `term := Variable | Symbol` (a bare symbol as a term is a constant).
+    fn term(&mut self) -> Result<Term, ParseError> {
+        let tok = self.next();
+        match tok.kind {
+            TokenKind::Variable(name) => Ok(Term::Var(self.vocab.var(&name))),
+            TokenKind::Symbol(name) => Ok(Term::Cst(self.vocab.cst(&name))),
+            other => Err(self.error_at(
+                &Token {
+                    kind: other.clone(),
+                    line: tok.line,
+                    col: tok.col,
+                },
+                format!("expected a term, found {other}"),
+            )),
+        }
+    }
+
+    /// `atom := symbol ( term (, term)* )` — zero-argument atoms are
+    /// written `p()`.
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let tok = self.next();
+        let TokenKind::Symbol(name) = tok.kind.clone() else {
+            return Err(self.error_at(
+                &tok,
+                format!("expected a predicate name, found {}", tok.kind),
+            ));
+        };
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                args.push(self.term()?);
+                if self.eat(&TokenKind::Comma) {
+                    continue;
+                }
+                self.expect(&TokenKind::RParen)?;
+                break;
+            }
+        }
+        match self.arities.get(&name) {
+            Some(&arity) if arity != args.len() => {
+                return Err(self.error_at(
+                    &tok,
+                    format!(
+                        "predicate `{name}` used with arity {} but previously with arity {arity}",
+                        args.len()
+                    ),
+                ));
+            }
+            Some(_) => {}
+            None => {
+                self.arities.insert(name.clone(), args.len());
+            }
+        }
+        let pred = self.vocab.pred(&name, args.len());
+        Ok(Atom::new(pred, args))
+    }
+
+    /// `conj := true | atom (, atom)*`
+    fn conjunction(&mut self) -> Result<Vec<Atom>, ParseError> {
+        if let TokenKind::Symbol(s) = &self.peek().kind {
+            if s == "true" && self.tokens[self.pos + 1].kind != TokenKind::LParen {
+                self.next();
+                return Ok(Vec::new());
+            }
+        }
+        let mut atoms = vec![self.atom()?];
+        while self.eat(&TokenKind::Comma) {
+            atoms.push(self.atom()?);
+        }
+        Ok(atoms)
+    }
+
+    /// `query := head-atom :- conj` (the `:- conj` part is optional for an
+    /// empty body).
+    fn query(&mut self) -> Result<Query, ParseError> {
+        let head = self.atom()?;
+        let name = self
+            .vocab
+            .lookup(self.vocab.pred_name(head.pred))
+            .expect("head name was interned by atom()");
+        let body = if self.eat(&TokenKind::Turnstile) {
+            self.conjunction()?
+        } else {
+            Vec::new()
+        };
+        Ok(Query::new(name, head.args, body))
+    }
+
+    /// `tcs := atom ; conj`
+    fn tcs(&mut self) -> Result<TcStatement, ParseError> {
+        let head = self.atom()?;
+        self.expect(&TokenKind::Semicolon)?;
+        let condition = self.conjunction()?;
+        Ok(TcStatement::new(head, condition))
+    }
+
+    /// `domain := pred ( _ | Var, … ) in { symbol (, symbol)* }` — exactly
+    /// one argument is a named (non-`_`) variable, marking the constrained
+    /// column.
+    fn domain(&mut self) -> Result<FiniteDomain, ParseError> {
+        let start = self.peek().clone();
+        let pattern = self.atom()?;
+        let mut column = None;
+        for (i, &t) in pattern.args.iter().enumerate() {
+            match t {
+                Term::Var(v) if self.vocab.var_name(v) != "_" => {
+                    if column.replace(i).is_some() {
+                        return Err(self.error_at(
+                            &start,
+                            "domain pattern must mark exactly one column with a named variable",
+                        ));
+                    }
+                }
+                Term::Var(_) => {}
+                Term::Cst(_) => {
+                    return Err(self.error_at(
+                        &start,
+                        "domain pattern arguments must be variables (`_` for unconstrained columns)",
+                    ));
+                }
+            }
+        }
+        let Some(column) = column else {
+            return Err(self.error_at(
+                &start,
+                "domain pattern must mark exactly one column with a named variable",
+            ));
+        };
+        // `in { c1, c2, ... }`
+        let tok = self.next();
+        if !matches!(&tok.kind, TokenKind::Symbol(kw) if kw == "in") {
+            return Err(self.error_at(&tok, format!("expected `in`, found {}", tok.kind)));
+        }
+        self.expect(&TokenKind::LBrace)?;
+        let mut values: Vec<Cst> = Vec::new();
+        loop {
+            let tok = self.next();
+            let TokenKind::Symbol(name) = tok.kind.clone() else {
+                return Err(self.error_at(&tok, format!("expected a constant, found {}", tok.kind)));
+            };
+            values.push(self.vocab.cst(&name));
+            if self.eat(&TokenKind::Comma) {
+                continue;
+            }
+            self.expect(&TokenKind::RBrace)?;
+            break;
+        }
+        Ok(FiniteDomain {
+            pred: pattern.pred,
+            column,
+            values: values.into_iter().collect(),
+        })
+    }
+
+    /// `key := pred ( _ | Var, … )` — the named (non-`_`) variable
+    /// positions are the key columns (at least one required).
+    fn key(&mut self) -> Result<Key, ParseError> {
+        let start = self.peek().clone();
+        let pattern = self.atom()?;
+        let mut columns = Vec::new();
+        for (i, &t) in pattern.args.iter().enumerate() {
+            match t {
+                Term::Var(v) if self.vocab.var_name(v) != "_" => columns.push(i),
+                Term::Var(_) => {}
+                Term::Cst(_) => {
+                    return Err(self.error_at(
+                        &start,
+                        "key pattern arguments must be variables (`_` for non-key columns)",
+                    ));
+                }
+            }
+        }
+        if columns.is_empty() {
+            return Err(self.error_at(
+                &start,
+                "key pattern must mark at least one column with a named variable",
+            ));
+        }
+        Ok(Key {
+            pred: pattern.pred,
+            columns,
+        })
+    }
+
+    fn ground_fact(&mut self) -> Result<Fact, ParseError> {
+        let tok_pos = self.peek().clone();
+        let atom = self.atom()?;
+        atom.to_fact()
+            .ok_or_else(|| self.error_at(&tok_pos, "facts must be ground (no variables)"))
+    }
+
+    fn document(&mut self) -> Result<Document, ParseError> {
+        let mut doc = Document::default();
+        loop {
+            let tok = self.peek().clone();
+            match &tok.kind {
+                TokenKind::Eof => return Ok(doc),
+                TokenKind::Symbol(kw) if kw == "compl" => {
+                    self.next();
+                    doc.tcs.push(self.tcs()?);
+                    self.expect(&TokenKind::Dot)?;
+                }
+                TokenKind::Symbol(kw) if kw == "query" => {
+                    self.next();
+                    doc.queries.push(self.query()?);
+                    self.expect(&TokenKind::Dot)?;
+                }
+                TokenKind::Symbol(kw) if kw == "fact" => {
+                    self.next();
+                    doc.facts.insert(self.ground_fact()?);
+                    self.expect(&TokenKind::Dot)?;
+                }
+                TokenKind::Symbol(kw) if kw == "domain" => {
+                    self.next();
+                    doc.constraints.push(self.domain()?);
+                    self.expect(&TokenKind::Dot)?;
+                }
+                TokenKind::Symbol(kw) if kw == "key" => {
+                    self.next();
+                    doc.constraints.push_key(self.key()?);
+                    self.expect(&TokenKind::Dot)?;
+                }
+                other => {
+                    return Err(self.error_at(
+                        &tok,
+                        format!(
+                            "expected `compl`, `query`, `fact`, `domain` or `key`, found {other}"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    fn finish<T>(&mut self, value: T) -> Result<T, ParseError> {
+        let tok = self.peek().clone();
+        if tok.kind == TokenKind::Eof {
+            Ok(value)
+        } else {
+            Err(self.error_at(&tok, format!("trailing input: {}", tok.kind)))
+        }
+    }
+}
+
+/// Parses a whole document of `compl`/`query`/`fact` items.
+pub fn parse_document(src: &str, vocab: &mut Vocabulary) -> Result<Document, ParseError> {
+    let mut p = Parser::new(src, vocab)?;
+    p.document()
+}
+
+/// Parses a single query (`q(X) :- body.` — the trailing dot is optional).
+pub fn parse_query(src: &str, vocab: &mut Vocabulary) -> Result<Query, ParseError> {
+    let mut p = Parser::new(src, vocab)?;
+    let q = p.query()?;
+    p.eat(&TokenKind::Dot);
+    p.finish(q)
+}
+
+/// Parses a single TC statement (`R(s) ; G.` — without the `compl`
+/// keyword; the trailing dot is optional).
+pub fn parse_tcs(src: &str, vocab: &mut Vocabulary) -> Result<TcStatement, ParseError> {
+    let mut p = Parser::new(src, vocab)?;
+    let c = p.tcs()?;
+    p.eat(&TokenKind::Dot);
+    p.finish(c)
+}
+
+/// Parses a single atom (`p(X, c)`).
+pub fn parse_atom(src: &str, vocab: &mut Vocabulary) -> Result<Atom, ParseError> {
+    let mut p = Parser::new(src, vocab)?;
+    let a = p.atom()?;
+    p.finish(a)
+}
+
+/// Parses a Datalog program: dot-terminated rules `head :- lit, …` where
+/// a literal is an atom or `not atom`; a bare `head.` is a fact rule.
+///
+/// ```
+/// use magik_relalg::Vocabulary;
+/// use magik_parser::parse_rules;
+///
+/// let mut v = Vocabulary::new();
+/// let program = parse_rules(
+///     "path(X, Y) :- edge(X, Y).
+///      path(X, Z) :- path(X, Y), edge(Y, Z).
+///      unreach(X) :- node(X), not path(root, X).",
+///     &mut v,
+/// ).unwrap();
+/// assert_eq!(program.rules().len(), 3);
+/// assert_eq!(program.num_strata(), 2);
+/// ```
+pub fn parse_rules(
+    src: &str,
+    vocab: &mut Vocabulary,
+) -> Result<magik_datalog::Program, ParseError> {
+    let mut p = Parser::new(src, vocab)?;
+    let mut rules = Vec::new();
+    while p.peek().kind != TokenKind::Eof {
+        let start = p.peek().clone();
+        let head = p.atom()?;
+        let mut body = Vec::new();
+        let mut negative = Vec::new();
+        if p.eat(&TokenKind::Turnstile) {
+            loop {
+                let negated = matches!(&p.peek().kind, TokenKind::Symbol(s) if s == "not")
+                    && p.tokens[p.pos + 1].kind != TokenKind::LParen;
+                if negated {
+                    p.next();
+                    negative.push(p.atom()?);
+                } else {
+                    body.push(p.atom()?);
+                }
+                if !p.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        p.expect(&TokenKind::Dot)?;
+        rules.push(magik_datalog::Rule::with_negation(head, body, negative));
+        // Surface program-level validation errors at the rule they come
+        // from, eagerly.
+        if let Err(e) = magik_datalog::Program::new(rules.clone()) {
+            if !matches!(e, magik_datalog::ProgramError::NotStratifiable { .. }) {
+                return Err(p.error_at(&start, e.to_string()));
+            }
+        }
+    }
+    magik_datalog::Program::new(rules).map_err(|e| ParseError {
+        message: e.to_string(),
+        line: 1,
+        col: 1,
+    })
+}
+
+/// Parses a list of dot-terminated ground facts into an instance.
+pub fn parse_instance(src: &str, vocab: &mut Vocabulary) -> Result<Instance, ParseError> {
+    let mut p = Parser::new(src, vocab)?;
+    let mut db = Instance::new();
+    while p.peek().kind != TokenKind::Eof {
+        db.insert(p.ground_fact()?);
+        p.expect(&TokenKind::Dot)?;
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magik_relalg::DisplayWith;
+
+    #[test]
+    fn parses_the_running_example_document() {
+        let mut v = Vocabulary::new();
+        let doc = parse_document(
+            "% schoolBolzano
+             compl school(S, primary, D) ; true.
+             compl pupil(N, C, S) ; school(S, T, merano).
+             compl learns(N, english) ; pupil(N, C, S), school(S, primary, D).
+             query q_pbl(N) :- pupil(N, C, S), school(S, primary, merano), learns(N, L).
+             fact school(goethe, primary, merano).
+             fact pupil(john, c1, goethe).",
+            &mut v,
+        )
+        .unwrap();
+        assert_eq!(doc.tcs.len(), 3);
+        assert_eq!(doc.queries.len(), 1);
+        assert_eq!(doc.facts.len(), 2);
+        assert_eq!(
+            doc.queries[0].display(&v).to_string(),
+            "q_pbl(N) :- pupil(N, C, S), school(S, primary, merano), learns(N, L)"
+        );
+        assert_eq!(
+            doc.tcs.statements()[2].display(&v).to_string(),
+            "compl learns(N, english) ; pupil(N, C, S), school(S, primary, D)"
+        );
+    }
+
+    #[test]
+    fn parses_true_condition_as_empty() {
+        let mut v = Vocabulary::new();
+        let c = parse_tcs("school(S, primary, D) ; true", &mut v).unwrap();
+        assert!(c.condition.is_empty());
+    }
+
+    #[test]
+    fn true_as_predicate_name_still_works() {
+        let mut v = Vocabulary::new();
+        let c = parse_tcs("p(X) ; true(X)", &mut v).unwrap();
+        assert_eq!(c.condition.len(), 1);
+        assert_eq!(v.pred_name(c.condition[0].pred), "true");
+    }
+
+    #[test]
+    fn query_without_body() {
+        let mut v = Vocabulary::new();
+        let q = parse_query("q(a)", &mut v).unwrap();
+        assert!(q.body.is_empty());
+        assert_eq!(q.head.len(), 1);
+        assert!(q.head[0].is_cst());
+    }
+
+    #[test]
+    fn boolean_query_with_empty_head() {
+        let mut v = Vocabulary::new();
+        let q = parse_query("q() :- p(X, Y).", &mut v).unwrap();
+        assert!(q.head.is_empty());
+        assert_eq!(q.size(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let mut v = Vocabulary::new();
+        let err = parse_document(
+            "query q(X) :- p(X).
+             query r(X) :- p(X, X).",
+            &mut v,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("arity"));
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn facts_must_be_ground() {
+        let mut v = Vocabulary::new();
+        let err = parse_document("fact p(X).", &mut v).unwrap_err();
+        assert!(err.message.contains("ground"));
+    }
+
+    #[test]
+    fn quoted_and_numeric_constants() {
+        let mut v = Vocabulary::new();
+        let a = parse_atom("p(\"New York\", 42)", &mut v).unwrap();
+        assert_eq!(a.args.len(), 2);
+        let rendered = a.display(&v).to_string();
+        assert!(rendered.contains("New York"));
+        assert!(rendered.contains("42"));
+    }
+
+    #[test]
+    fn instance_parsing() {
+        let mut v = Vocabulary::new();
+        let db = parse_instance("p(a). p(b). q(a, b).", &mut v).unwrap();
+        assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn parses_datalog_rules_with_negation() {
+        let mut v = Vocabulary::new();
+        let program = parse_rules(
+            "reach(X) :- edge(root, X).
+             reach(Y) :- reach(X), edge(X, Y).
+             unreach(X) :- node(X), not reach(X).
+             seed(a).",
+            &mut v,
+        )
+        .unwrap();
+        assert_eq!(program.rules().len(), 4);
+        assert_eq!(program.num_strata(), 2);
+        assert_eq!(program.rules()[2].negative.len(), 1);
+        assert!(program.rules()[3].body.is_empty());
+    }
+
+    #[test]
+    fn not_as_a_predicate_name_still_works() {
+        // `not(...)` with parentheses is an ordinary atom, not negation.
+        let mut v = Vocabulary::new();
+        let program = parse_rules("p(X) :- not(X).", &mut v).unwrap();
+        assert!(program.rules()[0].negative.is_empty());
+        assert_eq!(v.pred_name(program.rules()[0].body[0].pred), "not");
+    }
+
+    #[test]
+    fn datalog_validation_errors_are_positioned() {
+        let mut v = Vocabulary::new();
+        // Unsafe: head variable not in body.
+        let err = parse_rules("p(X) :- q(Y).", &mut v).unwrap_err();
+        assert!(err.message.contains("range-restricted"));
+        assert_eq!(err.line, 1);
+        // Unsafe negation.
+        let err = parse_rules("p(X) :- q(X), not r(Y).", &mut v).unwrap_err();
+        assert!(err.message.contains("negated"));
+        // Unstratifiable.
+        let err = parse_rules("p(X) :- q(X), not p(X).", &mut v).unwrap_err();
+        assert!(err.message.contains("stratifiable"));
+    }
+
+    #[test]
+    fn parses_domain_items() {
+        let mut v = Vocabulary::new();
+        let doc = parse_document(
+            "domain class(_, _, _, D) in {halfDay, fullDay}.
+             domain school(_, T, _) in {primary, middle}.",
+            &mut v,
+        )
+        .unwrap();
+        assert_eq!(doc.constraints.domains().len(), 2);
+        let d = &doc.constraints.domains()[0];
+        assert_eq!(d.column, 3);
+        assert_eq!(v.pred_name(d.pred), "class");
+        assert_eq!(d.values.len(), 2);
+        assert!(d.values.contains(&v.cst("halfDay")));
+        let d2 = &doc.constraints.domains()[1];
+        assert_eq!(d2.column, 1);
+    }
+
+    #[test]
+    fn parses_key_items() {
+        let mut v = Vocabulary::new();
+        let doc = parse_document(
+            "key pupil(N, _, _).
+             key class(C, S, _, _).",
+            &mut v,
+        )
+        .unwrap();
+        assert_eq!(doc.constraints.keys().len(), 2);
+        assert_eq!(doc.constraints.keys()[0].columns, vec![0]);
+        assert_eq!(doc.constraints.keys()[1].columns, vec![0, 1]);
+        assert_eq!(v.pred_name(doc.constraints.keys()[1].pred), "class");
+    }
+
+    #[test]
+    fn key_pattern_errors() {
+        let mut v = Vocabulary::new();
+        // No named variable.
+        assert!(parse_document("key p(_, _).", &mut v).is_err());
+        // Constant in the pattern.
+        assert!(parse_document("key p(a, X).", &mut v).is_err());
+    }
+
+    #[test]
+    fn domain_pattern_errors() {
+        let mut v = Vocabulary::new();
+        // Two named variables.
+        assert!(parse_document("domain p(X, Y) in {a}.", &mut v).is_err());
+        // No named variable.
+        assert!(parse_document("domain p(_, _) in {a}.", &mut v).is_err());
+        // Constant in the pattern.
+        assert!(parse_document("domain p(a, X) in {b}.", &mut v).is_err());
+        // Missing `in`.
+        assert!(parse_document("domain p(X) {a}.", &mut v).is_err());
+        // Empty value set.
+        assert!(parse_document("domain p(X) in {}.", &mut v).is_err());
+    }
+
+    #[test]
+    fn unknown_item_keyword_is_an_error() {
+        let mut v = Vocabulary::new();
+        let err = parse_document("rule p(X) :- q(X).", &mut v).unwrap_err();
+        assert!(err.message.contains("compl"));
+    }
+
+    #[test]
+    fn missing_dot_is_an_error() {
+        let mut v = Vocabulary::new();
+        assert!(parse_document("fact p(a)", &mut v).is_err());
+    }
+
+    #[test]
+    fn trailing_input_is_an_error() {
+        let mut v = Vocabulary::new();
+        assert!(parse_query("q(X) :- p(X). extra", &mut v).is_err());
+        assert!(parse_atom("p(X) q", &mut v).is_err());
+    }
+}

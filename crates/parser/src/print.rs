@@ -1,0 +1,135 @@
+//! Printing: the inverse of parsing.
+//!
+//! All printers produce text that [`crate::parse_document`] &c. parse back
+//! to the same structures (checked by round-trip property tests). They
+//! build on the `DisplayWith` implementations of the data model and add
+//! the item keywords and terminating dots of the document syntax.
+
+use magik_completeness::TcStatement;
+use magik_relalg::{DisplayWith, Instance, Query, Vocabulary};
+
+use crate::parse::Document;
+
+/// Prints a query as a `query …` item line (without the keyword).
+pub fn print_query(q: &Query, vocab: &Vocabulary) -> String {
+    q.display(vocab).to_string()
+}
+
+/// Prints a TC statement in item syntax (without the `compl` keyword,
+/// which [`TcStatement`]'s own display already includes — this strips it
+/// for reuse inside [`print_document`]).
+pub fn print_tcs(c: &TcStatement, vocab: &Vocabulary) -> String {
+    let full = c.display(vocab).to_string();
+    full.strip_prefix("compl ").unwrap_or(&full).to_owned()
+}
+
+/// Prints an instance as a sequence of dot-terminated facts.
+pub fn print_instance(db: &Instance, vocab: &Vocabulary) -> String {
+    let mut out = String::new();
+    for fact in db.iter_facts() {
+        out.push_str(&fact.display(vocab).to_string());
+        out.push_str(".\n");
+    }
+    out
+}
+
+/// Prints a finite-domain constraint in item syntax (without the
+/// `domain` keyword): `class(_, _, _, D) in {halfDay, fullDay}`.
+pub fn print_domain(d: &magik_completeness::FiniteDomain, vocab: &Vocabulary) -> String {
+    let arity = vocab.arity(d.pred);
+    let args: Vec<&str> = (0..arity)
+        .map(|i| if i == d.column { "D" } else { "_" })
+        .collect();
+    let values: Vec<String> = d
+        .values
+        .iter()
+        .map(|v| v.display(vocab).to_string())
+        .collect();
+    format!(
+        "{}({}) in {{{}}}",
+        vocab.pred_name(d.pred),
+        args.join(", "),
+        values.join(", ")
+    )
+}
+
+/// Prints a key constraint in item syntax (without the `key` keyword):
+/// `pupil(K0, _, _)`.
+pub fn print_key(k: &magik_completeness::Key, vocab: &Vocabulary) -> String {
+    let arity = vocab.arity(k.pred);
+    let args: Vec<String> = (0..arity)
+        .map(|i| {
+            if k.columns.contains(&i) {
+                format!("K{i}")
+            } else {
+                "_".to_owned()
+            }
+        })
+        .collect();
+    format!("{}({})", vocab.pred_name(k.pred), args.join(", "))
+}
+
+/// Prints a whole document in the `compl`/`query`/`fact`/`domain`/`key`
+/// item syntax.
+pub fn print_document(doc: &Document, vocab: &Vocabulary) -> String {
+    let mut out = String::new();
+    for d in doc.constraints.domains() {
+        out.push_str("domain ");
+        out.push_str(&print_domain(d, vocab));
+        out.push_str(".\n");
+    }
+    for k in doc.constraints.keys() {
+        out.push_str("key ");
+        out.push_str(&print_key(k, vocab));
+        out.push_str(".\n");
+    }
+    for c in doc.tcs.statements() {
+        out.push_str("compl ");
+        out.push_str(&print_tcs(c, vocab));
+        out.push_str(".\n");
+    }
+    for q in &doc.queries {
+        out.push_str("query ");
+        out.push_str(&print_query(q, vocab));
+        out.push_str(".\n");
+    }
+    for fact in doc.facts.iter_facts() {
+        out.push_str("fact ");
+        out.push_str(&fact.display(vocab).to_string());
+        out.push_str(".\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_document, parse_tcs};
+
+    #[test]
+    fn document_roundtrip() {
+        let mut v = Vocabulary::new();
+        let src = "compl school(S, primary, D) ; true.
+                   compl pupil(N, C, S) ; school(S, T, merano).
+                   query q(N) :- pupil(N, C, S), school(S, primary, merano).
+                   fact school(goethe, primary, merano).";
+        let doc = parse_document(src, &mut v).unwrap();
+        let printed = print_document(&doc, &v);
+        let reparsed = parse_document(&printed, &mut v).unwrap();
+        assert_eq!(doc.queries, reparsed.queries);
+        assert_eq!(doc.tcs, reparsed.tcs);
+        assert_eq!(doc.facts, reparsed.facts);
+        // Printing is a fixpoint after one round.
+        assert_eq!(printed, print_document(&reparsed, &v));
+    }
+
+    #[test]
+    fn tcs_roundtrip_with_empty_condition() {
+        let mut v = Vocabulary::new();
+        let c = parse_tcs("school(S, primary, D) ; true", &mut v).unwrap();
+        let printed = print_tcs(&c, &v);
+        assert_eq!(printed, "school(S, primary, D) ; true");
+        let reparsed = parse_tcs(&printed, &mut v).unwrap();
+        assert_eq!(c, reparsed);
+    }
+}

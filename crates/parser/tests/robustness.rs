@@ -1,0 +1,65 @@
+//! Robustness: the parser must never panic, whatever bytes it is fed.
+
+use proptest::prelude::*;
+
+use magik_parser::{
+    parse_atom, parse_document, parse_instance, parse_query, parse_rules, parse_tcs,
+};
+use magik_relalg::Vocabulary;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary strings: every entry point returns Ok or Err, never
+    /// panics.
+    #[test]
+    fn arbitrary_input_never_panics(s in "\\PC*") {
+        let mut v = Vocabulary::new();
+        let _ = parse_document(&s, &mut v);
+        let _ = parse_query(&s, &mut v);
+        let _ = parse_tcs(&s, &mut v);
+        let _ = parse_atom(&s, &mut v);
+        let _ = parse_instance(&s, &mut v);
+        let _ = parse_rules(&s, &mut v);
+    }
+
+    /// Syntax-shaped garbage: random items from the token alphabet.
+    #[test]
+    fn tokenish_garbage_never_panics(tokens in proptest::collection::vec(
+        prop_oneof![
+            Just("query".to_owned()),
+            Just("compl".to_owned()),
+            Just("fact".to_owned()),
+            Just("domain".to_owned()),
+            Just("not".to_owned()),
+            Just("p".to_owned()),
+            Just("X".to_owned()),
+            Just("(".to_owned()),
+            Just(")".to_owned()),
+            Just(",".to_owned()),
+            Just(";".to_owned()),
+            Just(".".to_owned()),
+            Just(":-".to_owned()),
+            Just("{".to_owned()),
+            Just("}".to_owned()),
+            Just("\"s\"".to_owned()),
+            Just("42".to_owned()),
+        ],
+        0..24,
+    )) {
+        let src = tokens.join(" ");
+        let mut v = Vocabulary::new();
+        let _ = parse_document(&src, &mut v);
+        let _ = parse_rules(&src, &mut v);
+    }
+
+    /// Errors always carry a plausible position.
+    #[test]
+    fn errors_have_positions(s in "[a-zA-Z(),;.{} ]{0,40}") {
+        let mut v = Vocabulary::new();
+        if let Err(e) = parse_document(&s, &mut v) {
+            prop_assert!(e.line >= 1);
+            prop_assert!(e.col >= 1);
+        }
+    }
+}

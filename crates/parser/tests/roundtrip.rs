@@ -1,0 +1,140 @@
+//! Property-based round-trip tests: print → parse is the identity.
+
+use proptest::prelude::*;
+
+use magik_completeness::{TcSet, TcStatement};
+use magik_parser::{parse_document, print_document, Document};
+use magik_relalg::{Atom, Fact, Instance, Query, Term, Vocabulary};
+
+const NUM_PREDS: u8 = 3;
+
+fn pred_arity(p: u8) -> usize {
+    [1, 2, 3][p as usize % 3]
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ATerm {
+    Var(u8),
+    Cst(u8),
+}
+
+#[derive(Debug, Clone)]
+struct AAtom {
+    pred: u8,
+    args: Vec<ATerm>,
+}
+
+fn aterm() -> impl Strategy<Value = ATerm> {
+    prop_oneof![(0..4u8).prop_map(ATerm::Var), (0..3u8).prop_map(ATerm::Cst)]
+}
+
+fn aatom() -> impl Strategy<Value = AAtom> {
+    (0..NUM_PREDS).prop_flat_map(|p| {
+        proptest::collection::vec(aterm(), pred_arity(p))
+            .prop_map(move |args| AAtom { pred: p, args })
+    })
+}
+
+struct Ctx {
+    vocab: Vocabulary,
+}
+
+impl Ctx {
+    fn atom(&mut self, a: &AAtom) -> Atom {
+        let pred = self.vocab.pred(&format!("p{}", a.pred), pred_arity(a.pred));
+        let args = a
+            .args
+            .iter()
+            .map(|&t| match t {
+                ATerm::Var(i) => Term::Var(self.vocab.var(&format!("X{i}"))),
+                // c2 deliberately needs quoting (space + uppercase) to
+                // exercise the constant-quoting path of the printer.
+                ATerm::Cst(2) => Term::Cst(self.vocab.cst("New York 2")),
+                ATerm::Cst(i) => Term::Cst(self.vocab.cst(&format!("c{i}"))),
+            })
+            .collect();
+        Atom::new(pred, args)
+    }
+
+    fn fact(&mut self, a: &AAtom) -> Fact {
+        let pred = self.vocab.pred(&format!("p{}", a.pred), pred_arity(a.pred));
+        let args = a
+            .args
+            .iter()
+            .map(|&t| match t {
+                ATerm::Var(i) => self.vocab.cst(&format!("g{i}")),
+                ATerm::Cst(i) => self.vocab.cst(&format!("c{i}")),
+            })
+            .collect();
+        Fact::new(pred, args)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn document_print_parse_roundtrip(
+        queries in proptest::collection::vec((proptest::collection::vec(aterm(), 0..3), proptest::collection::vec(aatom(), 0..4)), 0..3),
+        stmts in proptest::collection::vec((aatom(), proptest::collection::vec(aatom(), 0..3)), 0..3),
+        facts in proptest::collection::vec(aatom(), 0..5),
+    ) {
+        let mut ctx = Ctx { vocab: Vocabulary::new() };
+        // Head terms must be variables or constants; reuse the body's
+        // variables where possible so most generated queries are safe
+        // (safety is not required by the syntax, though).
+        let queries: Vec<Query> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, (head, body))| {
+                let body: Vec<Atom> = body.iter().map(|a| ctx.atom(a)).collect();
+                let head: Vec<Term> = head
+                    .iter()
+                    .map(|&t| match t {
+                        ATerm::Var(ix) => Term::Var(ctx.vocab.var(&format!("X{ix}"))),
+                        ATerm::Cst(ix) => Term::Cst(ctx.vocab.cst(&format!("c{ix}"))),
+                    })
+                    .collect();
+                Query::new(ctx.vocab.sym(&format!("q{i}")), head, body)
+            })
+            .collect();
+        let tcs: TcSet = stmts
+            .iter()
+            .map(|(head, cond)| {
+                TcStatement::new(ctx.atom(head), cond.iter().map(|a| ctx.atom(a)).collect())
+            })
+            .collect();
+        let facts: Instance = facts.iter().map(|a| ctx.fact(a)).collect();
+        // Constrain the first column of p0 and key p1 to exercise
+        // domain and key round-trips.
+        let constraints = magik_completeness::ConstraintSet::with_keys(
+            vec![magik_completeness::FiniteDomain {
+                pred: ctx.vocab.pred("p0", pred_arity(0)),
+                column: 0,
+                values: [ctx.vocab.cst("c0"), ctx.vocab.cst("c1")]
+                    .into_iter()
+                    .collect(),
+            }],
+            vec![magik_completeness::Key {
+                pred: ctx.vocab.pred("p1", pred_arity(1)),
+                columns: vec![0],
+            }],
+        );
+        let doc = Document {
+            queries,
+            tcs,
+            facts,
+            constraints,
+        };
+
+        let printed = print_document(&doc, &ctx.vocab);
+        let reparsed = parse_document(&printed, &mut ctx.vocab).unwrap_or_else(|e| {
+            panic!("printed document failed to parse: {e}\n---\n{printed}")
+        });
+        prop_assert_eq!(&doc.queries, &reparsed.queries);
+        prop_assert_eq!(&doc.tcs, &reparsed.tcs);
+        prop_assert_eq!(&doc.facts, &reparsed.facts);
+        prop_assert_eq!(&doc.constraints, &reparsed.constraints);
+        prop_assert_eq!(printed.clone(), print_document(&reparsed, &ctx.vocab));
+    }
+}

@@ -1,0 +1,120 @@
+//! Atoms and facts.
+
+use crate::term::{Cst, Term, Var};
+
+/// A predicate (relation symbol with a fixed arity), interned by a
+/// [`crate::Vocabulary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pred(pub(crate) u32);
+
+impl Pred {
+    /// The raw predicate index (stable within one [`crate::Vocabulary`]).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A relational atom `R(t₁, …, tₙ)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// The relation symbol.
+    pub pred: Pred,
+    /// The argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom. The argument count is the caller's responsibility;
+    /// it is validated against the vocabulary by higher layers (parser, CLI).
+    pub fn new(pred: Pred, args: Vec<Term>) -> Self {
+        Atom { pred, args }
+    }
+
+    /// The arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// `true` iff the atom contains no variables.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| t.is_cst())
+    }
+
+    /// Iterates over the variables of the atom, in argument order and with
+    /// duplicates.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.args.iter().filter_map(|t| t.as_var())
+    }
+
+    /// Converts a ground atom into a [`Fact`]. Returns `None` if the atom
+    /// contains a variable.
+    pub fn to_fact(&self) -> Option<Fact> {
+        let args = self
+            .args
+            .iter()
+            .map(|t| t.as_cst())
+            .collect::<Option<Vec<_>>>()?;
+        Some(Fact::new(self.pred, args))
+    }
+}
+
+/// A ground atom `R(c₁, …, cₙ)`: the unit of storage of an
+/// [`crate::Instance`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fact {
+    /// The relation symbol.
+    pub pred: Pred,
+    /// The constant arguments.
+    pub args: Vec<Cst>,
+}
+
+impl Fact {
+    /// Creates a fact.
+    pub fn new(pred: Pred, args: Vec<Cst>) -> Self {
+        Fact { pred, args }
+    }
+
+    /// The arity of the fact.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Views this fact as an [`Atom`] (whose arguments are all constants).
+    pub fn to_atom(&self) -> Atom {
+        Atom::new(self.pred, self.args.iter().map(|&c| Term::Cst(c)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vocabulary;
+
+    #[test]
+    fn atom_groundness_and_vars() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 2);
+        let x = v.var("X");
+        let a = v.cst("a");
+        let mixed = Atom::new(p, vec![Term::Var(x), Term::Cst(a)]);
+        assert!(!mixed.is_ground());
+        assert_eq!(mixed.vars().collect::<Vec<_>>(), vec![x]);
+        assert_eq!(mixed.arity(), 2);
+        assert_eq!(mixed.to_fact(), None);
+
+        let ground = Atom::new(p, vec![Term::Cst(a), Term::Cst(a)]);
+        assert!(ground.is_ground());
+        let fact = ground.to_fact().unwrap();
+        assert_eq!(fact.args, vec![a, a]);
+        assert_eq!(fact.to_atom(), ground);
+    }
+
+    #[test]
+    fn fact_atom_roundtrip() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let f = Fact::new(p, vec![v.cst("a")]);
+        assert_eq!(f.to_atom().to_fact().unwrap(), f);
+        assert_eq!(f.arity(), 1);
+    }
+}

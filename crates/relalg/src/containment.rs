@@ -1,0 +1,183 @@
+//! Containment and equivalence of conjunctive queries (Chandra–Merlin).
+//!
+//! `Q ⊑ Q'` holds iff `θū ∈ Q'(D_Q)` (Proposition 6 of the paper): freeze
+//! `Q` into its canonical database and look for a homomorphism from `Q'`
+//! that hits the frozen head tuple. The homomorphism search reuses the
+//! evaluation engine of [`crate::eval`].
+
+use crate::eval::has_answer;
+use crate::query::Query;
+use crate::subst::{canonical_database, freeze_term};
+use crate::term::Cst;
+
+/// Decides `q ⊑ q2`: every answer of `q` is an answer of `q2` over every
+/// instance. Queries of different head arity are incomparable (`false`).
+///
+/// Works for generalized (unsafe) queries as well; this is needed by the
+/// `G_C` fixed-point machinery of the paper's Section 3.
+pub fn is_contained_in(q: &Query, q2: &Query) -> bool {
+    if q.head.len() != q2.head.len() {
+        return false;
+    }
+    let frozen_head: Vec<Cst> = q.head.iter().map(|&t| freeze_term(t)).collect();
+    let db = canonical_database(q);
+    has_answer(q2, &db, &frozen_head)
+}
+
+/// Decides `q ≡ q2` (mutual containment).
+pub fn are_equivalent(q: &Query, q2: &Query) -> bool {
+    is_contained_in(q, q2) && is_contained_in(q2, q)
+}
+
+/// Decides `q ⊏ q2`: contained but not equivalent.
+pub fn is_strictly_contained_in(q: &Query, q2: &Query) -> bool {
+    is_contained_in(q, q2) && !is_contained_in(q2, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::term::Term;
+    use crate::Vocabulary;
+
+    /// q(X) ← p(X, Y)
+    fn base(v: &mut Vocabulary) -> Query {
+        let p = v.pred("p", 2);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        Query::new(
+            v.sym("q"),
+            vec![Term::Var(x)],
+            vec![Atom::new(p, vec![Term::Var(x), Term::Var(y)])],
+        )
+    }
+
+    #[test]
+    fn query_is_contained_in_itself() {
+        let mut v = Vocabulary::new();
+        let q = base(&mut v);
+        assert!(is_contained_in(&q, &q));
+        assert!(are_equivalent(&q, &q));
+        assert!(!is_strictly_contained_in(&q, &q));
+    }
+
+    #[test]
+    fn instantiation_is_contained_in_original() {
+        let mut v = Vocabulary::new();
+        let q = base(&mut v);
+        let p = v.pred("p", 2);
+        let x = v.var("X");
+        // q'(X) ← p(X, c)
+        let qc = Query::new(
+            v.sym("q"),
+            vec![Term::Var(x)],
+            vec![Atom::new(p, vec![Term::Var(x), Term::Cst(v.cst("c"))])],
+        );
+        assert!(is_contained_in(&qc, &q));
+        assert!(!is_contained_in(&q, &qc));
+        assert!(is_strictly_contained_in(&qc, &q));
+    }
+
+    #[test]
+    fn longer_chain_is_contained_in_shorter() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 2);
+        let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+        // chain2(X) ← p(X,Y), p(Y,Z)
+        let chain2 = Query::new(
+            v.sym("c2"),
+            vec![Term::Var(x)],
+            vec![
+                Atom::new(p, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(p, vec![Term::Var(y), Term::Var(z)]),
+            ],
+        );
+        let chain1 = base(&mut v);
+        assert!(is_contained_in(&chain2, &chain1));
+        assert!(!is_contained_in(&chain1, &chain2));
+    }
+
+    #[test]
+    fn redundant_atom_preserves_equivalence() {
+        let mut v = Vocabulary::new();
+        let q = base(&mut v);
+        let p = v.pred("p", 2);
+        let (x, u, w) = (v.var("X"), v.var("U"), v.var("W"));
+        // q'(X) ← p(X, Y), p(U, W): second atom is redundant.
+        let mut body = q.body.clone();
+        body.push(Atom::new(p, vec![Term::Var(u), Term::Var(w)]));
+        let q2 = Query::new(v.sym("q"), vec![Term::Var(x)], body);
+        assert!(are_equivalent(&q, &q2));
+    }
+
+    #[test]
+    fn different_arity_heads_are_incomparable() {
+        let mut v = Vocabulary::new();
+        let q = base(&mut v);
+        let mut q2 = q.clone();
+        q2.head.push(q2.head[0]);
+        assert!(!is_contained_in(&q, &q2));
+        assert!(!is_contained_in(&q2, &q));
+    }
+
+    #[test]
+    fn cycle_vs_loop_from_theorem_17() {
+        // Q_k(X0) ← round trip of length k. The paper's Theorem 17 uses
+        // that A_k maps into A_{k'} iff k' divides... in particular the
+        // self-loop conn(X,X) is contained in every cycle, and a cycle of
+        // length 2 is not contained in a cycle of length 3 (no hom).
+        let mut v = Vocabulary::new();
+        let conn = v.pred("conn", 2);
+        let cycle = |v: &mut Vocabulary, k: usize, tag: &str| {
+            let vars: Vec<_> = (0..k).map(|i| v.var(&format!("{tag}{i}"))).collect();
+            let body = (0..k)
+                .map(|i| Atom::new(conn, vec![Term::Var(vars[i]), Term::Var(vars[(i + 1) % k])]))
+                .collect();
+            Query::new(v.sym("q"), vec![Term::Var(vars[0])], body)
+        };
+        let self_loop = cycle(&mut v, 1, "A");
+        let c2 = cycle(&mut v, 2, "B");
+        let c3 = cycle(&mut v, 3, "C");
+        let c4 = cycle(&mut v, 4, "D");
+        assert!(is_contained_in(&self_loop, &c2));
+        assert!(is_contained_in(&self_loop, &c3));
+        assert!(!is_contained_in(&c2, &self_loop));
+        // c2 ⊑ c4 (wrap the 4-cycle variables around the 2-cycle).
+        assert!(is_contained_in(&c2, &c4));
+        // but not c2 ⊑ c3 and not c3 ⊑ c2.
+        assert!(!is_contained_in(&c2, &c3));
+        assert!(!is_contained_in(&c3, &c2));
+    }
+
+    #[test]
+    fn unsafe_queries_compare_correctly() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        // unsafe: u(Y) ← p(X). safe: s(Y) ← p(Y).
+        let unsafe_q = Query::new(
+            v.sym("u"),
+            vec![Term::Var(y)],
+            vec![Atom::new(p, vec![Term::Var(x)])],
+        );
+        let safe_q = Query::new(
+            v.sym("s"),
+            vec![Term::Var(y)],
+            vec![Atom::new(p, vec![Term::Var(y)])],
+        );
+        // Over any instance, answers(safe) ⊆ answers(unsafe) = dom × {p nonempty}.
+        assert!(is_contained_in(&safe_q, &unsafe_q));
+        assert!(!is_contained_in(&unsafe_q, &safe_q));
+    }
+
+    #[test]
+    fn boolean_queries() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let x = v.var("X");
+        let q_p = Query::boolean(v.sym("b"), vec![Atom::new(p, vec![Term::Var(x)])]);
+        let q_true = Query::boolean(v.sym("t"), vec![]);
+        assert!(is_contained_in(&q_p, &q_true));
+        assert!(!is_contained_in(&q_true, &q_p));
+    }
+}

@@ -1,0 +1,473 @@
+//! Conjunctive-query evaluation by backtracking join.
+//!
+//! Evaluation searches for assignments α of the query's variables to
+//! constants of the instance such that αB ⊆ D. The search orders body atoms
+//! dynamically: at every step it picks the atom with the fewest candidate
+//! tuples under the current partial assignment, enumerating candidates
+//! through the per-column hash indexes of [`Relation`](crate::Relation).
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use crate::atom::Atom;
+use crate::instance::Instance;
+use crate::query::Query;
+use crate::subst::Substitution;
+use crate::term::{Cst, Term, Var};
+
+/// One answer tuple: the image of the head terms under a satisfying
+/// assignment.
+pub type Answer = Vec<Cst>;
+
+/// The answer set of a query over an instance, ordered for deterministic
+/// iteration.
+pub type AnswerSet = BTreeSet<Answer>;
+
+/// Errors raised by query evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalError {
+    /// The query has a head variable that does not occur in the body, so
+    /// its answer set would be infinite (see the paper's discussion of
+    /// generalized conjunctive queries in Section 3).
+    UnsafeQuery(Var),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnsafeQuery(v) => {
+                write!(f, "unsafe query: head variable #{} not in body", v.index())
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Partial assignment during search.
+type Bindings = HashMap<Var, Cst>;
+
+/// Tries to extend `bind` so that the atom matches `tuple`. On success
+/// returns the list of variables newly bound (the trail); on failure returns
+/// `None` and leaves `bind` exactly as it was.
+fn match_atom(atom: &Atom, tuple: &[Cst], bind: &mut Bindings) -> Option<Vec<Var>> {
+    let mut trail = Vec::new();
+    for (&t, &c) in atom.args.iter().zip(tuple) {
+        let ok = match t {
+            Term::Cst(tc) => tc == c,
+            Term::Var(v) => match bind.get(&v) {
+                Some(&bound) => bound == c,
+                None => {
+                    bind.insert(v, c);
+                    trail.push(v);
+                    true
+                }
+            },
+        };
+        if !ok {
+            for v in trail {
+                bind.remove(&v);
+            }
+            return None;
+        }
+    }
+    Some(trail)
+}
+
+/// Estimated number of candidate tuples for `atom` under `bind`, and the
+/// best access path: `Some((col, cst))` to use the column index, `None` for
+/// a full scan.
+fn plan_atom(atom: &Atom, db: &Instance, bind: &Bindings) -> (usize, Option<(usize, Cst)>) {
+    let Some(rel) = db.relation(atom.pred) else {
+        return (0, None);
+    };
+    let mut best = (rel.len(), None);
+    for (col, &t) in atom.args.iter().enumerate() {
+        let value = match t {
+            Term::Cst(c) => Some(c),
+            Term::Var(v) => bind.get(&v).copied(),
+        };
+        if let Some(c) = value {
+            let n = rel.matches(col, c).map_or(0, <[u32]>::len);
+            if n < best.0 {
+                best = (n, Some((col, c)));
+            }
+        }
+    }
+    best
+}
+
+/// Depth-first search over the remaining atoms. `visit` returns `true` to
+/// continue enumerating and `false` to stop early. Returns `false` iff the
+/// search was stopped early.
+fn search(
+    remaining: &mut Vec<&Atom>,
+    db: &Instance,
+    bind: &mut Bindings,
+    visit: &mut dyn FnMut(&Bindings) -> bool,
+) -> bool {
+    if remaining.is_empty() {
+        return visit(bind);
+    }
+    // Pick the most constrained atom (fewest candidates).
+    let mut best_i = 0;
+    let mut best = (usize::MAX, None);
+    for (i, atom) in remaining.iter().enumerate() {
+        let plan = plan_atom(atom, db, bind);
+        if plan.0 < best.0 {
+            best_i = i;
+            best = plan;
+            if best.0 == 0 {
+                return true; // dead branch, nothing to enumerate
+            }
+        }
+    }
+    let atom = remaining.swap_remove(best_i);
+    let rel = db.relation(atom.pred).expect("plan found candidates");
+    let mut keep_going = true;
+    let mut try_tuple = |tuple: &[Cst], remaining: &mut Vec<&Atom>, bind: &mut Bindings| -> bool {
+        if let Some(trail) = match_atom(atom, tuple, bind) {
+            let cont = search(remaining, db, bind, visit);
+            for v in trail {
+                bind.remove(&v);
+            }
+            cont
+        } else {
+            true
+        }
+    };
+    match best.1 {
+        Some((col, c)) => {
+            // The index vector is owned by the relation, which we never
+            // mutate during search, so iterating positions is safe.
+            let positions = rel.matches(col, c).unwrap_or(&[]);
+            for &pos in positions {
+                if !try_tuple(rel.tuple(pos), remaining, bind) {
+                    keep_going = false;
+                    break;
+                }
+            }
+        }
+        None => {
+            for tuple in rel.iter() {
+                if !try_tuple(tuple, remaining, bind) {
+                    keep_going = false;
+                    break;
+                }
+            }
+        }
+    }
+    // Restore `remaining` for the caller (swap_remove order is irrelevant:
+    // the set of remaining atoms is what matters).
+    remaining.push(atom);
+    keep_going
+}
+
+/// Enumerates satisfying assignments of `body` over `db` extending `seed`,
+/// calling `visit` for each; `visit` returns `false` to stop. Returns
+/// `false` iff stopped early.
+fn for_each_model(
+    body: &[Atom],
+    db: &Instance,
+    seed: Bindings,
+    visit: &mut dyn FnMut(&Bindings) -> bool,
+) -> bool {
+    let mut remaining: Vec<&Atom> = body.iter().collect();
+    let mut bind = seed;
+    search(&mut remaining, db, &mut bind, visit)
+}
+
+/// Evaluates a query over an instance: the set of answers
+/// `{αū | αB ⊆ D}`.
+///
+/// Returns [`EvalError::UnsafeQuery`] if a head variable does not occur in
+/// the body (the answer set would be infinite).
+pub fn answers(q: &Query, db: &Instance) -> Result<AnswerSet, EvalError> {
+    let body_vars = q.body_vars();
+    if let Some(v) = q.head_vars().into_iter().find(|v| !body_vars.contains(v)) {
+        return Err(EvalError::UnsafeQuery(v));
+    }
+    let mut out = AnswerSet::new();
+    for_each_model(&q.body, db, Bindings::new(), &mut |bind| {
+        let tuple = q
+            .head
+            .iter()
+            .map(|&t| match t {
+                Term::Cst(c) => c,
+                Term::Var(v) => bind[&v],
+            })
+            .collect();
+        out.insert(tuple);
+        true
+    });
+    Ok(out)
+}
+
+/// Decides whether `target` is an answer of `q` over `db`, i.e. whether
+/// there is an assignment α with αB ⊆ D and αū = target.
+///
+/// Unlike [`answers`], this works for **generalized** (unsafe) queries: head
+/// variables missing from the body are simply bound by the target tuple.
+/// Returns `false` if the arities of `target` and the head differ.
+pub fn has_answer(q: &Query, db: &Instance, target: &[Cst]) -> bool {
+    if q.head.len() != target.len() {
+        return false;
+    }
+    // Seed the assignment from the head/target correspondence.
+    let mut seed = Bindings::new();
+    for (&t, &c) in q.head.iter().zip(target) {
+        match t {
+            Term::Cst(tc) => {
+                if tc != c {
+                    return false;
+                }
+            }
+            Term::Var(v) => match seed.get(&v) {
+                Some(&bound) => {
+                    if bound != c {
+                        return false;
+                    }
+                }
+                None => {
+                    seed.insert(v, c);
+                }
+            },
+        }
+    }
+    let mut found = false;
+    for_each_model(&q.body, db, seed, &mut |_| {
+        found = true;
+        false // stop at the first witness
+    });
+    found
+}
+
+/// Enumerates all homomorphisms from `body` into `db`, as ground
+/// substitutions over the variables of `body`.
+///
+/// Mostly useful for tests and for the Datalog engine; prefer [`answers`]
+/// when only head images are needed.
+pub fn homomorphisms(body: &[Atom], db: &Instance) -> Vec<Substitution> {
+    let mut out = Vec::new();
+    for_each_model(body, db, Bindings::new(), &mut |bind| {
+        out.push(Substitution::from_pairs(
+            bind.iter().map(|(&v, &c)| (v, Term::Cst(c))),
+        ));
+        true
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Fact;
+    use crate::Vocabulary;
+
+    /// The running-example database of the paper (Example 1).
+    fn school_db(v: &mut Vocabulary) -> Instance {
+        let pupil = v.pred("pupil", 3);
+        let school = v.pred("school", 3);
+        let learns = v.pred("learns", 2);
+        let mut db = Instance::new();
+        let f = |v: &mut Vocabulary, p, args: &[&str]| {
+            Fact::new(p, args.iter().map(|s| v.cst(s)).collect())
+        };
+        db.insert(f(v, school, &["goethe", "primary", "merano"]));
+        db.insert(f(v, school, &["dante", "middle", "bolzano"]));
+        db.insert(f(v, pupil, &["john", "c1", "goethe"]));
+        db.insert(f(v, pupil, &["mary", "c1", "goethe"]));
+        db.insert(f(v, pupil, &["luca", "c2", "dante"]));
+        db.insert(f(v, learns, &["john", "english"]));
+        db.insert(f(v, learns, &["luca", "german"]));
+        db
+    }
+
+    #[test]
+    fn join_two_atoms() {
+        let mut v = Vocabulary::new();
+        let db = school_db(&mut v);
+        let pupil = v.pred("pupil", 3);
+        let school = v.pred("school", 3);
+        let (n, c, s, t) = (v.var("N"), v.var("C"), v.var("S"), v.var("T"));
+        // Pupils of schools in merano.
+        let q = Query::new(
+            v.sym("q"),
+            vec![Term::Var(n)],
+            vec![
+                Atom::new(pupil, vec![Term::Var(n), Term::Var(c), Term::Var(s)]),
+                Atom::new(
+                    school,
+                    vec![Term::Var(s), Term::Var(t), Term::Cst(v.cst("merano"))],
+                ),
+            ],
+        );
+        let ans = answers(&q, &db).unwrap();
+        let names: Vec<_> = ans.iter().map(|a| a[0]).collect();
+        assert_eq!(names, vec![v.cst("john"), v.cst("mary")]);
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 2);
+        let mut db = Instance::new();
+        db.insert(Fact::new(p, vec![v.cst("a"), v.cst("a")]));
+        db.insert(Fact::new(p, vec![v.cst("a"), v.cst("b")]));
+        let x = v.var("X");
+        let q = Query::new(
+            v.sym("q"),
+            vec![Term::Var(x)],
+            vec![Atom::new(p, vec![Term::Var(x), Term::Var(x)])],
+        );
+        let ans = answers(&q, &db).unwrap();
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&vec![v.cst("a")]));
+    }
+
+    #[test]
+    fn empty_body_boolean_query_is_true() {
+        let mut v = Vocabulary::new();
+        let q = Query::boolean(v.sym("q"), vec![]);
+        let db = Instance::new();
+        let ans = answers(&q, &db).unwrap();
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&Vec::new()));
+        assert!(has_answer(&q, &db, &[]));
+    }
+
+    #[test]
+    fn missing_relation_yields_no_answers() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let x = v.var("X");
+        let q = Query::new(
+            v.sym("q"),
+            vec![Term::Var(x)],
+            vec![Atom::new(p, vec![Term::Var(x)])],
+        );
+        let ans = answers(&q, &Instance::new()).unwrap();
+        assert!(ans.is_empty());
+    }
+
+    #[test]
+    fn unsafe_query_is_rejected_by_answers() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let q = Query::new(
+            v.sym("q"),
+            vec![Term::Var(y)],
+            vec![Atom::new(p, vec![Term::Var(x)])],
+        );
+        assert_eq!(
+            answers(&q, &Instance::new()),
+            Err(EvalError::UnsafeQuery(y))
+        );
+    }
+
+    #[test]
+    fn has_answer_handles_unsafe_queries() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let mut db = Instance::new();
+        db.insert(Fact::new(p, vec![v.cst("a")]));
+        // q(Y) ← p(X): any target works as long as the body is satisfiable.
+        let q = Query::new(
+            v.sym("q"),
+            vec![Term::Var(y)],
+            vec![Atom::new(p, vec![Term::Var(x)])],
+        );
+        assert!(has_answer(&q, &db, &[v.cst("zzz")]));
+        assert!(!has_answer(&q, &Instance::new(), &[v.cst("zzz")]));
+    }
+
+    #[test]
+    fn has_answer_respects_constants_and_repeats_in_head() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 2);
+        let mut db = Instance::new();
+        db.insert(Fact::new(p, vec![v.cst("a"), v.cst("b")]));
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let q = Query::new(
+            v.sym("q"),
+            vec![Term::Var(x), Term::Var(y), Term::Cst(v.cst("k"))],
+            vec![Atom::new(p, vec![Term::Var(x), Term::Var(y)])],
+        );
+        let (a, b, k) = (v.cst("a"), v.cst("b"), v.cst("k"));
+        assert!(has_answer(&q, &db, &[a, b, k]));
+        assert!(!has_answer(&q, &db, &[a, b, a])); // wrong constant
+        assert!(!has_answer(&q, &db, &[b, a, k])); // wrong order
+        assert!(!has_answer(&q, &db, &[a, b])); // wrong arity
+
+        // Repeated head variable forces equal target positions.
+        let q2 = Query::new(
+            v.sym("q2"),
+            vec![Term::Var(x), Term::Var(x)],
+            vec![Atom::new(p, vec![Term::Var(x), Term::Var(y)])],
+        );
+        assert!(!has_answer(&q2, &db, &[a, b]));
+        assert!(has_answer(&q2, &db, &[a, a]));
+    }
+
+    #[test]
+    fn homomorphisms_enumerates_all_models() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 2);
+        let mut db = Instance::new();
+        db.insert(Fact::new(p, vec![v.cst("a"), v.cst("b")]));
+        db.insert(Fact::new(p, vec![v.cst("b"), v.cst("c")]));
+        let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+        // Path of length 2: only a->b->c.
+        let body = vec![
+            Atom::new(p, vec![Term::Var(x), Term::Var(y)]),
+            Atom::new(p, vec![Term::Var(y), Term::Var(z)]),
+        ];
+        let homs = homomorphisms(&body, &db);
+        assert_eq!(homs.len(), 1);
+        let h = &homs[0];
+        assert_eq!(h.get(x), Some(Term::Cst(v.cst("a"))));
+        assert_eq!(h.get(z), Some(Term::Cst(v.cst("c"))));
+    }
+
+    #[test]
+    fn answers_with_constant_head_terms() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let mut db = Instance::new();
+        db.insert(Fact::new(p, vec![v.cst("a")]));
+        let x = v.var("X");
+        let q = Query::new(
+            v.sym("q"),
+            vec![Term::Cst(v.cst("tag")), Term::Var(x)],
+            vec![Atom::new(p, vec![Term::Var(x)])],
+        );
+        let ans = answers(&q, &db).unwrap();
+        assert!(ans.contains(&vec![v.cst("tag"), v.cst("a")]));
+    }
+
+    #[test]
+    fn cartesian_product_counts() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let r = v.pred("r", 1);
+        let mut db = Instance::new();
+        for name in ["a", "b", "c"] {
+            db.insert(Fact::new(p, vec![v.cst(name)]));
+        }
+        for name in ["x", "y"] {
+            db.insert(Fact::new(r, vec![v.cst(name)]));
+        }
+        let (xv, yv) = (v.var("X"), v.var("Y"));
+        let q = Query::new(
+            v.sym("q"),
+            vec![Term::Var(xv), Term::Var(yv)],
+            vec![
+                Atom::new(p, vec![Term::Var(xv)]),
+                Atom::new(r, vec![Term::Var(yv)]),
+            ],
+        );
+        assert_eq!(answers(&q, &db).unwrap().len(), 6);
+    }
+}

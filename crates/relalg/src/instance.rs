@@ -1,0 +1,246 @@
+//! Database instances: sets of facts with per-column indexes.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::atom::{Fact, Pred};
+use crate::term::Cst;
+
+/// The extension of one relation: a set of tuples plus one hash index per
+/// column.
+///
+/// The column indexes are maintained eagerly on insertion; evaluation picks
+/// the most selective bound column of an atom to enumerate candidate tuples
+/// (see [`crate::answers`]).
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    /// Tuple storage, in insertion order.
+    tuples: Vec<Vec<Cst>>,
+    /// Membership/dedup index: tuple → position in `tuples`.
+    positions: HashMap<Vec<Cst>, u32>,
+    /// `col_index[c][v]` lists the positions of tuples whose column `c`
+    /// holds the constant `v`.
+    col_index: Vec<HashMap<Cst, Vec<u32>>>,
+}
+
+impl Relation {
+    /// Creates an empty relation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` iff the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple; returns `true` if it was not already present.
+    pub fn insert(&mut self, args: Vec<Cst>) -> bool {
+        if self.positions.contains_key(&args) {
+            return false;
+        }
+        let pos = u32::try_from(self.tuples.len()).expect("relation overflow");
+        if self.col_index.len() < args.len() {
+            self.col_index.resize_with(args.len(), HashMap::new);
+        }
+        for (c, &v) in args.iter().enumerate() {
+            self.col_index[c].entry(v).or_default().push(pos);
+        }
+        self.positions.insert(args.clone(), pos);
+        self.tuples.push(args);
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, args: &[Cst]) -> bool {
+        self.positions.contains_key(args)
+    }
+
+    /// Iterates over the tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Cst]> {
+        self.tuples.iter().map(Vec::as_slice)
+    }
+
+    /// The tuple stored at `pos` (positions come from [`Relation::matches`]).
+    pub fn tuple(&self, pos: u32) -> &[Cst] {
+        &self.tuples[pos as usize]
+    }
+
+    /// Positions of the tuples whose column `col` holds `value`, or `None`
+    /// if no such tuple exists. `O(1)` hash lookup.
+    pub fn matches(&self, col: usize, value: Cst) -> Option<&[u32]> {
+        self.col_index
+            .get(col)
+            .and_then(|ix| ix.get(&value))
+            .map(Vec::as_slice)
+    }
+}
+
+/// A database instance: a finite set of facts, grouped by relation.
+#[derive(Debug, Clone, Default)]
+pub struct Instance {
+    rels: BTreeMap<Pred, Relation>,
+}
+
+impl Instance {
+    /// Creates an empty instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a fact; returns `true` if it was not already present.
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        self.rels.entry(fact.pred).or_default().insert(fact.args)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.rels
+            .get(&fact.pred)
+            .is_some_and(|r| r.contains(&fact.args))
+    }
+
+    /// The extension of `pred`, if any fact over it exists.
+    pub fn relation(&self, pred: Pred) -> Option<&Relation> {
+        self.rels.get(&pred)
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.rels.values().map(Relation::len).sum()
+    }
+
+    /// `true` iff the instance has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.rels.values().all(Relation::is_empty)
+    }
+
+    /// Iterates over all facts, grouped by relation (relations in
+    /// predicate-id order, tuples in insertion order).
+    pub fn iter_facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.rels
+            .iter()
+            .flat_map(|(&p, r)| r.iter().map(move |args| Fact::new(p, args.to_vec())))
+    }
+
+    /// The predicates with at least one fact.
+    pub fn preds(&self) -> impl Iterator<Item = Pred> + '_ {
+        self.rels.keys().copied()
+    }
+
+    /// `true` iff every fact of `self` is a fact of `other`.
+    pub fn is_subset_of(&self, other: &Instance) -> bool {
+        self.iter_facts().all(|f| other.contains(&f))
+    }
+
+    /// Inserts all facts of `other`; returns the number of new facts.
+    pub fn extend_from(&mut self, other: &Instance) -> usize {
+        other
+            .iter_facts()
+            .filter(|f| self.insert(f.clone()))
+            .count()
+    }
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.is_subset_of(other)
+    }
+}
+
+impl Eq for Instance {}
+
+impl FromIterator<Fact> for Instance {
+    fn from_iter<I: IntoIterator<Item = Fact>>(iter: I) -> Self {
+        let mut db = Instance::new();
+        for f in iter {
+            db.insert(f);
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vocabulary;
+
+    fn fact(v: &mut Vocabulary, p: Pred, args: &[&str]) -> Fact {
+        Fact::new(p, args.iter().map(|s| v.cst(s)).collect())
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 2);
+        let mut db = Instance::new();
+        let f = fact(&mut v, p, &["a", "b"]);
+        assert!(db.insert(f.clone()));
+        assert!(!db.insert(f.clone()));
+        assert_eq!(db.len(), 1);
+        assert!(db.contains(&f));
+    }
+
+    #[test]
+    fn column_index_finds_matches() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 2);
+        let mut db = Instance::new();
+        db.insert(fact(&mut v, p, &["a", "b"]));
+        db.insert(fact(&mut v, p, &["a", "c"]));
+        db.insert(fact(&mut v, p, &["d", "b"]));
+        let rel = db.relation(p).unwrap();
+        let a = v.cst("a");
+        let b = v.cst("b");
+        assert_eq!(rel.matches(0, a).unwrap().len(), 2);
+        assert_eq!(rel.matches(1, b).unwrap().len(), 2);
+        assert_eq!(rel.matches(0, b), None);
+        for &pos in rel.matches(0, a).unwrap() {
+            assert_eq!(rel.tuple(pos)[0], a);
+        }
+    }
+
+    #[test]
+    fn subset_and_equality() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let mut small = Instance::new();
+        small.insert(fact(&mut v, p, &["a"]));
+        let mut big = small.clone();
+        big.insert(fact(&mut v, p, &["b"]));
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert_ne!(small, big);
+        let same: Instance = small.iter_facts().collect();
+        assert_eq!(small, same);
+    }
+
+    #[test]
+    fn extend_from_counts_new_facts() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let mut db = Instance::new();
+        db.insert(fact(&mut v, p, &["a"]));
+        let mut other = Instance::new();
+        other.insert(fact(&mut v, p, &["a"]));
+        other.insert(fact(&mut v, p, &["b"]));
+        assert_eq!(db.extend_from(&other), 1);
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn iter_facts_covers_all_relations() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let q = v.pred("q", 2);
+        let mut db = Instance::new();
+        db.insert(fact(&mut v, p, &["a"]));
+        db.insert(fact(&mut v, q, &["a", "b"]));
+        assert_eq!(db.iter_facts().count(), 2);
+        assert_eq!(db.preds().count(), 2);
+    }
+}

@@ -1,0 +1,184 @@
+//! Minimization (core computation) of conjunctive queries.
+//!
+//! A query is *minimal* if every proper subquery is strictly more general
+//! (no redundant atoms). Every conjunctive query is equivalent to a minimal
+//! one [Chandra–Merlin]; the completeness machinery of the paper (Lemma 9,
+//! Theorem 23) requires minimal inputs.
+//!
+//! Dropping a body atom always generalizes (`Q ⊑ Q₀`), so an atom is
+//! redundant iff the subquery without it is still contained in `Q`. We
+//! greedily drop redundant atoms until none is left; the result is the core
+//! of the query, unique up to variable renaming.
+
+use crate::containment::is_contained_in;
+use crate::query::Query;
+
+/// Returns an equivalent minimal query (the *core*), obtained by removing
+/// redundant body atoms.
+pub fn minimize(q: &Query) -> Query {
+    let mut out = q.clone();
+    minimize_in_place(&mut out);
+    out
+}
+
+/// In-place variant of [`minimize`].
+pub fn minimize_in_place(q: &mut Query) {
+    q.dedup_body();
+    let mut i = 0;
+    while i < q.body.len() {
+        let candidate = q.without_atom(i);
+        if is_contained_in(&candidate, q) {
+            // The atom at `i` is redundant; the candidate is equivalent.
+            *q = candidate;
+            // Restart scanning: earlier atoms may have become redundant.
+            i = 0;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// `true` iff the query has no redundant body atoms (and no duplicate
+/// atoms).
+pub fn is_minimal(q: &Query) -> bool {
+    let mut deduped = q.clone();
+    deduped.dedup_body();
+    if deduped.body.len() != q.body.len() {
+        return false;
+    }
+    (0..q.body.len()).all(|i| !is_contained_in(&q.without_atom(i), q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::containment::are_equivalent;
+    use crate::term::Term;
+    use crate::Vocabulary;
+
+    #[test]
+    fn drops_redundant_atom() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 2);
+        let (x, y, u, w) = (v.var("X"), v.var("Y"), v.var("U"), v.var("W"));
+        // q(X) ← p(X,Y), p(U,W): the second atom folds into the first.
+        let q = Query::new(
+            v.sym("q"),
+            vec![Term::Var(x)],
+            vec![
+                Atom::new(p, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(p, vec![Term::Var(u), Term::Var(w)]),
+            ],
+        );
+        assert!(!is_minimal(&q));
+        let m = minimize(&q);
+        assert_eq!(m.size(), 1);
+        assert!(are_equivalent(&q, &m));
+        assert!(is_minimal(&m));
+    }
+
+    #[test]
+    fn keeps_non_redundant_atoms() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 2);
+        let r = v.pred("r", 1);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let q = Query::new(
+            v.sym("q"),
+            vec![Term::Var(x)],
+            vec![
+                Atom::new(p, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(r, vec![Term::Var(y)]),
+            ],
+        );
+        assert!(is_minimal(&q));
+        let m = minimize(&q);
+        assert_eq!(m.size(), 2);
+    }
+
+    #[test]
+    fn paper_lemma9_counterexample_query_is_not_minimal() {
+        // Q(X) ← R(X, a), R(X, Y) — used after Lemma 9 in the paper; the
+        // general atom R(X,Y) is subsumed by R(X,a).
+        let mut v = Vocabulary::new();
+        let r = v.pred("r", 2);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let a = v.cst("a");
+        let q = Query::new(
+            v.sym("q"),
+            vec![Term::Var(x)],
+            vec![
+                Atom::new(r, vec![Term::Var(x), Term::Cst(a)]),
+                Atom::new(r, vec![Term::Var(x), Term::Var(y)]),
+            ],
+        );
+        assert!(!is_minimal(&q));
+        let m = minimize(&q);
+        assert_eq!(m.size(), 1);
+        assert_eq!(m.body[0].args[1], Term::Cst(a));
+    }
+
+    #[test]
+    fn duplicate_atoms_are_removed() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let x = v.var("X");
+        let a = Atom::new(p, vec![Term::Var(x)]);
+        let q = Query::new(v.sym("q"), vec![Term::Var(x)], vec![a.clone(), a]);
+        assert!(!is_minimal(&q));
+        assert_eq!(minimize(&q).size(), 1);
+    }
+
+    #[test]
+    fn cycle_queries_are_minimal() {
+        let mut v = Vocabulary::new();
+        let conn = v.pred("conn", 2);
+        let vars: Vec<_> = (0..3).map(|i| v.var(&format!("X{i}"))).collect();
+        let body: Vec<_> = (0..3)
+            .map(|i| Atom::new(conn, vec![Term::Var(vars[i]), Term::Var(vars[(i + 1) % 3])]))
+            .collect();
+        let q = Query::new(v.sym("q"), vec![Term::Var(vars[0])], body);
+        assert!(is_minimal(&q));
+        assert_eq!(minimize(&q).size(), 3);
+    }
+
+    #[test]
+    fn minimization_preserves_equivalence_on_mixed_query() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 2);
+        let (x, y, z, u) = (v.var("X"), v.var("Y"), v.var("Z"), v.var("U"));
+        // q(X) ← p(X,Y), p(X,Z), p(Z,U): p(X,Y) folds onto p(X,Z).
+        let q = Query::new(
+            v.sym("q"),
+            vec![Term::Var(x)],
+            vec![
+                Atom::new(p, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(p, vec![Term::Var(x), Term::Var(z)]),
+                Atom::new(p, vec![Term::Var(z), Term::Var(u)]),
+            ],
+        );
+        let m = minimize(&q);
+        assert_eq!(m.size(), 2);
+        assert!(are_equivalent(&q, &m));
+    }
+
+    #[test]
+    fn boolean_query_minimizes_to_reachable_core() {
+        let mut v = Vocabulary::new();
+        let e = v.pred("e", 2);
+        let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+        // b ← e(X,Y), e(Y,X), e(X,Z): e(X,Z) folds onto e(X,Y).
+        let q = Query::boolean(
+            v.sym("b"),
+            vec![
+                Atom::new(e, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(e, vec![Term::Var(y), Term::Var(x)]),
+                Atom::new(e, vec![Term::Var(x), Term::Var(z)]),
+            ],
+        );
+        let m = minimize(&q);
+        assert_eq!(m.size(), 2);
+        assert!(are_equivalent(&q, &m));
+    }
+}

@@ -1,0 +1,218 @@
+//! Generalized conjunctive queries.
+
+use std::collections::BTreeSet;
+
+use crate::atom::Atom;
+use crate::term::{Term, Var};
+use crate::vocab::Symbol;
+
+/// A (generalized) conjunctive query `Q(ū) ← B`.
+///
+/// `head` is the tuple of head terms `ū` and `body` the conjunction of atoms
+/// `B`. Conceptually the body is a *set* of atoms; the `Vec` preserves the
+/// order in which a query was written, and all semantic operations
+/// (evaluation, containment, the `G_C` operator) treat it as a set.
+///
+/// Following the paper's Section 3, queries are **generalized**: a head
+/// variable need not occur in the body. Whether the classical safety
+/// condition holds is reported by [`Query::is_safe`]; evaluation rejects
+/// unsafe queries with a typed error.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Query {
+    /// The name of the query predicate (e.g. `q`), used for display only.
+    pub name: Symbol,
+    /// The head terms `ū` (terms, not just variables: specializations may
+    /// instantiate head variables to constants).
+    pub head: Vec<Term>,
+    /// The body atoms `B`.
+    pub body: Vec<Atom>,
+}
+
+impl Query {
+    /// Creates a query.
+    pub fn new(name: Symbol, head: Vec<Term>, body: Vec<Atom>) -> Self {
+        Query { name, head, body }
+    }
+
+    /// Creates a Boolean query (empty head).
+    pub fn boolean(name: Symbol, body: Vec<Atom>) -> Self {
+        Query::new(name, Vec::new(), body)
+    }
+
+    /// The number of body atoms.
+    pub fn size(&self) -> usize {
+        self.body.len()
+    }
+
+    /// The set of variables occurring in the head.
+    pub fn head_vars(&self) -> BTreeSet<Var> {
+        self.head.iter().filter_map(|t| t.as_var()).collect()
+    }
+
+    /// The set of variables occurring in the body.
+    pub fn body_vars(&self) -> BTreeSet<Var> {
+        self.body.iter().flat_map(|a| a.vars()).collect()
+    }
+
+    /// The set of all variables of the query.
+    pub fn all_vars(&self) -> BTreeSet<Var> {
+        let mut vars = self.body_vars();
+        vars.extend(self.head_vars());
+        vars
+    }
+
+    /// `true` iff every head variable occurs in the body (the classical
+    /// safety condition for conjunctive queries).
+    pub fn is_safe(&self) -> bool {
+        let body_vars = self.body_vars();
+        self.head_vars().iter().all(|v| body_vars.contains(v))
+    }
+
+    /// The subquery obtained by keeping only the body atoms selected by
+    /// `keep`. The head is unchanged, so the result may be unsafe.
+    pub fn subquery<F>(&self, mut keep: F) -> Query
+    where
+        F: FnMut(&Atom) -> bool,
+    {
+        Query {
+            name: self.name,
+            head: self.head.clone(),
+            body: self.body.iter().filter(|a| keep(a)).cloned().collect(),
+        }
+    }
+
+    /// The subquery obtained by dropping the body atom at `index`.
+    pub fn without_atom(&self, index: usize) -> Query {
+        let mut body = self.body.clone();
+        body.remove(index);
+        Query {
+            name: self.name,
+            head: self.head.clone(),
+            body,
+        }
+    }
+
+    /// The query with `atoms` appended to the body.
+    pub fn with_atoms(&self, atoms: impl IntoIterator<Item = Atom>) -> Query {
+        let mut body = self.body.clone();
+        body.extend(atoms);
+        Query {
+            name: self.name,
+            head: self.head.clone(),
+            body,
+        }
+    }
+
+    /// Removes duplicate body atoms (set semantics), preserving first
+    /// occurrences.
+    pub fn dedup_body(&mut self) {
+        let mut seen = BTreeSet::new();
+        self.body.retain(|a| seen.insert(a.clone()));
+    }
+
+    /// `true` iff the two queries have the same head and the same body *as a
+    /// set of atoms* (syntactic identity up to atom order and duplication).
+    ///
+    /// This is the termination test of Algorithm 1 (Proposition 13), which
+    /// is sound — and much cheaper than an equivalence check.
+    pub fn same_as(&self, other: &Query) -> bool {
+        if self.head != other.head {
+            return false;
+        }
+        let a: BTreeSet<&Atom> = self.body.iter().collect();
+        let b: BTreeSet<&Atom> = other.body.iter().collect();
+        a == b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cst, Vocabulary};
+
+    fn setup() -> (Vocabulary, Query) {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 2);
+        let r = v.pred("r", 1);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let q = Query::new(
+            v.sym("q"),
+            vec![Term::Var(x)],
+            vec![
+                Atom::new(p, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(r, vec![Term::Var(y)]),
+            ],
+        );
+        (v, q)
+    }
+
+    #[test]
+    fn safety() {
+        let (mut v, q) = setup();
+        assert!(q.is_safe());
+        let z = v.var("Z");
+        let unsafe_q = Query::new(q.name, vec![Term::Var(z)], q.body.clone());
+        assert!(!unsafe_q.is_safe());
+        // Dropping the only atom mentioning X makes q unsafe.
+        assert!(!q.without_atom(0).is_safe());
+        // A constant head is always safe.
+        let const_q = Query::new(q.name, vec![Term::Cst(v.cst("a"))], vec![]);
+        assert!(const_q.is_safe());
+    }
+
+    #[test]
+    fn var_sets() {
+        let (mut v, q) = setup();
+        let (x, y) = (v.var("X"), v.var("Y"));
+        assert_eq!(q.head_vars(), BTreeSet::from([x]));
+        assert_eq!(q.body_vars(), BTreeSet::from([x, y]));
+        assert_eq!(q.all_vars(), BTreeSet::from([x, y]));
+    }
+
+    #[test]
+    fn subquery_selection() {
+        let (_, q) = setup();
+        let sub = q.subquery(|a| a.arity() == 2);
+        assert_eq!(sub.size(), 1);
+        assert_eq!(sub.body[0], q.body[0]);
+        assert_eq!(q.without_atom(1).body, vec![q.body[0].clone()]);
+    }
+
+    #[test]
+    fn same_as_is_order_and_duplicate_insensitive() {
+        let (_, q) = setup();
+        let mut reordered = q.clone();
+        reordered.body.reverse();
+        assert!(q.same_as(&reordered));
+        let mut duplicated = q.clone();
+        duplicated.body.push(q.body[0].clone());
+        assert!(q.same_as(&duplicated));
+        duplicated.dedup_body();
+        assert_eq!(duplicated.body.len(), 2);
+        assert!(!q.same_as(&q.without_atom(0)));
+    }
+
+    #[test]
+    fn same_as_distinguishes_heads() {
+        let (mut v, q) = setup();
+        let mut q2 = q.clone();
+        q2.head = vec![Term::Cst(Cst::Data(v.sym("a")))];
+        assert!(!q.same_as(&q2));
+    }
+
+    #[test]
+    fn with_atoms_appends() {
+        let (mut v, q) = setup();
+        let s = v.pred("s", 1);
+        let extended = q.with_atoms([Atom::new(s, vec![Term::Var(v.var("X"))])]);
+        assert_eq!(extended.size(), 3);
+    }
+
+    #[test]
+    fn boolean_query_has_empty_head() {
+        let (mut v, q) = setup();
+        let b = Query::boolean(v.sym("b"), q.body.clone());
+        assert!(b.head.is_empty());
+        assert!(b.is_safe());
+    }
+}

@@ -1,0 +1,273 @@
+//! Substitutions and the freezing map θ.
+
+use std::collections::BTreeMap;
+
+use crate::atom::{Atom, Fact};
+use crate::instance::Instance;
+use crate::query::Query;
+use crate::term::{Cst, Term, Var};
+
+/// A substitution: a finite mapping from variables to terms.
+///
+/// Applying a substitution replaces every mapped variable by its image and
+/// leaves all other terms unchanged. Substitutions are *not* applied
+/// recursively — the image terms are taken literally — matching the
+/// first-order, non-recursive substitutions of the paper. Idempotent
+/// substitutions (e.g. most general unifiers produced by `magik-unify`)
+/// therefore behave as expected.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Substitution {
+    map: BTreeMap<Var, Term>,
+}
+
+impl Substitution {
+    /// The identity substitution.
+    pub fn identity() -> Self {
+        Self::default()
+    }
+
+    /// Builds a substitution from `(variable, image)` pairs. Later pairs
+    /// overwrite earlier ones.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Var, Term)>) -> Self {
+        Substitution {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// `true` iff no variable is mapped.
+    pub fn is_identity(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of mapped variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` iff the substitution maps no variable.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Binds `var` to `term`, replacing any previous binding.
+    pub fn bind(&mut self, var: Var, term: Term) {
+        self.map.insert(var, term);
+    }
+
+    /// The image of `var`, if bound.
+    pub fn get(&self, var: Var) -> Option<Term> {
+        self.map.get(&var).copied()
+    }
+
+    /// Iterates over the bindings in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, Term)> + '_ {
+        self.map.iter().map(|(&v, &t)| (v, t))
+    }
+
+    /// Applies the substitution to a term.
+    pub fn apply_term(&self, t: Term) -> Term {
+        match t {
+            Term::Var(v) => self.get(v).unwrap_or(t),
+            Term::Cst(_) => t,
+        }
+    }
+
+    /// Applies the substitution to an atom.
+    pub fn apply_atom(&self, a: &Atom) -> Atom {
+        Atom::new(a.pred, a.args.iter().map(|&t| self.apply_term(t)).collect())
+    }
+
+    /// Applies the substitution to a query (head and body): the
+    /// *instantiation* `αQ` of the paper.
+    pub fn apply_query(&self, q: &Query) -> Query {
+        Query::new(
+            q.name,
+            q.head.iter().map(|&t| self.apply_term(t)).collect(),
+            q.body.iter().map(|a| self.apply_atom(a)).collect(),
+        )
+    }
+
+    /// The composition `self ∘ first`: applying the result is equivalent to
+    /// applying `first` and then `self`.
+    pub fn compose(&self, first: &Substitution) -> Substitution {
+        let mut map: BTreeMap<Var, Term> = first
+            .map
+            .iter()
+            .map(|(&v, &t)| (v, self.apply_term(t)))
+            .collect();
+        for (&v, &t) in &self.map {
+            map.entry(v).or_insert(t);
+        }
+        Substitution { map }
+    }
+
+    /// Restricts the substitution to the variables satisfying `keep`.
+    pub fn restrict<F>(&self, mut keep: F) -> Substitution
+    where
+        F: FnMut(Var) -> bool,
+    {
+        Substitution {
+            map: self
+                .map
+                .iter()
+                .filter(|(&v, _)| keep(v))
+                .map(|(&v, &t)| (v, t))
+                .collect(),
+        }
+    }
+}
+
+impl FromIterator<(Var, Term)> for Substitution {
+    fn from_iter<I: IntoIterator<Item = (Var, Term)>>(iter: I) -> Self {
+        Substitution::from_pairs(iter)
+    }
+}
+
+/// Freezes a term: variables become their frozen constants (θ), constants
+/// are unchanged.
+pub fn freeze_term(t: Term) -> Cst {
+    match t {
+        Term::Var(v) => Cst::Frozen(v),
+        Term::Cst(c) => c,
+    }
+}
+
+/// Freezes an atom into a fact (θ applied to every argument).
+pub fn freeze_atom(a: &Atom) -> Fact {
+    Fact::new(a.pred, a.args.iter().map(|&t| freeze_term(t)).collect())
+}
+
+/// Unfreezes a constant back into a term (θ⁻¹): frozen variables thaw to
+/// variables, data constants are unchanged.
+pub fn unfreeze_term(c: Cst) -> Term {
+    match c {
+        Cst::Frozen(v) => Term::Var(v),
+        Cst::Data(_) => Term::Cst(c),
+    }
+}
+
+/// Unfreezes a fact into an atom (θ⁻¹ applied to every argument).
+pub fn unfreeze_fact(f: &Fact) -> Atom {
+    Atom::new(f.pred, f.args.iter().map(|&c| unfreeze_term(c)).collect())
+}
+
+/// Unfreezes an atom whose arguments may contain frozen constants.
+pub fn unfreeze_atom(a: &Atom) -> Atom {
+    Atom::new(
+        a.pred,
+        a.args
+            .iter()
+            .map(|&t| match t {
+                Term::Cst(c) => unfreeze_term(c),
+                Term::Var(_) => t,
+            })
+            .collect(),
+    )
+}
+
+/// The canonical database `D_Q` of a query: the instance obtained by
+/// freezing every body atom.
+pub fn canonical_database(q: &Query) -> Instance {
+    let mut db = Instance::new();
+    for a in &q.body {
+        db.insert(freeze_atom(a));
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vocabulary;
+
+    #[test]
+    fn apply_replaces_only_bound_vars() {
+        let mut v = Vocabulary::new();
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let a = v.cst("a");
+        let s = Substitution::from_pairs([(x, Term::Cst(a))]);
+        assert_eq!(s.apply_term(Term::Var(x)), Term::Cst(a));
+        assert_eq!(s.apply_term(Term::Var(y)), Term::Var(y));
+        assert_eq!(s.apply_term(Term::Cst(a)), Term::Cst(a));
+    }
+
+    #[test]
+    fn apply_query_instantiates_head_and_body() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 2);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let q = Query::new(
+            v.sym("q"),
+            vec![Term::Var(x)],
+            vec![Atom::new(p, vec![Term::Var(x), Term::Var(y)])],
+        );
+        let c = v.cst("c");
+        let s = Substitution::from_pairs([(y, Term::Cst(c))]);
+        let qi = s.apply_query(&q);
+        assert_eq!(qi.head, vec![Term::Var(x)]);
+        assert_eq!(qi.body[0].args, vec![Term::Var(x), Term::Cst(c)]);
+    }
+
+    #[test]
+    fn composition_order() {
+        let mut v = Vocabulary::new();
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let c = v.cst("c");
+        // first: X -> Y; second: Y -> c. (second ∘ first)(X) = c.
+        let first = Substitution::from_pairs([(x, Term::Var(y))]);
+        let second = Substitution::from_pairs([(y, Term::Cst(c))]);
+        let comp = second.compose(&first);
+        assert_eq!(comp.apply_term(Term::Var(x)), Term::Cst(c));
+        assert_eq!(comp.apply_term(Term::Var(y)), Term::Cst(c));
+    }
+
+    #[test]
+    fn compose_prefers_first_for_shared_domain() {
+        let mut v = Vocabulary::new();
+        let x = v.var("X");
+        let (a, b) = (v.cst("a"), v.cst("b"));
+        let first = Substitution::from_pairs([(x, Term::Cst(a))]);
+        let second = Substitution::from_pairs([(x, Term::Cst(b))]);
+        // (second ∘ first)(X) must equal second(first(X)) = second(a) = a.
+        assert_eq!(
+            second.compose(&first).apply_term(Term::Var(x)),
+            Term::Cst(a)
+        );
+    }
+
+    #[test]
+    fn freeze_unfreeze_roundtrip() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 2);
+        let x = v.var("X");
+        let a = v.cst("a");
+        let atom = Atom::new(p, vec![Term::Var(x), Term::Cst(a)]);
+        let fact = freeze_atom(&atom);
+        assert_eq!(fact.args[0], Cst::Frozen(x));
+        assert_eq!(fact.args[1], a);
+        assert_eq!(unfreeze_fact(&fact), atom);
+    }
+
+    #[test]
+    fn canonical_database_contains_frozen_body() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let x = v.var("X");
+        let q = Query::new(v.sym("q"), vec![], vec![Atom::new(p, vec![Term::Var(x)])]);
+        let db = canonical_database(&q);
+        assert_eq!(db.len(), 1);
+        assert!(db.contains(&Fact::new(p, vec![Cst::Frozen(x)])));
+    }
+
+    #[test]
+    fn restrict_keeps_selected_vars() {
+        let mut v = Vocabulary::new();
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let a = v.cst("a");
+        let s = Substitution::from_pairs([(x, Term::Cst(a)), (y, Term::Cst(a))]);
+        let r = s.restrict(|var| var == x);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get(x), Some(Term::Cst(a)));
+        assert_eq!(r.get(y), None);
+    }
+}

@@ -1,0 +1,234 @@
+//! String interning and vocabulary management.
+//!
+//! All names occurring in queries, TC statements and instances — relation
+//! names, constants and variable names — are interned into small integer ids
+//! by a [`Vocabulary`]. This makes terms and atoms `Copy`-cheap to compare
+//! and hash, which matters in the inner loops of homomorphism search.
+
+use std::collections::HashMap;
+
+use crate::term::{Cst, Var};
+use crate::Pred;
+
+/// An interned string.
+///
+/// Symbols are only meaningful relative to the [`Vocabulary`] that created
+/// them; two symbols from the same vocabulary are equal iff their spellings
+/// are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub(crate) u32);
+
+impl Symbol {
+    /// The raw interner index (stable within one [`Vocabulary`]).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// A placeholder symbol for internal, display-free uses (e.g. the head
+    /// name of queries constructed during rule evaluation). Resolving its
+    /// name through a vocabulary panics; never display it.
+    pub fn placeholder() -> Symbol {
+        Symbol(u32::MAX)
+    }
+}
+
+/// The interner for all names used in a reasoning session.
+///
+/// A `Vocabulary` owns the mapping between strings and the ids used by the
+/// rest of the system ([`Symbol`], [`Var`], [`Pred`]), and is the source of
+/// *fresh* variables (needed when renaming TC statements apart and when
+/// building fresh query extensions).
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    strings: Vec<String>,
+    by_string: HashMap<String, Symbol>,
+    /// Name of each variable, indexed by `Var::index()`.
+    var_names: Vec<Symbol>,
+    var_by_name: HashMap<Symbol, Var>,
+    /// `(name, arity)` of each predicate, indexed by `Pred::index()`.
+    preds: Vec<(Symbol, usize)>,
+    pred_by_sig: HashMap<(Symbol, usize), Pred>,
+    fresh_counter: u64,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a string.
+    pub fn sym(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.by_string.get(s) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.strings.len()).expect("interner overflow"));
+        self.strings.push(s.to_owned());
+        self.by_string.insert(s.to_owned(), sym);
+        sym
+    }
+
+    /// Looks up an interned string without inserting.
+    pub fn lookup(&self, s: &str) -> Option<Symbol> {
+        self.by_string.get(s).copied()
+    }
+
+    /// The spelling of a symbol.
+    pub fn name(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Interns a named variable. Repeated calls with the same name return
+    /// the same [`Var`].
+    pub fn var(&mut self, name: &str) -> Var {
+        let sym = self.sym(name);
+        if let Some(&v) = self.var_by_name.get(&sym) {
+            return v;
+        }
+        let v = Var(u32::try_from(self.var_names.len()).expect("variable overflow"));
+        self.var_names.push(sym);
+        self.var_by_name.insert(sym, v);
+        v
+    }
+
+    /// Creates a fresh variable guaranteed to be distinct from every
+    /// variable created so far. `hint` is used to derive a readable name.
+    pub fn fresh_var(&mut self, hint: &str) -> Var {
+        loop {
+            let name = format!("{hint}#{}", self.fresh_counter);
+            self.fresh_counter += 1;
+            let sym = self.sym(&name);
+            if !self.var_by_name.contains_key(&sym) {
+                let v = Var(u32::try_from(self.var_names.len()).expect("variable overflow"));
+                self.var_names.push(sym);
+                self.var_by_name.insert(sym, v);
+                return v;
+            }
+        }
+    }
+
+    /// The name of a variable.
+    pub fn var_name(&self, v: Var) -> &str {
+        self.name(self.var_names[v.index()])
+    }
+
+    /// Number of distinct variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Interns a data constant.
+    pub fn cst(&mut self, name: &str) -> Cst {
+        Cst::Data(self.sym(name))
+    }
+
+    /// Interns a predicate with the given name and arity. Predicates with
+    /// the same name but different arities are distinct.
+    pub fn pred(&mut self, name: &str, arity: usize) -> Pred {
+        let sym = self.sym(name);
+        if let Some(&p) = self.pred_by_sig.get(&(sym, arity)) {
+            return p;
+        }
+        let p = Pred(u32::try_from(self.preds.len()).expect("predicate overflow"));
+        self.preds.push((sym, arity));
+        self.pred_by_sig.insert((sym, arity), p);
+        p
+    }
+
+    /// Looks up a predicate without inserting.
+    pub fn lookup_pred(&self, name: &str, arity: usize) -> Option<Pred> {
+        let sym = self.by_string.get(name)?;
+        self.pred_by_sig.get(&(*sym, arity)).copied()
+    }
+
+    /// The name of a predicate.
+    pub fn pred_name(&self, p: Pred) -> &str {
+        self.name(self.preds[p.index()].0)
+    }
+
+    /// The arity of a predicate.
+    pub fn arity(&self, p: Pred) -> usize {
+        self.preds[p.index()].1
+    }
+
+    /// Number of distinct predicates created so far.
+    pub fn num_preds(&self) -> usize {
+        self.preds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.sym("abc");
+        let b = v.sym("abc");
+        assert_eq!(a, b);
+        assert_eq!(v.name(a), "abc");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut v = Vocabulary::new();
+        assert_ne!(v.sym("a"), v.sym("b"));
+    }
+
+    #[test]
+    fn variables_are_interned_by_name() {
+        let mut v = Vocabulary::new();
+        let x1 = v.var("X");
+        let x2 = v.var("X");
+        let y = v.var("Y");
+        assert_eq!(x1, x2);
+        assert_ne!(x1, y);
+        assert_eq!(v.var_name(x1), "X");
+    }
+
+    #[test]
+    fn fresh_vars_are_distinct() {
+        let mut v = Vocabulary::new();
+        let x = v.var("X");
+        let f1 = v.fresh_var("X");
+        let f2 = v.fresh_var("X");
+        assert_ne!(f1, f2);
+        assert_ne!(f1, x);
+        assert_eq!(v.num_vars(), 3);
+    }
+
+    #[test]
+    fn fresh_var_skips_taken_names() {
+        let mut v = Vocabulary::new();
+        // Pre-claim the name the fresh counter would produce first.
+        let taken = v.var("X#0");
+        let f = v.fresh_var("X");
+        assert_ne!(f, taken);
+        assert_eq!(v.var_name(f), "X#1");
+    }
+
+    #[test]
+    fn predicates_distinguish_arity() {
+        let mut v = Vocabulary::new();
+        let p2 = v.pred("p", 2);
+        let p3 = v.pred("p", 3);
+        assert_ne!(p2, p3);
+        assert_eq!(v.arity(p2), 2);
+        assert_eq!(v.arity(p3), 3);
+        assert_eq!(v.pred_name(p2), "p");
+        assert_eq!(v.lookup_pred("p", 2), Some(p2));
+        assert_eq!(v.lookup_pred("p", 4), None);
+        assert_eq!(v.lookup_pred("q", 2), None);
+    }
+
+    #[test]
+    fn constants_are_data_constants() {
+        let mut v = Vocabulary::new();
+        let c = v.cst("merano");
+        match c {
+            Cst::Data(sym) => assert_eq!(v.name(sym), "merano"),
+            _ => panic!("expected data constant"),
+        }
+    }
+}

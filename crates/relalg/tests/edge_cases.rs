@@ -1,0 +1,196 @@
+//! Edge-case tests for the relational substrate: shapes that the main
+//! suites do not hit — propositional (0-ary) relations, high arities,
+//! heavy self-joins, and adversarial head patterns.
+
+use magik_relalg::{
+    answers, are_equivalent, canonical_database, has_answer, is_contained_in, minimize, Atom, Fact,
+    Instance, Query, Term, Vocabulary,
+};
+
+#[test]
+fn zero_ary_relations_behave_like_propositions() {
+    let mut v = Vocabulary::new();
+    let flag = v.pred("flag", 0);
+    let mut db = Instance::new();
+    assert!(db.insert(Fact::new(flag, vec![])));
+    assert!(!db.insert(Fact::new(flag, vec![])), "idempotent");
+    assert_eq!(db.len(), 1);
+
+    // Boolean query over the proposition.
+    let q = Query::boolean(v.sym("q"), vec![Atom::new(flag, vec![])]);
+    assert_eq!(answers(&q, &db).unwrap().len(), 1);
+    assert!(has_answer(&q, &db, &[]));
+    assert!(answers(&q, &Instance::new()).unwrap().is_empty());
+
+    // Containment between propositional queries.
+    let other = v.pred("other", 0);
+    let q2 = Query::boolean(
+        v.sym("q2"),
+        vec![Atom::new(flag, vec![]), Atom::new(other, vec![])],
+    );
+    assert!(is_contained_in(&q2, &q));
+    assert!(!is_contained_in(&q, &q2));
+
+    // Canonical database of a propositional query.
+    let frozen = canonical_database(&q2);
+    assert_eq!(frozen.len(), 2);
+}
+
+#[test]
+fn wide_relations_evaluate_and_index() {
+    let mut v = Vocabulary::new();
+    let wide = v.pred("wide", 10);
+    let mut db = Instance::new();
+    for row in 0..50 {
+        let args = (0..10)
+            .map(|col| v.cst(&format!("v{}_{}", row % 5, col)))
+            .collect();
+        db.insert(Fact::new(wide, args));
+    }
+    assert_eq!(db.len(), 5, "rows repeat modulo 5");
+    // Query binding the last column only.
+    let vars: Vec<_> = (0..9).map(|i| v.var(&format!("W{i}"))).collect();
+    let mut args: Vec<Term> = vars.iter().map(|&x| Term::Var(x)).collect();
+    args.push(Term::Cst(v.cst("v3_9")));
+    let q = Query::new(
+        v.sym("q"),
+        vec![Term::Var(vars[0])],
+        vec![Atom::new(wide, args)],
+    );
+    let ans = answers(&q, &db).unwrap();
+    assert_eq!(ans.len(), 1);
+    assert!(ans.contains(&vec![v.cst("v3_0")]));
+}
+
+#[test]
+fn heavy_self_join_triangle_counting() {
+    // Triangles in a directed graph: e(X,Y), e(Y,Z), e(Z,X).
+    let mut v = Vocabulary::new();
+    let e = v.pred("e", 2);
+    let mut db = Instance::new();
+    let edges = [
+        ("a", "b"),
+        ("b", "c"),
+        ("c", "a"), // triangle
+        ("a", "d"),
+        ("d", "b"), // extra path, no triangle
+        ("x", "x"), // self-loop = degenerate triangle
+    ];
+    for (s, t) in edges {
+        db.insert(Fact::new(e, vec![v.cst(s), v.cst(t)]));
+    }
+    let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+    let q = Query::new(
+        v.sym("tri"),
+        vec![Term::Var(x), Term::Var(y), Term::Var(z)],
+        vec![
+            Atom::new(e, vec![Term::Var(x), Term::Var(y)]),
+            Atom::new(e, vec![Term::Var(y), Term::Var(z)]),
+            Atom::new(e, vec![Term::Var(z), Term::Var(x)]),
+        ],
+    );
+    let ans = answers(&q, &db).unwrap();
+    // Rotations of (a,b,c) plus the self-loop (x,x,x).
+    assert_eq!(ans.len(), 4);
+    assert!(ans.contains(&vec![v.cst("x"), v.cst("x"), v.cst("x")]));
+}
+
+#[test]
+fn repeated_head_terms_project_correctly() {
+    let mut v = Vocabulary::new();
+    let p = v.pred("p", 2);
+    let mut db = Instance::new();
+    db.insert(Fact::new(p, vec![v.cst("a"), v.cst("b")]));
+    let (x, y) = (v.var("X"), v.var("Y"));
+    // Head repeats X and interleaves a constant.
+    let q = Query::new(
+        v.sym("q"),
+        vec![
+            Term::Var(x),
+            Term::Cst(v.cst("sep")),
+            Term::Var(x),
+            Term::Var(y),
+        ],
+        vec![Atom::new(p, vec![Term::Var(x), Term::Var(y)])],
+    );
+    let ans = answers(&q, &db).unwrap();
+    assert_eq!(
+        ans.into_iter().next().unwrap(),
+        vec![v.cst("a"), v.cst("sep"), v.cst("a"), v.cst("b")]
+    );
+}
+
+#[test]
+fn minimization_handles_towers_of_redundancy() {
+    // q(X) <- p(X,Y1), p(X,Y2), ..., p(X,Yn): collapses to one atom.
+    let mut v = Vocabulary::new();
+    let p = v.pred("p", 2);
+    let x = v.var("X");
+    let body: Vec<Atom> = (0..8)
+        .map(|i| {
+            let y = v.var(&format!("Y{i}"));
+            Atom::new(p, vec![Term::Var(x), Term::Var(y)])
+        })
+        .collect();
+    let q = Query::new(v.sym("q"), vec![Term::Var(x)], body);
+    let m = minimize(&q);
+    assert_eq!(m.size(), 1);
+    assert!(are_equivalent(&m, &q));
+}
+
+#[test]
+fn empty_query_against_empty_instance() {
+    let mut v = Vocabulary::new();
+    let q = Query::boolean(v.sym("t"), vec![]);
+    // The empty conjunction is true even over the empty instance.
+    assert_eq!(answers(&q, &Instance::new()).unwrap().len(), 1);
+    // Its canonical database is empty, and it is contained in itself.
+    assert!(canonical_database(&q).is_empty());
+    assert!(is_contained_in(&q, &q));
+}
+
+#[test]
+fn same_name_different_arity_relations_coexist() {
+    let mut v = Vocabulary::new();
+    let p1 = v.pred("p", 1);
+    let p2 = v.pred("p", 2);
+    let mut db = Instance::new();
+    db.insert(Fact::new(p1, vec![v.cst("a")]));
+    db.insert(Fact::new(p2, vec![v.cst("a"), v.cst("b")]));
+    assert_eq!(db.len(), 2);
+    let x = v.var("X");
+    let q1 = Query::new(
+        v.sym("q"),
+        vec![Term::Var(x)],
+        vec![Atom::new(p1, vec![Term::Var(x)])],
+    );
+    assert_eq!(answers(&q1, &db).unwrap().len(), 1);
+}
+
+#[test]
+fn containment_with_constants_in_both_queries() {
+    let mut v = Vocabulary::new();
+    let p = v.pred("p", 2);
+    let (x, y) = (v.var("X"), v.var("Y"));
+    let (a, b) = (v.cst("a"), v.cst("b"));
+    let qa = Query::new(
+        v.sym("q"),
+        vec![Term::Var(x)],
+        vec![Atom::new(p, vec![Term::Var(x), Term::Cst(a)])],
+    );
+    let qb = Query::new(
+        v.sym("q"),
+        vec![Term::Var(x)],
+        vec![Atom::new(p, vec![Term::Var(x), Term::Cst(b)])],
+    );
+    let qv = Query::new(
+        v.sym("q"),
+        vec![Term::Var(x)],
+        vec![Atom::new(p, vec![Term::Var(x), Term::Var(y)])],
+    );
+    assert!(!is_contained_in(&qa, &qb));
+    assert!(!is_contained_in(&qb, &qa));
+    assert!(is_contained_in(&qa, &qv));
+    assert!(is_contained_in(&qb, &qv));
+    assert!(!is_contained_in(&qv, &qa));
+}

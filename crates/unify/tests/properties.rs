@@ -1,0 +1,134 @@
+//! Property-based tests for unification.
+
+use proptest::prelude::*;
+
+use magik_relalg::{Atom, Term, Vocabulary};
+use magik_unify::{mgu_atoms, mgu_pairs, Unifier};
+
+#[derive(Debug, Clone, Copy)]
+enum ATerm {
+    Var(u8),
+    Cst(u8),
+}
+
+fn aterm() -> impl Strategy<Value = ATerm> {
+    prop_oneof![(0..6u8).prop_map(ATerm::Var), (0..3u8).prop_map(ATerm::Cst)]
+}
+
+fn materialize(v: &mut Vocabulary, t: ATerm) -> Term {
+    match t {
+        ATerm::Var(i) => Term::Var(v.var(&format!("X{i}"))),
+        ATerm::Cst(i) => Term::Cst(v.cst(&format!("c{i}"))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// An MGU actually unifies: σa = σb for every input pair.
+    #[test]
+    fn mgu_unifies_all_pairs(pairs in proptest::collection::vec((aterm(), aterm()), 0..8)) {
+        let mut v = Vocabulary::new();
+        let pairs: Vec<(Term, Term)> = pairs
+            .into_iter()
+            .map(|(a, b)| (materialize(&mut v, a), materialize(&mut v, b)))
+            .collect();
+        if let Some(mgu) = mgu_pairs(&pairs) {
+            for (a, b) in pairs {
+                prop_assert_eq!(mgu.apply_term(a), mgu.apply_term(b));
+            }
+        }
+    }
+
+    /// MGUs are idempotent substitutions.
+    #[test]
+    fn mgu_is_idempotent(pairs in proptest::collection::vec((aterm(), aterm()), 0..8)) {
+        let mut v = Vocabulary::new();
+        let pairs: Vec<(Term, Term)> = pairs
+            .into_iter()
+            .map(|(a, b)| (materialize(&mut v, a), materialize(&mut v, b)))
+            .collect();
+        if let Some(mgu) = mgu_pairs(&pairs) {
+            for (var, image) in mgu.iter() {
+                prop_assert_eq!(mgu.apply_term(image), image);
+                // The domain never maps a variable to itself.
+                prop_assert_ne!(Term::Var(var), image);
+            }
+        }
+    }
+
+    /// Most-generality: any unifier δ of the pairs factors through the MGU,
+    /// i.e. δ = δ ∘ mgu on all terms of the problem.
+    #[test]
+    fn mgu_is_most_general(pairs in proptest::collection::vec((aterm(), aterm()), 1..8), ground in proptest::collection::vec(0..3u8, 6)) {
+        let mut v = Vocabulary::new();
+        let pairs: Vec<(Term, Term)> = pairs
+            .into_iter()
+            .map(|(a, b)| (materialize(&mut v, a), materialize(&mut v, b)))
+            .collect();
+        // δ grounds every variable X0..X5 to a constant chosen by `ground`.
+        let delta: magik_relalg::Substitution = (0..6u8)
+            .map(|i| {
+                let var = v.var(&format!("X{i}"));
+                let c = v.cst(&format!("c{}", ground[i as usize]));
+                (var, Term::Cst(c))
+            })
+            .collect();
+        let delta_unifies = pairs
+            .iter()
+            .all(|&(a, b)| delta.apply_term(a) == delta.apply_term(b));
+        if delta_unifies {
+            let mgu = mgu_pairs(&pairs);
+            prop_assert!(mgu.is_some(), "a unifiable problem must have an MGU");
+            let mgu = mgu.unwrap();
+            for &(a, b) in &pairs {
+                for t in [a, b] {
+                    prop_assert_eq!(
+                        delta.apply_term(mgu.apply_term(t)),
+                        delta.apply_term(t)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Unification is symmetric in success.
+    #[test]
+    fn unification_success_is_symmetric(a in proptest::collection::vec(aterm(), 3), b in proptest::collection::vec(aterm(), 3)) {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 3);
+        let aa = Atom::new(p, a.into_iter().map(|t| materialize(&mut v, t)).collect());
+        let bb = Atom::new(p, b.into_iter().map(|t| materialize(&mut v, t)).collect());
+        prop_assert_eq!(mgu_atoms(&aa, &bb).is_some(), mgu_atoms(&bb, &aa).is_some());
+    }
+
+    /// Rollback restores the unifier exactly.
+    #[test]
+    fn rollback_is_exact(first in proptest::collection::vec((aterm(), aterm()), 0..5), second in proptest::collection::vec((aterm(), aterm()), 0..5)) {
+        let mut v = Vocabulary::new();
+        let mut u = Unifier::new();
+        for (a, b) in first {
+            let (a, b) = (materialize(&mut v, a), materialize(&mut v, b));
+            if !u.unify_terms(a, b) {
+                break;
+            }
+        }
+        let snapshot: Vec<(Term, Term)> = (0..6u8)
+            .map(|i| {
+                let t = Term::Var(v.var(&format!("X{i}")));
+                (t, u.resolve(t))
+            })
+            .collect();
+        let cp = u.checkpoint();
+        for (a, b) in second {
+            let (a, b) = (materialize(&mut v, a), materialize(&mut v, b));
+            if !u.unify_terms(a, b) {
+                break;
+            }
+        }
+        u.rollback(cp);
+        for (t, resolved) in snapshot {
+            prop_assert_eq!(u.resolve(t), resolved);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Workloads for benchmarks, examples and tests.
+//!
+//! * [`paper`] — the exact workloads of the paper: the "schoolBolzano"
+//!   running example (Example 1), the Theorem 17 flight example, and the
+//!   Table 1 specialization workload of Section 5 (plus a satisfiable
+//!   variant used by the ablation benchmarks).
+//! * [`synth`] — deterministic synthetic data generators: school instances
+//!   of configurable size and ideal/available pairs derived from them.
+//! * [`random`] — random conjunctive queries (chain/star/cycle/mixed
+//!   shapes) and random acyclic or cyclic TCS sets with a configurable
+//!   coverage fraction, for scaling benchmarks and property tests.
+//!
+//! All generators are deterministic given a seed.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod random;
+pub mod reduction;
+pub mod synth;

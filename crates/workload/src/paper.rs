@@ -1,0 +1,250 @@
+//! The workloads used in the paper itself.
+
+use magik_completeness::{TcSet, TcStatement};
+use magik_relalg::{Atom, Pred, Query, Term, Vocabulary};
+
+/// The "schoolBolzano" schema of Example 1 and handles to everything the
+/// running example mentions.
+#[derive(Debug, Clone)]
+pub struct SchoolWorkload {
+    /// The vocabulary owning all names below.
+    pub vocab: Vocabulary,
+    /// `pupil(pname, code, sname)`
+    pub pupil: Pred,
+    /// `school(sname, type, district)`
+    pub school: Pred,
+    /// `learns(pname, lang)`
+    pub learns: Pred,
+    /// The statements `{C_sp, C_pb, C_enp}` of Example 1.
+    pub tcs: TcSet,
+    /// `Q_ppb(N) ← pupil(N, C, S), school(S, primary, merano)` — complete.
+    pub q_ppb: Query,
+    /// `Q_pbl(N) ← pupil(N, C, S), school(S, primary, merano), learns(N, L)`
+    /// — incomplete.
+    pub q_pbl: Query,
+}
+
+/// Builds the running example (Example 1).
+pub fn school() -> SchoolWorkload {
+    let mut v = Vocabulary::new();
+    let pupil = v.pred("pupil", 3);
+    let school = v.pred("school", 3);
+    let learns = v.pred("learns", 2);
+    let (n, c, s, t, d, l) = (
+        v.var("N"),
+        v.var("C"),
+        v.var("S"),
+        v.var("T"),
+        v.var("D"),
+        v.var("L"),
+    );
+    let (primary, merano, english) = (v.cst("primary"), v.cst("merano"), v.cst("english"));
+    let tcs = TcSet::new(vec![
+        TcStatement::new(
+            Atom::new(school, vec![Term::Var(s), Term::Cst(primary), Term::Var(d)]),
+            vec![],
+        ),
+        TcStatement::new(
+            Atom::new(pupil, vec![Term::Var(n), Term::Var(c), Term::Var(s)]),
+            vec![Atom::new(
+                school,
+                vec![Term::Var(s), Term::Var(t), Term::Cst(merano)],
+            )],
+        ),
+        TcStatement::new(
+            Atom::new(learns, vec![Term::Var(n), Term::Cst(english)]),
+            vec![
+                Atom::new(pupil, vec![Term::Var(n), Term::Var(c), Term::Var(s)]),
+                Atom::new(school, vec![Term::Var(s), Term::Cst(primary), Term::Var(d)]),
+            ],
+        ),
+    ]);
+    let q_ppb = Query::new(
+        v.sym("q_ppb"),
+        vec![Term::Var(n)],
+        vec![
+            Atom::new(pupil, vec![Term::Var(n), Term::Var(c), Term::Var(s)]),
+            Atom::new(
+                school,
+                vec![Term::Var(s), Term::Cst(primary), Term::Cst(merano)],
+            ),
+        ],
+    );
+    let mut body = q_ppb.body.clone();
+    body.push(Atom::new(learns, vec![Term::Var(n), Term::Var(l)]));
+    let q_pbl = Query::new(v.sym("q_pbl"), vec![Term::Var(n)], body);
+    SchoolWorkload {
+        vocab: v,
+        pupil,
+        school,
+        learns,
+        tcs,
+        q_ppb,
+        q_pbl,
+    }
+}
+
+/// The Section 5 / Table 1 specialization workload.
+#[derive(Debug, Clone)]
+pub struct Table1Workload {
+    /// The vocabulary owning all names below.
+    pub vocab: Vocabulary,
+    /// The statement set: the running example minus `C_pb`, plus two
+    /// `class`-conditioned pupil statements (and, in the satisfiable
+    /// variant, an unconditional `class` statement).
+    pub tcs: TcSet,
+    /// `Q_l(N) ← learns(N, L)`.
+    pub q_l: Query,
+}
+
+fn table1_base(satisfiable: bool) -> Table1Workload {
+    let SchoolWorkload {
+        mut vocab,
+        pupil,
+        learns,
+        tcs,
+        ..
+    } = school();
+    let class = vocab.pred("class", 4);
+    let (n, c, s, l, t) = (
+        vocab.var("N"),
+        vocab.var("C"),
+        vocab.var("S"),
+        vocab.var("L"),
+        vocab.var("T"),
+    );
+    let (half, full) = (vocab.cst("halfDay"), vocab.cst("fullDay"));
+    let mut stmts: Vec<TcStatement> = tcs
+        .statements()
+        .iter()
+        .filter(|c| c.head.pred != pupil) // minus C_pb
+        .cloned()
+        .collect();
+    for day in [half, full] {
+        stmts.push(TcStatement::new(
+            Atom::new(pupil, vec![Term::Var(n), Term::Var(c), Term::Var(s)]),
+            vec![Atom::new(
+                class,
+                vec![Term::Var(c), Term::Var(s), Term::Var(l), Term::Cst(day)],
+            )],
+        ));
+    }
+    if satisfiable {
+        // The ablation variant: class itself is complete, so complete
+        // specializations of Q_l exist and the search has survivors.
+        stmts.push(TcStatement::new(
+            Atom::new(
+                class,
+                vec![Term::Var(c), Term::Var(s), Term::Var(l), Term::Var(t)],
+            ),
+            vec![],
+        ));
+    }
+    let q_l = Query::new(
+        vocab.sym("q_l"),
+        vec![Term::Var(n)],
+        vec![Atom::new(learns, vec![Term::Var(n), Term::Var(l)])],
+    );
+    Table1Workload {
+        vocab,
+        tcs: TcSet::new(stmts),
+        q_l,
+    }
+}
+
+/// The exact Table 1 workload of the paper: no complete specialization
+/// exists, and the k-MCS search must exhaust an exponentially growing
+/// space to establish that.
+pub fn table1() -> Table1Workload {
+    table1_base(false)
+}
+
+/// A satisfiable variant of the Table 1 workload (adds
+/// `Compl(class(C, S, L, T); true)`), used by ablation benchmarks so that
+/// the search also produces results.
+pub fn table1_satisfiable() -> Table1Workload {
+    table1_base(true)
+}
+
+/// The Theorem 17 flight workload.
+#[derive(Debug, Clone)]
+pub struct FlightWorkload {
+    /// The vocabulary owning all names below.
+    pub vocab: Vocabulary,
+    /// `conn(from, to)`.
+    pub conn: Pred,
+    /// `{Compl(conn(X, Y); conn(Y, Z))}`.
+    pub tcs: TcSet,
+    /// `Q(X) ← conn(X, Y)`: cities with an outgoing flight.
+    pub q: Query,
+}
+
+/// Builds the flight example of Theorem 17.
+pub fn flight() -> FlightWorkload {
+    let mut v = Vocabulary::new();
+    let conn = v.pred("conn", 2);
+    let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+    let tcs = TcSet::new(vec![TcStatement::new(
+        Atom::new(conn, vec![Term::Var(x), Term::Var(y)]),
+        vec![Atom::new(conn, vec![Term::Var(y), Term::Var(z)])],
+    )]);
+    let q = Query::new(
+        v.sym("q"),
+        vec![Term::Var(x)],
+        vec![Atom::new(conn, vec![Term::Var(x), Term::Var(y)])],
+    );
+    FlightWorkload {
+        vocab: v,
+        conn,
+        tcs,
+        q,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magik_completeness::{is_complete, k_mcs, mcg, KMcsOptions};
+    use magik_relalg::are_equivalent;
+
+    #[test]
+    fn school_workload_reproduces_example_1() {
+        let mut w = school();
+        assert!(is_complete(&w.q_ppb, &w.tcs));
+        assert!(!is_complete(&w.q_pbl, &w.tcs));
+        let m = mcg(&w.q_pbl, &w.tcs).unwrap();
+        assert!(are_equivalent(&m, &w.q_ppb));
+        let _ = &mut w.vocab;
+    }
+
+    #[test]
+    fn table1_workload_is_unsatisfiable_and_acyclic() {
+        let w = table1();
+        assert_eq!(w.tcs.len(), 4);
+        assert!(w.tcs.is_acyclic());
+        assert!(!is_complete(&w.q_l, &w.tcs));
+    }
+
+    #[test]
+    fn table1_satisfiable_variant_has_mcss() {
+        let mut w = table1_satisfiable();
+        assert_eq!(w.tcs.len(), 5);
+        let out = k_mcs(&w.q_l, &w.tcs, &mut w.vocab, KMcsOptions::new(3));
+        assert!(out.complete_search);
+        assert!(
+            !out.queries.is_empty(),
+            "the satisfiable variant must admit complete specializations"
+        );
+        for m in &out.queries {
+            assert!(is_complete(m, &w.tcs));
+        }
+    }
+
+    #[test]
+    fn flight_workload_matches_theorem_17() {
+        let w = flight();
+        assert!(!w.tcs.is_acyclic());
+        assert!(!is_complete(&w.q, &w.tcs));
+        assert_eq!(mcg(&w.q, &w.tcs), None);
+    }
+}

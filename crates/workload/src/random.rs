@@ -1,0 +1,371 @@
+//! Random queries and statement sets for scaling benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use magik_completeness::{TcSet, TcStatement};
+use magik_relalg::{Atom, Pred, Query, Term, Vocabulary};
+
+/// The shape of a generated query body over binary relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryShape {
+    /// `r(X0, X1), r(X1, X2), …` — a path.
+    Chain,
+    /// `r(X0, X1), r(X0, X2), …` — all atoms share the first variable.
+    Star,
+    /// A chain closed back to `X0`.
+    Cycle,
+    /// Random endpoints drawn from a small variable pool.
+    Random,
+}
+
+/// Configuration for [`query`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomQueryConfig {
+    /// Body shape.
+    pub shape: QueryShape,
+    /// Number of body atoms.
+    pub atoms: usize,
+    /// Number of distinct binary relations to draw from (`r0 … r{n-1}`).
+    pub relations: usize,
+    /// Probability that an argument position is a constant
+    /// (Random shape only).
+    pub constant_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomQueryConfig {
+    fn default() -> Self {
+        RandomQueryConfig {
+            shape: QueryShape::Chain,
+            atoms: 4,
+            relations: 2,
+            constant_prob: 0.15,
+            seed: 1,
+        }
+    }
+}
+
+fn relation(vocab: &mut Vocabulary, i: usize) -> Pred {
+    vocab.pred(&format!("r{i}"), 2)
+}
+
+/// Generates a query with head `q(X0)` and the configured body shape.
+pub fn query(config: RandomQueryConfig, vocab: &mut Vocabulary) -> Query {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let var = |vocab: &mut Vocabulary, i: usize| vocab.var(&format!("X{i}"));
+    let n = config.atoms;
+    let mut body = Vec::with_capacity(n);
+    for i in 0..n {
+        let pred = relation(vocab, rng.gen_range(0..config.relations.max(1)));
+        let (a, b) = match config.shape {
+            QueryShape::Chain => (i, i + 1),
+            QueryShape::Star => (0, i + 1),
+            QueryShape::Cycle => (i, (i + 1) % n),
+            QueryShape::Random => (rng.gen_range(0..=n), rng.gen_range(0..=n)),
+        };
+        let term = |vocab: &mut Vocabulary, ix: usize, rng: &mut StdRng| {
+            if config.shape == QueryShape::Random && rng.gen_bool(config.constant_prob) {
+                Term::Cst(vocab.cst(&format!("k{}", rng.gen_range(0..3))))
+            } else {
+                Term::Var(var(vocab, ix))
+            }
+        };
+        let ta = term(vocab, a, &mut rng);
+        let tb = term(vocab, b, &mut rng);
+        body.push(Atom::new(pred, vec![ta, tb]));
+    }
+    let head = vec![Term::Var(var(vocab, 0))];
+    Query::new(vocab.sym("q"), head, body)
+}
+
+/// Unconditional statements covering the first `covered` of `relations`
+/// binary relations: the standard way to make a configurable fraction of a
+/// random query complete.
+pub fn covering_tcs(relations: usize, covered: usize, vocab: &mut Vocabulary) -> TcSet {
+    (0..covered.min(relations))
+        .map(|i| {
+            let pred = relation(vocab, i);
+            let (x, y) = (vocab.var("CX"), vocab.var("CY"));
+            TcStatement::new(Atom::new(pred, vec![Term::Var(x), Term::Var(y)]), vec![])
+        })
+        .collect()
+}
+
+/// A cascade workload for MCG iteration benchmarks: statements
+/// `Compl(rᵢ(X, Y); rᵢ₊₁(X, Y))` for `i < depth` and a chain query over
+/// `r0 … r{depth-1}`. Each `G_C` application peels exactly one atom, so
+/// Algorithm 1 performs `depth + 1` iterations (the Proposition 12(c)
+/// worst case).
+pub fn cascade(depth: usize, vocab: &mut Vocabulary) -> (TcSet, Query) {
+    let preds: Vec<Pred> = (0..=depth).map(|i| relation(vocab, i)).collect();
+    let (x, y) = (vocab.var("X"), vocab.var("Y"));
+    let tcs = (0..depth)
+        .map(|i| {
+            TcStatement::new(
+                Atom::new(preds[i], vec![Term::Var(x), Term::Var(y)]),
+                vec![Atom::new(preds[i + 1], vec![Term::Var(x), Term::Var(y)])],
+            )
+        })
+        .collect();
+    let body = (0..depth)
+        .map(|i| Atom::new(preds[i], vec![Term::Var(x), Term::Var(y)]))
+        .collect();
+    let q = Query::boolean(vocab.sym("q"), body);
+    (tcs, q)
+}
+
+/// Configuration for [`acyclic_tcs`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomTcsConfig {
+    /// Number of statements.
+    pub statements: usize,
+    /// Number of binary relations (`r0 … r{n-1}`).
+    pub relations: usize,
+    /// Maximum condition length.
+    pub max_condition: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomTcsConfig {
+    fn default() -> Self {
+        RandomTcsConfig {
+            statements: 4,
+            relations: 4,
+            max_condition: 2,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a random **acyclic** statement set: the head of each
+/// statement is over a relation with a strictly smaller index than every
+/// relation in its condition, so the dependency graph is a DAG by
+/// construction.
+pub fn acyclic_tcs(config: RandomTcsConfig, vocab: &mut Vocabulary) -> TcSet {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut statements = Vec::with_capacity(config.statements);
+    for si in 0..config.statements {
+        let head_rel = rng.gen_range(0..config.relations.saturating_sub(1).max(1));
+        let head_pred = relation(vocab, head_rel);
+        let (x, y) = (vocab.var(&format!("S{si}X")), vocab.var(&format!("S{si}Y")));
+        let head = Atom::new(head_pred, vec![Term::Var(x), Term::Var(y)]);
+        let cond_len = rng.gen_range(0..=config.max_condition);
+        let condition = (0..cond_len)
+            .map(|ci| {
+                let rel = rng.gen_range(head_rel + 1..config.relations);
+                let z = vocab.var(&format!("S{si}Z{ci}"));
+                // Share X with the head so conditions actually constrain.
+                Atom::new(relation(vocab, rel), vec![Term::Var(x), Term::Var(z)])
+            })
+            .collect();
+        statements.push(TcStatement::new(head, condition));
+    }
+    TcSet::new(statements)
+}
+
+/// Generates a random **cyclic** statement set: like [`acyclic_tcs`] but
+/// condition relations are drawn freely (and one guaranteed back-edge is
+/// added), so the dependency graph contains cycles. Used to exercise the
+/// Theorem 17 regime, where only bounded (k-MCS) search is meaningful.
+pub fn cyclic_tcs(config: RandomTcsConfig, vocab: &mut Vocabulary) -> TcSet {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut statements = Vec::with_capacity(config.statements + 1);
+    for si in 0..config.statements {
+        let head_rel = rng.gen_range(0..config.relations);
+        let (x, y) = (vocab.var(&format!("C{si}X")), vocab.var(&format!("C{si}Y")));
+        let head = Atom::new(relation(vocab, head_rel), vec![Term::Var(x), Term::Var(y)]);
+        let cond_len = rng.gen_range(0..=config.max_condition);
+        let condition = (0..cond_len)
+            .map(|ci| {
+                let rel = rng.gen_range(0..config.relations);
+                let z = vocab.var(&format!("C{si}Z{ci}"));
+                Atom::new(relation(vocab, rel), vec![Term::Var(y), Term::Var(z)])
+            })
+            .collect();
+        statements.push(TcStatement::new(head, condition));
+    }
+    // Guarantee at least one cycle: r0 conditioned on itself.
+    let (x, y, z) = (vocab.var("CWX"), vocab.var("CWY"), vocab.var("CWZ"));
+    statements.push(TcStatement::new(
+        Atom::new(relation(vocab, 0), vec![Term::Var(x), Term::Var(y)]),
+        vec![Atom::new(
+            relation(vocab, 0),
+            vec![Term::Var(y), Term::Var(z)],
+        )],
+    ));
+    TcSet::new(statements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magik_completeness::{is_complete, mcg_with_stats};
+
+    #[test]
+    fn shapes_have_expected_structure() {
+        let mut v = Vocabulary::new();
+        let chain = query(
+            RandomQueryConfig {
+                shape: QueryShape::Chain,
+                atoms: 3,
+                relations: 1,
+                ..RandomQueryConfig::default()
+            },
+            &mut v,
+        );
+        assert_eq!(chain.size(), 3);
+        // Chain: atom i's second argument equals atom i+1's first.
+        for i in 0..2 {
+            assert_eq!(chain.body[i].args[1], chain.body[i + 1].args[0]);
+        }
+        let cycle = query(
+            RandomQueryConfig {
+                shape: QueryShape::Cycle,
+                atoms: 3,
+                relations: 1,
+                ..RandomQueryConfig::default()
+            },
+            &mut v,
+        );
+        assert_eq!(cycle.body[2].args[1], cycle.body[0].args[0]);
+        let star = query(
+            RandomQueryConfig {
+                shape: QueryShape::Star,
+                atoms: 3,
+                relations: 1,
+                ..RandomQueryConfig::default()
+            },
+            &mut v,
+        );
+        for a in &star.body {
+            assert_eq!(a.args[0], star.body[0].args[0]);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut v1 = Vocabulary::new();
+        let mut v2 = Vocabulary::new();
+        let cfg = RandomQueryConfig {
+            shape: QueryShape::Random,
+            atoms: 5,
+            relations: 3,
+            ..RandomQueryConfig::default()
+        };
+        assert_eq!(query(cfg, &mut v1).body, query(cfg, &mut v2).body);
+    }
+
+    #[test]
+    fn full_coverage_makes_queries_complete() {
+        let mut v = Vocabulary::new();
+        let q = query(
+            RandomQueryConfig {
+                atoms: 4,
+                relations: 2,
+                ..RandomQueryConfig::default()
+            },
+            &mut v,
+        );
+        let full = covering_tcs(2, 2, &mut v);
+        assert!(is_complete(&q, &full));
+        let none = covering_tcs(2, 0, &mut v);
+        assert!(!is_complete(&q, &none));
+    }
+
+    #[test]
+    fn cascade_takes_depth_plus_one_iterations() {
+        for depth in [1usize, 3, 6] {
+            let mut v = Vocabulary::new();
+            let (tcs, q) = cascade(depth, &mut v);
+            let (result, stats) = mcg_with_stats(&q, &tcs);
+            assert_eq!(result.unwrap().size(), 0);
+            assert_eq!(stats.iterations, depth + 1, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn acyclic_generator_is_acyclic() {
+        for seed in 0..8 {
+            let mut v = Vocabulary::new();
+            let tcs = acyclic_tcs(
+                RandomTcsConfig {
+                    statements: 6,
+                    relations: 5,
+                    max_condition: 2,
+                    seed,
+                },
+                &mut v,
+            );
+            assert!(tcs.is_acyclic(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cyclic_generator_is_cyclic() {
+        for seed in 0..8 {
+            let mut v = Vocabulary::new();
+            let tcs = cyclic_tcs(
+                RandomTcsConfig {
+                    statements: 4,
+                    relations: 3,
+                    max_condition: 2,
+                    seed,
+                },
+                &mut v,
+            );
+            assert!(!tcs.is_acyclic(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bounded_search_on_cyclic_sets_stays_sound() {
+        // Fuzz the Theorem 17 regime: on cyclic statement sets the k-MCS
+        // search must terminate and return only valid bounded complete
+        // specializations, with both engines agreeing.
+        use magik_completeness::{k_mcs, KMcsEngine, KMcsOptions};
+        use magik_relalg::{are_equivalent, is_contained_in};
+        for seed in 0..6 {
+            let mut v = Vocabulary::new();
+            let tcs = cyclic_tcs(
+                RandomTcsConfig {
+                    statements: 3,
+                    relations: 2,
+                    max_condition: 1,
+                    seed,
+                },
+                &mut v,
+            );
+            let q = query(
+                RandomQueryConfig {
+                    shape: QueryShape::Chain,
+                    atoms: 1,
+                    relations: 2,
+                    seed,
+                    ..RandomQueryConfig::default()
+                },
+                &mut v,
+            );
+            let optimized = k_mcs(&q, &tcs, &mut v, KMcsOptions::new(2));
+            let naive = k_mcs(
+                &q,
+                &tcs,
+                &mut v,
+                KMcsOptions {
+                    engine: KMcsEngine::Naive,
+                    ..KMcsOptions::new(2)
+                },
+            );
+            assert!(optimized.complete_search && naive.complete_search);
+            assert_eq!(optimized.queries.len(), naive.queries.len(), "seed {seed}");
+            for m in &optimized.queries {
+                assert!(is_complete(m, &tcs), "seed {seed}");
+                assert!(is_contained_in(m, &q), "seed {seed}");
+                assert!(m.size() <= q.size() + 2, "seed {seed}");
+                assert!(naive.queries.iter().any(|n| are_equivalent(m, n)));
+            }
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! The Appendix A reduction: **Critical 3-colorability** ≤ₚ *"is
+//! `Q' = G_C(Q)`?"* — the DP-hardness proof of Proposition 14, executable.
+//!
+//! Given a graph `G`, the reduction builds a statement set and two Boolean
+//! queries such that `Q' = G_C(Q)` iff `G` is *critically
+//! non-3-colorable*: `G` itself is not 3-colorable but removing any single
+//! edge makes it 3-colorable.
+//!
+//! The constructions follows the paper's appendix exactly:
+//!
+//! * the query bodies embed the six-fact database of valid edge colorings
+//!   `Eg(red, blue), Eg(blue, red), …` as ground atoms, so that a
+//!   conjunction `⋀ Eg(Xᵢ, Xⱼ)` over the edges of a (sub)graph is
+//!   satisfiable over the frozen body iff the (sub)graph is 3-colorable;
+//! * one propositional atom `test_{i,j}` per edge is guaranteed complete
+//!   exactly when the subgraph without that edge is 3-colorable, and
+//!   `test_G` exactly when the whole graph is;
+//! * `Q` contains all propositions, `Q'` all but `test_G`.
+
+use magik_completeness::{g_op, TcSet, TcStatement};
+use magik_relalg::{Atom, Cst, Query, Term, Vocabulary};
+
+/// An undirected graph given by vertex count and edge list.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Number of vertices (vertices are `0..vertices`).
+    pub vertices: usize,
+    /// Edges as vertex pairs.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Brute-force 3-colorability test (reference implementation for
+    /// validating the reduction; exponential, fine for test-sized graphs).
+    pub fn is_3_colorable_without(&self, skip_edge: Option<usize>) -> bool {
+        fn rec(g: &Graph, skip: Option<usize>, colors: &mut Vec<u8>, v: usize) -> bool {
+            if v == g.vertices {
+                return true;
+            }
+            'colors: for c in 0..3u8 {
+                for (ei, &(a, b)) in g.edges.iter().enumerate() {
+                    if Some(ei) == skip {
+                        continue;
+                    }
+                    let other = if a == v {
+                        b
+                    } else if b == v {
+                        a
+                    } else {
+                        continue;
+                    };
+                    if other < v && colors[other] == c {
+                        continue 'colors;
+                    }
+                }
+                colors[v] = c;
+                if rec(g, skip, colors, v + 1) {
+                    return true;
+                }
+            }
+            false
+        }
+        rec(self, skip_edge, &mut vec![0; self.vertices], 0)
+    }
+
+    /// Brute-force criticality test: not 3-colorable, but 3-colorable
+    /// after removing any single edge.
+    pub fn is_critically_non_3_colorable(&self) -> bool {
+        !self.is_3_colorable_without(None)
+            && (0..self.edges.len()).all(|e| self.is_3_colorable_without(Some(e)))
+    }
+}
+
+/// The output of the Appendix A reduction.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// The statement set `C`.
+    pub tcs: TcSet,
+    /// The Boolean query `Q` (all `test` propositions plus the coloring
+    /// facts).
+    pub q: Query,
+    /// The candidate `Q'` (`Q` without `test_G`).
+    pub q_prime: Query,
+}
+
+/// The atom `Eg(Xᵢ, Xⱼ)` for an edge.
+fn edge_atom(vocab: &mut Vocabulary, edge: (usize, usize)) -> Atom {
+    let eg = vocab.pred("eg", 2);
+    let xi = vocab.var(&format!("X{}", edge.0));
+    let xj = vocab.var(&format!("X{}", edge.1));
+    Atom::new(eg, vec![Term::Var(xi), Term::Var(xj)])
+}
+
+/// The six ground facts of valid colorings, as atoms.
+fn coloring_atoms(vocab: &mut Vocabulary) -> Vec<Atom> {
+    let eg = vocab.pred("eg", 2);
+    let colors: Vec<Cst> = ["red", "green", "blue"]
+        .iter()
+        .map(|c| vocab.cst(c))
+        .collect();
+    let mut out = Vec::new();
+    for &a in &colors {
+        for &b in &colors {
+            if a != b {
+                out.push(Atom::new(eg, vec![Term::Cst(a), Term::Cst(b)]));
+            }
+        }
+    }
+    out
+}
+
+/// Builds the reduction for a graph.
+pub fn critical_3col_reduction(g: &Graph, vocab: &mut Vocabulary) -> Reduction {
+    let b_g: Vec<Atom> = g.edges.iter().map(|&e| edge_atom(vocab, e)).collect();
+    let mut statements = Vec::new();
+
+    // One proposition per edge, guaranteed by the subgraph body.
+    let mut props = Vec::new();
+    for (ei, _) in g.edges.iter().enumerate() {
+        let test = vocab.pred(&format!("test_{ei}"), 0);
+        let condition: Vec<Atom> = b_g
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != ei)
+            .map(|(_, a)| a.clone())
+            .collect();
+        statements.push(TcStatement::new(Atom::new(test, vec![]), condition));
+        props.push(Atom::new(test, vec![]));
+    }
+    // The whole-graph proposition.
+    let test_g = vocab.pred("test_g", 0);
+    statements.push(TcStatement::new(Atom::new(test_g, vec![]), b_g.clone()));
+    // Eg is unconditionally complete.
+    let eg = vocab.pred("eg", 2);
+    let (x, y) = (vocab.var("CX"), vocab.var("CY"));
+    statements.push(TcStatement::new(
+        Atom::new(eg, vec![Term::Var(x), Term::Var(y)]),
+        vec![],
+    ));
+
+    let colorings = coloring_atoms(vocab);
+    let mut q_body = props.clone();
+    q_body.push(Atom::new(test_g, vec![]));
+    q_body.extend(colorings.clone());
+    let mut q_prime_body = props;
+    q_prime_body.extend(colorings);
+
+    Reduction {
+        tcs: TcSet::new(statements),
+        q: Query::boolean(vocab.sym("q"), q_body),
+        q_prime: Query::boolean(vocab.sym("q_prime"), q_prime_body),
+    }
+}
+
+/// Decides critical non-3-colorability *through the reduction*: builds
+/// `C`, `Q`, `Q'` and tests `Q' = G_C(Q)` (as a set of atoms — `G_C`
+/// returns a subquery, so syntactic comparison is exact).
+pub fn is_critical_via_g_op(g: &Graph, vocab: &mut Vocabulary) -> bool {
+    let r = critical_3col_reduction(g, vocab);
+    let gq = g_op(&r.q, &r.tcs);
+    let mut q_prime = r.q_prime;
+    q_prime.name = gq.name;
+    gq.same_as(&q_prime)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k4() -> Graph {
+        Graph {
+            vertices: 4,
+            edges: vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        }
+    }
+
+    fn triangle() -> Graph {
+        Graph {
+            vertices: 3,
+            edges: vec![(0, 1), (1, 2), (2, 0)],
+        }
+    }
+
+    /// The 5-wheel: a 5-cycle plus a hub adjacent to every rim vertex.
+    fn w5() -> Graph {
+        let mut edges: Vec<(usize, usize)> = (0..5).map(|i| (i, (i + 1) % 5)).collect();
+        edges.extend((0..5).map(|i| (i, 5)));
+        Graph { vertices: 6, edges }
+    }
+
+    /// K4 with a disconnected extra edge: not 3-colorable, but removing
+    /// the extra edge leaves K4, still not 3-colorable — not critical.
+    fn k4_plus_pendant() -> Graph {
+        let mut g = k4();
+        g.vertices += 2;
+        g.edges.push((4, 5));
+        g
+    }
+
+    #[test]
+    fn brute_force_reference_values() {
+        assert!(triangle().is_3_colorable_without(None));
+        assert!(!k4().is_3_colorable_without(None));
+        assert!(!w5().is_3_colorable_without(None));
+        assert!(k4().is_critically_non_3_colorable());
+        assert!(w5().is_critically_non_3_colorable());
+        assert!(!triangle().is_critically_non_3_colorable());
+        assert!(!k4_plus_pendant().is_critically_non_3_colorable());
+    }
+
+    #[test]
+    fn reduction_agrees_with_brute_force() {
+        for (name, g) in [
+            ("k4", k4()),
+            ("triangle", triangle()),
+            ("w5", w5()),
+            ("k4+pendant", k4_plus_pendant()),
+        ] {
+            let mut vocab = Vocabulary::new();
+            assert_eq!(
+                is_critical_via_g_op(&g, &mut vocab),
+                g.is_critically_non_3_colorable(),
+                "graph {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn gc_keeps_exactly_the_3colorable_tests() {
+        // On the triangle, every edge-removed subgraph is 3-colorable and
+        // so is the whole graph: G_C keeps everything including test_g.
+        let mut vocab = Vocabulary::new();
+        let r = critical_3col_reduction(&triangle(), &mut vocab);
+        let gq = g_op(&r.q, &r.tcs);
+        assert!(gq.same_as(&r.q));
+
+        // On K4, test_g is dropped but every test_e survives.
+        let mut vocab = Vocabulary::new();
+        let r = critical_3col_reduction(&k4(), &mut vocab);
+        let gq = g_op(&r.q, &r.tcs);
+        assert_eq!(gq.size(), r.q.size() - 1);
+        let test_g = vocab.pred("test_g", 0);
+        assert!(gq.body.iter().all(|a| a.pred != test_g));
+    }
+}

@@ -1,0 +1,165 @@
+//! Synthetic data: populated school databases of configurable size.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use magik_completeness::semantics::IncompleteDatabase;
+use magik_completeness::TcSet;
+use magik_relalg::{Fact, Instance, Vocabulary};
+
+use crate::paper::SchoolWorkload;
+
+/// Shape of a synthetic school database.
+#[derive(Debug, Clone, Copy)]
+pub struct SchoolDataConfig {
+    /// Number of schools. Roughly half are primary; districts rotate
+    /// through `merano`, `bolzano` and `brixen`.
+    pub schools: usize,
+    /// Pupils per school.
+    pub pupils_per_school: usize,
+    /// Probability that a pupil learns each of the four languages.
+    pub learn_prob: f64,
+    /// RNG seed (generation is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SchoolDataConfig {
+    fn default() -> Self {
+        SchoolDataConfig {
+            schools: 10,
+            pupils_per_school: 20,
+            learn_prob: 0.4,
+            seed: 20130826, // the VLDB'13 demo week
+        }
+    }
+}
+
+const DISTRICTS: [&str; 3] = ["merano", "bolzano", "brixen"];
+const TYPES: [&str; 2] = ["primary", "middle"];
+const LANGUAGES: [&str; 4] = ["english", "german", "italian", "ladin"];
+
+/// Generates a ground school instance (the *ideal* state of a scenario).
+pub fn school_instance(
+    w: &SchoolWorkload,
+    vocab: &mut Vocabulary,
+    config: SchoolDataConfig,
+) -> Instance {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut db = Instance::new();
+    for si in 0..config.schools {
+        let sname = vocab.cst(&format!("school{si}"));
+        let stype = vocab.cst(TYPES[si % TYPES.len()]);
+        let district = vocab.cst(DISTRICTS[si % DISTRICTS.len()]);
+        db.insert(Fact::new(w.school, vec![sname, stype, district]));
+        for pi in 0..config.pupils_per_school {
+            let pname = vocab.cst(&format!("pupil{si}_{pi}"));
+            let code = vocab.cst(&format!("c{}", pi % 5));
+            db.insert(Fact::new(w.pupil, vec![pname, code, sname]));
+            for lang in LANGUAGES {
+                if rng.gen_bool(config.learn_prob) {
+                    let lang = vocab.cst(lang);
+                    db.insert(Fact::new(w.learns, vec![pname, lang]));
+                }
+            }
+        }
+    }
+    db
+}
+
+/// Builds an adversarial incomplete database from an ideal instance: the
+/// available state is the minimal one satisfying the statements
+/// (`T_C(Dⁱ)`, Proposition 2), i.e. everything not guaranteed is missing.
+pub fn minimal_scenario(ideal: Instance, tcs: &TcSet) -> IncompleteDatabase {
+    IncompleteDatabase::minimal_completion(ideal, tcs)
+}
+
+/// Builds a *lossy* incomplete database: starts from the minimal
+/// completion and additionally re-inserts each unguaranteed ideal fact
+/// with probability `keep_prob` — a more realistic partially complete
+/// state that still satisfies the statements.
+pub fn lossy_scenario(
+    ideal: Instance,
+    tcs: &TcSet,
+    keep_prob: f64,
+    seed: u64,
+) -> IncompleteDatabase {
+    let minimal = IncompleteDatabase::minimal_completion(ideal.clone(), tcs);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut available = minimal.available().clone();
+    for fact in ideal.iter_facts() {
+        if !available.contains(&fact) && rng.gen_bool(keep_prob) {
+            available.insert(fact);
+        }
+    }
+    IncompleteDatabase::new(ideal, available).expect("available built as a subset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::school;
+    use magik_relalg::answers;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = school();
+        let mut v1 = w.vocab.clone();
+        let mut v2 = w.vocab.clone();
+        let a = school_instance(&w, &mut v1, SchoolDataConfig::default());
+        let b = school_instance(&w, &mut v2, SchoolDataConfig::default());
+        assert_eq!(a, b);
+        let c = school_instance(
+            &w,
+            &mut v1,
+            SchoolDataConfig {
+                seed: 7,
+                ..SchoolDataConfig::default()
+            },
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sizes_scale_with_config() {
+        let w = school();
+        let mut v = w.vocab.clone();
+        let small = school_instance(
+            &w,
+            &mut v,
+            SchoolDataConfig {
+                schools: 2,
+                pupils_per_school: 3,
+                ..SchoolDataConfig::default()
+            },
+        );
+        assert_eq!(small.relation(w.school).unwrap().len(), 2);
+        assert_eq!(small.relation(w.pupil).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn scenarios_satisfy_the_statements() {
+        let w = school();
+        let mut v = w.vocab.clone();
+        let ideal = school_instance(&w, &mut v, SchoolDataConfig::default());
+        let minimal = minimal_scenario(ideal.clone(), &w.tcs);
+        assert!(minimal.satisfies_all(&w.tcs));
+        let lossy = lossy_scenario(ideal, &w.tcs, 0.5, 99);
+        assert!(lossy.satisfies_all(&w.tcs));
+        assert!(minimal.available().len() <= lossy.available().len());
+    }
+
+    #[test]
+    fn complete_query_loses_nothing_on_scenarios() {
+        let w = school();
+        let mut v = w.vocab.clone();
+        let ideal = school_instance(&w, &mut v, SchoolDataConfig::default());
+        let scenario = minimal_scenario(ideal, &w.tcs);
+        assert!(scenario.query_complete(&w.q_ppb).unwrap());
+        // The incomplete query does lose answers on this data (some pupil
+        // learns a non-English language at a primary merano school with
+        // overwhelming probability at this size).
+        let ideal_ans = answers(&w.q_pbl, scenario.ideal()).unwrap();
+        let avail_ans = answers(&w.q_pbl, scenario.available()).unwrap();
+        assert!(avail_ans.len() < ideal_ans.len());
+    }
+}

@@ -1,0 +1,103 @@
+//! A data-steward workflow: author completeness metadata, lint it,
+//! simulate the exposure, and publish guarded numbers.
+//!
+//! This is the operational loop the MAGIK demo pitched to school-board
+//! administrators, run end to end on synthetic data:
+//!
+//! 1. write table-completeness statements, run the **linter** to catch
+//!    authoring mistakes (redundant, self-conditioned or dead-end
+//!    statements);
+//! 2. **simulate** which query answers are at risk if only the guaranteed
+//!    data arrives;
+//! 3. **publish** counts with certainty guarantees instead of raw counts.
+//!
+//! Run with: `cargo run --example data_quality`
+
+use magik::workload::paper::school;
+use magik::workload::synth::{lossy_scenario, school_instance, SchoolDataConfig};
+use magik::{
+    classify_answers, count_bounds, lint, parse_document, publishable_counts, tc_apply,
+    DisplayWith, Vocabulary,
+};
+
+fn main() {
+    // --- Step 1: lint a draft statement set with typical mistakes.
+    let mut vocab = Vocabulary::new();
+    let draft = parse_document(
+        "compl school(S, T, D) ; true.
+         compl school(S, primary, D) ; true.                 % subsumed by the first
+         compl pupil(N, C, S) ; enrollment(N, S).            % enrollment heads no statement
+         compl conn(X, Y) ; conn(Y, Z).                      % self-conditioned",
+        &mut vocab,
+    )
+    .expect("draft parses");
+    println!("== Linting the draft statement set ==");
+    for l in lint(&draft.tcs) {
+        println!("  warning: {}", l.render(&draft.tcs, &vocab));
+    }
+
+    // --- Step 2: simulate exposure with the real (clean) statement set.
+    let w = school();
+    let mut vocab = w.vocab.clone();
+    assert!(lint(&w.tcs).is_empty(), "the paper's set lints clean");
+    let ideal = school_instance(
+        &w,
+        &mut vocab,
+        SchoolDataConfig {
+            schools: 8,
+            pupils_per_school: 25,
+            learn_prob: 0.35,
+            seed: 99,
+        },
+    );
+    let guaranteed = tc_apply(&w.tcs, &ideal);
+    println!("\n== Simulation: what do the statements actually guarantee? ==");
+    println!(
+        "if only guaranteed data arrives: {} of {} facts",
+        guaranteed.len(),
+        ideal.len()
+    );
+
+    // --- Step 3: publish numbers with guarantees over a realistic
+    // partially loaded database.
+    let db = lossy_scenario(ideal, &w.tcs, 0.5, 7);
+    println!(
+        "\n== Publishing with guarantees (available: {} facts) ==",
+        db.available().len()
+    );
+    for q in [&w.q_ppb, &w.q_pbl] {
+        println!("query {}", q.display(&vocab));
+        let report = classify_answers(q, &w.tcs, db.available()).unwrap();
+        let bounds = count_bounds(q, &w.tcs, db.available()).unwrap();
+        match (bounds.exact, bounds.upper) {
+            (true, _) => println!(
+                "  publish: exactly {} answers (query is complete)",
+                bounds.lower
+            ),
+            (false, Some(u)) => println!(
+                "  publish: between {} and {u} answers ({} certain, {} possible)",
+                bounds.lower,
+                report.certain.len(),
+                report.possible.as_ref().map_or(0, |p| p.len())
+            ),
+            (false, None) => println!("  publish: at least {} answers", bounds.lower),
+        }
+        for row in publishable_counts(q, &w.tcs, &mut vocab, db.available(), 0).unwrap() {
+            println!(
+                "  final sub-statistic: |{}| = {}",
+                row.query.display(&vocab),
+                row.count
+            );
+        }
+    }
+
+    // The guarantees are real: check them against the (normally unknown)
+    // ideal state.
+    let truth_ppb = magik::answers(&w.q_ppb, db.ideal()).unwrap().len();
+    let truth_pbl = magik::answers(&w.q_pbl, db.ideal()).unwrap().len();
+    let b_ppb = count_bounds(&w.q_ppb, &w.tcs, db.available()).unwrap();
+    let b_pbl = count_bounds(&w.q_pbl, &w.tcs, db.available()).unwrap();
+    assert_eq!(b_ppb.lower, truth_ppb);
+    assert!(b_pbl.lower <= truth_pbl && truth_pbl <= b_pbl.upper.unwrap());
+    println!("\n(checked against the hidden ideal state: all published guarantees hold)");
+}

@@ -1,0 +1,71 @@
+//! Quickstart: the paper's running example, end to end.
+//!
+//! Declares the "schoolBolzano" completeness statements, checks two
+//! queries, and computes the best complete approximations of the
+//! incomplete one from above (MCG) and from below (MCS).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use magik::{is_complete, k_mcs, mcg, parse_document, DisplayWith, KMcsOptions, Vocabulary};
+
+fn main() {
+    let mut vocab = Vocabulary::new();
+    let doc = parse_document(
+        "% Which parts of the database are complete?
+         compl school(S, primary, D) ; true.                                 % all primary schools
+         compl pupil(N, C, S) ; school(S, T, merano).                        % all pupils in merano
+         compl learns(N, english) ; pupil(N, C, S), school(S, primary, D).   % all English learners at primary schools
+
+         % Q_ppb: pupils at a primary school in merano.
+         query q_ppb(N) :- pupil(N, C, S), school(S, primary, merano).
+
+         % Q_pbl: ... that additionally learn some language.
+         query q_pbl(N) :- pupil(N, C, S), school(S, primary, merano), learns(N, L).",
+        &mut vocab,
+    )
+    .expect("the example document parses");
+
+    println!("Table-completeness statements:");
+    for c in doc.tcs.statements() {
+        println!("  {}", c.display(&vocab));
+    }
+    println!();
+
+    for q in &doc.queries {
+        let verdict = if is_complete(q, &doc.tcs) {
+            "COMPLETE"
+        } else {
+            "INCOMPLETE"
+        };
+        println!("{}\n  => {verdict}", q.display(&vocab));
+    }
+    println!();
+
+    // Q_pbl is incomplete; approximate it.
+    let q = &doc.queries[1];
+
+    // From above: the minimal complete generalization. Every ideal answer
+    // of Q is an answer of the MCG, so nothing can be missed when
+    // searching with it.
+    match mcg(q, &doc.tcs) {
+        Some(general) => println!(
+            "MCG (best complete query containing Q):\n  {}",
+            general.display(&vocab)
+        ),
+        None => println!("Q has no complete generalization"),
+    }
+    println!();
+
+    // From below: maximal complete specializations. Every answer the
+    // specialization returns is guaranteed to be a correct, final answer
+    // of Q — safe to publish as partial statistics.
+    let outcome = k_mcs(q, &doc.tcs, &mut vocab, KMcsOptions::new(0));
+    println!("MCSs within |Q| atoms (k = 0):");
+    for m in &outcome.queries {
+        println!("  {}", m.display(&vocab));
+    }
+    println!(
+        "\n(search: {} extensions, {} unification calls, {} candidates)",
+        outcome.stats.extensions, outcome.stats.unify_calls, outcome.stats.candidates
+    );
+}

@@ -1,0 +1,93 @@
+//! # MAGIK-rs — Complete Approximations of Incomplete Queries
+//!
+//! A from-scratch Rust implementation of the system described in
+//! *Complete Approximations of Incomplete Queries* (Corman, Nutt,
+//! Savković; the MAGIK demo appeared in PVLDB 6(12), VLDB 2013).
+//!
+//! Databases are often *partially complete*: the available state misses
+//! facts of the (unknown) ideal state. **Table-completeness statements**
+//! declare which parts are guaranteed complete. Given such statements and
+//! a conjunctive query, this library answers three questions:
+//!
+//! 1. **Is the query complete?** — every ideal answer is available
+//!    ([`is_complete`]).
+//! 2. If not, **what is its best complete generalization?** — the
+//!    *minimal complete generalization* (MCG), unique up to equivalence
+//!    ([`mcg`]).
+//! 3. And **what are its best complete specializations?** — the *maximal
+//!    complete specializations* within a bounded size (k-MCS,
+//!    [`k_mcs`]), via *maximal complete instantiations* ([`mcis`]).
+//!
+//! # Crate map
+//!
+//! | module (re-export of) | contents |
+//! |---|---|
+//! | [`relalg`] | terms, atoms, queries, instances, evaluation, containment, minimization |
+//! | [`unify`] | unification, MGUs, renaming apart |
+//! | [`datalog`] | forward-chaining Datalog engine (naive + semi-naive) |
+//! | [`prolog`] | SLD resolution engine over compound terms |
+//! | [`completeness`] | TCSs, `T_C`/`G_C`, completeness check, MCG, MCI, k-MCS; finite-domain + key constraints, answering with guarantees, explanations, lints |
+//! | [`parser`] | text syntax for queries, statements and facts |
+//! | [`workload`] | paper workloads, synthetic data, random generators |
+//!
+//! The most common items are re-exported at the crate root.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use magik::{parse_document, is_complete, mcg, k_mcs, KMcsOptions, DisplayWith, Vocabulary};
+//!
+//! let mut vocab = Vocabulary::new();
+//! let doc = parse_document(
+//!     "compl school(S, primary, D) ; true.
+//!      compl pupil(N, C, S) ; school(S, T, merano).
+//!      compl learns(N, english) ; pupil(N, C, S), school(S, primary, D).
+//!      query q(N) :- pupil(N, C, S), school(S, primary, merano), learns(N, L).",
+//!     &mut vocab,
+//! ).unwrap();
+//!
+//! let q = &doc.queries[0];
+//! assert!(!is_complete(q, &doc.tcs));
+//!
+//! // Best complete query from above: drop the learns atom.
+//! let general = mcg(q, &doc.tcs).unwrap();
+//! assert_eq!(general.display(&vocab).to_string(),
+//!            "q(N) :- pupil(N, C, S), school(S, primary, merano)");
+//!
+//! // Best complete query from below: restrict to English learners.
+//! let special = k_mcs(q, &doc.tcs, &mut vocab, KMcsOptions::new(0));
+//! assert_eq!(special.queries.len(), 1);
+//! assert_eq!(special.queries[0].display(&vocab).to_string(),
+//!            "q(N) :- pupil(N, C, S), school(S, primary, merano), learns(N, english)");
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use magik_completeness as completeness;
+pub use magik_datalog as datalog;
+pub use magik_parser as parser;
+pub use magik_prolog as prolog;
+pub use magik_relalg as relalg;
+pub use magik_unify as unify;
+pub use magik_workload as workload;
+
+pub use magik_completeness::{
+    answering, chase_query, classify_answers, complete_unifiers, constraints, count_bounds,
+    counterexample, explain, explain_check, g_op, is_complete, is_complete_under,
+    is_complete_via_datalog, is_instantiation_of, is_mcg, is_mci, k_mcs, lint, mcg, mcg_under,
+    mcg_with_stats, mcis, mcis_bounded, publishable_counts, render_counterexample,
+    render_explanation, semantics, tc_apply, tc_apply_datalog, tc_encoding, AnswerReport,
+    ChaseOutcome, CheckExplanation, ConstraintSet, CountBounds, FiniteDomain, GuaranteeWitness,
+    KMcsEngine, KMcsOptions, KMcsOutcome, KMcsStats, Key, KeyViolation, Lint, McgStats,
+    PublishableCount, TcSet, TcStatement,
+};
+pub use magik_parser::{
+    parse_atom, parse_document, parse_instance, parse_query, parse_rules, parse_tcs,
+    print_document, print_domain, print_instance, print_key, print_query, print_tcs, Document,
+    ParseError,
+};
+pub use magik_relalg::{
+    answers, are_equivalent, canonical_database, has_answer, is_contained_in,
+    is_strictly_contained_in, minimize, Atom, Cst, DisplayWith, Fact, Instance, Pred, Query,
+    Substitution, Term, Var, Vocabulary,
+};

@@ -1,0 +1,124 @@
+//! End-to-end guarantee tests on synthetic scenarios.
+//!
+//! These are the "does the theory deliver in practice" tests: over many
+//! generated incomplete databases that satisfy the statements, the
+//! reasoner's outputs must honor their contracts —
+//!
+//! * a query judged complete never loses an answer;
+//! * the MCG always returns a superset of the ideal answers of `Q`;
+//! * every MCS returns exactly its ideal answers (publishable counts);
+//! * those guarantees survive arbitrary extra facts in the available
+//!   state (lossy scenarios), not just minimal ones.
+
+use magik::workload::paper::{school, table1_satisfiable};
+use magik::workload::synth::{lossy_scenario, school_instance, SchoolDataConfig};
+use magik::{answers, is_complete, k_mcs, mcg, DisplayWith, KMcsOptions};
+
+#[test]
+fn guarantees_hold_across_seeds_and_loss_rates() {
+    let w = school();
+    for seed in 0..5u64 {
+        for keep_prob in [0.0, 0.3, 0.8] {
+            let mut vocab = w.vocab.clone();
+            let ideal = school_instance(
+                &w,
+                &mut vocab,
+                SchoolDataConfig {
+                    schools: 6,
+                    pupils_per_school: 10,
+                    learn_prob: 0.45,
+                    seed,
+                },
+            );
+            let db = lossy_scenario(ideal, &w.tcs, keep_prob, seed ^ 0xbeef);
+            assert!(db.satisfies_all(&w.tcs));
+
+            // Contract 1: the complete query loses nothing.
+            assert!(db.query_complete(&w.q_ppb).unwrap());
+
+            // Contract 2: MCG answers over the available state form a
+            // superset of Q's ideal answers.
+            let general = mcg(&w.q_pbl, &w.tcs).unwrap();
+            let superset = answers(&general, db.available()).unwrap();
+            let ideal_answers = answers(&w.q_pbl, db.ideal()).unwrap();
+            assert!(
+                ideal_answers.is_subset(&superset),
+                "seed {seed}, keep {keep_prob}: MCG superset guarantee violated"
+            );
+
+            // Contract 3: every MCS answer set is exact.
+            let outcome = k_mcs(&w.q_pbl, &w.tcs, &mut vocab, KMcsOptions::new(0));
+            for m in &outcome.queries {
+                let published = answers(m, db.available()).unwrap();
+                let truth = answers(m, db.ideal()).unwrap();
+                assert_eq!(
+                    published,
+                    truth,
+                    "seed {seed}, keep {keep_prob}: MCS {} not exact",
+                    m.display(&vocab)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn satisfiable_table1_mcss_are_exact_on_data() {
+    // The ablation workload: k-MCSs of Q_l exist; check their exactness
+    // guarantee on concrete class/pupil/learns data.
+    let mut w = table1_satisfiable();
+    let outcome = k_mcs(&w.q_l, &w.tcs, &mut w.vocab, KMcsOptions::new(3));
+    assert!(outcome.complete_search);
+    assert!(!outcome.queries.is_empty());
+
+    // Hand-build a small ideal state with classes so the statements bite.
+    let v = &mut w.vocab;
+    let mut src = String::new();
+    for (i, day) in ["halfDay", "fullDay", "halfDay"].iter().enumerate() {
+        src.push_str(&format!("school(s{i}, primary, merano).\n"));
+        src.push_str(&format!("class(c{i}, s{i}, english, {day}).\n"));
+        src.push_str(&format!("pupil(p{i}, c{i}, s{i}).\n"));
+        src.push_str(&format!("learns(p{i}, english).\n"));
+        src.push_str(&format!("learns(p{i}, german).\n"));
+    }
+    // A pupil learning only german: Q_l finds them in the ideal state but
+    // no statement guarantees the record, so the answer is lost.
+    src.push_str("pupil(px, c0, s0).\nlearns(px, german).\n");
+    let ideal = magik::parse_instance(&src, v).unwrap();
+    let db = magik::semantics::IncompleteDatabase::minimal_completion(ideal, &w.tcs);
+    assert!(db.satisfies_all(&w.tcs));
+    assert!(
+        !db.query_complete(&w.q_l).unwrap(),
+        "Q_l itself loses answers"
+    );
+    for m in &outcome.queries {
+        let published = answers(m, db.available()).unwrap();
+        let truth = answers(m, db.ideal()).unwrap();
+        assert_eq!(published, truth, "MCS {} must be exact", m.display(v));
+    }
+}
+
+#[test]
+fn is_complete_is_a_tight_frontier_on_subqueries() {
+    // For the running example: enumerate all subqueries of Q_pbl and
+    // check the reasoner's verdicts against brute-force semantics on an
+    // adversarial instance (the canonical database of the subquery).
+    let w = school();
+    for mask in 0u32..8 {
+        let mut idx = 0;
+        let sub = w.q_pbl.subquery(|_| {
+            let keep = mask & (1 << idx) != 0;
+            idx += 1;
+            keep
+        });
+        if !sub.is_safe() {
+            continue;
+        }
+        let claimed = is_complete(&sub, &w.tcs);
+        let ideal = magik::canonical_database(&sub);
+        let db = magik::semantics::IncompleteDatabase::minimal_completion(ideal, &w.tcs);
+        let actual = db.query_complete(&sub).unwrap();
+        // The canonical pair is the hardest case: verdicts must coincide.
+        assert_eq!(claimed, actual, "mask {mask}");
+    }
+}

@@ -1,0 +1,101 @@
+//! End-to-end tests for the beyond-the-paper extensions, all through the
+//! text syntax: integrity constraints (domains + keys), the answering
+//! layer, explanations and lints working together.
+
+use magik::semantics::IncompleteDatabase;
+use magik::{
+    answers, classify_answers, count_bounds, explain_check, is_complete, is_complete_under, lint,
+    mcg_under, parse_document, publishable_counts, render_explanation, DisplayWith, Vocabulary,
+};
+
+#[test]
+fn domain_and_key_constraints_combine_through_the_parser() {
+    let mut v = Vocabulary::new();
+    let doc = parse_document(
+        "domain class(_, _, _, D) in {halfDay, fullDay}.
+         key pupil(N, _, _).
+         compl class(C, S, L, D) ; true.
+         compl pupil(N, C, S) ; class(C, S, L, halfDay).
+         compl pupil(N, C, S) ; class(C, S, L, fullDay).
+         % The second pupil atom has a constant code, so it cannot fold
+         % classically; the key merges it, then the domain covers the day.
+         query q(N) :- pupil(N, C, S), class(C, S, L, D), pupil(N, c9, S2).",
+        &mut v,
+    )
+    .unwrap();
+    let q = &doc.queries[0];
+    assert!(!is_complete(q, &doc.tcs));
+    assert!(is_complete_under(q, &doc.tcs, &doc.constraints));
+    // Constrained MCG: the chased query itself (complete as-is).
+    let m = mcg_under(q, &doc.tcs, &doc.constraints).unwrap();
+    assert_eq!(m.size(), 2, "the two pupil atoms merged under the key");
+}
+
+#[test]
+fn answering_layer_matches_semantics_on_parsed_scenarios() {
+    let mut v = Vocabulary::new();
+    let doc = parse_document(
+        "compl school(S, primary, D) ; true.
+         compl pupil(N, C, S) ; school(S, T, merano).
+         compl learns(N, english) ; pupil(N, C, S), school(S, primary, D).
+         query q(N) :- pupil(N, C, S), school(S, primary, merano), learns(N, L).
+         fact school(g, primary, merano).
+         fact pupil(p1, c, g).
+         fact pupil(p2, c, g).
+         fact pupil(p3, c, g).
+         fact learns(p1, english).
+         fact learns(p2, ladin).
+         fact learns(p3, english).
+         fact learns(p3, german).",
+        &mut v,
+    )
+    .unwrap();
+    let q = &doc.queries[0];
+    // The facts are the IDEAL state; the minimal completion drops the
+    // non-English learns records.
+    let db = IncompleteDatabase::minimal_completion(doc.facts.clone(), &doc.tcs);
+    assert!(db.satisfies_all(&doc.tcs));
+
+    let report = classify_answers(q, &doc.tcs, db.available()).unwrap();
+    // p1 and p3 are certain (english); p2 possible (its learns dropped).
+    assert_eq!(report.certain.len(), 2);
+    assert_eq!(report.possible.as_ref().unwrap().len(), 1);
+    let bounds = count_bounds(q, &doc.tcs, db.available()).unwrap();
+    let truth = answers(q, db.ideal()).unwrap().len();
+    assert_eq!(truth, 3);
+    assert_eq!((bounds.lower, bounds.upper), (2, Some(3)));
+
+    // The publishable statistic (English learners) is exact.
+    let rows = publishable_counts(q, &doc.tcs, &mut v, db.available(), 0).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].count, 2);
+    let ideal_count = answers(&rows[0].query, db.ideal()).unwrap().len();
+    assert_eq!(rows[0].count, ideal_count);
+}
+
+#[test]
+fn explanations_and_lints_cover_a_flawed_document() {
+    let mut v = Vocabulary::new();
+    let doc = parse_document(
+        "compl pupil(N, C, S) ; registry(N).
+         query q(N) :- pupil(N, C, S), learns(N, L).",
+        &mut v,
+    )
+    .unwrap();
+    let q = &doc.queries[0];
+    // Lints: registry heads no statement.
+    let lints = lint(&doc.tcs);
+    assert!(lints
+        .iter()
+        .any(|l| matches!(l, magik::Lint::UnguaranteeableCondition { .. })));
+    // Explanation: both atoms unguaranteed (pupil's condition has no
+    // registry atom in the body; learns has no statement at all).
+    let e = explain_check(q, &doc.tcs);
+    assert!(!e.complete);
+    assert_eq!(e.unguaranteed().count(), 2);
+    let rendered = render_explanation(q, &doc.tcs, &e, &v);
+    assert!(rendered.contains("INCOMPLETE"));
+    assert!(rendered.contains("learns(N, L)"));
+    // And the whole pipeline stays displayable.
+    assert!(q.display(&v).to_string().starts_with("q(N)"));
+}

@@ -1,0 +1,230 @@
+//! Every worked example of the paper, end to end through the text syntax.
+//!
+//! Each test cites the example/therorem it reproduces; together they form
+//! an executable transcript of the paper.
+
+use magik::semantics::IncompleteDatabase;
+use magik::{
+    answers, are_equivalent, g_op, is_complete, is_contained_in, k_mcs, mcg, mcis, minimize,
+    parse_document, parse_instance, parse_query, tc_apply, DisplayWith, KMcsOptions, TcSet,
+    Vocabulary,
+};
+
+const SCHOOL_TCS: &str = "
+    compl school(S, primary, D) ; true.
+    compl pupil(N, C, S) ; school(S, T, merano).
+    compl learns(N, english) ; pupil(N, C, S), school(S, primary, D).
+";
+
+fn school(vocab: &mut Vocabulary) -> TcSet {
+    parse_document(SCHOOL_TCS, vocab).unwrap().tcs
+}
+
+/// Example 1: the satisfaction of C_sp and the violation of C_pb on the
+/// two-fact incomplete database.
+#[test]
+fn example_1_satisfaction() {
+    let mut v = Vocabulary::new();
+    let tcs = school(&mut v);
+    let available = parse_instance("school(goethe, primary, merano).", &mut v).unwrap();
+    let mut ideal = available.clone();
+    ideal.extend_from(&parse_instance("pupil(john, 1, goethe).", &mut v).unwrap());
+    let db = IncompleteDatabase::new(ideal, available).unwrap();
+    assert!(db.satisfies(&tcs.statements()[0]), "C_sp holds");
+    assert!(!db.satisfies(&tcs.statements()[1]), "C_pb is violated");
+}
+
+/// Example 1 (continued): Q_ppb is complete, Q_pbl is not.
+#[test]
+fn example_1_query_completeness() {
+    let mut v = Vocabulary::new();
+    let tcs = school(&mut v);
+    let q_ppb = parse_query(
+        "q(N) :- pupil(N, C, S), school(S, primary, merano).",
+        &mut v,
+    )
+    .unwrap();
+    let q_pbl = parse_query(
+        "q(N) :- pupil(N, C, S), school(S, primary, merano), learns(N, L).",
+        &mut v,
+    )
+    .unwrap();
+    assert!(is_complete(&q_ppb, &tcs));
+    assert!(!is_complete(&q_pbl, &tcs));
+}
+
+/// Example 4: the reasoning behind Theorem 3 — over the canonical database
+/// of Q_ppb, T_C retains both atoms and the frozen head is retrieved.
+#[test]
+fn example_4_canonical_reasoning() {
+    let mut v = Vocabulary::new();
+    let tcs = school(&mut v);
+    let q = parse_query(
+        "q(N) :- pupil(N, C, S), school(S, primary, merano).",
+        &mut v,
+    )
+    .unwrap();
+    let frozen = magik::canonical_database(&q);
+    let guaranteed = tc_apply(&tcs, &frozen);
+    assert_eq!(guaranteed, frozen, "every frozen atom is guaranteed");
+}
+
+/// Example 5: dropping the learns atom generalizes Q_pbl into the complete
+/// Q_ppb; substituting english specializes it into a complete query.
+#[test]
+fn example_5_generalization_and_specialization() {
+    let mut v = Vocabulary::new();
+    let tcs = school(&mut v);
+    let q_pbl = parse_query(
+        "q(N) :- pupil(N, C, S), school(S, primary, merano), learns(N, L).",
+        &mut v,
+    )
+    .unwrap();
+    let q_gen = parse_query(
+        "q(N) :- pupil(N, C, S), school(S, primary, merano).",
+        &mut v,
+    )
+    .unwrap();
+    let q_spec = parse_query(
+        "q(N) :- pupil(N, C, S), school(S, primary, merano), learns(N, english).",
+        &mut v,
+    )
+    .unwrap();
+    let m = mcg(&q_pbl, &tcs).unwrap();
+    assert!(are_equivalent(&m, &q_gen));
+    assert!(is_complete(&q_spec, &tcs));
+    assert!(is_contained_in(&q_spec, &q_pbl));
+}
+
+/// The counterexample after Lemma 9: completeness of a *non-minimal*
+/// query is not preserved under instantiation.
+#[test]
+fn lemma_9_nonminimal_counterexample() {
+    let mut v = Vocabulary::new();
+    let tcs = parse_document("compl r(X, a) ; true.", &mut v).unwrap().tcs;
+    let q = parse_query("q(X) :- r(X, a), r(X, Y).", &mut v).unwrap();
+    assert!(is_complete(&q, &tcs));
+    // α = {Y -> c}:
+    let aq = parse_query("q(X) :- r(X, a), r(X, c).", &mut v).unwrap();
+    assert!(!is_complete(&aq, &tcs));
+    // Minimality is the missing hypothesis:
+    assert!(!magik::relalg::is_minimal(&q));
+    assert!(is_complete(&minimize(&q), &tcs));
+}
+
+/// The G_C illustration implicit in Section 5: the Datalog encoding of the
+/// running example derives pupil@a facts exactly for merano pupils.
+#[test]
+fn section_5_datalog_encoding() {
+    let mut v = Vocabulary::new();
+    let tcs = school(&mut v);
+    let db = parse_instance(
+        "pupil(n1, c1, goethe). school(goethe, primary, merano).
+         pupil(n2, c2, dante). school(dante, primary, bolzano).",
+        &mut v,
+    )
+    .unwrap();
+    let direct = tc_apply(&tcs, &db);
+    let datalog = magik::tc_apply_datalog(&tcs, &db, &mut v);
+    assert_eq!(direct, datalog);
+    // Both schools are primary (C_sp) but only the goethe pupil survives.
+    let survivors: Vec<String> = direct
+        .iter_facts()
+        .map(|f| f.display(&v).to_string())
+        .collect();
+    assert!(survivors.contains(&"pupil(n1, c1, goethe)".to_owned()));
+    assert!(!survivors.iter().any(|s| s.contains("n2")));
+}
+
+/// Example 22 / 24: γ = {L → english} is a complete unifier; the MCI of
+/// Q_pbl; and the more specific complete instantiation of Example 24 is
+/// contained in γ·Q_pbl.
+#[test]
+fn examples_22_and_24_mci() {
+    let mut v = Vocabulary::new();
+    let tcs = school(&mut v);
+    let q_pbl = parse_query(
+        "q(N) :- pupil(N, C, S), school(S, primary, merano), learns(N, L).",
+        &mut v,
+    )
+    .unwrap();
+    let result = mcis(&q_pbl, &tcs, &mut v);
+    assert_eq!(result.len(), 1);
+    let gamma_q = &result[0];
+    // Example 24: Q'(N) <- pupil(N, 1, S), ..., learns(N, english).
+    let q_prime = parse_query(
+        "q(N) :- pupil(N, 1, S), school(S, primary, merano), learns(N, english).",
+        &mut v,
+    )
+    .unwrap();
+    assert!(
+        is_complete(&q_prime, &tcs),
+        "Example 24's query is complete"
+    );
+    assert!(is_contained_in(&q_prime, gamma_q), "Q' ⊑ γ·Q_pbl");
+    assert!(!is_contained_in(gamma_q, &q_prime));
+}
+
+/// Theorem 17: the flight query has complete specializations but no
+/// maximal one; every k admits strictly more general bounded ones.
+#[test]
+fn theorem_17_no_maximal_specialization() {
+    let mut v = Vocabulary::new();
+    let doc = parse_document(
+        "compl conn(X, Y) ; conn(Y, Z).
+         query q(X) :- conn(X, Y).",
+        &mut v,
+    )
+    .unwrap();
+    let q = &doc.queries[0];
+    assert!(!is_complete(q, &doc.tcs));
+
+    // The concrete incomplete database from the proof.
+    let ideal = parse_instance("conn(a, b). conn(b, c). conn(d, e).", &mut v).unwrap();
+    let available = parse_instance("conn(a, b). conn(b, c).", &mut v).unwrap();
+    let db = IncompleteDatabase::new(ideal, available).unwrap();
+    assert!(db.satisfies_all(&doc.tcs));
+    let lost = answers(q, db.ideal()).unwrap();
+    let kept = answers(q, db.available()).unwrap();
+    assert!(kept.len() < lost.len(), "answer d is lost");
+
+    // Growing k yields strictly more general complete specializations: for
+    // each k-MCS there is a (k+2)-MCS strictly above it (the doubled
+    // cycle, as in the proof).
+    let k1 = k_mcs(q, &doc.tcs, &mut v, KMcsOptions::new(1));
+    let k3 = k_mcs(q, &doc.tcs, &mut v, KMcsOptions::new(3));
+    for small in &k1.queries {
+        let above = k3
+            .queries
+            .iter()
+            .any(|big| is_contained_in(small, big) && !is_contained_in(big, small));
+        assert!(above, "every 1-MCS is strictly below some 3-MCS");
+    }
+}
+
+/// Proposition 13's termination condition: iterating G_C to syntactic
+/// stability yields a least fixed point, equivalent to iterating to
+/// semantic equivalence.
+#[test]
+fn proposition_13_termination() {
+    let mut v = Vocabulary::new();
+    let tcs = school(&mut v);
+    let q = parse_query(
+        "q(N) :- pupil(N, C, S), school(S, primary, merano), learns(N, L).",
+        &mut v,
+    )
+    .unwrap();
+    let mut current = q.clone();
+    let mut steps = 0;
+    loop {
+        let next = g_op(&current, &tcs);
+        steps += 1;
+        if next.same_as(&current) {
+            break;
+        }
+        current = next;
+        assert!(steps <= q.size() + 1, "Proposition 12(c) bound violated");
+    }
+    assert!(is_complete(&current, &tcs));
+    assert!(are_equivalent(&current, &mcg(&q, &tcs).unwrap()));
+}
