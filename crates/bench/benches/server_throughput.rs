@@ -1,0 +1,184 @@
+//! Server throughput: requests/second over the real TCP front end.
+//!
+//! Three request mixes, each at 1, 2, 4 and 8 worker threads (with as
+//! many concurrent client connections as workers, so the pool is always
+//! saturated):
+//!
+//! * `cache_hit` — the same completeness check over and over; after the
+//!   first request every reply comes from the canonical-form verdict
+//!   cache.
+//! * `cache_miss` — every check uses a fresh constant, so its canonical
+//!   form is new and the full Theorem 3 check runs each time.
+//! * `mixed_90_10` — 90 % cached checks, 10 % fact assertions (writes
+//!   take the state write lock and bump the data epoch).
+//!
+//! Numbers are recorded in `EXPERIMENTS.md` (experiment A8).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use magik::{Engine, Server};
+
+/// Requests per client per measured command batch.
+const REQS_PER_CMD: usize = 50;
+
+const TCS: [&str; 2] = [
+    "compl school(S, primary, D) ; true.",
+    "compl pupil(N, C, S) ; school(S, T, merano).",
+];
+
+const HOT_CHECK: &str = "check q(N) :- pupil(N, C, S), school(S, primary, merano).";
+
+/// Global uniqueness source for cache-missing requests (the benchmark
+/// harness may re-probe, so per-batch counters would repeat).
+static UNIQUE: AtomicUsize = AtomicUsize::new(0);
+
+#[derive(Clone, Copy)]
+enum Scenario {
+    CacheHit,
+    CacheMiss,
+    Mixed90_10,
+}
+
+fn request_line(scenario: Scenario) -> String {
+    match scenario {
+        Scenario::CacheHit => HOT_CHECK.to_string(),
+        Scenario::CacheMiss => {
+            let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+            format!("check q(N) :- pupil(N, C, S), school(S, primary, city{n}).")
+        }
+        Scenario::Mixed90_10 => {
+            let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+            if n.is_multiple_of(10) {
+                format!("assert pupil(p{n}, c1, hofer).")
+            } else {
+                HOT_CHECK.to_string()
+            }
+        }
+    }
+}
+
+/// One persistent protocol connection driven by a dedicated thread:
+/// `fire(m)` makes it issue `m` request/reply round trips.
+struct LoadClient {
+    cmd: Sender<usize>,
+    done: Receiver<()>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl LoadClient {
+    fn spawn(addr: std::net::SocketAddr, scenario: Scenario) -> LoadClient {
+        let (cmd_tx, cmd_rx) = channel::<usize>();
+        let (done_tx, done_rx) = channel::<()>();
+        let thread = std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).expect("nodelay");
+            let mut writer = stream.try_clone().expect("clone stream");
+            let mut reader = BufReader::new(stream);
+            let mut reply = String::new();
+            while let Ok(m) = cmd_rx.recv() {
+                for _ in 0..m {
+                    let line = request_line(scenario);
+                    writer
+                        .write_all(format!("{line}\n").as_bytes())
+                        .expect("send");
+                    reply.clear();
+                    reader.read_line(&mut reply).expect("receive");
+                    assert!(reply.starts_with("ok "), "request failed: {reply}");
+                }
+                done_tx.send(()).expect("report completion");
+            }
+        });
+        LoadClient {
+            cmd: cmd_tx,
+            done: done_rx,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// A server plus one saturating client per worker thread.
+struct Fleet {
+    clients: Vec<LoadClient>,
+    _server: Server,
+}
+
+impl Fleet {
+    fn start(workers: usize, scenario: Scenario) -> Fleet {
+        let server = Server::start(Arc::new(Engine::new()), "127.0.0.1:0", workers).expect("bind");
+        let addr = server.local_addr();
+        // Install the TCS on a throwaway connection, closed with `quit`
+        // so it frees its worker before the load clients connect.
+        {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let mut writer = stream.try_clone().expect("clone stream");
+            let mut reader = BufReader::new(stream);
+            let mut reply = String::new();
+            for line in TCS.iter().chain([&HOT_CHECK, &"quit"]) {
+                writer
+                    .write_all(format!("{line}\n").as_bytes())
+                    .expect("send");
+                reply.clear();
+                reader.read_line(&mut reply).expect("receive");
+                assert!(reply.starts_with("ok"), "setup failed: {reply}");
+            }
+        }
+        let clients = (0..workers)
+            .map(|_| LoadClient::spawn(addr, scenario))
+            .collect();
+        Fleet {
+            clients,
+            _server: server,
+        }
+    }
+
+    /// Every client performs `m` round trips; returns when all are done.
+    fn fire(&self, m: usize) {
+        for c in &self.clients {
+            c.cmd.send(m).expect("client is live");
+        }
+        for c in &self.clients {
+            c.done.recv().expect("client finished");
+        }
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for c in &mut self.clients {
+            // Closing the command channel ends the client loop; the
+            // dropped connection then frees its server worker.
+            let (dead, _) = channel();
+            c.cmd = dead;
+            if let Some(t) = c.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+fn bench_server_throughput(c: &mut Criterion) {
+    for (name, scenario) in [
+        ("cache_hit", Scenario::CacheHit),
+        ("cache_miss", Scenario::CacheMiss),
+        ("mixed_90_10", Scenario::Mixed90_10),
+    ] {
+        let mut group = c.benchmark_group(format!("server_throughput/{name}"));
+        for workers in [1usize, 2, 4, 8] {
+            let fleet = Fleet::start(workers, scenario);
+            group.throughput(Throughput::Elements((workers * REQS_PER_CMD) as u64));
+            group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+                b.iter(|| fleet.fire(REQS_PER_CMD));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_server_throughput);
+criterion_main!(benches);

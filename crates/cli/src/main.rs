@@ -10,6 +10,7 @@
 //!                                 k-MCSs per query (default k = 0)
 //! magik eval <file>               evaluate each query over the facts
 //! magik explain <file>            statement-set diagnostics
+//! magik serve [--addr A] [file]   TCP completeness service
 //! ```
 //!
 //! `<file>` may be `-` for stdin. Exit code 0 on success, 1 on usage
@@ -24,7 +25,7 @@ use magik::{
     answers, classify_answers, count_bounds, counterexample, explain_check, is_complete,
     is_complete_under, k_mcs, lint, mcg_under, mcg_with_stats, parse_document, publishable_counts,
     render_counterexample, render_explanation, semantics::IncompleteDatabase, tc_apply,
-    DisplayWith, Document, KMcsEngine, KMcsOptions, Vocabulary,
+    DisplayWith, Document, Engine, KMcsEngine, KMcsOptions, Server, Vocabulary,
 };
 
 const USAGE: &str = "usage: magik <check|generalize|specialize|eval|explain> <file> [options]
@@ -44,6 +45,10 @@ commands:
                                     which query answers are at risk
   repl       [file]                 interactive session (optionally seeded
                                     from a file)
+  serve      [--addr HOST:PORT] [--workers N] [file]
+                                    serve the line protocol over TCP
+                                    (default 127.0.0.1:7171, 4 workers),
+                                    optionally preloading a document
 
 <file> may be `-` to read from stdin.";
 
@@ -328,12 +333,80 @@ fn cmd_simulate(vocab: &Vocabulary, doc: &Document) {
     }
 }
 
+/// `magik serve [--addr HOST:PORT] [--workers N] [file]` — run the TCP
+/// completeness service (see `magik-server`), optionally preloading the
+/// TCS and facts of a document. Blocks until killed.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut workers = 4usize;
+    let mut file = None;
+    let mut rest = args.iter();
+    while let Some(opt) = rest.next() {
+        match opt.as_str() {
+            "--addr" => match rest.next() {
+                Some(a) => addr = a.clone(),
+                None => {
+                    eprintln!("magik: --addr requires HOST:PORT");
+                    return ExitCode::from(1);
+                }
+            },
+            "--workers" => match rest.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => workers = n,
+                _ => {
+                    eprintln!("magik: --workers requires a positive integer");
+                    return ExitCode::from(1);
+                }
+            },
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
+            other => {
+                eprintln!("magik: unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let engine = match file {
+        Some(path) => {
+            let (vocab, doc) = match load(&path) {
+                Ok(x) => x,
+                Err(code) => return code,
+            };
+            if !doc.queries.is_empty() {
+                eprintln!(
+                    "magik: note: `query` items in `{path}` are ignored by serve; \
+                     send them as `check`/`eval` requests"
+                );
+            }
+            Engine::with_session(vocab, doc.tcs, doc.facts)
+        }
+        None => Engine::new(),
+    };
+    let server = match Server::start(std::sync::Arc::new(engine), addr.as_str(), workers) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("magik: cannot bind `{addr}`: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let bound = server.local_addr();
+    println!(
+        "magik: serving on {bound} with {workers} workers (try `nc {} {}` then `ping`)",
+        bound.ip(),
+        bound.port()
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!("{USAGE}");
         return ExitCode::from(1);
     };
+    if command == "serve" {
+        return cmd_serve(&args[1..]);
+    }
     if command == "repl" {
         let mut session = repl::Repl::new();
         let stdin = std::io::stdin();

@@ -1,0 +1,283 @@
+//! Canonical forms of conjunctive queries, for verdict caching.
+//!
+//! A long-running service (`magik-server`) answers the same completeness
+//! questions over and over: `is_complete(Q, C)` depends only on `Q` and the
+//! TCS set `C`, never on the stored facts, so its verdict can be cached
+//! until `C` changes. The cache key must identify `Q` *up to the renamings
+//! and redundancies that do not affect the verdict* — otherwise textual
+//! noise (variable names, atom order, duplicated atoms) defeats the cache.
+//!
+//! [`CanonicalQuery::of`] computes such a form:
+//!
+//! 1. the query is **minimized** ([`magik_relalg::minimize`]), removing
+//!    redundant atoms — minimization preserves equivalence, hence the
+//!    completeness verdict (completeness is invariant under equivalence,
+//!    Proposition 1 of the paper);
+//! 2. body atoms are **sorted** by a variable-name-independent key,
+//!    iteratively refined so that the order stabilizes independently of the
+//!    input order;
+//! 3. variables are **renamed** to `0, 1, 2, …` in order of first
+//!    occurrence (head first, then the sorted body), erasing the original
+//!    variable identities.
+//!
+//! Equality of canonical forms is *sound* for caching: equal forms describe
+//! alpha-equivalent minimized queries, so they have the same completeness
+//! verdict. It is deliberately not *complete* — two equivalent queries
+//! whose minimal cores are isomorphic but sort differently under the
+//! refinement may still get distinct forms (exact CQ canonicalization is
+//! graph-isomorphism-hard). A cache miss costs a recomputation; a false
+//! hit would cost correctness, so the trade goes this way.
+
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use magik_relalg::{minimize, Cst, Pred, Query, Term, Var};
+
+/// A term of a canonical query: a canonically numbered variable or an
+/// (unchanged) constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CanonTerm {
+    /// The `n`-th distinct variable, in order of first occurrence.
+    Var(u32),
+    /// A constant, kept verbatim (constants are vocabulary-interned and
+    /// already canonical).
+    Cst(Cst),
+}
+
+/// The canonical form of a conjunctive query. See the module docs for the
+/// construction and the soundness guarantee.
+///
+/// The query's *name* is not part of the form — it is display-only and
+/// does not affect any verdict.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalQuery {
+    head: Vec<CanonTerm>,
+    body: Vec<(Pred, Vec<CanonTerm>)>,
+}
+
+impl CanonicalQuery {
+    /// Computes the canonical form of `q`.
+    pub fn of(q: &Query) -> CanonicalQuery {
+        let q = minimize(q);
+
+        // Start from a variable-identity-free ordering: each atom keyed by
+        // its predicate and its *local* pattern (constants verbatim,
+        // variables by position of first occurrence within the atom).
+        let mut order: Vec<usize> = (0..q.body.len()).collect();
+        order.sort_by_key(|&i| local_key(&q, i));
+
+        // Refine: number variables by first occurrence under the current
+        // order, re-sort by the full numbered key, and repeat until the
+        // order is stable. Each round can only use information derived
+        // from the previous order, so the result is independent of the
+        // input atom order whenever the refinement separates the atoms.
+        for _ in 0..=q.body.len() {
+            let ranks = var_ranks(&q, &order);
+            let mut next = order.clone();
+            next.sort_by(|&a, &b| {
+                global_key(&q, a, &ranks)
+                    .cmp(&global_key(&q, b, &ranks))
+                    .then_with(|| local_key(&q, a).cmp(&local_key(&q, b)))
+            });
+            if next == order {
+                break;
+            }
+            order = next;
+        }
+
+        let ranks = var_ranks(&q, &order);
+        let canon_term = |t: &Term| match t {
+            Term::Var(v) => CanonTerm::Var(ranks[v]),
+            Term::Cst(c) => CanonTerm::Cst(*c),
+        };
+        CanonicalQuery {
+            head: q.head.iter().map(canon_term).collect(),
+            body: order
+                .iter()
+                .map(|&i| {
+                    let a = &q.body[i];
+                    (a.pred, a.args.iter().map(canon_term).collect())
+                })
+                .collect(),
+        }
+    }
+
+    /// A 64-bit FNV-1a fingerprint of the form. Deterministic across runs
+    /// and platforms (unlike `DefaultHasher`), so it can be logged,
+    /// compared between processes, and used in metrics. Collisions are
+    /// possible; exact caches must compare the full form.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::default();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// Assigns `0, 1, 2, …` to variables by first occurrence in the head, then
+/// in the body atoms in the order given by `order`.
+fn var_ranks(q: &Query, order: &[usize]) -> BTreeMap<Var, u32> {
+    let mut ranks = BTreeMap::new();
+    let mut note = |t: &Term| {
+        if let Term::Var(v) = t {
+            let next = ranks.len() as u32;
+            ranks.entry(*v).or_insert(next);
+        }
+    };
+    q.head.iter().for_each(&mut note);
+    for &i in order {
+        q.body[i].args.iter().for_each(&mut note);
+    }
+    ranks
+}
+
+/// Atom key using only information local to the atom: predicate, and each
+/// argument as either a constant or the position where its variable first
+/// occurs within this atom (capturing repeated-variable patterns like
+/// `r(X, X)` vs `r(X, Y)`).
+fn local_key(q: &Query, i: usize) -> (Pred, Vec<CanonTerm>) {
+    let a = &q.body[i];
+    let mut first = BTreeMap::new();
+    let args = a
+        .args
+        .iter()
+        .enumerate()
+        .map(|(pos, t)| match t {
+            Term::Cst(c) => CanonTerm::Cst(*c),
+            Term::Var(v) => CanonTerm::Var(*first.entry(*v).or_insert(pos as u32)),
+        })
+        .collect();
+    (a.pred, args)
+}
+
+/// Atom key under a candidate global variable numbering.
+fn global_key(q: &Query, i: usize, ranks: &BTreeMap<Var, u32>) -> (Pred, Vec<CanonTerm>) {
+    let a = &q.body[i];
+    let args = a
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Cst(c) => CanonTerm::Cst(*c),
+            Term::Var(v) => CanonTerm::Var(ranks[v]),
+        })
+        .collect();
+    (a.pred, args)
+}
+
+/// FNV-1a, 64-bit: tiny, deterministic, good enough for fingerprints.
+#[derive(Debug)]
+struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magik_relalg::{are_equivalent, Atom, Vocabulary};
+
+    fn pupil_query(v: &mut Vocabulary, names: [&str; 3], shuffled: bool) -> Query {
+        let pupil = v.pred("pupil", 3);
+        let school = v.pred("school", 3);
+        let (n, c, s) = (v.var(names[0]), v.var(names[1]), v.var(names[2]));
+        let primary = v.cst("primary");
+        let merano = v.cst("merano");
+        let a1 = Atom::new(pupil, vec![Term::Var(n), Term::Var(c), Term::Var(s)]);
+        let a2 = Atom::new(
+            school,
+            vec![Term::Var(s), Term::Cst(primary), Term::Cst(merano)],
+        );
+        let body = if shuffled { vec![a2, a1] } else { vec![a1, a2] };
+        Query::new(v.sym("q"), vec![Term::Var(n)], body)
+    }
+
+    #[test]
+    fn invariant_under_renaming_and_reordering() {
+        let mut v = Vocabulary::new();
+        let original = pupil_query(&mut v, ["N", "C", "S"], false);
+        let renamed = pupil_query(&mut v, ["A", "B", "Z"], true);
+        assert_ne!(original, renamed);
+        assert_eq!(CanonicalQuery::of(&original), CanonicalQuery::of(&renamed));
+        assert_eq!(
+            CanonicalQuery::of(&original).fingerprint(),
+            CanonicalQuery::of(&renamed).fingerprint()
+        );
+    }
+
+    #[test]
+    fn minimization_is_folded_in() {
+        let mut v = Vocabulary::new();
+        let r = v.pred("r", 2);
+        let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+        // q(X) <- r(X, Y), r(X, Z)  minimizes to  q(X) <- r(X, Y).
+        let redundant = Query::new(
+            v.sym("q"),
+            vec![Term::Var(x)],
+            vec![
+                Atom::new(r, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(r, vec![Term::Var(x), Term::Var(z)]),
+            ],
+        );
+        let core = Query::new(
+            v.sym("q"),
+            vec![Term::Var(x)],
+            vec![Atom::new(r, vec![Term::Var(x), Term::Var(y)])],
+        );
+        assert_eq!(CanonicalQuery::of(&redundant), CanonicalQuery::of(&core));
+    }
+
+    #[test]
+    fn distinguishes_repeated_variable_patterns() {
+        let mut v = Vocabulary::new();
+        let r = v.pred("r", 2);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let diag = Query::boolean(
+            v.sym("q"),
+            vec![Atom::new(r, vec![Term::Var(x), Term::Var(x)])],
+        );
+        let full = Query::boolean(
+            v.sym("q"),
+            vec![Atom::new(r, vec![Term::Var(x), Term::Var(y)])],
+        );
+        assert_ne!(CanonicalQuery::of(&diag), CanonicalQuery::of(&full));
+        assert!(!are_equivalent(&diag, &full));
+    }
+
+    #[test]
+    fn name_is_ignored_but_head_matters() {
+        let mut v = Vocabulary::new();
+        let r = v.pred("r", 2);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let body = vec![Atom::new(r, vec![Term::Var(x), Term::Var(y)])];
+        let q1 = Query::new(v.sym("q1"), vec![Term::Var(x)], body.clone());
+        let q2 = Query::new(v.sym("q2"), vec![Term::Var(x)], body.clone());
+        let qy = Query::new(v.sym("q1"), vec![Term::Var(y)], body);
+        assert_eq!(CanonicalQuery::of(&q1), CanonicalQuery::of(&q2));
+        assert_ne!(CanonicalQuery::of(&q1), CanonicalQuery::of(&qy));
+    }
+
+    #[test]
+    fn equal_forms_are_equivalent_queries() {
+        // Soundness spot-check on a pair that sorts differently.
+        let mut v = Vocabulary::new();
+        let original = pupil_query(&mut v, ["N", "C", "S"], false);
+        let renamed = pupil_query(&mut v, ["Q", "P", "O"], true);
+        assert_eq!(CanonicalQuery::of(&original), CanonicalQuery::of(&renamed));
+        assert!(are_equivalent(&original, &renamed));
+    }
+}

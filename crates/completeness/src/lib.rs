@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod answering;
+mod canonical;
 mod check;
 pub mod constraints;
 pub mod explain;
@@ -81,6 +82,7 @@ mod unifiers;
 pub use answering::{
     classify_answers, count_bounds, publishable_counts, AnswerReport, CountBounds, PublishableCount,
 };
+pub use canonical::{CanonTerm, CanonicalQuery};
 pub use check::{is_complete, is_complete_via_datalog};
 pub use constraints::{is_complete_under, mcg_under, ConstraintSet, DomainViolation, FiniteDomain};
 pub use explain::{

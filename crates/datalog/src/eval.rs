@@ -120,22 +120,19 @@ fn fixpoint_naive(rules: &[&Rule], model: &mut Instance) -> (usize, usize) {
     }
 }
 
-/// Semi-naive fixpoint of a set of rules over `model` (in place).
-fn fixpoint_semi_naive(rules: &[&Rule], model: &mut Instance) -> (usize, usize) {
-    let mut iterations = 1;
+/// Propagates `delta` — facts already inserted into `model` — through the
+/// rules to a fixpoint, semi-naive style: each round only re-evaluates
+/// rules with at least one body atom pivoted on a previous round's fact.
+/// Returns `(rounds, derived)`. This is the engine shared by
+/// [`Program::eval_semi_naive`] (seeded by a full naive pass) and by
+/// [`crate::Materialized`] (seeded by externally asserted facts).
+pub(crate) fn propagate_delta(
+    rules: &[&Rule],
+    model: &mut Instance,
+    mut delta: Vec<Fact>,
+) -> (usize, usize) {
+    let mut iterations = 0;
     let mut derived = 0;
-
-    // Round 0: full naive pass to seed the deltas.
-    let mut delta: Vec<Fact> = Vec::new();
-    for rule in rules {
-        for fact in apply_rule(rule, model) {
-            if model.insert(fact.clone()) {
-                delta.push(fact);
-                derived += 1;
-            }
-        }
-    }
-
     let mut buffer = Vec::new();
     while !delta.is_empty() {
         iterations += 1;
@@ -160,6 +157,23 @@ fn fixpoint_semi_naive(rules: &[&Rule], model: &mut Instance) -> (usize, usize) 
         delta = next_delta;
     }
     (iterations, derived)
+}
+
+/// Semi-naive fixpoint of a set of rules over `model` (in place).
+fn fixpoint_semi_naive(rules: &[&Rule], model: &mut Instance) -> (usize, usize) {
+    // Round 0: full naive pass to seed the deltas.
+    let mut derived = 0;
+    let mut delta: Vec<Fact> = Vec::new();
+    for rule in rules {
+        for fact in apply_rule(rule, model) {
+            if model.insert(fact.clone()) {
+                delta.push(fact);
+                derived += 1;
+            }
+        }
+    }
+    let (rounds, propagated) = propagate_delta(rules, model, delta);
+    (1 + rounds, derived + propagated)
 }
 
 impl Program {

@@ -1,0 +1,244 @@
+//! Incrementally maintained least models.
+//!
+//! A long-running service (see `magik-server`) asserts and retracts facts
+//! against a slowly evolving rule set. Recomputing the fixpoint from
+//! scratch on every change wastes the work of all previous rounds;
+//! positive Datalog is **monotone**, so an *insertion* can instead be
+//! propagated from the new facts alone using the same delta machinery
+//! that powers semi-naive evaluation. *Retraction* is not monotone —
+//! deleting one base fact can invalidate any number of derivations — so
+//! v1 falls back to recomputation from the retained EDB, behind the same
+//! API (the classic DRed over-deletion algorithm can replace it without a
+//! signature change).
+
+use magik_relalg::{Fact, Instance};
+
+use crate::eval::propagate_delta;
+use crate::program::{Program, Rule};
+
+/// Errors constructing a [`Materialized`] model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaterializeError {
+    /// The program uses negation: incremental insertion is only sound for
+    /// positive (monotone) programs.
+    NegationNotSupported,
+}
+
+impl std::fmt::Display for MaterializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MaterializeError::NegationNotSupported => {
+                write!(f, "incremental materialization requires a positive program")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MaterializeError {}
+
+/// A positive Datalog program together with its continuously maintained
+/// least model.
+///
+/// * [`Materialized::insert`] / [`Materialized::insert_all`] extend the
+///   EDB and propagate consequences by **delta semi-naive re-evaluation**
+///   — cost proportional to the affected derivations, not the model.
+/// * [`Materialized::retract`] removes an EDB fact and **recomputes** the
+///   model (correct, not incremental; see the module docs).
+///
+/// The model always equals `program.eval_semi_naive(edb).model`; property
+/// tests in this crate assert that invariant over random programs and
+/// random interleavings of assertions and retractions.
+#[derive(Debug, Clone)]
+pub struct Materialized {
+    program: Program,
+    edb: Instance,
+    model: Instance,
+}
+
+impl Materialized {
+    /// Materializes `program` over `edb`. Fails if the program uses
+    /// negation (incremental insertion would be unsound).
+    pub fn new(program: Program, edb: Instance) -> Result<Self, MaterializeError> {
+        if program.rules().iter().any(|r| !r.negative.is_empty()) {
+            return Err(MaterializeError::NegationNotSupported);
+        }
+        let model = program.eval_semi_naive(&edb).model;
+        Ok(Materialized {
+            program,
+            edb,
+            model,
+        })
+    }
+
+    /// The maintained least model (EDB plus all derived facts).
+    pub fn model(&self) -> &Instance {
+        &self.model
+    }
+
+    /// The base facts.
+    pub fn edb(&self) -> &Instance {
+        &self.edb
+    }
+
+    /// The rules.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Asserts one fact; returns the number of facts the model gained
+    /// (the fact itself plus everything newly derivable from it).
+    pub fn insert(&mut self, fact: Fact) -> usize {
+        self.insert_all(std::iter::once(fact))
+    }
+
+    /// Asserts a batch of facts; returns the number of facts the model
+    /// gained. One delta propagation covers the whole batch.
+    pub fn insert_all(&mut self, facts: impl IntoIterator<Item = Fact>) -> usize {
+        let mut delta = Vec::new();
+        for fact in facts {
+            self.edb.insert(fact.clone());
+            if self.model.insert(fact.clone()) {
+                delta.push(fact);
+            }
+        }
+        let seeds = delta.len();
+        let rules: Vec<&Rule> = self.program.rules().iter().collect();
+        let (_, derived) = propagate_delta(&rules, &mut self.model, delta);
+        seeds + derived
+    }
+
+    /// Retracts one EDB fact; returns `true` if it was present. The model
+    /// is recomputed from the retained EDB (fallback strategy, same API
+    /// an incremental deletion would have).
+    pub fn retract(&mut self, fact: &Fact) -> bool {
+        if !self.edb.remove(fact) {
+            return false;
+        }
+        self.model = self.program.eval_semi_naive(&self.edb).model;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magik_relalg::{Atom, Term, Vocabulary};
+
+    fn tc_setup(v: &mut Vocabulary) -> (magik_relalg::Pred, magik_relalg::Pred, Program) {
+        let edge = v.pred("edge", 2);
+        let path = v.pred("path", 2);
+        let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+        let program = Program::new(vec![
+            Rule::new(
+                Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
+                vec![Atom::new(edge, vec![Term::Var(x), Term::Var(y)])],
+            ),
+            Rule::new(
+                Atom::new(path, vec![Term::Var(x), Term::Var(z)]),
+                vec![
+                    Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
+                    Atom::new(edge, vec![Term::Var(y), Term::Var(z)]),
+                ],
+            ),
+        ])
+        .unwrap();
+        (edge, path, program)
+    }
+
+    fn edge_fact(v: &mut Vocabulary, e: magik_relalg::Pred, a: &str, b: &str) -> Fact {
+        Fact::new(e, vec![v.cst(a), v.cst(b)])
+    }
+
+    /// The invariant every operation must preserve.
+    fn assert_matches_scratch(m: &Materialized) {
+        let scratch = m.program().eval_semi_naive(m.edb()).model;
+        assert_eq!(m.model(), &scratch);
+    }
+
+    #[test]
+    fn insert_extends_closure_incrementally() {
+        let mut v = Vocabulary::new();
+        let (edge, path, program) = tc_setup(&mut v);
+        let mut m = Materialized::new(program, Instance::new()).unwrap();
+        assert!(m.model().is_empty());
+
+        // Grow a chain one edge at a time; each insertion derives exactly
+        // the paths ending at the new node.
+        for i in 0..6 {
+            let gained = m.insert(edge_fact(
+                &mut v,
+                edge,
+                &format!("n{i}"),
+                &format!("n{}", i + 1),
+            ));
+            // 1 edge fact + paths from each of the i+1 earlier nodes.
+            assert_eq!(gained, 1 + (i + 1));
+            assert_matches_scratch(&m);
+        }
+        assert_eq!(m.model().relation(path).unwrap().len(), 21);
+    }
+
+    #[test]
+    fn batch_insert_equals_separate_inserts() {
+        let mut v = Vocabulary::new();
+        let (edge, _, program) = tc_setup(&mut v);
+        let facts = vec![
+            edge_fact(&mut v, edge, "a", "b"),
+            edge_fact(&mut v, edge, "b", "c"),
+            edge_fact(&mut v, edge, "c", "a"),
+            edge_fact(&mut v, edge, "c", "a"), // duplicate in one batch
+        ];
+        let mut batched = Materialized::new(program.clone(), Instance::new()).unwrap();
+        let gained = batched.insert_all(facts.clone());
+        let mut one_by_one = Materialized::new(program, Instance::new()).unwrap();
+        let singles: usize = facts.into_iter().map(|f| one_by_one.insert(f)).sum();
+        assert_eq!(gained, singles);
+        assert_eq!(batched.model(), one_by_one.model());
+        assert_matches_scratch(&batched);
+        // 3 edges + full 3x3 cycle closure.
+        assert_eq!(batched.model().len(), 3 + 9);
+    }
+
+    #[test]
+    fn retract_recomputes() {
+        let mut v = Vocabulary::new();
+        let (edge, path, program) = tc_setup(&mut v);
+        let mut m = Materialized::new(program, Instance::new()).unwrap();
+        m.insert_all([
+            edge_fact(&mut v, edge, "a", "b"),
+            edge_fact(&mut v, edge, "b", "c"),
+        ]);
+        assert!(m
+            .model()
+            .contains(&Fact::new(path, vec![v.cst("a"), v.cst("c")])));
+        assert!(m.retract(&edge_fact(&mut v, edge, "b", "c")));
+        assert!(!m
+            .model()
+            .contains(&Fact::new(path, vec![v.cst("a"), v.cst("c")])));
+        assert_matches_scratch(&m);
+        // Retracting an absent fact is a no-op.
+        assert!(!m.retract(&edge_fact(&mut v, edge, "b", "c")));
+        // A derived fact is not an EDB fact and cannot be retracted.
+        assert!(!m.retract(&Fact::new(path, vec![v.cst("a"), v.cst("b")])));
+        assert_matches_scratch(&m);
+    }
+
+    #[test]
+    fn negation_is_rejected() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let q = v.pred("q", 1);
+        let r = v.pred("r", 1);
+        let x = v.var("X");
+        let program = Program::new(vec![Rule::with_negation(
+            Atom::new(q, vec![Term::Var(x)]),
+            vec![Atom::new(p, vec![Term::Var(x)])],
+            vec![Atom::new(r, vec![Term::Var(x)])],
+        )])
+        .unwrap();
+        assert_eq!(
+            Materialized::new(program, Instance::new()).unwrap_err(),
+            MaterializeError::NegationNotSupported
+        );
+    }
+}

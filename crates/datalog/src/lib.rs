@@ -50,7 +50,9 @@
 #![warn(missing_docs)]
 
 mod eval;
+mod incremental;
 mod program;
 
 pub use eval::FixpointResult;
+pub use incremental::{MaterializeError, Materialized};
 pub use program::{Program, ProgramError, Rule};

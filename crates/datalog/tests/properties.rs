@@ -152,4 +152,31 @@ proptest! {
         let m_big = program.eval_semi_naive(&big).model;
         prop_assert!(m_small.is_subset_of(&m_big));
     }
+
+    /// The incrementally maintained model always equals the from-scratch
+    /// fixpoint, across random interleavings of assertions and
+    /// retractions (the `magik-server` assert-fact/retract hot path).
+    #[test]
+    fn materialized_model_matches_scratch(
+        rules in proptest::collection::vec(arule(), 0..4),
+        initial in afacts(),
+        updates in proptest::collection::vec((afacts(), 0..4usize), 0..4),
+    ) {
+        let mut v = Vocabulary::new();
+        let program = materialize(&mut v, &rules);
+        let edb = materialize_edb(&mut v, &initial);
+        let mut m = magik_datalog::Materialized::new(program.clone(), edb).unwrap();
+        prop_assert_eq!(m.model(), &program.eval_semi_naive(m.edb()).model);
+        for (batch, retract_ix) in updates {
+            let facts = materialize_edb(&mut v, &batch);
+            m.insert_all(facts.iter_facts());
+            prop_assert_eq!(m.model(), &program.eval_semi_naive(m.edb()).model);
+            // Retract an arbitrary existing EDB fact, if any.
+            let victim = m.edb().iter_facts().nth(retract_ix);
+            if let Some(victim) = victim {
+                m.retract(&victim);
+                prop_assert_eq!(m.model(), &program.eval_semi_naive(m.edb()).model);
+            }
+        }
+    }
 }

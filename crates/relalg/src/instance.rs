@@ -55,6 +55,43 @@ impl Relation {
         true
     }
 
+    /// Removes a tuple; returns `true` if it was present.
+    ///
+    /// Indexes are maintained **incrementally**: the last tuple is swapped
+    /// into the vacated slot and only the column-index postings of the two
+    /// affected tuples are touched — no rebuild. `O(arity · bucket)`.
+    pub fn remove(&mut self, args: &[Cst]) -> bool {
+        let Some(pos) = self.positions.remove(args) else {
+            return false;
+        };
+        let last = u32::try_from(self.tuples.len() - 1).expect("relation overflow");
+        // Drop the removed tuple's postings.
+        for (c, v) in args.iter().enumerate() {
+            let bucket = self.col_index[c].get_mut(v).expect("posting exists");
+            bucket.retain(|&p| p != pos);
+            if bucket.is_empty() {
+                self.col_index[c].remove(v);
+            }
+        }
+        if pos != last {
+            // The last tuple moves into `pos`: rewrite its postings.
+            for (c, v) in self.tuples[last as usize].clone().iter().enumerate() {
+                let bucket = self.col_index[c].get_mut(v).expect("posting exists");
+                for p in bucket.iter_mut() {
+                    if *p == last {
+                        *p = pos;
+                    }
+                }
+            }
+            *self
+                .positions
+                .get_mut(&self.tuples[last as usize])
+                .expect("moved tuple is indexed") = pos;
+        }
+        self.tuples.swap_remove(pos as usize);
+        true
+    }
+
     /// Membership test.
     pub fn contains(&self, args: &[Cst]) -> bool {
         self.positions.contains_key(args)
@@ -95,6 +132,41 @@ impl Instance {
     /// Inserts a fact; returns `true` if it was not already present.
     pub fn insert(&mut self, fact: Fact) -> bool {
         self.rels.entry(fact.pred).or_default().insert(fact.args)
+    }
+
+    /// Inserts a batch of facts, updating the per-relation/per-column
+    /// indexes incrementally (no rebuild); returns the number of new
+    /// facts. Facts are grouped by relation so each relation's entry is
+    /// resolved once per run, which makes this the preferred call on hot
+    /// ingest paths (e.g. a server's `assert-fact` loop).
+    pub fn insert_bulk(&mut self, facts: impl IntoIterator<Item = Fact>) -> usize {
+        let mut grouped: BTreeMap<Pred, Vec<Vec<Cst>>> = BTreeMap::new();
+        for fact in facts {
+            grouped.entry(fact.pred).or_default().push(fact.args);
+        }
+        let mut added = 0;
+        for (pred, tuples) in grouped {
+            let rel = self.rels.entry(pred).or_default();
+            for args in tuples {
+                if rel.insert(args) {
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+
+    /// Removes a fact; returns `true` if it was present. Column indexes
+    /// are maintained incrementally (see [`Relation::remove`]).
+    pub fn remove(&mut self, fact: &Fact) -> bool {
+        let Some(rel) = self.rels.get_mut(&fact.pred) else {
+            return false;
+        };
+        let removed = rel.remove(&fact.args);
+        if rel.is_empty() {
+            self.rels.remove(&fact.pred);
+        }
+        removed
     }
 
     /// Membership test.
@@ -167,7 +239,7 @@ impl FromIterator<Fact> for Instance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Vocabulary;
+    use crate::{Atom, Vocabulary};
 
     fn fact(v: &mut Vocabulary, p: Pred, args: &[&str]) -> Fact {
         Fact::new(p, args.iter().map(|s| v.cst(s)).collect())
@@ -230,6 +302,121 @@ mod tests {
         other.insert(fact(&mut v, p, &["b"]));
         assert_eq!(db.extend_from(&other), 1);
         assert_eq!(db.len(), 2);
+    }
+
+    /// Asserts the internal indexes of two instances agree observationally:
+    /// same facts, and identical candidate sets for every (column, value).
+    fn assert_index_equivalent(v: &Vocabulary, incremental: &Instance, rebuilt: &Instance) {
+        assert_eq!(incremental, rebuilt);
+        for p in rebuilt.preds() {
+            let (a, b) = (
+                incremental.relation(p).expect("same relations"),
+                rebuilt.relation(p).unwrap(),
+            );
+            assert_eq!(a.len(), b.len());
+            for col in 0..v.arity(p) {
+                for tuple in b.iter() {
+                    let val = tuple[col];
+                    let lookup = |r: &Relation| {
+                        let mut tuples: Vec<Vec<Cst>> = r
+                            .matches(col, val)
+                            .unwrap_or(&[])
+                            .iter()
+                            .map(|&pos| r.tuple(pos).to_vec())
+                            .collect();
+                        tuples.sort();
+                        tuples
+                    };
+                    assert_eq!(lookup(a), lookup(b), "column {col} index diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_insert_and_remove_keep_indexes_incremental() {
+        // Grow with insert_bulk, shrink with remove, and compare the
+        // surviving instance against one rebuilt from scratch — both the
+        // fact set and every per-column candidate list must agree, and
+        // query evaluation (which trusts the index) must return the same
+        // answers either way.
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 2);
+        let q = v.pred("q", 1);
+        let facts: Vec<Fact> = (0..40)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Fact::new(q, vec![v.cst(&format!("a{}", i % 7))])
+                } else {
+                    Fact::new(
+                        p,
+                        vec![v.cst(&format!("a{}", i % 5)), v.cst(&format!("b{}", i % 4))],
+                    )
+                }
+            })
+            .collect();
+        let mut incremental = Instance::new();
+        // Two batches plus duplicate re-insertion.
+        let first = incremental.insert_bulk(facts[..20].iter().cloned());
+        let second = incremental.insert_bulk(facts[20..].iter().cloned());
+        assert_eq!(
+            first + second,
+            facts.iter().cloned().collect::<Instance>().len()
+        );
+        assert_eq!(incremental.insert_bulk(facts.iter().cloned()), 0);
+        // Remove every fourth distinct fact.
+        let distinct: Vec<Fact> = incremental.iter_facts().collect();
+        for f in distinct.iter().step_by(4) {
+            assert!(incremental.remove(f));
+            assert!(!incremental.remove(f));
+        }
+        let survivors: Instance = distinct
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 4 != 0)
+            .map(|(_, f)| f.clone())
+            .collect();
+        assert_index_equivalent(&v, &incremental, &survivors);
+
+        // Evaluation sees identical answers through either instance.
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let query = crate::Query::new(
+            v.sym("join"),
+            vec![crate::Term::Var(x), crate::Term::Var(y)],
+            vec![
+                Atom::new(p, vec![crate::Term::Var(x), crate::Term::Var(y)]),
+                Atom::new(q, vec![crate::Term::Var(x)]),
+            ],
+        );
+        let a = crate::answers(&query, &incremental).unwrap();
+        let b = crate::answers(&query, &survivors).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn remove_handles_swap_with_shared_postings() {
+        // The removed tuple and the swapped-in last tuple share column
+        // values, exercising the posting rewrite on a shared bucket.
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 2);
+        let mut db = Instance::new();
+        let (a, b, c) = (v.cst("a"), v.cst("b"), v.cst("c"));
+        db.insert(Fact::new(p, vec![a, b]));
+        db.insert(Fact::new(p, vec![a, c]));
+        db.insert(Fact::new(p, vec![a, a]));
+        assert!(db.remove(&Fact::new(p, vec![a, b])));
+        let rel = db.relation(p).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.matches(0, a).unwrap().len(), 2);
+        assert_eq!(rel.matches(1, b), None);
+        for &pos in rel.matches(1, a).unwrap() {
+            assert_eq!(rel.tuple(pos), &[a, a]);
+        }
+        // Removing the final facts drops the relation entirely.
+        assert!(db.remove(&Fact::new(p, vec![a, a])));
+        assert!(db.remove(&Fact::new(p, vec![a, c])));
+        assert!(db.relation(p).is_none());
+        assert!(db.is_empty());
     }
 
     #[test]

@@ -1,0 +1,472 @@
+//! The session engine: shared reasoning state plus caching and metrics.
+//!
+//! One [`Engine`] is shared by every connection (and every worker thread)
+//! of a server. Internally it is split into three locks, always acquired
+//! in this order:
+//!
+//! 1. `vocab: Mutex<Vocabulary>` — parsing interns names, so every request
+//!    briefly serializes on the vocabulary. Parsing is microseconds; the
+//!    expensive reasoning below happens *after* this lock is released or
+//!    under the shared state lock.
+//! 2. `state: RwLock<State>` — the database, the TCS set, and the
+//!    incrementally maintained T_C materialization. Read-only requests
+//!    (`check`, `eval`, `generalize`, `guaranteed`) take the read lock and
+//!    run concurrently; mutations (`assert`, `retract`, `compl`) take the
+//!    write lock.
+//! 3. per-cache `Mutex`es — held only for the probe/insert itself.
+//!
+//! # Epochs and caching
+//!
+//! A completeness verdict depends on the query and the TCS set **only**
+//! (Theorem 3 reasons over the canonical database of the frozen query,
+//! never over stored facts), so verdicts are cached under
+//! `(canonical query, tcs_epoch)`. Evaluation answers depend on the query
+//! and the stored facts, so they are cached under
+//! `(canonical query, data_epoch)`. Each mutation bumps exactly the epochs
+//! whose derived results it can change — `compl` bumps `tcs_epoch`,
+//! `assert`/`retract` bump `data_epoch` — making stale cache keys
+//! unreachable. Canonicalization ([`CanonicalQuery`]) makes the cache
+//! robust against renamed variables, reordered atoms, and redundant atoms.
+//!
+//! # Incremental T_C
+//!
+//! The engine keeps the Section 5 Datalog encoding of the T_C operator
+//! (`R^a ← R^i, G^i`) materialized over the stored facts via
+//! [`magik_datalog::Materialized`]: `assert` propagates just the new
+//! fact's consequences (delta semi-naive), `retract` falls back to
+//! recomputation, and `compl` rebuilds the encoding. The `guaranteed`
+//! request reads this model to answer "is this fact certain to be in the
+//! available database?" in constant time.
+
+use std::sync::{Mutex, RwLock};
+use std::time::Instant;
+
+use magik_completeness::{
+    is_complete, k_mcs, mcg, tc_encoding, CanonicalQuery, KMcsOptions, TcSet,
+};
+use magik_datalog::Materialized;
+use magik_parser::{parse_atom, parse_query, parse_tcs, print_query};
+use magik_relalg::{answers, Answer, DisplayWith, Fact, Instance, Pred, Vocabulary};
+use std::collections::BTreeMap;
+
+use crate::cache::LruCache;
+use crate::metrics::{Metrics, Op};
+
+/// Default capacity of the verdict cache.
+const VERDICT_CACHE_CAP: usize = 1024;
+/// Default capacity of the answer cache.
+const ANSWER_CACHE_CAP: usize = 256;
+
+/// The mutable reasoning state, guarded by the engine's `RwLock`.
+#[derive(Debug)]
+struct State {
+    /// The stored (available) database.
+    db: Instance,
+    /// The table-completeness statements.
+    tcs: TcSet,
+    /// Bumped whenever `tcs` changes; part of every verdict-cache key.
+    tcs_epoch: u64,
+    /// Bumped whenever `db` changes; part of every answer-cache key.
+    data_epoch: u64,
+    /// The T_C encoding materialized over `db` (renamed to `R^i`).
+    tc_mat: Materialized,
+    /// Original predicate → its `R^i` variant in the encoding.
+    ideal: BTreeMap<Pred, Pred>,
+    /// Original predicate → its `R^a` variant in the encoding.
+    avail: BTreeMap<Pred, Pred>,
+}
+
+impl State {
+    /// Rebuilds the T_C materialization after the TCS set changed.
+    fn rebuild_tc(&mut self, vocab: &mut Vocabulary) {
+        let (program, ideal, avail) = tc_encoding(&self.tcs, vocab);
+        let mut edb = Instance::new();
+        for fact in self.db.iter_facts() {
+            if let Some(&pi) = ideal.get(&fact.pred) {
+                edb.insert(Fact::new(pi, fact.args));
+            }
+        }
+        self.tc_mat =
+            Materialized::new(program, edb).expect("the T_C encoding is a positive program");
+        self.ideal = ideal;
+        self.avail = avail;
+    }
+}
+
+/// A shared, thread-safe completeness-reasoning session.
+///
+/// See the module docs for the locking and caching design. All request
+/// entry points take `&self`; an `Arc<Engine>` can be handed to any number
+/// of worker threads.
+#[derive(Debug)]
+pub struct Engine {
+    vocab: Mutex<Vocabulary>,
+    state: RwLock<State>,
+    verdicts: Mutex<LruCache<(CanonicalQuery, u64), bool>>,
+    answer_cache: Mutex<LruCache<(CanonicalQuery, u64), Vec<Answer>>>,
+    metrics: Metrics,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// Creates an engine with an empty database and no TCS.
+    pub fn new() -> Engine {
+        Engine::with_session(Vocabulary::new(), TcSet::new(Vec::new()), Instance::new())
+    }
+
+    /// Creates an engine over pre-loaded session state (e.g. a document
+    /// parsed by the CLI before serving).
+    pub fn with_session(mut vocab: Vocabulary, tcs: TcSet, db: Instance) -> Engine {
+        let mut state = State {
+            db,
+            tcs,
+            tcs_epoch: 0,
+            data_epoch: 0,
+            tc_mat: Materialized::new(
+                magik_datalog::Program::new(Vec::new()).expect("empty program"),
+                Instance::new(),
+            )
+            .expect("empty program is positive"),
+            ideal: BTreeMap::new(),
+            avail: BTreeMap::new(),
+        };
+        state.rebuild_tc(&mut vocab);
+        Engine {
+            vocab: Mutex::new(vocab),
+            state: RwLock::new(state),
+            verdicts: Mutex::new(LruCache::new(VERDICT_CACHE_CAP)),
+            answer_cache: Mutex::new(LruCache::new(ANSWER_CACHE_CAP)),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The engine's metrics (shared with the request handlers).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The current `(tcs_epoch, data_epoch)` pair.
+    pub fn epochs(&self) -> (u64, u64) {
+        let state = self.state.read().expect("state lock");
+        (state.tcs_epoch, state.data_epoch)
+    }
+
+    /// Handles one protocol request line and returns the response line
+    /// (without a trailing newline). Never panics on malformed input —
+    /// errors come back as `err <code> <message>` responses.
+    pub fn handle(&self, line: &str) -> String {
+        let start = Instant::now();
+        let line = line.trim();
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        let (op, result) = match verb {
+            "check" => (Op::Check, self.req_check(rest)),
+            "generalize" => (Op::Generalize, self.req_generalize(rest)),
+            "specialize" => (Op::Specialize, self.req_specialize(rest)),
+            "eval" => (Op::Eval, self.req_eval(rest)),
+            "assert" => (Op::Assert, self.req_assert(rest)),
+            "retract" => (Op::Retract, self.req_retract(rest)),
+            "compl" => (Op::Compl, self.req_compl(rest)),
+            "guaranteed" => (Op::Guaranteed, self.req_guaranteed(rest)),
+            "metrics" => (Op::Other, Ok(format!("ok {}", self.metrics.render()))),
+            "ping" => (Op::Other, Ok("ok pong".to_string())),
+            "" => (Op::Other, Err(("proto", "empty request".to_string()))),
+            other => (
+                Op::Other,
+                Err(("proto", format!("unknown command `{other}`"))),
+            ),
+        };
+        let is_error = result.is_err();
+        self.metrics.record(op, start.elapsed(), is_error);
+        match result {
+            Ok(reply) => reply,
+            Err((code, msg)) => format!("err {code} {}", msg.replace('\n', " ")),
+        }
+    }
+
+    /// `check <query>` — is the query complete under the current TCS set?
+    fn req_check(&self, src: &str) -> Result<String, (&'static str, String)> {
+        let q = {
+            let mut vocab = self.vocab.lock().expect("vocab lock");
+            parse_query(src, &mut vocab).map_err(|e| ("parse", e.to_string()))?
+        };
+        let canon = CanonicalQuery::of(&q);
+        let state = self.state.read().expect("state lock");
+        let key = (canon, state.tcs_epoch);
+        if let Some(verdict) = self.verdicts.lock().expect("cache lock").get(&key) {
+            self.metrics.verdict_probe(true);
+            return Ok(render_verdict(verdict));
+        }
+        self.metrics.verdict_probe(false);
+        let verdict = is_complete(&q, &state.tcs);
+        self.verdicts
+            .lock()
+            .expect("cache lock")
+            .insert(key, verdict);
+        Ok(render_verdict(verdict))
+    }
+
+    /// `generalize <query>` — the minimal complete generalization.
+    fn req_generalize(&self, src: &str) -> Result<String, (&'static str, String)> {
+        let mut vocab = self.vocab.lock().expect("vocab lock");
+        let q = parse_query(src, &mut vocab).map_err(|e| ("parse", e.to_string()))?;
+        let state = self.state.read().expect("state lock");
+        Ok(match mcg(&q, &state.tcs) {
+            Some(g) => format!("ok {}", print_query(&g, &vocab)),
+            None => "ok none".to_string(),
+        })
+    }
+
+    /// `specialize <k> <query>` — the k-MCSs, `|`-separated.
+    fn req_specialize(&self, rest: &str) -> Result<String, (&'static str, String)> {
+        let (k_str, src) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| ("proto", "usage: specialize <k> <query>".to_string()))?;
+        let k: usize = k_str
+            .parse()
+            .map_err(|_| ("proto", format!("invalid k `{k_str}`")))?;
+        let mut vocab = self.vocab.lock().expect("vocab lock");
+        let q = parse_query(src, &mut vocab).map_err(|e| ("parse", e.to_string()))?;
+        let state = self.state.read().expect("state lock");
+        let outcome = k_mcs(&q, &state.tcs, &mut vocab, KMcsOptions::new(k));
+        let rendered: Vec<String> = outcome
+            .queries
+            .iter()
+            .map(|s| print_query(s, &vocab))
+            .collect();
+        Ok(format!("ok {} {}", rendered.len(), rendered.join(" | "))
+            .trim_end()
+            .to_string())
+    }
+
+    /// `eval <query>` — answers over the stored database.
+    fn req_eval(&self, src: &str) -> Result<String, (&'static str, String)> {
+        let q = {
+            let mut vocab = self.vocab.lock().expect("vocab lock");
+            parse_query(src, &mut vocab).map_err(|e| ("parse", e.to_string()))?
+        };
+        let canon = CanonicalQuery::of(&q);
+        let state = self.state.read().expect("state lock");
+        let key = (canon, state.data_epoch);
+        let cached = self.answer_cache.lock().expect("cache lock").get(&key);
+        self.metrics.answer_probe(cached.is_some());
+        let answer_list = match cached {
+            Some(list) => list,
+            None => {
+                let set = answers(&q, &state.db).map_err(|e| ("eval", format!("{e:?}")))?;
+                let list: Vec<Answer> = set.into_iter().collect();
+                self.answer_cache
+                    .lock()
+                    .expect("cache lock")
+                    .insert(key, list.clone());
+                list
+            }
+        };
+        drop(state);
+        let vocab = self.vocab.lock().expect("vocab lock");
+        let rendered: Vec<String> = answer_list
+            .iter()
+            .map(|t| t.display(&vocab).to_string())
+            .collect();
+        Ok(format!("ok {} {}", rendered.len(), rendered.join("; "))
+            .trim_end()
+            .to_string())
+    }
+
+    /// `assert <atom>` — insert a ground fact; maintains T_C incrementally.
+    fn req_assert(&self, src: &str) -> Result<String, (&'static str, String)> {
+        let fact = self.parse_fact(src)?;
+        let mut state = self.state.write().expect("state lock");
+        if !state.db.insert(fact.clone()) {
+            return Ok("ok duplicate".to_string());
+        }
+        state.data_epoch += 1;
+        let pi = state.ideal.get(&fact.pred).copied();
+        if let Some(pi) = pi {
+            state.tc_mat.insert(Fact::new(pi, fact.args));
+        }
+        Ok("ok inserted".to_string())
+    }
+
+    /// `retract <atom>` — remove a ground fact; recomputes T_C.
+    fn req_retract(&self, src: &str) -> Result<String, (&'static str, String)> {
+        let fact = self.parse_fact(src)?;
+        let mut state = self.state.write().expect("state lock");
+        if !state.db.remove(&fact) {
+            return Ok("ok absent".to_string());
+        }
+        state.data_epoch += 1;
+        let pi = state.ideal.get(&fact.pred).copied();
+        if let Some(pi) = pi {
+            state.tc_mat.retract(&Fact::new(pi, fact.args));
+        }
+        Ok("ok retracted".to_string())
+    }
+
+    /// `compl <tcs>` — add a TC statement; bumps the TCS epoch and
+    /// rebuilds the T_C encoding.
+    fn req_compl(&self, src: &str) -> Result<String, (&'static str, String)> {
+        let mut vocab = self.vocab.lock().expect("vocab lock");
+        let stmt = parse_tcs(src, &mut vocab).map_err(|e| ("parse", e.to_string()))?;
+        let mut state = self.state.write().expect("state lock");
+        state.tcs.push(stmt);
+        state.tcs_epoch += 1;
+        state.rebuild_tc(&mut vocab);
+        // Stale verdict keys are unreachable after the epoch bump; drop
+        // them eagerly so they stop occupying cache capacity.
+        self.verdicts.lock().expect("cache lock").clear();
+        Ok(format!("ok epoch={}", state.tcs_epoch))
+    }
+
+    /// `guaranteed <atom>` — is this fact certain to be available, i.e.
+    /// derived by the materialized T_C fixpoint?
+    fn req_guaranteed(&self, src: &str) -> Result<String, (&'static str, String)> {
+        let fact = self.parse_fact(src)?;
+        let state = self.state.read().expect("state lock");
+        let guaranteed = match state.avail.get(&fact.pred) {
+            Some(&pa) => state.tc_mat.model().contains(&Fact::new(pa, fact.args)),
+            None => false,
+        };
+        Ok(format!("ok {guaranteed}"))
+    }
+
+    fn parse_fact(&self, src: &str) -> Result<Fact, (&'static str, String)> {
+        let mut vocab = self.vocab.lock().expect("vocab lock");
+        let src = src.strip_suffix('.').unwrap_or(src);
+        let atom = parse_atom(src, &mut vocab).map_err(|e| ("parse", e.to_string()))?;
+        atom.to_fact()
+            .ok_or_else(|| ("proto", "fact must be ground (no variables)".to_string()))
+    }
+}
+
+fn render_verdict(complete: bool) -> String {
+    if complete {
+        "ok complete".to_string()
+    } else {
+        "ok incomplete".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_engine() -> Engine {
+        let e = Engine::new();
+        assert_eq!(
+            e.handle("compl school(S, primary, D) ; true."),
+            "ok epoch=1"
+        );
+        assert_eq!(
+            e.handle("compl pupil(N, C, S) ; school(S, T, merano)."),
+            "ok epoch=2"
+        );
+        e
+    }
+
+    #[test]
+    fn check_reproduces_the_running_example() {
+        let e = paper_engine();
+        assert_eq!(
+            e.handle("check q(N) :- pupil(N, C, S), school(S, primary, merano)."),
+            "ok complete"
+        );
+        assert_eq!(
+            e.handle("check q(N) :- pupil(N, C, S), school(S, primary, bolzano)."),
+            "ok incomplete"
+        );
+    }
+
+    #[test]
+    fn verdict_cache_hits_on_alpha_variants() {
+        let e = paper_engine();
+        let q1 = "check q(N) :- pupil(N, C, S), school(S, primary, merano).";
+        let q2 = "check q(A) :- school(Z, primary, merano), pupil(A, B, Z).";
+        assert_eq!(e.handle(q1), "ok complete");
+        assert_eq!(e.handle(q2), "ok complete");
+        let metrics = e.handle("metrics");
+        assert!(
+            metrics.contains("verdict_cache.hits=1 verdict_cache.misses=1"),
+            "{metrics}"
+        );
+    }
+
+    #[test]
+    fn compl_invalidates_verdicts() {
+        let e = Engine::new();
+        let q = "check q(N) :- pupil(N, C, S).";
+        assert_eq!(e.handle(q), "ok incomplete");
+        assert_eq!(e.handle("compl pupil(N, C, S) ; true."), "ok epoch=1");
+        assert_eq!(e.handle(q), "ok complete");
+    }
+
+    #[test]
+    fn assert_and_retract_maintain_guarantees() {
+        let e = Engine::new();
+        e.handle("compl pupil(N, C, S) ; school(S, T, merano).");
+        assert_eq!(e.handle("guaranteed pupil(anna, c1, hofer)."), "ok false");
+        assert_eq!(
+            e.handle("assert school(hofer, primary, merano)."),
+            "ok inserted"
+        );
+        // The TCS guarantees pupils of Merano schools: with the school
+        // stored, pupil facts at that school become guaranteed only via
+        // the condition's *ideal* copy — T_C derives from R^i facts.
+        assert_eq!(
+            e.handle("guaranteed school(hofer, primary, merano)."),
+            "ok false"
+        );
+        assert_eq!(e.handle("assert pupil(anna, c1, hofer)."), "ok inserted");
+        assert_eq!(e.handle("guaranteed pupil(anna, c1, hofer)."), "ok true");
+        assert_eq!(
+            e.handle("retract school(hofer, primary, merano)."),
+            "ok retracted"
+        );
+        assert_eq!(e.handle("guaranteed pupil(anna, c1, hofer)."), "ok false");
+    }
+
+    #[test]
+    fn eval_answers_and_caches_by_data_epoch() {
+        let e = Engine::new();
+        e.handle("assert edge(a, b).");
+        e.handle("assert edge(b, c).");
+        let q = "eval q(X, Y) :- edge(X, Y).";
+        assert_eq!(e.handle(q), "ok 2 (a, b); (b, c)");
+        assert_eq!(e.handle(q), "ok 2 (a, b); (b, c)");
+        e.handle("assert edge(c, d).");
+        assert_eq!(e.handle(q), "ok 3 (a, b); (b, c); (c, d)");
+        let metrics = e.handle("metrics");
+        assert!(
+            metrics.contains("answer_cache.hits=1 answer_cache.misses=2"),
+            "{metrics}"
+        );
+    }
+
+    #[test]
+    fn malformed_requests_get_error_replies() {
+        let e = Engine::new();
+        assert!(e.handle("frobnicate x").starts_with("err proto "));
+        assert!(e.handle("check q(X :-").starts_with("err parse "));
+        assert!(e.handle("assert p(X).").starts_with("err proto "));
+        assert!(e
+            .handle("specialize q(X) :- r(X).")
+            .starts_with("err proto "));
+        assert!(e.handle("").starts_with("err proto "));
+    }
+
+    #[test]
+    fn generalize_and_specialize_round_trip() {
+        let e = paper_engine();
+        let g = e.handle("generalize q(N) :- pupil(N, C, S), school(S, primary, bolzano).");
+        assert!(g.starts_with("ok "), "{g}");
+        let s = e.handle("specialize 0 q(N) :- pupil(N, C, S), school(S, primary, bolzano).");
+        assert!(s.starts_with("ok "), "{s}");
+    }
+}

@@ -1,0 +1,50 @@
+//! A concurrent completeness service over the MAGIK-rs reasoning stack.
+//!
+//! The paper's MAGIK system is an *interactive* demonstrator: a user loads
+//! a database and a set of table-completeness statements, then asks
+//! completeness questions and edits the data, back and forth. This crate
+//! is the production-shaped version of that loop: a long-running
+//! [`Engine`] holding the session state, served over a line-oriented TCP
+//! protocol by a fixed pool of worker threads.
+//!
+//! * [`Engine`] — the shared session: database, TCS set, an incrementally
+//!   maintained T_C materialization, a canonical-form verdict cache, an
+//!   answer cache, and metrics. All entry points take `&self`.
+//! * [`Server`] — `std::net` front end: one request line in, one response
+//!   line out (`ok …` / `err <code> …`); grammar in `PROTOCOL.md`.
+//! * [`ThreadPool`] — the std-only worker pool both of them run on.
+//! * [`Metrics`] / [`Histogram`] — per-op counters and fixed-bucket
+//!   latency quantiles, reported by the `metrics` request.
+//! * [`LruCache`] — the exact LRU underlying both caches.
+//!
+//! # Example
+//!
+//! ```
+//! use std::io::{BufRead, BufReader, Write};
+//! use std::net::TcpStream;
+//! use std::sync::Arc;
+//! use magik_server::{Engine, Server};
+//!
+//! let server = Server::start(Arc::new(Engine::new()), "127.0.0.1:0", 2).unwrap();
+//! let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+//! conn.write_all(b"compl pupil(N, C, S) ; true.\ncheck q(N) :- pupil(N, C, S).\n")
+//!     .unwrap();
+//! let mut lines = BufReader::new(conn.try_clone().unwrap()).lines();
+//! assert_eq!(lines.next().unwrap().unwrap(), "ok epoch=1");
+//! assert_eq!(lines.next().unwrap().unwrap(), "ok complete");
+//! server.stop();
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod engine;
+mod metrics;
+mod net;
+mod pool;
+
+pub use cache::LruCache;
+pub use engine::Engine;
+pub use metrics::{Histogram, Metrics, Op};
+pub use net::Server;
+pub use pool::ThreadPool;

@@ -1,0 +1,259 @@
+//! Server metrics: per-operation counters and latency histograms.
+//!
+//! Latencies go into a **fixed-bucket histogram** — power-of-two
+//! microsecond buckets from 1 µs to ~67 s. Recording is a counter
+//! increment (no allocation, no sorting, bounded memory regardless of
+//! request volume); quantiles are read back as the upper bound of the
+//! bucket containing the requested rank, i.e. with at most 2× relative
+//! error, which is plenty for a `metrics` endpoint.
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The number of histogram buckets: bucket `i` counts latencies in
+/// `[2^i, 2^(i+1))` microseconds (bucket 0 also absorbs sub-µs samples).
+const BUCKETS: usize = 27;
+
+/// A fixed-bucket latency histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    max_us: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one latency sample.
+    pub fn record(&mut self, d: Duration) {
+        let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        let idx = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// The number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// An upper bound (in µs) on the `q`-quantile latency, `0 <= q <= 1`.
+    /// Returns 0 when no samples have been recorded.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the sample we want, 1-based, clamped into range.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper bound of bucket i, but never above the true max.
+                return (1u64 << (i + 1)).saturating_sub(1).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// The maximum recorded latency in µs.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+}
+
+/// The operations the server distinguishes in its metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `check` requests.
+    Check,
+    /// `generalize` requests.
+    Generalize,
+    /// `specialize` requests.
+    Specialize,
+    /// `eval` requests.
+    Eval,
+    /// `assert` requests.
+    Assert,
+    /// `retract` requests.
+    Retract,
+    /// `compl` requests.
+    Compl,
+    /// `guaranteed` requests.
+    Guaranteed,
+    /// Everything else (`metrics`, `ping`, protocol errors).
+    Other,
+}
+
+const OPS: [(Op, &str); 9] = [
+    (Op::Check, "check"),
+    (Op::Generalize, "generalize"),
+    (Op::Specialize, "specialize"),
+    (Op::Eval, "eval"),
+    (Op::Assert, "assert"),
+    (Op::Retract, "retract"),
+    (Op::Compl, "compl"),
+    (Op::Guaranteed, "guaranteed"),
+    (Op::Other, "other"),
+];
+
+fn op_index(op: Op) -> usize {
+    OPS.iter().position(|(o, _)| *o == op).expect("op listed")
+}
+
+#[derive(Debug, Default, Clone)]
+struct OpStats {
+    count: u64,
+    errors: u64,
+    hist: Histogram,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    ops: [OpStats; OPS.len()],
+    verdict_hits: u64,
+    verdict_misses: u64,
+    answer_hits: u64,
+    answer_misses: u64,
+}
+
+/// Shared, thread-safe server metrics.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<Inner>,
+}
+
+impl Metrics {
+    /// Creates empty metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one completed request: its operation, latency, and whether
+    /// it produced an error response.
+    pub fn record(&self, op: Op, latency: Duration, is_error: bool) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        let stats = &mut inner.ops[op_index(op)];
+        stats.count += 1;
+        stats.errors += u64::from(is_error);
+        stats.hist.record(latency);
+    }
+
+    /// Records a verdict-cache probe outcome.
+    pub fn verdict_probe(&self, hit: bool) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        if hit {
+            inner.verdict_hits += 1;
+        } else {
+            inner.verdict_misses += 1;
+        }
+    }
+
+    /// Records an answer-cache probe outcome.
+    pub fn answer_probe(&self, hit: bool) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        if hit {
+            inner.answer_hits += 1;
+        } else {
+            inner.answer_misses += 1;
+        }
+    }
+
+    /// Renders all metrics as one line of `key=value` fields: per-op
+    /// `<op>.count/.err/.p50us/.p90us/.p99us/.maxus` (ops with zero
+    /// requests are omitted) plus cache hit/miss counters and hit rates.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().expect("metrics lock");
+        let mut out = String::new();
+        for (i, (_, name)) in OPS.iter().enumerate() {
+            let s = &inner.ops[i];
+            if s.count == 0 {
+                continue;
+            }
+            let _ = write!(
+                out,
+                "{name}.count={} {name}.err={} {name}.p50us={} {name}.p90us={} \
+                 {name}.p99us={} {name}.maxus={} ",
+                s.count,
+                s.errors,
+                s.hist.quantile_us(0.50),
+                s.hist.quantile_us(0.90),
+                s.hist.quantile_us(0.99),
+                s.hist.max_us(),
+            );
+        }
+        let rate = |hits: u64, misses: u64| {
+            let total = hits + misses;
+            if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            }
+        };
+        let _ = write!(
+            out,
+            "verdict_cache.hits={} verdict_cache.misses={} verdict_cache.rate={:.3} \
+             answer_cache.hits={} answer_cache.misses={} answer_cache.rate={:.3}",
+            inner.verdict_hits,
+            inner.verdict_misses,
+            rate(inner.verdict_hits, inner.verdict_misses),
+            inner.answer_hits,
+            inner.answer_misses,
+            rate(inner.answer_hits, inner.answer_misses),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let mut h = Histogram::default();
+        for us in [1u64, 10, 100, 1000, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        // p50 is the 3rd of 5 samples (100 µs): the bound must cover it
+        // but stay within its power-of-two bucket.
+        let p50 = h.quantile_us(0.5);
+        assert!((100..256).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.quantile_us(1.0), 10_000);
+        assert_eq!(h.max_us(), 10_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.99), 0);
+        assert_eq!(h.max_us(), 0);
+    }
+
+    #[test]
+    fn render_includes_ops_and_cache_rates() {
+        let m = Metrics::new();
+        m.record(Op::Check, Duration::from_micros(50), false);
+        m.record(Op::Check, Duration::from_micros(70), true);
+        m.verdict_probe(true);
+        m.verdict_probe(false);
+        let text = m.render();
+        assert!(text.contains("check.count=2"));
+        assert!(text.contains("check.err=1"));
+        assert!(text.contains("verdict_cache.rate=0.500"));
+        // Untouched ops are omitted.
+        assert!(!text.contains("eval.count"));
+    }
+}

@@ -1,0 +1,138 @@
+//! The line-oriented TCP front end.
+//!
+//! One accept loop hands each connection to a worker from a fixed
+//! [`ThreadPool`]; the worker owns the connection for its lifetime
+//! (thread-per-connection, bounded by the pool size — connections beyond
+//! the pool queue until a worker frees up). Requests are single lines,
+//! responses are single lines; see `PROTOCOL.md` for the grammar.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often an idle connection handler wakes up to check the stop flag.
+const STOP_POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+use crate::engine::Engine;
+use crate::pool::ThreadPool;
+
+/// A running server: an accept loop plus a worker pool, all sharing one
+/// [`Engine`].
+#[derive(Debug)]
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7171`, or port `0` for an ephemeral
+    /// port) and starts accepting connections on a background thread,
+    /// serving requests against `engine` with `workers` worker threads.
+    pub fn start(
+        engine: Arc<Engine>,
+        addr: impl ToSocketAddrs,
+        workers: usize,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("magik-accept".to_string())
+            .spawn(move || {
+                let pool = ThreadPool::new(workers);
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let engine = Arc::clone(&engine);
+                    let stop = Arc::clone(&stop_flag);
+                    pool.execute(move || {
+                        let _ = serve_connection(stream, &engine, &stop);
+                    });
+                }
+                // `pool` drops here: all in-flight connections finish.
+            })?;
+        Ok(Server {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the server: no new connections are accepted, idle
+    /// connections are closed (handlers poll the stop flag between
+    /// reads), and in-flight requests finish before their workers exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return; // already stopped
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves one connection: read request lines, write response lines, until
+/// `quit`, EOF, server shutdown, or an I/O error.
+///
+/// Reads use a short timeout so an idle connection notices `stop` instead
+/// of pinning its worker in a blocking read forever. `read_line` appends
+/// any bytes it read before timing out, so a partially received line
+/// survives the poll and is completed on a later iteration.
+fn serve_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(STOP_POLL_INTERVAL))?;
+    // Replies are single small lines; without TCP_NODELAY every round
+    // trip stalls on Nagle + delayed-ACK (~40 ms).
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let trimmed = line.trim();
+        if !trimmed.is_empty() {
+            if trimmed == "quit" {
+                writer.write_all(b"ok bye\n")?;
+                return Ok(());
+            }
+            let reply = engine.handle(trimmed);
+            writer.write_all(reply.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+        }
+        line.clear();
+    }
+}

@@ -1,0 +1,112 @@
+//! A fixed-size worker pool over `std::thread` and channels.
+//!
+//! Jobs are closures pulled from a single shared queue (an `mpsc` receiver
+//! behind a mutex — the textbook std-only design). Dropping the pool
+//! closes the queue and joins every worker, so pool shutdown is a clean
+//! barrier: all submitted jobs finish first.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size thread pool.
+#[derive(Debug)]
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `size` worker threads (`size >= 1`).
+    pub fn new(size: usize) -> ThreadPool {
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..size.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("magik-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ThreadPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Submits a job. Panics if the pool is shutting down (the sender is
+    /// only dropped in [`Drop`]).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool is live")
+            .send(Box::new(job))
+            .expect("workers are live");
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the queue lock only while *receiving*; run the job outside
+        // it so workers actually execute in parallel.
+        let job = match rx.lock().expect("queue lock").recv() {
+            Ok(job) => job,
+            Err(_) => return, // queue closed: pool is shutting down
+        };
+        job();
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // close the queue; workers drain and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_all_jobs_and_joins_on_drop() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(4);
+            for _ in 0..100 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Drop joins, so every job has run afterwards.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn jobs_run_concurrently() {
+        use std::sync::mpsc::channel;
+        let pool = ThreadPool::new(2);
+        let (tx1, rx1) = channel();
+        let (tx2, rx2) = channel();
+        // Two jobs that each wait for the other's signal: only possible
+        // if they run on distinct workers.
+        pool.execute(move || {
+            tx1.send(()).unwrap();
+            rx2.recv().unwrap();
+        });
+        pool.execute(move || {
+            rx1.recv().unwrap();
+            tx2.send(()).unwrap();
+        });
+        // Dropping joins; a deadlock here would hang the test.
+    }
+}

@@ -28,6 +28,7 @@
 //! | [`prolog`] | SLD resolution engine over compound terms |
 //! | [`completeness`] | TCSs, `T_C`/`G_C`, completeness check, MCG, MCI, k-MCS; finite-domain + key constraints, answering with guarantees, explanations, lints |
 //! | [`parser`] | text syntax for queries, statements and facts |
+//! | [`server`] | concurrent completeness service: session engine, verdict cache, TCP front end |
 //! | [`workload`] | paper workloads, synthetic data, random generators |
 //!
 //! The most common items are re-exported at the crate root.
@@ -68,6 +69,7 @@ pub use magik_datalog as datalog;
 pub use magik_parser as parser;
 pub use magik_prolog as prolog;
 pub use magik_relalg as relalg;
+pub use magik_server as server;
 pub use magik_unify as unify;
 pub use magik_workload as workload;
 
@@ -77,10 +79,11 @@ pub use magik_completeness::{
     is_complete_via_datalog, is_instantiation_of, is_mcg, is_mci, k_mcs, lint, mcg, mcg_under,
     mcg_with_stats, mcis, mcis_bounded, publishable_counts, render_counterexample,
     render_explanation, semantics, tc_apply, tc_apply_datalog, tc_encoding, AnswerReport,
-    ChaseOutcome, CheckExplanation, ConstraintSet, CountBounds, FiniteDomain, GuaranteeWitness,
-    KMcsEngine, KMcsOptions, KMcsOutcome, KMcsStats, Key, KeyViolation, Lint, McgStats,
-    PublishableCount, TcSet, TcStatement,
+    CanonTerm, CanonicalQuery, ChaseOutcome, CheckExplanation, ConstraintSet, CountBounds,
+    FiniteDomain, GuaranteeWitness, KMcsEngine, KMcsOptions, KMcsOutcome, KMcsStats, Key,
+    KeyViolation, Lint, McgStats, PublishableCount, TcSet, TcStatement,
 };
+pub use magik_datalog::{MaterializeError, Materialized};
 pub use magik_parser::{
     parse_atom, parse_document, parse_instance, parse_query, parse_rules, parse_tcs,
     print_document, print_domain, print_instance, print_key, print_query, print_tcs, Document,
@@ -91,3 +94,4 @@ pub use magik_relalg::{
     is_strictly_contained_in, minimize, Atom, Cst, DisplayWith, Fact, Instance, Pred, Query,
     Substitution, Term, Var, Vocabulary,
 };
+pub use magik_server::{Engine, Server};

@@ -1,0 +1,352 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the API surface its benches use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, throughput, bench_with_input, finish}`,
+//! `Bencher::{iter, iter_batched}`, `BenchmarkId`, `Throughput`,
+//! `BatchSize`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros.
+//!
+//! Instead of criterion's statistical machinery this harness measures the
+//! median of a handful of timed samples, each auto-sized to run for a few
+//! milliseconds, and prints one line per benchmark:
+//!
+//! ```text
+//! group/function/param    median 12.345 µs  (7 samples x 210 iters)  421.3 Kelem/s
+//! ```
+//!
+//! When the binary is invoked with `--test` (as `cargo test --benches`
+//! does) every benchmark body runs exactly once, unmeasured, so CI can
+//! smoke-test benches cheaply.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost; ignored by this harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter rendering.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher<'a> {
+    mode: Mode,
+    /// Median duration of one iteration, filled by `iter`/`iter_batched`.
+    result: &'a mut Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    per_iter: Duration,
+    samples: usize,
+    iters: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Run once, no measurement (`--test`).
+    Test,
+    /// Measure.
+    Measure { samples: usize },
+}
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+impl Bencher<'_> {
+    /// Measures `routine` called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::SmallInput);
+    }
+
+    /// Measures `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let samples = match self.mode {
+            Mode::Test => {
+                let input = setup();
+                black_box(routine(input));
+                *self.result = None;
+                return;
+            }
+            Mode::Measure { samples } => samples,
+        };
+        // Size the iteration count so one sample takes ~TARGET_SAMPLE.
+        let probe_input = setup();
+        let probe_start = Instant::now();
+        black_box(routine(probe_input));
+        let probe = probe_start.elapsed().max(Duration::from_nanos(20));
+        let iters = (TARGET_SAMPLE.as_nanos() / probe.as_nanos()).clamp(1, 100_000) as u64;
+
+        let mut timings: Vec<Duration> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            timings.push(start.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX));
+        }
+        timings.sort();
+        *self.result = Some(Sample {
+            per_iter: timings[timings.len() / 2],
+            samples,
+            iters,
+        });
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut result = None;
+        let mut b = Bencher {
+            mode: if self.criterion.test_mode {
+                Mode::Test
+            } else {
+                Mode::Measure {
+                    samples: self.sample_size,
+                }
+            },
+            result: &mut result,
+        };
+        f(&mut b, input);
+        report(&full, result, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(BenchmarkId::from_parameter(name.into()), &(), |b, ()| f(b))
+    }
+
+    /// Ends the group (provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, sample: Option<Sample>, throughput: Option<Throughput>) {
+    let Some(s) = sample else {
+        println!("{name:<56} test-run ok");
+        return;
+    };
+    let nanos = s.per_iter.as_nanos().max(1);
+    let human = if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:.1} Kelem/s", n as f64 / (nanos as f64 / 1e9) / 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  {:.1} MiB/s",
+                n as f64 / (nanos as f64 / 1e9) / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<56} median {human}  ({} samples x {} iters){rate}",
+        s.samples, s.iters
+    );
+}
+
+/// The harness entry point handed to `criterion_group!` functions.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        // `cargo bench -- <filter>`; flags from cargo's harness protocol
+        // (`--bench`, `--test`) are recognized, the rest ignored.
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in &args {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--nocapture" => {}
+                other if !other.starts_with('-') && filter.is_none() => {
+                    filter = Some(other.to_owned());
+                }
+                _ => {}
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 7,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        self.benchmark_group(name.clone())
+            .bench_function(name, &mut f);
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut result = None;
+        let mut b = Bencher {
+            mode: Mode::Measure { samples: 3 },
+            result: &mut result,
+        };
+        b.iter(|| std::hint::black_box(1 + 1));
+        let s = result.expect("measured");
+        assert!(s.per_iter.as_nanos() > 0);
+        assert_eq!(s.samples, 3);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut calls = 0;
+        let mut result = None;
+        let mut b = Bencher {
+            mode: Mode::Test,
+            result: &mut result,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,655 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of the proptest API its test suites use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]` support),
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map` / `boxed`,
+//! * integer-range strategies, tuple strategies, [`strategy::Just`],
+//!   [`prop_oneof!`], [`collection::vec`], and regex-subset string
+//!   strategies (`"[a-z]{0,40}"`, `"\\PC*"`),
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Semantics deliberately differ from real proptest in two ways: cases
+//! are generated from a seed derived *deterministically* from the test's
+//! module path and name (reproducible across runs, no persistence files),
+//! and there is **no shrinking** — a failing case panics with the
+//! generated values printed by the standard assertion message.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Configuration and the per-test random source.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Subset of proptest's `ProptestConfig`: only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic seed derived from a test's fully qualified name
+    /// (FNV-1a), so every test gets its own reproducible stream.
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// The random source handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a 64-bit seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                inner: StdRng::seed_from_u64(seed),
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Uniform draw from `0..n` (`n` must be positive).
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "below(0)");
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform draw from `lo..=hi`.
+        pub fn between(&mut self, lo: usize, hi: usize) -> usize {
+            lo + self.below(hi - lo + 1)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of one type.
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking:
+    /// `new_value` directly produces one random value.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` builds
+        /// out of it (dependent generation).
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) base: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        pub(crate) base: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.base.new_value(rng)).new_value(rng)
+        }
+    }
+
+    trait DynStrategy {
+        type Value;
+        fn dyn_new_value(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    /// A type-erased strategy, as produced by [`Strategy::boxed`].
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0.dyn_new_value(rng)
+        }
+    }
+
+    /// Weighted choice between type-erased alternatives ([`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a uniform union; panics if `arms` is empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            Self::new_weighted(arms.into_iter().map(|s| (1, s)).collect())
+        }
+
+        /// Creates a weighted union; panics if `arms` is empty or all
+        /// weights are zero.
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total_weight = arms.iter().map(|&(w, _)| u64::from(w)).sum();
+            assert!(
+                total_weight > 0,
+                "prop_oneof! needs at least one arm with positive weight"
+            );
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let mut draw = rng.next_u64() % self.total_weight;
+            for (weight, arm) in &self.arms {
+                let weight = u64::from(*weight);
+                if draw < weight {
+                    return arm.new_value(rng);
+                }
+                draw -= weight;
+            }
+            unreachable!("weights sum to total_weight")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let draw = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + draw as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let draw = (rng.next_u64() as u128) % span;
+                    (start as i128 + draw as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for bool {
+        type Value = bool;
+        fn new_value(&self, _rng: &mut TestRng) -> bool {
+            *self
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (S0.0)
+        (S0.0, S1.1)
+        (S0.0, S1.1, S2.2)
+        (S0.0, S1.1, S2.2, S3.3)
+        (S0.0, S1.1, S2.2, S3.3, S4.4)
+        (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specification for [`vec`]: a fixed size or an interval.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        /// Minimum length, inclusive.
+        pub min: usize,
+        /// Maximum length, inclusive.
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.between(self.size.min, self.size.max);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! String generation from a small regex subset.
+    //!
+    //! Supported syntax (the patterns this workspace uses):
+    //! `[...]` character classes with literal chars and `a-z` ranges,
+    //! `\PC` (any printable, non-control char), escaped literals, and the
+    //! quantifiers `*`, `+`, `?`, `{m}`, `{m,n}` — applied to the
+    //! preceding item. Everything else is a literal character.
+
+    use crate::test_runner::TestRng;
+
+    enum Chars {
+        Literal(char),
+        Class(Vec<(char, char)>),
+        AnyPrintable,
+    }
+
+    struct Item {
+        chars: Chars,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Item> {
+        let mut chars = pattern.chars().peekable();
+        let mut items: Vec<Item> = Vec::new();
+        while let Some(c) = chars.next() {
+            let piece = match c {
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        // `\PC`: any char outside the Unicode Control class.
+                        let class = chars.next();
+                        assert_eq!(class, Some('C'), "only \\PC is supported");
+                        Chars::AnyPrintable
+                    }
+                    Some(other) => Chars::Literal(other),
+                    None => Chars::Literal('\\'),
+                },
+                '[' => {
+                    let mut ranges = Vec::new();
+                    loop {
+                        match chars.next() {
+                            None => panic!("unterminated character class"),
+                            Some(']') => break,
+                            Some(lo) => {
+                                if chars.peek() == Some(&'-') {
+                                    chars.next();
+                                    let hi = chars.next().expect("unterminated range");
+                                    ranges.push((lo, hi));
+                                } else {
+                                    ranges.push((lo, lo));
+                                }
+                            }
+                        }
+                    }
+                    Chars::Class(ranges)
+                }
+                other => Chars::Literal(other),
+            };
+            // Quantifier, if any.
+            let (min, max) = match chars.peek() {
+                Some('*') => {
+                    chars.next();
+                    (0, 32)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 32)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('{') => {
+                    chars.next();
+                    let mut bounds = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        bounds.push(c);
+                    }
+                    match bounds.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("bad quantifier"),
+                            n.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n = bounds.trim().parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                _ => (1, 1),
+            };
+            items.push(Item {
+                chars: piece,
+                min,
+                max,
+            });
+        }
+        items
+    }
+
+    /// A spread of printable chars: ASCII plus a few multi-byte code
+    /// points, so byte-oriented bugs (slicing, lengths) get exercised.
+    const EXOTIC: [char; 8] = ['é', 'Ω', 'ß', '語', '☃', '𝄞', '¡', '\u{200b}'];
+
+    fn draw(chars: &Chars, rng: &mut TestRng) -> char {
+        match chars {
+            Chars::Literal(c) => *c,
+            Chars::Class(ranges) => {
+                let (lo, hi) = ranges[rng.below(ranges.len())];
+                char::from_u32(rng.between(lo as usize, hi as usize) as u32).unwrap_or(lo)
+            }
+            Chars::AnyPrintable => {
+                if rng.below(8) == 0 {
+                    EXOTIC[rng.below(EXOTIC.len())]
+                } else {
+                    char::from(rng.between(0x20, 0x7e) as u8)
+                }
+            }
+        }
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for item in parse(pattern) {
+            let count = rng.between(item.min, item.max);
+            for _ in 0..count {
+                out.push(draw(&item.chars, rng));
+            }
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `cases` random values.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let __seed = $crate::test_runner::seed_from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::TestRng::from_seed(
+                        __seed ^ u64::from(__case).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $(let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Choice between strategies with a common value type; arms are uniform
+/// (`strategy, ...`) or weighted (`weight => strategy, ...`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_vec() {
+        let mut rng = TestRng::from_seed(1);
+        let strat = crate::collection::vec((0..4u8, 10..=12usize), 2..5);
+        for _ in 0..200 {
+            let v = strat.new_value(&mut rng);
+            assert!(v.len() >= 2 && v.len() < 5);
+            for (a, b) in v {
+                assert!(a < 4);
+                assert!((10..=12).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_cover_all_arms() {
+        let mut rng = TestRng::from_seed(2);
+        let strat = prop_oneof![
+            (0..3u8).prop_map(|x| x as i32),
+            Just(-1i32),
+            (5..6u8).prop_map(|x| i32::from(x) * 10),
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..300 {
+            seen.insert(strat.new_value(&mut rng));
+        }
+        assert!(seen.contains(&-1));
+        assert!(seen.contains(&50));
+        assert!(seen.iter().any(|&x| (0..3).contains(&x)));
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..100 {
+            let s = crate::string::generate("[a-c]{2,4}", &mut rng);
+            assert!(s.chars().count() >= 2 && s.chars().count() <= 4);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let any = crate::string::generate("\\PC*", &mut rng);
+            assert!(any.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: patterns, flat_map, trailing comma.
+        #[test]
+        fn macro_roundtrip((a, b) in (0..5u8, 1..3u8), v in crate::collection::vec(0..2u8, 0..4),) {
+            prop_assert!(a < 5);
+            prop_assert_ne!(b, 0);
+            prop_assert_eq!(v.iter().filter(|&&x| x > 1).count(), 0);
+        }
+
+        #[test]
+        fn flat_map_dependent_sizes(v in (1..4usize).prop_flat_map(|n| crate::collection::vec(0..10u8, n))) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+        }
+    }
+}
