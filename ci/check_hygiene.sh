@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Source hygiene: every crate root must forbid unsafe code and deny
+# missing docs. Run from the repository root; exits non-zero listing
+# the offending files.
+set -u
+
+fail=0
+roots=(src/lib.rs crates/*/src/lib.rs crates/*/src/main.rs vendor/*/src/lib.rs)
+
+for root in "${roots[@]}"; do
+  [ -f "$root" ] || continue
+  if ! grep -q '^#!\[forbid(unsafe_code)\]$' "$root"; then
+    echo "hygiene: $root is missing #![forbid(unsafe_code)]" >&2
+    fail=1
+  fi
+  if ! grep -q '^#!\[deny(missing_docs)\]$' "$root"; then
+    echo "hygiene: $root is missing #![deny(missing_docs)]" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "hygiene: add the attributes at the crate root (see DESIGN.md)" >&2
+  exit 1
+fi
+echo "hygiene: all crate roots forbid unsafe_code and deny missing_docs"

@@ -1,0 +1,148 @@
+//! Coverage analysis: which relations can appear in a *complete* query?
+//!
+//! The Table 1 trap of the paper, generalized. A statement
+//! `Compl(pupil(…); class(…))` with `class` heading no statement can
+//! never discharge its condition during the specialization search — and
+//! the trap propagates: if *every* statement guaranteeing `pupil` is
+//! stuck this way, no complete query may mention `pupil` either.
+//!
+//! [`guaranteeable_relations`] computes the **greatest** set `A` of
+//! relations such that every `R ∈ A` heads at least one statement whose
+//! condition relations all lie in `A` (a greatest-fixpoint / coinductive
+//! definition). Its complement — the *dead* relations — cannot occur in
+//! any complete query:
+//!
+//! > **Claim.** If a query `Q` is complete wrt `C` and contains an atom
+//! > over `R`, then `R ∈ A`.
+//!
+//! *Proof sketch* (induction on the round in which `R` is removed from
+//! the working set). By Theorem 3, completeness of `Q` means the frozen
+//! head is an answer of `Q` over `T_C(D_Q)`, so `T_C(D_Q)` contains an
+//! `R`-fact for every relation `R` of `Q`'s body. Round 0: a headless `R`
+//! never gains facts under `T_C` — contradiction. Round `k`: every
+//! statement heading `R` has a condition relation `S` removed in an
+//! earlier round; for the `R`-fact to be derived, some such statement
+//! must fire over `D_Q`, which requires an `S`-atom *in `Q`'s body* (the
+//! canonical database has no other facts) — and by induction no complete
+//! query contains an `S`-atom. ∎
+//!
+//! The greatest fixpoint (rather than a least fixpoint seeded from
+//! unconditional statements) is essential for soundness-of-the-complement:
+//! cyclic statement sets can be self-supporting. In the Theorem 17 flight
+//! example, `Compl(conn(…); conn(…))` keeps `conn` alive — complete
+//! specializations over `conn` do exist — and a least fixpoint would
+//! wrongly declare `conn` dead.
+//!
+//! Consequently: a query containing a dead-relation atom has **no**
+//! complete specialization at all (specializing only adds atoms and
+//! instantiates variables, never removes a relation symbol), so the
+//! k-MCS set is empty for every `k` — detected *before* running the
+//! exponential Algorithm 3 search.
+
+use std::collections::BTreeSet;
+
+use magik_completeness::TcSet;
+use magik_relalg::Pred;
+
+/// The greatest set of relations `A` such that each member heads a
+/// statement whose condition relations all lie in `A`. See the module
+/// docs: relations *outside* this set can appear in no complete query.
+pub fn guaranteeable_relations(tcs: &TcSet) -> BTreeSet<Pred> {
+    let mut alive: BTreeSet<Pred> = tcs.statements().iter().map(|c| c.head.pred).collect();
+    loop {
+        let supported: BTreeSet<Pred> = alive
+            .iter()
+            .copied()
+            .filter(|&p| {
+                tcs.for_pred(p)
+                    .any(|c| c.condition.iter().all(|g| alive.contains(&g.pred)))
+            })
+            .collect();
+        if supported.len() == alive.len() {
+            return alive;
+        }
+        alive = supported;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magik_completeness::TcStatement;
+    use magik_relalg::{Atom, Term, Vocabulary};
+
+    fn stmt(v: &mut Vocabulary, head: (&str, usize), conds: &[(&str, usize)]) -> TcStatement {
+        let mut mk = |name: &str, arity: usize| {
+            let p = v.pred(name, arity);
+            let args = (0..arity)
+                .map(|i| Term::Var(v.var(&format!("X{i}"))))
+                .collect();
+            Atom::new(p, args)
+        };
+        let head = mk(head.0, head.1);
+        let condition = conds.iter().map(|&(n, a)| mk(n, a)).collect();
+        TcStatement::new(head, condition)
+    }
+
+    #[test]
+    fn unconditional_statements_are_alive() {
+        let mut v = Vocabulary::new();
+        let tcs = TcSet::new(vec![stmt(&mut v, ("school", 3), &[])]);
+        let alive = guaranteeable_relations(&tcs);
+        assert!(alive.contains(&v.pred("school", 3)));
+    }
+
+    #[test]
+    fn table1_trap_propagates_transitively() {
+        // pupil is guaranteed only modulo class; class heads nothing.
+        // Both are dead — and so is `learns`, guaranteed only modulo
+        // pupil.
+        let mut v = Vocabulary::new();
+        let tcs = TcSet::new(vec![
+            stmt(&mut v, ("pupil", 3), &[("class", 4)]),
+            stmt(&mut v, ("learns", 2), &[("pupil", 3)]),
+        ]);
+        let alive = guaranteeable_relations(&tcs);
+        assert!(alive.is_empty());
+    }
+
+    #[test]
+    fn one_good_statement_keeps_a_relation_alive() {
+        // pupil has a stuck statement AND an unconditional one: alive.
+        let mut v = Vocabulary::new();
+        let tcs = TcSet::new(vec![
+            stmt(&mut v, ("pupil", 3), &[("class", 4)]),
+            stmt(&mut v, ("pupil", 3), &[]),
+        ]);
+        let alive = guaranteeable_relations(&tcs);
+        assert!(alive.contains(&v.pred("pupil", 3)));
+        assert!(!alive.contains(&v.pred("class", 4)));
+    }
+
+    #[test]
+    fn self_supporting_cycle_stays_alive() {
+        // The Theorem 17 shape: conn conditioned on conn. A least
+        // fixpoint would kill it; the greatest fixpoint must not.
+        let mut v = Vocabulary::new();
+        let tcs = TcSet::new(vec![stmt(&mut v, ("conn", 2), &[("conn", 2)])]);
+        let alive = guaranteeable_relations(&tcs);
+        assert!(alive.contains(&v.pred("conn", 2)));
+    }
+
+    #[test]
+    fn cycle_with_a_dead_entry_point_dies() {
+        // mutual cycle p ↔ q is self-supporting, but r depends on a
+        // headless s even though r also feeds the cycle.
+        let mut v = Vocabulary::new();
+        let tcs = TcSet::new(vec![
+            stmt(&mut v, ("p", 1), &[("q", 1)]),
+            stmt(&mut v, ("q", 1), &[("p", 1)]),
+            stmt(&mut v, ("r", 1), &[("s", 1)]),
+        ]);
+        let alive = guaranteeable_relations(&tcs);
+        assert!(alive.contains(&v.pred("p", 1)));
+        assert!(alive.contains(&v.pred("q", 1)));
+        assert!(!alive.contains(&v.pred("r", 1)));
+        assert!(!alive.contains(&v.pred("s", 1)));
+    }
+}

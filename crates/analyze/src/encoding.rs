@@ -1,0 +1,166 @@
+//! Dependency-graph checks on the Section 5 Datalog encoding of `T_C`
+//! (M015–M017).
+//!
+//! The encoding turns every statement `Compl(R(s̄); G)` into the rule
+//! `R@a(s̄) ← R@i(s̄), G@i` ([`magik_completeness::tc_encoding`]). As a
+//! Datalog program this is flat — all heads are `@a` relations, all body
+//! atoms `@i` relations — so the interesting structure lives in the
+//! *bridged* graph where consuming `S@i` may in turn require the rules
+//! producing `S@a` (the specialization search discharges a condition on
+//! `S` by making the `S`-part of the query provably complete).
+//!
+//! * **M015/M016 — recursion cycles.** A cycle in the statement
+//!   dependency graph means specializations can grow without bound
+//!   (Theorem 17) — unless the set is *weakly acyclic*, in which case
+//!   sizes stay bounded and the cycle is only worth an info note.
+//! * **M017 — unused rules.** A rule (statement) whose `@a` relation is
+//!   not reachable from any query's relations through the bridged graph
+//!   contributes nothing to reasoning about this document's queries.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use magik_completeness::{tc_encoding, TcSet};
+use magik_relalg::{DisplayWith, Pred, Query, Vocabulary};
+
+use crate::diag::{Code, Diagnostic, Location, StatementPart};
+
+/// Runs the encoding checks. Interns the `@i`/`@a` relation variants
+/// into `vocab` (the only reason it is mutable).
+pub(crate) fn encoding_diags(
+    tcs: &TcSet,
+    queries: &[Query],
+    vocab: &mut Vocabulary,
+) -> Vec<Diagnostic> {
+    if tcs.is_empty() {
+        return Vec::new();
+    }
+    let (program, ideal, avail) = tc_encoding(tcs, vocab);
+    let mut out = Vec::new();
+
+    // M015/M016: cycles in the statement dependency graph.
+    if !tcs.is_acyclic() {
+        let cyclic = cyclic_preds(&tcs.dependency_graph());
+        let names = cyclic
+            .iter()
+            .map(|&p| format!("`{}`", vocab.pred_name(p)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let location = tcs
+            .statements()
+            .iter()
+            .position(|c| cyclic.contains(&c.head.pred))
+            .map_or(Location::Document, |i| Location::Statement {
+                index: i,
+                part: StatementPart::Whole,
+            });
+        if tcs.is_weakly_acyclic() {
+            out.push(
+                Diagnostic::new(
+                    Code::BoundedRecursion,
+                    location,
+                    format!("statement dependencies are recursive (cycle through {names})"),
+                )
+                .with_note(
+                    "the set is weakly acyclic, so MCS sizes remain bounded despite the cycle",
+                ),
+            );
+        } else {
+            out.push(
+                Diagnostic::new(
+                    Code::UnboundedRecursion,
+                    location,
+                    format!(
+                        "statement dependencies contain a cycle through {names} that is not \
+                         weakly acyclic"
+                    ),
+                )
+                .with_note(
+                    "maximal complete specializations can grow without bound (Theorem 17); \
+                     only the k-bounded MCS search terminates",
+                ),
+            );
+        }
+    }
+
+    // M017: rules unreachable from every query.
+    if !queries.is_empty() {
+        let dep = program.dependency_graph();
+        let ideal_back: BTreeMap<Pred, Pred> = ideal.iter().map(|(&r, &ri)| (ri, r)).collect();
+        let mut seen: BTreeSet<Pred> = BTreeSet::new();
+        let mut stack: Vec<Pred> = Vec::new();
+        for q in queries {
+            for atom in &q.body {
+                if let Some(&ra) = avail.get(&atom.pred) {
+                    if seen.insert(ra) {
+                        stack.push(ra);
+                    }
+                }
+            }
+        }
+        while let Some(p) = stack.pop() {
+            for &d in dep.get(&p).into_iter().flatten() {
+                if seen.insert(d) {
+                    stack.push(d);
+                }
+                // Bridge: needing S@i means the rules producing S@a may
+                // fire to discharge the condition on S.
+                if let Some(&r) = ideal_back.get(&d) {
+                    if let Some(&ra) = avail.get(&r) {
+                        if seen.insert(ra) {
+                            stack.push(ra);
+                        }
+                    }
+                }
+            }
+        }
+        for (i, c) in tcs.statements().iter().enumerate() {
+            if !seen.contains(&avail[&c.head.pred]) {
+                out.push(
+                    Diagnostic::new(
+                        Code::UnusedStatement,
+                        Location::Statement {
+                            index: i,
+                            part: StatementPart::Whole,
+                        },
+                        format!(
+                            "statement is unused: no query in the document reaches relation `{}`",
+                            vocab.pred_name(c.head.pred)
+                        ),
+                    )
+                    .with_note(format!(
+                        "its encoding rule `{}` is unreachable from every query's relations",
+                        program.rules()[i].display(vocab)
+                    )),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// The predicates lying on a cycle of `graph` (edges `p → deps`).
+fn cyclic_preds(graph: &BTreeMap<Pred, BTreeSet<Pred>>) -> BTreeSet<Pred> {
+    let mut cyclic = BTreeSet::new();
+    for &start in graph.keys() {
+        // DFS from the successors of `start`; reaching `start` again
+        // closes a cycle. Graphs here are statement signatures — tiny.
+        let mut stack: Vec<Pred> = graph[&start].iter().copied().collect();
+        let mut seen: BTreeSet<Pred> = stack.iter().copied().collect();
+        let mut found = false;
+        while let Some(p) = stack.pop() {
+            if p == start {
+                found = true;
+                break;
+            }
+            for &d in graph.get(&p).into_iter().flatten() {
+                if seen.insert(d) {
+                    stack.push(d);
+                }
+            }
+        }
+        if found {
+            cyclic.insert(start);
+        }
+    }
+    cyclic
+}

@@ -1,0 +1,565 @@
+//! The analysis passes: statement checks, query checks, vocabulary and
+//! fact checks, assembled by [`analyze_document`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use magik_completeness::keys::ChaseOutcome;
+use magik_completeness::lint::Lint;
+use magik_completeness::{chase_query, lint, ConstraintSet, TcSet};
+use magik_parser::{Document, DocumentSpans, Span};
+use magik_relalg::{DisplayWith, Pred, Query, Vocabulary};
+
+use crate::coverage::guaranteeable_relations;
+use crate::diag::{Code, Diagnostic, Location, QueryPart, StatementPart};
+use crate::encoding::encoding_diags;
+
+/// Analyzes a whole parsed document: statements (M001–M005), queries
+/// (M006–M010), vocabulary (M011–M012), stored facts (M013–M014), and
+/// the Section 5 Datalog encoding (M015–M017). Diagnostics come back
+/// with spans resolved against the document's side tables and sorted in
+/// source order.
+///
+/// The vocabulary is mutable because the encoding pass interns the
+/// `R@i`/`R@a` relation variants; no other name is added.
+pub fn analyze_document(doc: &Document, vocab: &mut Vocabulary) -> Vec<Diagnostic> {
+    let mut diags = analyze_statements(&doc.tcs, &doc.constraints, vocab);
+
+    // M011 first: an unknown relation suppresses the dead-relation
+    // diagnostic on the same atom (the typo explains the deadness).
+    let unknown = unknown_relation_atoms(doc);
+    for &(qi, ai) in &unknown {
+        let atom = &doc.queries[qi].body[ai];
+        diags.push(
+            Diagnostic::new(
+                Code::UnknownRelation,
+                Location::Query {
+                    index: qi,
+                    part: QueryPart::Atom(ai),
+                },
+                format!(
+                    "relation `{}/{}` occurs nowhere else in the document",
+                    vocab.pred_name(atom.pred),
+                    vocab.arity(atom.pred)
+                ),
+            )
+            .with_note(
+                "no statement, fact or constraint mentions it — is the name misspelled?"
+                    .to_string(),
+            ),
+        );
+    }
+
+    let alive = guaranteeable_relations(&doc.tcs);
+    for (i, q) in doc.queries.iter().enumerate() {
+        let skip: BTreeSet<usize> = unknown
+            .iter()
+            .filter(|&&(qi, _)| qi == i)
+            .map(|&(_, ai)| ai)
+            .collect();
+        diags.extend(query_diags(
+            i,
+            q,
+            &doc.tcs,
+            &doc.constraints,
+            &alive,
+            &skip,
+            vocab,
+        ));
+    }
+
+    diags.extend(arity_conflicts(doc, vocab));
+    diags.extend(fact_diags(doc, vocab));
+    diags.extend(encoding_diags(&doc.tcs, &doc.queries, vocab));
+
+    for d in &mut diags {
+        d.span = resolve_span(&d.location, &doc.spans);
+    }
+    diags.sort_by(|a, b| {
+        let key = |d: &Diagnostic| {
+            d.span
+                .map_or((usize::MAX, usize::MAX), |s| (s.start, s.end))
+        };
+        key(a)
+            .cmp(&key(b))
+            .then_with(|| a.location.cmp(&b.location))
+            .then_with(|| a.code.cmp(&b.code))
+    });
+    diags
+}
+
+/// Statement-set checks M001–M005. Diagnostics carry logical locations
+/// only (no spans) — [`analyze_document`] resolves spans afterwards.
+pub fn analyze_statements(
+    tcs: &TcSet,
+    constraints: &ConstraintSet,
+    vocab: &Vocabulary,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let statements = tcs.statements();
+    for l in lint(tcs) {
+        out.push(match l {
+            Lint::Duplicate { first, second } => Diagnostic::new(
+                Code::DuplicateStatement,
+                Location::Statement {
+                    index: second,
+                    part: StatementPart::Whole,
+                },
+                format!(
+                    "statement duplicates statement [{first}] `{}` up to renaming",
+                    statements[first].display(vocab)
+                ),
+            ),
+            Lint::Subsumed { subsumed, by } => Diagnostic::new(
+                Code::SubsumedStatement,
+                Location::Statement {
+                    index: subsumed,
+                    part: StatementPart::Whole,
+                },
+                format!(
+                    "statement is subsumed by the more general statement [{by}] `{}`",
+                    statements[by].display(vocab)
+                ),
+            )
+            .with_note("everything this statement guarantees is already guaranteed"),
+            Lint::SelfConditioned { statement } => {
+                let c = &statements[statement];
+                let part = c
+                    .condition
+                    .iter()
+                    .position(|g| g.pred == c.head.pred)
+                    .map_or(StatementPart::Whole, StatementPart::Condition);
+                Diagnostic::new(
+                    Code::SelfConditioned,
+                    Location::Statement {
+                        index: statement,
+                        part,
+                    },
+                    format!(
+                        "statement conditions on its own relation `{}`",
+                        vocab.pred_name(c.head.pred)
+                    ),
+                )
+                .with_note(
+                    "the guarantee never bottoms out: maximal complete specializations \
+                     may not exist (cf. Theorem 17)",
+                )
+            }
+            Lint::UnguaranteeableCondition { statement, pred } => {
+                let c = &statements[statement];
+                let part = c
+                    .condition
+                    .iter()
+                    .position(|g| g.pred == pred)
+                    .map_or(StatementPart::Whole, StatementPart::Condition);
+                Diagnostic::new(
+                    Code::UnguaranteeableCondition,
+                    Location::Statement {
+                        index: statement,
+                        part,
+                    },
+                    format!(
+                        "condition relation `{}` is never guaranteed",
+                        vocab.pred_name(pred)
+                    ),
+                )
+                .with_note(format!(
+                    "no statement heads `{}`: specializations through this condition \
+                     can never be completed",
+                    vocab.pred_name(pred)
+                ))
+            }
+        });
+    }
+
+    // M005: dead statements — the statement pattern itself is
+    // unsatisfiable under the integrity constraints, so it can never
+    // fire and its guarantee is vacuous.
+    for (i, c) in statements.iter().enumerate() {
+        let aq = c.associated_query();
+        let location = Location::Statement {
+            index: i,
+            part: StatementPart::Whole,
+        };
+        if constraints.variable_domains(&aq).is_err() {
+            out.push(
+                Diagnostic::new(
+                    Code::DeadStatement,
+                    location,
+                    "statement is dead: its atoms violate the finite-domain constraints",
+                )
+                .with_note("no valid ideal instance matches the pattern; the guarantee is vacuous"),
+            );
+        } else if matches!(
+            chase_query(&aq, constraints.keys()),
+            ChaseOutcome::Unsatisfiable
+        ) {
+            out.push(
+                Diagnostic::new(
+                    Code::DeadStatement,
+                    location,
+                    "statement is dead: its atoms are inconsistent with the key constraints",
+                )
+                .with_note("the key chase fails on distinct constants; the guarantee is vacuous"),
+            );
+        }
+    }
+    out
+}
+
+/// Query checks M006–M010 for a single query. `index` is the query's
+/// document position, used only for the diagnostic locations.
+pub fn analyze_query(
+    index: usize,
+    q: &Query,
+    tcs: &TcSet,
+    constraints: &ConstraintSet,
+    vocab: &Vocabulary,
+) -> Vec<Diagnostic> {
+    let alive = guaranteeable_relations(tcs);
+    query_diags(index, q, tcs, constraints, &alive, &BTreeSet::new(), vocab)
+}
+
+fn query_diags(
+    index: usize,
+    q: &Query,
+    tcs: &TcSet,
+    constraints: &ConstraintSet,
+    alive: &BTreeSet<Pred>,
+    skip_atoms: &BTreeSet<usize>,
+    vocab: &Vocabulary,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let name = vocab.name(q.name);
+
+    // M006: safety / range restriction. An unsafe query cannot be
+    // evaluated or generalized, so the remaining checks are skipped.
+    if !q.is_safe() {
+        let missing: Vec<&str> = q
+            .head_vars()
+            .difference(&q.body_vars())
+            .map(|&v| vocab.var_name(v))
+            .collect();
+        out.push(
+            Diagnostic::new(
+                Code::UnsafeQuery,
+                Location::Query {
+                    index,
+                    part: QueryPart::Head,
+                },
+                format!(
+                    "query `{name}` is not range-restricted: head variable{} {} never occur{} \
+                     in the body",
+                    if missing.len() == 1 { "" } else { "s" },
+                    missing
+                        .iter()
+                        .map(|m| format!("`{m}`"))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    if missing.len() == 1 { "s" } else { "" },
+                ),
+            )
+            .with_note("the query cannot be evaluated; every head variable must be bound"),
+        );
+        return out;
+    }
+
+    // M007: unsatisfiability under the integrity constraints.
+    let mut unsat = false;
+    if constraints.variable_domains(q).is_err() {
+        unsat = true;
+        out.push(
+            Diagnostic::new(
+                Code::UnsatisfiableQuery,
+                Location::Query {
+                    index,
+                    part: QueryPart::Whole,
+                },
+                format!("query `{name}` is unsatisfiable under the finite-domain constraints"),
+            )
+            .with_note("it has no answers over any valid instance and is trivially complete"),
+        );
+    } else if matches!(
+        chase_query(q, constraints.keys()),
+        ChaseOutcome::Unsatisfiable
+    ) {
+        unsat = true;
+        out.push(
+            Diagnostic::new(
+                Code::UnsatisfiableQuery,
+                Location::Query {
+                    index,
+                    part: QueryPart::Whole,
+                },
+                format!("query `{name}` is inconsistent with the key constraints"),
+            )
+            .with_note(
+                "it has no answers over any key-consistent instance and is trivially complete",
+            ),
+        );
+    }
+
+    if !unsat && !q.body.is_empty() {
+        // M008: dead-relation atoms — no complete specialization exists.
+        let headed: BTreeSet<Pred> = tcs.statements().iter().map(|c| c.head.pred).collect();
+        for (ai, atom) in q.body.iter().enumerate() {
+            if skip_atoms.contains(&ai) || alive.contains(&atom.pred) {
+                continue;
+            }
+            let pred_name = vocab.pred_name(atom.pred);
+            let reason = if headed.contains(&atom.pred) {
+                format!(
+                    "every statement guaranteeing `{pred_name}` conditions on a relation that \
+                     is itself transitively unguaranteeable"
+                )
+            } else {
+                format!("no statement heads `{pred_name}`")
+            };
+            out.push(
+                Diagnostic::new(
+                    Code::DeadQueryAtom,
+                    Location::Query {
+                        index,
+                        part: QueryPart::Atom(ai),
+                    },
+                    format!(
+                        "no complete query can contain `{}`: relation `{pred_name}` is \
+                         transitively unguaranteeable",
+                        atom.display(vocab)
+                    ),
+                )
+                .with_note(reason)
+                .with_note("the k-MCS set of this query is empty for every k"),
+            );
+        }
+
+        // M009: a head variable occurring only in atoms over relations
+        // that head no statement loses all its occurrences under G_C —
+        // the MCG does not exist.
+        for &v in &q.head_vars() {
+            let occurrences: Vec<&magik_relalg::Atom> = q
+                .body
+                .iter()
+                .filter(|a| a.args.contains(&magik_relalg::Term::Var(v)))
+                .collect();
+            if !occurrences.is_empty() && occurrences.iter().all(|a| !headed.contains(&a.pred)) {
+                out.push(
+                    Diagnostic::new(
+                        Code::NoMcg,
+                        Location::Query {
+                            index,
+                            part: QueryPart::Head,
+                        },
+                        format!(
+                            "head variable `{}` occurs only in atoms whose relations head no \
+                             statement: the MCG of `{name}` does not exist",
+                            vocab.var_name(v)
+                        ),
+                    )
+                    .with_note(
+                        "generalization drops every atom that can bind it, leaving the head unsafe",
+                    ),
+                );
+            }
+        }
+    }
+
+    // M010: static resource bounds for the reasoning algorithms.
+    if !unsat && !q.body.is_empty() && !tcs.is_empty() {
+        let iters = q.body.len() + 1;
+        let mut d = Diagnostic::new(
+            Code::FixpointBound,
+            Location::Query {
+                index,
+                part: QueryPart::Whole,
+            },
+            format!(
+                "the MCG fixpoint for `{name}` converges within {iters} iterations \
+                 (each pass drops at least one of the {} body atoms or stops)",
+                q.body.len()
+            ),
+        );
+        d = match tcs.mcs_size_bound(q) {
+            Some(bound) => d.with_note(format!(
+                "any maximal complete specialization has at most {bound} body atoms (Theorem 18)"
+            )),
+            None => d.with_note(
+                "the statement set is cyclic: no general bound on MCS sizes (Theorem 17)",
+            ),
+        };
+        out.push(d);
+    }
+    out
+}
+
+/// Query body atoms whose relation occurs nowhere else in the document
+/// (M011). Only meaningful when the document carries completeness
+/// metadata at all — with no statements every relation would be
+/// "unknown" and the diagnostic pure noise.
+fn unknown_relation_atoms(doc: &Document) -> Vec<(usize, usize)> {
+    if doc.tcs.is_empty() {
+        return Vec::new();
+    }
+    let mut occurrences: BTreeMap<Pred, usize> = BTreeMap::new();
+    let mut count = |p: Pred| *occurrences.entry(p).or_insert(0) += 1;
+    for c in doc.tcs.statements() {
+        count(c.head.pred);
+        c.condition.iter().for_each(|a| count(a.pred));
+    }
+    for q in &doc.queries {
+        q.body.iter().for_each(|a| count(a.pred));
+    }
+    for f in doc.facts.iter_facts() {
+        count(f.pred);
+    }
+    for d in doc.constraints.domains() {
+        count(d.pred);
+    }
+    for k in doc.constraints.keys() {
+        count(k.pred);
+    }
+    let mut out = Vec::new();
+    for (qi, q) in doc.queries.iter().enumerate() {
+        for (ai, atom) in q.body.iter().enumerate() {
+            if occurrences.get(&atom.pred) == Some(&1) {
+                out.push((qi, ai));
+            }
+        }
+    }
+    out
+}
+
+/// M012: one relation name used at several arities across the document.
+/// A single parse forbids this, but documents assembled incrementally
+/// (e.g. over a server session) can reach this state.
+fn arity_conflicts(doc: &Document, vocab: &Vocabulary) -> Vec<Diagnostic> {
+    let mut used: BTreeSet<Pred> = doc.tcs.signature();
+    for q in &doc.queries {
+        used.extend(q.body.iter().map(|a| a.pred));
+    }
+    used.extend(doc.facts.iter_facts().map(|f| f.pred));
+    used.extend(doc.constraints.domains().iter().map(|d| d.pred));
+    used.extend(doc.constraints.keys().iter().map(|k| k.pred));
+
+    let mut by_name: BTreeMap<&str, BTreeSet<usize>> = BTreeMap::new();
+    for &p in &used {
+        by_name
+            .entry(vocab.pred_name(p))
+            .or_default()
+            .insert(vocab.arity(p));
+    }
+    by_name
+        .into_iter()
+        .filter(|(_, arities)| arities.len() > 1)
+        .map(|(name, arities)| {
+            let list = arities
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(" and ");
+            Diagnostic::new(
+                Code::ArityConflict,
+                Location::Document,
+                format!("relation name `{name}` is used at arities {list}"),
+            )
+            .with_note(
+                "same-name relations of different arity are unrelated; this is usually a typo",
+            )
+        })
+        .collect()
+}
+
+/// M013/M014: stored facts violating the integrity constraints.
+fn fact_diags(doc: &Document, vocab: &Vocabulary) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // Facts in parse order with their locations when the document was
+    // parsed; fall back to instance order for programmatic documents.
+    let facts: Vec<(magik_relalg::Fact, Location)> = if doc.spans.facts.is_empty() {
+        doc.facts
+            .iter_facts()
+            .map(|f| (f, Location::Document))
+            .collect()
+    } else {
+        doc.spans
+            .facts
+            .iter()
+            .enumerate()
+            .map(|(i, (f, _))| (f.clone(), Location::Fact { index: i }))
+            .collect()
+    };
+
+    for (fact, location) in &facts {
+        for (column, &value) in fact.args.iter().enumerate() {
+            let Some(allowed) = doc.constraints.allowed(fact.pred, column) else {
+                continue;
+            };
+            if !allowed.contains(&value) {
+                out.push(
+                    Diagnostic::new(
+                        Code::DomainViolationFact,
+                        *location,
+                        format!(
+                            "fact `{}` violates the finite-domain constraint on column {column} \
+                             of `{}`",
+                            fact.display(vocab),
+                            vocab.pred_name(fact.pred)
+                        ),
+                    )
+                    .with_note(format!(
+                        "`{}` is not among the allowed values",
+                        value.display(vocab)
+                    )),
+                );
+            }
+        }
+    }
+
+    for key in doc.constraints.keys() {
+        if let Err(violation) = key.check_instance(&doc.facts) {
+            let (a, b) = &violation.facts;
+            let location = facts
+                .iter()
+                .find(|(f, _)| f == a || f == b)
+                .map_or(Location::Document, |(_, l)| *l);
+            out.push(
+                Diagnostic::new(
+                    Code::KeyViolationFacts,
+                    location,
+                    format!(
+                        "facts `{}` and `{}` agree on the key of `{}` but differ elsewhere",
+                        a.display(vocab),
+                        b.display(vocab),
+                        vocab.pred_name(key.pred)
+                    ),
+                )
+                .with_note(format!("violated key: `{}`", key.display(vocab))),
+            );
+        }
+    }
+    out
+}
+
+/// Maps a logical location to a span through the document's side tables.
+fn resolve_span(loc: &Location, spans: &DocumentSpans) -> Option<Span> {
+    match *loc {
+        Location::Document => None,
+        Location::Statement { index, part } => {
+            let s = spans.statements.get(index)?;
+            Some(match part {
+                StatementPart::Whole => s.item,
+                StatementPart::Head => s.head,
+                StatementPart::Condition(i) => *s.condition.get(i)?,
+            })
+        }
+        Location::Query { index, part } => {
+            let s = spans.queries.get(index)?;
+            Some(match part {
+                QueryPart::Whole => s.item,
+                QueryPart::Head => s.head,
+                QueryPart::Atom(i) => *s.body.get(i)?,
+            })
+        }
+        Location::Fact { index } => spans.facts.get(index).map(|(_, s)| *s),
+        Location::Domain { index } => spans.domains.get(index).copied(),
+        Location::Key { index } => spans.keys.get(index).copied(),
+    }
+}

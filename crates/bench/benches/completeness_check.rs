@@ -41,7 +41,7 @@ fn bench_scaling_in_statements(c: &mut Criterion) {
                     || vocab.clone(),
                     |mut vocab| is_complete_via_datalog(&q, &tcs, &mut vocab),
                     criterion::BatchSize::SmallInput,
-                )
+                );
             },
         );
     }
@@ -71,7 +71,7 @@ fn bench_scaling_in_query_size(c: &mut Criterion) {
             &mut vocab,
         );
         group.bench_with_input(BenchmarkId::from_parameter(atoms), &atoms, |b, _| {
-            b.iter(|| is_complete(&q, &tcs))
+            b.iter(|| is_complete(&q, &tcs));
         });
     }
     group.finish();

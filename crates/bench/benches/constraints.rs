@@ -56,7 +56,7 @@ fn bench_case_split(c: &mut Criterion) {
                 |b, ()| {
                     b.iter(|| {
                         assert!(is_complete_under(&q, &tcs, &constraints));
-                    })
+                    });
                 },
             );
         }

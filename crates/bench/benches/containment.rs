@@ -30,7 +30,7 @@ fn bench_self_containment(c: &mut Criterion) {
                 &mut vocab,
             );
             group.bench_with_input(BenchmarkId::new(format!("{shape:?}"), atoms), &q, |b, q| {
-                b.iter(|| assert!(is_contained_in(q, q)))
+                b.iter(|| assert!(is_contained_in(q, q)));
             });
         }
     }

@@ -23,7 +23,7 @@ fn bench_cascade(c: &mut Criterion) {
                 let (result, stats) = mcg_with_stats(&q, &tcs);
                 assert_eq!(stats.iterations, depth + 1);
                 result
-            })
+            });
         });
     }
     group.finish();

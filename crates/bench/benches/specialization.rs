@@ -40,7 +40,7 @@ fn bench_specialization(c: &mut Criterion) {
                                 )
                             },
                             criterion::BatchSize::SmallInput,
-                        )
+                        );
                     },
                 );
             }

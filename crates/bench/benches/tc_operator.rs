@@ -29,14 +29,14 @@ fn bench_tc(c: &mut Criterion) {
         );
         group.throughput(Throughput::Elements(db.len() as u64));
         group.bench_with_input(BenchmarkId::new("direct", db.len()), &db, |b, db| {
-            b.iter(|| tc_apply(&w.tcs, db))
+            b.iter(|| tc_apply(&w.tcs, db));
         });
         group.bench_with_input(BenchmarkId::new("datalog", db.len()), &db, |b, db| {
             b.iter_batched(
                 || vocab.clone(),
                 |mut vocab| tc_apply_datalog(&w.tcs, db, &mut vocab),
                 criterion::BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();

@@ -124,7 +124,7 @@ fn main() -> ExitCode {
         .map(|k| {
             paper
                 .get(k)
-                .map_or_else(|| "-".to_owned(), |s| s.to_string())
+                .map_or_else(|| "-".to_owned(), std::string::ToString::to_string)
         })
         .collect();
     if !args.satisfiable {

@@ -3,6 +3,8 @@
 //! The actual experiments live in `benches/` (criterion microbenchmarks,
 //! one per experiment id of `DESIGN.md`) and in `src/bin/table1.rs` (the
 //! end-to-end reproduction of the paper's Table 1).
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 use std::time::{Duration, Instant};
 

@@ -14,7 +14,9 @@
 //! ```
 //!
 //! `<file>` may be `-` for stdin. Exit code 0 on success, 1 on usage
-//! errors, 2 on parse errors.
+//! errors, 2 on parse errors (3 for denied `analyze` diagnostics).
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -22,10 +24,11 @@ use std::process::ExitCode;
 mod repl;
 
 use magik::{
-    answers, classify_answers, count_bounds, counterexample, explain_check, is_complete,
-    is_complete_under, k_mcs, lint, mcg_under, mcg_with_stats, parse_document, publishable_counts,
-    render_counterexample, render_explanation, semantics::IncompleteDatabase, tc_apply,
-    DisplayWith, Document, Engine, KMcsEngine, KMcsOptions, Server, Vocabulary,
+    analyze_document, answers, classify_answers, count_bounds, counterexample, explain_check,
+    is_complete, is_complete_under, k_mcs, lint, mcg_under, mcg_with_stats, parse_document,
+    publishable_counts, render_counterexample, render_explanation, render_json, render_report,
+    semantics::IncompleteDatabase, tc_apply, DisplayWith, Document, Engine, KMcsEngine,
+    KMcsOptions, Server, Severity, SourceFile, Vocabulary,
 };
 
 const USAGE: &str = "usage: magik <check|generalize|specialize|eval|explain> <file> [options]
@@ -41,6 +44,12 @@ commands:
   why        <file>                 per-atom completeness explanation and,
                                     for incomplete queries, a counterexample
   explain    <file>                 statement-set diagnostics and lints
+  analyze    <file> [--format text|json] [--deny infos|warnings|errors]
+                                    static analysis: span-annotated M0xx
+                                    diagnostics for statements, queries,
+                                    facts and the Datalog encoding; exit 3
+                                    if any diagnostic reaches the --deny
+                                    level (default: errors)
   simulate   <file>                 treat facts as the ideal state and show
                                     which query answers are at risk
   repl       [file]                 interactive session (optionally seeded
@@ -333,6 +342,74 @@ fn cmd_simulate(vocab: &Vocabulary, doc: &Document) {
     }
 }
 
+/// `magik analyze <file> [--format text|json] [--deny LEVEL]` — run the
+/// static analyzer and render its report. Exit codes: 0 clean (below the
+/// deny level), 1 usage error, 2 parse error, 3 diagnostics at or above
+/// the deny level.
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut deny = Severity::Error;
+    let mut file = None;
+    let mut rest = args.iter();
+    while let Some(opt) = rest.next() {
+        match opt.as_str() {
+            "--format" => match rest.next().map(String::as_str) {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                _ => {
+                    eprintln!("magik: --format requires `text` or `json`");
+                    return ExitCode::from(1);
+                }
+            },
+            "--deny" => match rest.next().and_then(|v| Severity::parse(v)) {
+                Some(level) => deny = level,
+                None => {
+                    eprintln!("magik: --deny requires `infos`, `warnings` or `errors`");
+                    return ExitCode::from(1);
+                }
+            },
+            other if other == "-" || (!other.starts_with('-') && file.is_none()) => {
+                file = Some(other.to_string());
+            }
+            other => {
+                eprintln!("magik: unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let Some(path) = file else {
+        eprintln!("magik: missing <file>\n{USAGE}");
+        return ExitCode::from(1);
+    };
+    let src = match read_input(&path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("magik: cannot read `{path}`: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let mut vocab = Vocabulary::new();
+    let doc = match parse_document(&src, &mut vocab) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("magik: {path}:{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diags = analyze_document(&doc, &mut vocab);
+    let source = SourceFile::new(&path, &src);
+    if json {
+        println!("{}", render_json(&diags, Some(&source)));
+    } else {
+        print!("{}", render_report(&diags, Some(&source)));
+    }
+    if diags.iter().any(|d| d.severity >= deny) {
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// `magik serve [--addr HOST:PORT] [--workers N] [file]` — run the TCP
 /// completeness service (see `magik-server`), optionally preloading the
 /// TCS and facts of a document. Blocks until killed.
@@ -404,6 +481,9 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(1);
     };
+    if command == "analyze" {
+        return cmd_analyze(&args[1..]);
+    }
     if command == "serve" {
         return cmd_serve(&args[1..]);
     }

@@ -272,6 +272,105 @@ mod tests {
     }
 
     #[test]
+    fn repeated_variables_across_atoms_are_distinguished() {
+        // r(X, Y), s(Y) joins the atoms; r(X, Y), s(Z) does not. The
+        // atoms' local patterns agree, so only the global refinement can
+        // tell them apart.
+        let mut v = Vocabulary::new();
+        let r = v.pred("r", 2);
+        let s = v.pred("s", 1);
+        let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+        let joined = Query::new(
+            v.sym("q"),
+            vec![Term::Var(x)],
+            vec![
+                Atom::new(r, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(s, vec![Term::Var(y)]),
+            ],
+        );
+        let split = Query::new(
+            v.sym("q"),
+            vec![Term::Var(x)],
+            vec![
+                Atom::new(r, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(s, vec![Term::Var(z)]),
+            ],
+        );
+        assert_ne!(CanonicalQuery::of(&joined), CanonicalQuery::of(&split));
+        assert!(!are_equivalent(&joined, &split));
+    }
+
+    #[test]
+    fn constant_only_atoms_canonicalize_deterministically() {
+        // Atoms without any variable survive canonicalization verbatim
+        // and sort stably regardless of input order.
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let r = v.pred("r", 2);
+        let x = v.var("X");
+        let (a, b) = (v.cst("a"), v.cst("b"));
+        let ra = Atom::new(r, vec![Term::Cst(a), Term::Cst(b)]);
+        let rb = Atom::new(r, vec![Term::Cst(b), Term::Cst(a)]);
+        let px = Atom::new(p, vec![Term::Var(x)]);
+        let one = Query::new(
+            v.sym("q"),
+            vec![Term::Var(x)],
+            vec![ra.clone(), rb.clone(), px.clone()],
+        );
+        let two = Query::new(v.sym("q"), vec![Term::Var(x)], vec![px, rb, ra]);
+        let canon = CanonicalQuery::of(&one);
+        assert_eq!(canon, CanonicalQuery::of(&two));
+        // The constant atoms are distinct (no variables to rename), so
+        // both survive minimization into the form.
+        assert_eq!(canon.body.len(), 3);
+        assert!(canon
+            .body
+            .iter()
+            .any(|(_, args)| args == &vec![CanonTerm::Cst(a), CanonTerm::Cst(b)]));
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        // Rebuilding a query from its canonical form and canonicalizing
+        // again reproduces the same form: minimize → sort → rename is a
+        // fixpoint after one application.
+        let mut v = Vocabulary::new();
+        let queries = [pupil_query(&mut v, ["N", "C", "S"], true), {
+            let r = v.pred("r", 2);
+            let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+            Query::new(
+                v.sym("q"),
+                vec![Term::Var(x)],
+                vec![
+                    Atom::new(r, vec![Term::Var(x), Term::Var(y)]),
+                    Atom::new(r, vec![Term::Var(y), Term::Var(z)]),
+                    Atom::new(r, vec![Term::Var(x), Term::Var(x)]),
+                ],
+            )
+        }];
+        for q in &queries {
+            let canon = CanonicalQuery::of(q);
+            let rebuild_term = |t: &CanonTerm, v: &mut Vocabulary| match t {
+                CanonTerm::Var(n) => Term::Var(v.var(&format!("V{n}"))),
+                CanonTerm::Cst(c) => Term::Cst(*c),
+            };
+            let head = canon.head.iter().map(|t| rebuild_term(t, &mut v)).collect();
+            let body = canon
+                .body
+                .iter()
+                .map(|(pred, args)| {
+                    Atom::new(
+                        *pred,
+                        args.iter().map(|t| rebuild_term(t, &mut v)).collect(),
+                    )
+                })
+                .collect();
+            let rebuilt = Query::new(q.name, head, body);
+            assert_eq!(CanonicalQuery::of(&rebuilt), canon);
+        }
+    }
+
+    #[test]
     fn equal_forms_are_equivalent_queries() {
         // Soundness spot-check on a pair that sorts differently.
         let mut v = Vocabulary::new();

@@ -60,7 +60,7 @@
 //! assert!(is_complete(&q, &tcs));
 //! ```
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod answering;
 mod canonical;

@@ -117,20 +117,30 @@ pub fn lint(tcs: &TcSet) -> Vec<Lint> {
         .collect();
 
     // Subsumption and duplicates: C_j redundant if Q_{C_j} ⊑ Q_{C_i}.
+    // Containment is NP-hard in general and the loop asks for most
+    // ordered pairs twice (the (j, i) probe and the (i, j) mutuality
+    // probe of the transposed iteration), so verdicts are memoized.
+    let mut memo: std::collections::HashMap<(usize, usize), bool> =
+        std::collections::HashMap::new();
     for j in 0..statements.len() {
         for i in 0..statements.len() {
             if i == j || statements[i].head.pred != statements[j].head.pred {
                 continue;
             }
-            if is_contained_in(&queries[j], &queries[i]) {
-                if i < j && is_contained_in(&queries[i], &queries[j]) {
+            let mut contained = |a: usize, b: usize| {
+                *memo
+                    .entry((a, b))
+                    .or_insert_with(|| is_contained_in(&queries[a], &queries[b]))
+            };
+            if contained(j, i) {
+                if i < j && contained(i, j) {
                     out.push(Lint::Duplicate {
                         first: i,
                         second: j,
                     });
                     break;
                 }
-                if !is_contained_in(&queries[i], &queries[j]) {
+                if !contained(i, j) {
                     out.push(Lint::Subsumed { subsumed: j, by: i });
                     break;
                 }

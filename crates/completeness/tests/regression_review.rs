@@ -56,8 +56,7 @@ fn mcis_cover_all_complete_instantiations_flight() {
         if is_complete(&qi, &tcs) && is_contained_in(&qi, &q) {
             assert!(
                 results.iter().any(|m| is_contained_in(&qi, m)),
-                "complete instantiation not covered by any MCI: {:?}",
-                qi
+                "complete instantiation not covered by any MCI: {qi:?}"
             );
         }
     }

@@ -324,7 +324,7 @@ mod tests {
         let naive = program.eval_naive(&edb);
         let semi = program.eval_semi_naive(&edb);
         // 5 nodes chain: path holds for all i < j: C(6,2) = 15 pairs.
-        let count = |m: &Instance| m.relation(path).map_or(0, |r| r.len());
+        let count = |m: &Instance| m.relation(path).map_or(0, magik_relalg::Relation::len);
         assert_eq!(count(&naive.model), 15);
         assert_eq!(count(&semi.model), 15);
         assert_eq!(naive.model, semi.model);

@@ -47,7 +47,7 @@
 //! assert!(model.contains(&Fact::new(path, vec![v.cst("a"), v.cst("c")])));
 //! ```
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod eval;
 mod incremental;

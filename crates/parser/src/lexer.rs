@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::span::Span;
+
 /// The kind of a token.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TokenKind {
@@ -57,6 +59,9 @@ pub struct Token {
     pub line: usize,
     /// 1-based column.
     pub col: usize,
+    /// Byte range in the source (for quoted strings this includes the
+    /// quotes).
+    pub span: Span,
 }
 
 /// A tokenization error.
@@ -68,6 +73,8 @@ pub struct LexError {
     pub line: usize,
     /// 1-based column.
     pub col: usize,
+    /// Byte range of the offending text.
+    pub span: Span,
 }
 
 impl fmt::Display for LexError {
@@ -96,7 +103,7 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
     };
     while pos < bytes.len() {
         let c = bytes[pos];
-        let (tline, tcol) = (line, col);
+        let (tline, tcol, tpos) = (line, col, pos);
         match c {
             b' ' | b'\t' | b'\r' | b'\n' => {
                 advance(&mut pos, &mut line, &mut col);
@@ -116,12 +123,13 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     b'}' => TokenKind::RBrace,
                     _ => TokenKind::Dot,
                 };
+                advance(&mut pos, &mut line, &mut col);
                 tokens.push(Token {
                     kind,
                     line: tline,
                     col: tcol,
+                    span: Span::new(tpos, pos),
                 });
-                advance(&mut pos, &mut line, &mut col);
             }
             b':' => {
                 advance(&mut pos, &mut line, &mut col);
@@ -131,12 +139,14 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                         kind: TokenKind::Turnstile,
                         line: tline,
                         col: tcol,
+                        span: Span::new(tpos, pos),
                     });
                 } else {
                     return Err(LexError {
                         message: "expected `-` after `:`".to_owned(),
                         line: tline,
                         col: tcol,
+                        span: Span::new(tpos, pos),
                     });
                 }
             }
@@ -151,6 +161,7 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                         message: "unterminated string literal".to_owned(),
                         line: tline,
                         col: tcol,
+                        span: Span::new(tpos, pos),
                     });
                 }
                 let text = String::from_utf8_lossy(&bytes[start..pos]).into_owned();
@@ -159,6 +170,7 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     kind: TokenKind::Symbol(text),
                     line: tline,
                     col: tcol,
+                    span: Span::new(tpos, pos),
                 });
             }
             _ if c.is_ascii_lowercase() || c.is_ascii_digit() => {
@@ -173,6 +185,7 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     kind: TokenKind::Symbol(text),
                     line: tline,
                     col: tcol,
+                    span: Span::new(tpos, pos),
                 });
             }
             _ if c.is_ascii_uppercase() || c == b'_' => {
@@ -187,6 +200,7 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     kind: TokenKind::Variable(text),
                     line: tline,
                     col: tcol,
+                    span: Span::new(tpos, pos),
                 });
             }
             _ => {
@@ -194,6 +208,7 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     message: format!("unexpected character `{}`", c as char),
                     line: tline,
                     col: tcol,
+                    span: Span::new(tpos, tpos + 1),
                 });
             }
         }
@@ -202,6 +217,7 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
         kind: TokenKind::Eof,
         line,
         col,
+        span: Span::point(pos),
     });
     Ok(tokens)
 }
@@ -241,6 +257,7 @@ mod tests {
         let tokens = tokenize("% hi\n  p.").unwrap();
         assert_eq!(tokens[0].kind, TokenKind::Symbol("p".into()));
         assert_eq!((tokens[0].line, tokens[0].col), (2, 3));
+        assert_eq!(tokens[0].span, Span::new(7, 8));
     }
 
     #[test]
@@ -268,12 +285,25 @@ mod tests {
     }
 
     #[test]
+    fn spans_cover_token_text() {
+        let src = "q(Name) :- \"a b\".";
+        let tokens = tokenize(src).unwrap();
+        let texts: Vec<&str> = tokens
+            .iter()
+            .map(|t| &src[t.span.start..t.span.end])
+            .collect();
+        assert_eq!(texts, vec!["q", "(", "Name", ")", ":-", "\"a b\"", ".", ""]);
+    }
+
+    #[test]
     fn lex_errors_carry_positions() {
         let err = tokenize("p ?").unwrap_err();
         assert_eq!((err.line, err.col), (1, 3));
+        assert_eq!(err.span, Span::new(2, 3));
         let err = tokenize("p :q").unwrap_err();
         assert!(err.message.contains("`-`"));
         let err = tokenize("\"oops").unwrap_err();
         assert!(err.message.contains("unterminated"));
+        assert_eq!(err.span.start, 0);
     }
 }

@@ -43,15 +43,17 @@
 //! assert_eq!(doc.facts.len(), 1);
 //! ```
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod lexer;
 mod parse;
 mod print;
+mod span;
 
 pub use lexer::{LexError, Token, TokenKind};
 pub use parse::{
     parse_atom, parse_document, parse_instance, parse_query, parse_rules, parse_tcs, Document,
-    ParseError,
+    DocumentSpans, ParseError, QuerySpans, StatementSpans,
 };
 pub use print::{print_document, print_domain, print_instance, print_key, print_query, print_tcs};
+pub use span::{LineIndex, Span};

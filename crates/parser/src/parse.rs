@@ -7,6 +7,7 @@ use magik_completeness::{ConstraintSet, FiniteDomain, Key, TcSet, TcStatement};
 use magik_relalg::{Atom, Cst, Fact, Instance, Query, Term, Vocabulary};
 
 use crate::lexer::{tokenize, LexError, Token, TokenKind};
+use crate::span::Span;
 
 /// A parsed document: queries, TC statements and facts, in source order
 /// within each group.
@@ -20,6 +21,54 @@ pub struct Document {
     pub facts: Instance,
     /// Finite-domain constraints introduced with `domain`.
     pub constraints: ConstraintSet,
+    /// Source spans for every item, parallel to the fields above (empty
+    /// for documents built programmatically rather than parsed).
+    pub spans: DocumentSpans,
+}
+
+/// Source spans for every item of a [`Document`], kept as side tables so
+/// the semantic types stay position-free (they are hashed and compared by
+/// meaning). Indices are parse order: `queries[i]` spans `Document::
+/// queries[i]`, `statements[i]` spans the `i`-th TC statement, and so on.
+#[derive(Debug, Clone, Default)]
+pub struct DocumentSpans {
+    /// One entry per `query` item.
+    pub queries: Vec<QuerySpans>,
+    /// One entry per `compl` item.
+    pub statements: Vec<StatementSpans>,
+    /// One `(fact, span)` pair per `fact` item, in parse order ([`Instance`]
+    /// does not preserve insertion order, so the fact is repeated here).
+    pub facts: Vec<(Fact, Span)>,
+    /// One entry per `domain` item.
+    pub domains: Vec<Span>,
+    /// One entry per `key` item.
+    pub keys: Vec<Span>,
+}
+
+/// Spans for one parsed query: the whole item, its head atom, and each
+/// body atom in order.
+#[derive(Debug, Clone, Default)]
+pub struct QuerySpans {
+    /// The whole item (keyword through terminating dot when parsed as part
+    /// of a document; head through last body atom otherwise).
+    pub item: Span,
+    /// The head atom.
+    pub head: Span,
+    /// Each body atom, in order.
+    pub body: Vec<Span>,
+}
+
+/// Spans for one parsed TC statement: the whole item, its head atom, and
+/// each condition atom in order.
+#[derive(Debug, Clone, Default)]
+pub struct StatementSpans {
+    /// The whole item (keyword through terminating dot when parsed as part
+    /// of a document; head through last condition atom otherwise).
+    pub item: Span,
+    /// The head atom.
+    pub head: Span,
+    /// Each condition atom, in order (empty for a `true` condition).
+    pub condition: Vec<Span>,
 }
 
 /// A parse error with source position.
@@ -31,6 +80,8 @@ pub struct ParseError {
     pub line: usize,
     /// 1-based column.
     pub col: usize,
+    /// Byte range of the offending text.
+    pub span: Span,
 }
 
 impl fmt::Display for ParseError {
@@ -47,6 +98,7 @@ impl From<LexError> for ParseError {
             message: e.message,
             line: e.line,
             col: e.col,
+            span: e.span,
         }
     }
 }
@@ -86,13 +138,14 @@ impl<'a> Parser<'a> {
             message: message.into(),
             line: tok.line,
             col: tok.col,
+            span: tok.span,
         }
     }
 
-    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
         let tok = self.next();
         if &tok.kind == kind {
-            Ok(())
+            Ok(tok)
         } else {
             Err(self.error_at(&tok, format!("expected {kind}, found {}", tok.kind)))
         }
@@ -110,23 +163,22 @@ impl<'a> Parser<'a> {
     /// `term := Variable | Symbol` (a bare symbol as a term is a constant).
     fn term(&mut self) -> Result<Term, ParseError> {
         let tok = self.next();
-        match tok.kind {
-            TokenKind::Variable(name) => Ok(Term::Var(self.vocab.var(&name))),
-            TokenKind::Symbol(name) => Ok(Term::Cst(self.vocab.cst(&name))),
-            other => Err(self.error_at(
-                &Token {
-                    kind: other.clone(),
-                    line: tok.line,
-                    col: tok.col,
-                },
-                format!("expected a term, found {other}"),
-            )),
+        match &tok.kind {
+            TokenKind::Variable(name) => {
+                let v = self.vocab.var(name);
+                Ok(Term::Var(v))
+            }
+            TokenKind::Symbol(name) => {
+                let c = self.vocab.cst(name);
+                Ok(Term::Cst(c))
+            }
+            other => Err(self.error_at(&tok, format!("expected a term, found {other}"))),
         }
     }
 
     /// `atom := symbol ( term (, term)* )` — zero-argument atoms are
-    /// written `p()`.
-    fn atom(&mut self) -> Result<Atom, ParseError> {
+    /// written `p()`. Returns the atom and its source span.
+    fn spanned_atom(&mut self) -> Result<(Atom, Span), ParseError> {
         let tok = self.next();
         let TokenKind::Symbol(name) = tok.kind.clone() else {
             return Err(self.error_at(
@@ -136,16 +188,17 @@ impl<'a> Parser<'a> {
         };
         self.expect(&TokenKind::LParen)?;
         let mut args = Vec::new();
-        if !self.eat(&TokenKind::RParen) {
+        let close = if self.peek().kind == TokenKind::RParen {
+            self.next()
+        } else {
             loop {
                 args.push(self.term()?);
                 if self.eat(&TokenKind::Comma) {
                     continue;
                 }
-                self.expect(&TokenKind::RParen)?;
-                break;
+                break self.expect(&TokenKind::RParen)?;
             }
-        }
+        };
         match self.arities.get(&name) {
             Some(&arity) if arity != args.len() => {
                 return Err(self.error_at(
@@ -162,46 +215,70 @@ impl<'a> Parser<'a> {
             }
         }
         let pred = self.vocab.pred(&name, args.len());
-        Ok(Atom::new(pred, args))
+        Ok((Atom::new(pred, args), tok.span.join(close.span)))
     }
 
-    /// `conj := true | atom (, atom)*`
-    fn conjunction(&mut self) -> Result<Vec<Atom>, ParseError> {
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        Ok(self.spanned_atom()?.0)
+    }
+
+    /// `conj := true | atom (, atom)*`, with per-atom spans.
+    fn spanned_conjunction(&mut self) -> Result<(Vec<Atom>, Vec<Span>), ParseError> {
         if let TokenKind::Symbol(s) = &self.peek().kind {
             if s == "true" && self.tokens[self.pos + 1].kind != TokenKind::LParen {
                 self.next();
-                return Ok(Vec::new());
+                return Ok((Vec::new(), Vec::new()));
             }
         }
-        let mut atoms = vec![self.atom()?];
-        while self.eat(&TokenKind::Comma) {
-            atoms.push(self.atom()?);
+        let mut atoms = Vec::new();
+        let mut spans = Vec::new();
+        loop {
+            let (a, s) = self.spanned_atom()?;
+            atoms.push(a);
+            spans.push(s);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
         }
-        Ok(atoms)
+        Ok((atoms, spans))
     }
 
     /// `query := head-atom :- conj` (the `:- conj` part is optional for an
     /// empty body).
-    fn query(&mut self) -> Result<Query, ParseError> {
-        let head = self.atom()?;
+    fn query(&mut self) -> Result<(Query, QuerySpans), ParseError> {
+        let (head, head_span) = self.spanned_atom()?;
         let name = self
             .vocab
             .lookup(self.vocab.pred_name(head.pred))
             .expect("head name was interned by atom()");
-        let body = if self.eat(&TokenKind::Turnstile) {
-            self.conjunction()?
+        let (body, body_spans) = if self.eat(&TokenKind::Turnstile) {
+            self.spanned_conjunction()?
         } else {
-            Vec::new()
+            (Vec::new(), Vec::new())
         };
-        Ok(Query::new(name, head.args, body))
+        let item = body_spans.iter().fold(head_span, |acc, &s| acc.join(s));
+        let spans = QuerySpans {
+            item,
+            head: head_span,
+            body: body_spans,
+        };
+        Ok((Query::new(name, head.args, body), spans))
     }
 
     /// `tcs := atom ; conj`
-    fn tcs(&mut self) -> Result<TcStatement, ParseError> {
-        let head = self.atom()?;
+    fn tcs(&mut self) -> Result<(TcStatement, StatementSpans), ParseError> {
+        let (head, head_span) = self.spanned_atom()?;
         self.expect(&TokenKind::Semicolon)?;
-        let condition = self.conjunction()?;
-        Ok(TcStatement::new(head, condition))
+        let (condition, condition_spans) = self.spanned_conjunction()?;
+        let item = condition_spans
+            .iter()
+            .fold(head_span, |acc, &s| acc.join(s));
+        let spans = StatementSpans {
+            item,
+            head: head_span,
+            condition: condition_spans,
+        };
+        Ok((TcStatement::new(head, condition), spans))
     }
 
     /// `domain := pred ( _ | Var, … ) in { symbol (, symbol)* }` — exactly
@@ -307,28 +384,40 @@ impl<'a> Parser<'a> {
                 TokenKind::Eof => return Ok(doc),
                 TokenKind::Symbol(kw) if kw == "compl" => {
                     self.next();
-                    doc.tcs.push(self.tcs()?);
-                    self.expect(&TokenKind::Dot)?;
+                    let (st, mut spans) = self.tcs()?;
+                    let dot = self.expect(&TokenKind::Dot)?;
+                    spans.item = tok.span.join(dot.span);
+                    doc.tcs.push(st);
+                    doc.spans.statements.push(spans);
                 }
                 TokenKind::Symbol(kw) if kw == "query" => {
                     self.next();
-                    doc.queries.push(self.query()?);
-                    self.expect(&TokenKind::Dot)?;
+                    let (q, mut spans) = self.query()?;
+                    let dot = self.expect(&TokenKind::Dot)?;
+                    spans.item = tok.span.join(dot.span);
+                    doc.queries.push(q);
+                    doc.spans.queries.push(spans);
                 }
                 TokenKind::Symbol(kw) if kw == "fact" => {
                     self.next();
-                    doc.facts.insert(self.ground_fact()?);
-                    self.expect(&TokenKind::Dot)?;
+                    let fact = self.ground_fact()?;
+                    let dot = self.expect(&TokenKind::Dot)?;
+                    doc.spans
+                        .facts
+                        .push((fact.clone(), tok.span.join(dot.span)));
+                    doc.facts.insert(fact);
                 }
                 TokenKind::Symbol(kw) if kw == "domain" => {
                     self.next();
                     doc.constraints.push(self.domain()?);
-                    self.expect(&TokenKind::Dot)?;
+                    let dot = self.expect(&TokenKind::Dot)?;
+                    doc.spans.domains.push(tok.span.join(dot.span));
                 }
                 TokenKind::Symbol(kw) if kw == "key" => {
                     self.next();
                     doc.constraints.push_key(self.key()?);
-                    self.expect(&TokenKind::Dot)?;
+                    let dot = self.expect(&TokenKind::Dot)?;
+                    doc.spans.keys.push(tok.span.join(dot.span));
                 }
                 other => {
                     return Err(self.error_at(
@@ -361,7 +450,7 @@ pub fn parse_document(src: &str, vocab: &mut Vocabulary) -> Result<Document, Par
 /// Parses a single query (`q(X) :- body.` — the trailing dot is optional).
 pub fn parse_query(src: &str, vocab: &mut Vocabulary) -> Result<Query, ParseError> {
     let mut p = Parser::new(src, vocab)?;
-    let q = p.query()?;
+    let (q, _) = p.query()?;
     p.eat(&TokenKind::Dot);
     p.finish(q)
 }
@@ -370,7 +459,7 @@ pub fn parse_query(src: &str, vocab: &mut Vocabulary) -> Result<Query, ParseErro
 /// keyword; the trailing dot is optional).
 pub fn parse_tcs(src: &str, vocab: &mut Vocabulary) -> Result<TcStatement, ParseError> {
     let mut p = Parser::new(src, vocab)?;
-    let c = p.tcs()?;
+    let (c, _) = p.tcs()?;
     p.eat(&TokenKind::Dot);
     p.finish(c)
 }
@@ -405,6 +494,7 @@ pub fn parse_rules(
 ) -> Result<magik_datalog::Program, ParseError> {
     let mut p = Parser::new(src, vocab)?;
     let mut rules = Vec::new();
+    let mut starts = Vec::new();
     while p.peek().kind != TokenKind::Eof {
         let start = p.peek().clone();
         let head = p.atom()?;
@@ -427,6 +517,7 @@ pub fn parse_rules(
         }
         p.expect(&TokenKind::Dot)?;
         rules.push(magik_datalog::Rule::with_negation(head, body, negative));
+        starts.push(start.clone());
         // Surface program-level validation errors at the rule they come
         // from, eagerly.
         if let Err(e) = magik_datalog::Program::new(rules.clone()) {
@@ -435,10 +526,25 @@ pub fn parse_rules(
             }
         }
     }
-    magik_datalog::Program::new(rules).map_err(|e| ParseError {
-        message: e.to_string(),
-        line: 1,
-        col: 1,
+    // Stratifiability is a whole-program property, checked once at the
+    // end; blame the first rule whose head is the offending predicate.
+    let heads: Vec<_> = rules.iter().map(|r| r.head.pred).collect();
+    magik_datalog::Program::new(rules).map_err(|e| {
+        let at = match &e {
+            magik_datalog::ProgramError::NotStratifiable { pred } => {
+                heads.iter().position(|p| p == pred)
+            }
+            _ => None,
+        };
+        match at {
+            Some(i) => p.error_at(&starts[i], e.to_string()),
+            None => ParseError {
+                message: e.to_string(),
+                line: 1,
+                col: 1,
+                span: Span::point(0),
+            },
+        }
     })
 }
 
@@ -457,6 +563,10 @@ pub fn parse_instance(src: &str, vocab: &mut Vocabulary) -> Result<Instance, Par
 mod tests {
     use super::*;
     use magik_relalg::DisplayWith;
+
+    fn snippet(src: &str, span: Span) -> &str {
+        &src[span.start..span.end]
+    }
 
     #[test]
     fn parses_the_running_example_document() {
@@ -483,6 +593,39 @@ mod tests {
             doc.tcs.statements()[2].display(&v).to_string(),
             "compl learns(N, english) ; pupil(N, C, S), school(S, primary, D)"
         );
+    }
+
+    #[test]
+    fn document_spans_cover_items() {
+        let src = "compl p(X) ; q(X).\nquery q1(N) :- p(N), q(N).\nfact p(a).\n\
+                   domain p(X) in {a, b}.\nkey q(K).";
+        let mut v = Vocabulary::new();
+        let doc = parse_document(src, &mut v).unwrap();
+
+        let st = &doc.spans.statements[0];
+        assert_eq!(snippet(src, st.item), "compl p(X) ; q(X).");
+        assert_eq!(snippet(src, st.head), "p(X)");
+        assert_eq!(snippet(src, st.condition[0]), "q(X)");
+
+        let qs = &doc.spans.queries[0];
+        assert_eq!(snippet(src, qs.item), "query q1(N) :- p(N), q(N).");
+        assert_eq!(snippet(src, qs.head), "q1(N)");
+        assert_eq!(snippet(src, qs.body[0]), "p(N)");
+        assert_eq!(snippet(src, qs.body[1]), "q(N)");
+
+        assert_eq!(doc.spans.facts.len(), 1);
+        assert_eq!(snippet(src, doc.spans.facts[0].1), "fact p(a).");
+        assert!(doc.facts.contains(&doc.spans.facts[0].0));
+        assert_eq!(snippet(src, doc.spans.domains[0]), "domain p(X) in {a, b}.");
+        assert_eq!(snippet(src, doc.spans.keys[0]), "key q(K).");
+    }
+
+    #[test]
+    fn true_condition_has_no_condition_spans() {
+        let mut v = Vocabulary::new();
+        let doc = parse_document("compl p(X) ; true.", &mut v).unwrap();
+        assert!(doc.tcs.statements()[0].condition.is_empty());
+        assert!(doc.spans.statements[0].condition.is_empty());
     }
 
     #[test]
@@ -538,6 +681,36 @@ mod tests {
     }
 
     #[test]
+    fn parse_errors_carry_positions_and_spans() {
+        let mut v = Vocabulary::new();
+
+        // Missing dot: discovered at the next item keyword, line 2.
+        let src = "fact p(a)\nfact q(b).";
+        let err = parse_document(src, &mut v).unwrap_err();
+        assert_eq!((err.line, err.col), (2, 1));
+        assert_eq!(&src[err.span.start..err.span.end], "fact");
+
+        // Missing term after a comma.
+        let err = parse_query("q(X) :- p(X,)", &mut v).unwrap_err();
+        assert_eq!((err.line, err.col), (1, 13));
+        assert!(err.message.contains("expected a term"));
+
+        // Missing closing paren at end of input: empty span at the end.
+        let err = parse_atom("p(a", &mut v).unwrap_err();
+        assert_eq!((err.line, err.col), (1, 4));
+        assert!(err.span.is_empty());
+
+        // Unknown keyword points at the keyword itself.
+        let err = parse_document("  rule p(X).", &mut v).unwrap_err();
+        assert_eq!((err.line, err.col), (1, 3));
+
+        // Lex error positions survive the conversion into ParseError.
+        let err = parse_document("fact p(a?).", &mut v).unwrap_err();
+        assert_eq!((err.line, err.col), (1, 9));
+        assert_eq!(err.span, Span::new(8, 9));
+    }
+
+    #[test]
     fn quoted_and_numeric_constants() {
         let mut v = Vocabulary::new();
         let a = parse_atom("p(\"New York\", 42)", &mut v).unwrap();
@@ -590,9 +763,11 @@ mod tests {
         // Unsafe negation.
         let err = parse_rules("p(X) :- q(X), not r(Y).", &mut v).unwrap_err();
         assert!(err.message.contains("negated"));
-        // Unstratifiable.
-        let err = parse_rules("p(X) :- q(X), not p(X).", &mut v).unwrap_err();
+        // Unstratifiable: blamed on the rule that heads the negative
+        // cycle, not on line 1.
+        let err = parse_rules("e(X) :- f(X).\np(X) :- q(X), not p(X).", &mut v).unwrap_err();
         assert!(err.message.contains("stratifiable"));
+        assert_eq!(err.line, 2);
     }
 
     #[test]

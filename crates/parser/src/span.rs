@@ -1,0 +1,162 @@
+//! Source spans and line/column resolution.
+//!
+//! A [`Span`] is a half-open byte range into the source string a document
+//! was parsed from. The lexer stamps every token with its span; the parser
+//! aggregates token spans into per-item and per-atom spans, which it
+//! publishes as side tables on [`crate::Document`] (the semantic types —
+//! atoms, queries, statements — stay position-free so that equality and
+//! hashing keep meaning *semantic* identity).
+//!
+//! [`LineIndex`] converts byte offsets back to 1-based line/column pairs
+//! and extracts the text of a line, which is what diagnostic renderers
+//! need to produce `file:line:col` headers and caret underlines.
+
+/// A half-open byte range `[start, end)` into a source string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// An empty span at `offset` (used for end-of-input positions).
+    pub fn point(offset: usize) -> Span {
+        Span {
+            start: offset,
+            end: offset,
+        }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn join(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// `true` iff the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Maps byte offsets of one source string to 1-based line/column pairs.
+///
+/// Built once per source (`O(len)`), then each lookup is a binary search
+/// over the line starts. Columns are counted in bytes, 1-based, matching
+/// the positions the lexer reports.
+#[derive(Debug, Clone)]
+pub struct LineIndex {
+    /// Byte offset of the first byte of each line (always starts with 0).
+    line_starts: Vec<usize>,
+    /// Total source length, so lookups past the end clamp sensibly.
+    len: usize,
+}
+
+impl LineIndex {
+    /// Builds the index for `src`.
+    pub fn new(src: &str) -> LineIndex {
+        let mut line_starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        LineIndex {
+            line_starts,
+            len: src.len(),
+        }
+    }
+
+    /// The 1-based `(line, column)` of a byte offset. Offsets past the end
+    /// of the source resolve to one past the last column of the last line.
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let offset = offset.min(self.len);
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// The byte range of the 1-based line `line`, without its trailing
+    /// newline. Returns an empty range at the end for out-of-range lines.
+    pub fn line_range(&self, line: usize) -> Span {
+        let Some(&start) = self.line_starts.get(line.wrapping_sub(1)) else {
+            return Span::point(self.len);
+        };
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.len, |&next| next - 1);
+        Span::new(start, end)
+    }
+
+    /// Number of lines (at least 1, even for an empty source).
+    pub fn num_lines(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_and_len() {
+        let a = Span::new(3, 7);
+        let b = Span::new(10, 12);
+        assert_eq!(a.join(b), Span::new(3, 12));
+        assert_eq!(b.join(a), Span::new(3, 12));
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+        assert!(Span::point(5).is_empty());
+    }
+
+    #[test]
+    fn line_index_resolves_offsets() {
+        let src = "ab\ncdef\n\nx";
+        let idx = LineIndex::new(src);
+        assert_eq!(idx.num_lines(), 4);
+        assert_eq!(idx.line_col(0), (1, 1));
+        assert_eq!(idx.line_col(1), (1, 2));
+        assert_eq!(idx.line_col(3), (2, 1));
+        assert_eq!(idx.line_col(6), (2, 4));
+        assert_eq!(idx.line_col(8), (3, 1));
+        assert_eq!(idx.line_col(9), (4, 1));
+        // Past the end clamps to one past the last byte.
+        assert_eq!(idx.line_col(100), (4, 2));
+    }
+
+    #[test]
+    fn line_ranges_exclude_newlines() {
+        let src = "ab\ncdef\n";
+        let idx = LineIndex::new(src);
+        assert_eq!(&src[idx.line_range(1).start..idx.line_range(1).end], "ab");
+        assert_eq!(&src[idx.line_range(2).start..idx.line_range(2).end], "cdef");
+        // The trailing newline opens an empty final line.
+        assert!(idx.line_range(3).is_empty());
+        assert!(idx.line_range(99).is_empty());
+    }
+
+    #[test]
+    fn empty_source_has_one_line() {
+        let idx = LineIndex::new("");
+        assert_eq!(idx.num_lines(), 1);
+        assert_eq!(idx.line_col(0), (1, 1));
+        assert!(idx.line_range(1).is_empty());
+    }
+}

@@ -125,6 +125,7 @@ proptest! {
             tcs,
             facts,
             constraints,
+            spans: Default::default(),
         };
 
         let printed = print_document(&doc, &ctx.vocab);

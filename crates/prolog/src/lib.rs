@@ -34,7 +34,7 @@
 //! assert!(result.complete);
 //! ```
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod kb;
 mod parse;

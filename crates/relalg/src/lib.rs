@@ -43,7 +43,7 @@
 //! assert_eq!(ans.len(), 1);
 //! ```
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod atom;
 mod containment;

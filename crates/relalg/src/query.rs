@@ -51,7 +51,7 @@ impl Query {
 
     /// The set of variables occurring in the body.
     pub fn body_vars(&self) -> BTreeSet<Var> {
-        self.body.iter().flat_map(|a| a.vars()).collect()
+        self.body.iter().flat_map(super::atom::Atom::vars).collect()
     }
 
     /// The set of all variables of the query.

@@ -41,8 +41,9 @@
 use std::sync::{Mutex, RwLock};
 use std::time::Instant;
 
+use magik_analyze::{analyze_query, analyze_statements};
 use magik_completeness::{
-    is_complete, k_mcs, mcg, tc_encoding, CanonicalQuery, KMcsOptions, TcSet,
+    is_complete, k_mcs, mcg, tc_encoding, CanonicalQuery, ConstraintSet, KMcsOptions, TcSet,
 };
 use magik_datalog::Materialized;
 use magik_parser::{parse_atom, parse_query, parse_tcs, print_query};
@@ -175,6 +176,7 @@ impl Engine {
             "retract" => (Op::Retract, self.req_retract(rest)),
             "compl" => (Op::Compl, self.req_compl(rest)),
             "guaranteed" => (Op::Guaranteed, self.req_guaranteed(rest)),
+            "analyze" => (Op::Analyze, self.req_analyze(rest)),
             "metrics" => (Op::Other, Ok(format!("ok {}", self.metrics.render()))),
             "ping" => (Op::Other, Ok("ok pong".to_string())),
             "" => (Op::Other, Err(("proto", "empty request".to_string()))),
@@ -337,6 +339,33 @@ impl Engine {
         Ok(format!("ok {guaranteed}"))
     }
 
+    /// `analyze [<query>]` — static analysis against the session TCS set.
+    /// With a query, the per-query diagnostics (M006–M010); without one,
+    /// the statement-set diagnostics (M001–M005). Diagnostics come back
+    /// `|`-separated on one line; the session holds no integrity
+    /// constraints, so the constraint-dependent checks are vacuous.
+    fn req_analyze(&self, rest: &str) -> Result<String, (&'static str, String)> {
+        let constraints = ConstraintSet::default();
+        let mut vocab = self.vocab.lock().expect("vocab lock");
+        let query = if rest.is_empty() {
+            None
+        } else {
+            Some(parse_query(rest, &mut vocab).map_err(|e| ("parse", e.to_string()))?)
+        };
+        let state = self.state.read().expect("state lock");
+        let diags = match &query {
+            Some(q) => analyze_query(0, q, &state.tcs, &constraints, &vocab),
+            None => analyze_statements(&state.tcs, &constraints, &vocab),
+        };
+        let rendered: Vec<String> = diags
+            .iter()
+            .map(|d| format!("{}[{}] {}", d.severity, d.code, d.message))
+            .collect();
+        Ok(format!("ok {} {}", rendered.len(), rendered.join(" | "))
+            .trim_end()
+            .to_string())
+    }
+
     fn parse_fact(&self, src: &str) -> Result<Fact, (&'static str, String)> {
         let mut vocab = self.vocab.lock().expect("vocab lock");
         let src = src.strip_suffix('.').unwrap_or(src);
@@ -459,6 +488,22 @@ mod tests {
             .handle("specialize q(X) :- r(X).")
             .starts_with("err proto "));
         assert!(e.handle("").starts_with("err proto "));
+    }
+
+    #[test]
+    fn analyze_reports_statement_and_query_diagnostics() {
+        let e = Engine::new();
+        e.handle("compl pupil(N, C, S) ; class(C, S, L, T).");
+        // Statement-set analysis: the class condition is unguaranteeable.
+        let s = e.handle("analyze");
+        assert!(s.starts_with("ok 1 warning[M004]"), "{s}");
+        // Query analysis: pupil is transitively dead.
+        let q = e.handle("analyze q(N) :- pupil(N, C, S).");
+        assert!(q.contains("[M008]"), "{q}");
+        // An unsafe query is flagged, not evaluated.
+        let unsafe_q = e.handle("analyze q(X, Y) :- pupil(X, C, S).");
+        assert!(unsafe_q.contains("error[M006]"), "{unsafe_q}");
+        assert!(e.handle("analyze q(X :-").starts_with("err parse "));
     }
 
     #[test]

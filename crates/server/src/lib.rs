@@ -35,7 +35,7 @@
 //! server.stop();
 //! ```
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod cache;
 mod engine;

@@ -92,11 +92,13 @@ pub enum Op {
     Compl,
     /// `guaranteed` requests.
     Guaranteed,
+    /// `analyze` requests.
+    Analyze,
     /// Everything else (`metrics`, `ping`, protocol errors).
     Other,
 }
 
-const OPS: [(Op, &str); 9] = [
+const OPS: [(Op, &str); 10] = [
     (Op::Check, "check"),
     (Op::Generalize, "generalize"),
     (Op::Specialize, "specialize"),
@@ -105,6 +107,7 @@ const OPS: [(Op, &str); 9] = [
     (Op::Retract, "retract"),
     (Op::Compl, "compl"),
     (Op::Guaranteed, "guaranteed"),
+    (Op::Analyze, "analyze"),
     (Op::Other, "other"),
 ];
 

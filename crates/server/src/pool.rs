@@ -53,9 +53,8 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>) {
     loop {
         // Hold the queue lock only while *receiving*; run the job outside
         // it so workers actually execute in parallel.
-        let job = match rx.lock().expect("queue lock").recv() {
-            Ok(job) => job,
-            Err(_) => return, // queue closed: pool is shutting down
+        let Ok(job) = rx.lock().expect("queue lock").recv() else {
+            return; // queue closed: pool is shutting down
         };
         job();
     }

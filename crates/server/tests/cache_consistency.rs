@@ -51,8 +51,7 @@ fn query_str(body: &[AAtom]) -> String {
         .iter()
         .flat_map(|a| a.args.iter())
         .find(|t| matches!(t, AT::V(_)))
-        .map(term_str)
-        .unwrap_or_else(|| "c1".to_string());
+        .map_or_else(|| "c1".to_string(), term_str);
     let atoms: Vec<String> = body.iter().map(atom_str).collect();
     format!("q({head}) :- {}.", atoms.join(", "))
 }

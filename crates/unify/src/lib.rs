@@ -32,7 +32,7 @@
 //! assert_eq!(mgu.apply_term(Term::Var(l)), Term::Cst(english));
 //! ```
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::collections::HashMap;
 

@@ -12,7 +12,7 @@
 //!
 //! All generators are deterministic given a seed.
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod paper;
 pub mod random;

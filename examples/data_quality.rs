@@ -78,7 +78,10 @@ fn main() {
                 "  publish: between {} and {u} answers ({} certain, {} possible)",
                 bounds.lower,
                 report.certain.len(),
-                report.possible.as_ref().map_or(0, |p| p.len())
+                report
+                    .possible
+                    .as_ref()
+                    .map_or(0, std::collections::BTreeSet::len)
             ),
             (false, None) => println!("  publish: at least {} answers", bounds.lower),
         }

@@ -27,7 +27,8 @@
 //! | [`datalog`] | forward-chaining Datalog engine (naive + semi-naive) |
 //! | [`prolog`] | SLD resolution engine over compound terms |
 //! | [`completeness`] | TCSs, `T_C`/`G_C`, completeness check, MCG, MCI, k-MCS; finite-domain + key constraints, answering with guarantees, explanations, lints |
-//! | [`parser`] | text syntax for queries, statements and facts |
+//! | [`parser`] | text syntax for queries, statements and facts, with byte-span tracking |
+//! | [`analyze`] | span-aware static analysis: `M0xx` diagnostics over statements, queries, facts and the Datalog encoding |
 //! | [`server`] | concurrent completeness service: session engine, verdict cache, TCP front end |
 //! | [`workload`] | paper workloads, synthetic data, random generators |
 //!
@@ -62,8 +63,9 @@
 //!            "q(N) :- pupil(N, C, S), school(S, primary, merano), learns(N, english)");
 //! ```
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub use magik_analyze as analyze;
 pub use magik_completeness as completeness;
 pub use magik_datalog as datalog;
 pub use magik_parser as parser;
@@ -73,6 +75,9 @@ pub use magik_server as server;
 pub use magik_unify as unify;
 pub use magik_workload as workload;
 
+pub use magik_analyze::{
+    analyze_document, render_json, render_report, summary_line, Diagnostic, Severity, SourceFile,
+};
 pub use magik_completeness::{
     answering, chase_query, classify_answers, complete_unifiers, constraints, count_bounds,
     counterexample, explain, explain_check, g_op, is_complete, is_complete_under,

@@ -70,11 +70,11 @@ fn textual_tc_rules_match_the_reasoners_encoding() {
         let arity = if orig == "learns" { 2 } else { 3 };
         let direct_rel = direct
             .relation(v.lookup_pred(orig, arity).unwrap())
-            .map_or(0, |r| r.len());
+            .map_or(0, magik::relalg::Relation::len);
         let text_rel = v
             .lookup_pred(&format!("{orig}_a"), arity)
             .and_then(|p| model.relation(p))
-            .map_or(0, |r| r.len());
+            .map_or(0, magik::relalg::Relation::len);
         assert_eq!(direct_rel, text_rel, "relation {orig}");
     }
     // Concretely: verdi is not primary, so bo's pupil record is

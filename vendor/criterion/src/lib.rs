@@ -20,7 +20,7 @@
 //! does) every benchmark body runs exactly once, unmeasured, so CI can
 //! smoke-test benches cheaply.
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};

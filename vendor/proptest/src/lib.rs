@@ -17,7 +17,7 @@
 //! and there is **no shrinking** — a failing case panics with the
 //! generated values printed by the standard assertion message.
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod test_runner {
     //! Configuration and the per-test random source.

@@ -13,7 +13,7 @@
 //! as the real `rand::StdRng` (ChaCha12), so seeds produce different —
 //! but equally deterministic — workloads.
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 /// Low-level entropy source: a stream of `u64`s.
 pub trait RngCore {
