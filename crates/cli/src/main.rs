@@ -10,6 +10,7 @@
 //!                                 k-MCSs per query (default k = 0)
 //! magik eval <file>               evaluate each query over the facts
 //! magik explain <file>            statement-set diagnostics
+//! magik explain-plan <file>       compiled execution plan per query
 //! magik serve [--addr A] [file]   TCP completeness service
 //! ```
 //!
@@ -25,10 +26,11 @@ mod repl;
 
 use magik::{
     analyze_document, answers, classify_answers, count_bounds, counterexample, explain_check,
-    is_complete, is_complete_under, k_mcs, lint, mcg_under, mcg_with_stats, parse_document,
-    publishable_counts, render_counterexample, render_explanation, render_json, render_report,
-    semantics::IncompleteDatabase, tc_apply, DisplayWith, Document, Engine, KMcsEngine,
-    KMcsOptions, Server, Severity, SourceFile, Vocabulary,
+    explain_json, explain_text, is_complete, is_complete_under, k_mcs, lint, mcg_under,
+    mcg_with_stats, parse_document, publishable_counts, render_counterexample, render_explanation,
+    render_json, render_report, semantics::IncompleteDatabase, tc_apply, CompiledQuery,
+    DisplayWith, Document, Engine, ExecStats, KMcsEngine, KMcsOptions, Server, Severity,
+    SourceFile, Vocabulary,
 };
 
 const USAGE: &str = "usage: magik <check|generalize|specialize|eval|explain> <file> [options]
@@ -52,6 +54,11 @@ commands:
                                     level (default: errors)
   simulate   <file>                 treat facts as the ideal state and show
                                     which query answers are at risk
+  explain-plan <file> [--format text|json]
+                                    compile each query against the `fact`
+                                    items, execute it, and print the chosen
+                                    plan: atom order, index probes, and
+                                    per-op runtime counters
   repl       [file]                 interactive session (optionally seeded
                                     from a file)
   serve      [--addr HOST:PORT] [--workers N] [file]
@@ -410,6 +417,102 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     }
 }
 
+/// Escapes a string for inclusion in a JSON string literal (for the
+/// hand-rolled error objects of `explain-plan --format json`; plan
+/// objects themselves are rendered by [`explain_json`]).
+fn cli_json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `magik explain-plan <file> [--format text|json]` — compile each query
+/// against the document's `fact` items, execute it, and render the
+/// chosen plan (atom order, access paths, estimates) together with the
+/// runtime counters from that execution. Queries the planner rejects
+/// (unsafe heads) are reported without aborting the run. JSON output is
+/// one array with a plan object (see `magik-exec`) or an
+/// `{"query":…,"error":…}` object per query.
+fn cmd_explain_plan(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut file = None;
+    let mut rest = args.iter();
+    while let Some(opt) = rest.next() {
+        match opt.as_str() {
+            "--format" => match rest.next().map(String::as_str) {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                _ => {
+                    eprintln!("magik: --format requires `text` or `json`");
+                    return ExitCode::from(1);
+                }
+            },
+            other if other == "-" || (!other.starts_with('-') && file.is_none()) => {
+                file = Some(other.to_string());
+            }
+            other => {
+                eprintln!("magik: unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let Some(path) = file else {
+        eprintln!("magik: missing <file>\n{USAGE}");
+        return ExitCode::from(1);
+    };
+    let (vocab, doc) = match load(&path) {
+        Ok(x) => x,
+        Err(code) => return code,
+    };
+    let mut objects = Vec::new();
+    for (i, q) in doc.queries.iter().enumerate() {
+        match CompiledQuery::compile(q, Some(&doc.facts)) {
+            Ok(cq) => {
+                let mut stats = ExecStats::default();
+                cq.answers(&doc.facts, &mut stats);
+                if json {
+                    objects.push(explain_json(&cq, Some(&stats), &vocab));
+                } else {
+                    if i > 0 {
+                        println!();
+                    }
+                    print!("{}", explain_text(&cq, Some(&stats), &vocab));
+                }
+            }
+            Err(e) => {
+                if json {
+                    objects.push(format!(
+                        r#"{{"query":"{}","error":"{}"}}"#,
+                        cli_json_escape(&q.display(&vocab).to_string()),
+                        cli_json_escape(&e.to_string())
+                    ));
+                } else {
+                    if i > 0 {
+                        println!();
+                    }
+                    println!("cannot plan {}: {e}", q.display(&vocab));
+                }
+            }
+        }
+    }
+    if json {
+        println!("[{}]", objects.join(","));
+    }
+    ExitCode::SUCCESS
+}
+
 /// `magik serve [--addr HOST:PORT] [--workers N] [file]` — run the TCP
 /// completeness service (see `magik-server`), optionally preloading the
 /// TCS and facts of a document. Blocks until killed.
@@ -483,6 +586,9 @@ fn main() -> ExitCode {
     };
     if command == "analyze" {
         return cmd_analyze(&args[1..]);
+    }
+    if command == "explain-plan" {
+        return cmd_explain_plan(&args[1..]);
     }
     if command == "serve" {
         return cmd_serve(&args[1..]);

@@ -193,6 +193,49 @@ fn repl_runs_a_seeded_session() {
 }
 
 #[test]
+fn explain_plan_prints_ops_and_counters() {
+    let out = magik(&["explain-plan", &school_file()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The planner starts both queries from the doubly-constant school
+    // probe, then joins the rest.
+    assert!(stdout.contains("query q_ppb(N)"), "{stdout}");
+    assert!(
+        stdout.contains("school(S, primary, merano)  probe col 1 = primary"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("entered="), "{stdout}");
+    assert!(stdout.contains("totals: probes="), "{stdout}");
+    // rows in totals equal the eval answer counts (2 and 1).
+    assert!(stdout.contains("rows=2"), "{stdout}");
+    assert!(stdout.contains("rows=1"), "{stdout}");
+}
+
+#[test]
+fn explain_plan_emits_json_and_survives_unsafe_queries() {
+    let out = magik(&["explain-plan", &school_file(), "--format", "json"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_end().starts_with('['), "{stdout}");
+    assert!(stdout.contains(r#""access":{"kind":"probe""#), "{stdout}");
+    assert!(stdout.contains(r#""totals":{"probes":"#), "{stdout}");
+
+    // An unsafe query is reported, not fatal.
+    let dir = std::env::temp_dir().join("magik-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("unsafe.magik");
+    std::fs::write(&file, "query q(X, Y) :- p(X). fact p(a).").unwrap();
+    let out = magik(&["explain-plan", file.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cannot plan"), "{stdout}");
+    let out = magik(&["explain-plan", file.to_str().unwrap(), "--format", "json"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains(r#""error":"#), "{stdout}");
+}
+
+#[test]
 fn usage_errors_exit_nonzero() {
     let out = magik(&[]);
     assert_eq!(out.status.code(), Some(1));

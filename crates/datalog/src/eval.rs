@@ -1,7 +1,21 @@
-//! Bottom-up fixpoint evaluation: naive and semi-naive.
+//! Bottom-up fixpoint evaluation: naive and semi-naive, over compiled
+//! execution plans.
+//!
+//! Every rule is compiled **once** per fixpoint (and once per
+//! [`Materialized`](crate::Materialized) lifetime) into
+//! [`CompiledBody`] plans from `magik-exec`: one *full* plan evaluating
+//! the whole body, and — for semi-naive evaluation — one *delta* plan per
+//! body-atom pivot, with the pivot's variables declared bound so each
+//! delta fact seeds the run via [`match_ground`]. The plans fix atom order
+//! and index access paths up front and are reused across all fixpoint
+//! rounds and increments, replacing the old per-round query construction
+//! (`apply_rule`/`apply_rule_with_pivot`) that re-planned every rule body
+//! at every search node of every round.
 
-use magik_relalg::{answers, homomorphisms, Atom, Fact, Instance, Query, Substitution};
-use magik_unify::mgu_atoms;
+use std::collections::BTreeSet;
+
+use magik_exec::{match_ground, CompiledBody, ExecStats};
+use magik_relalg::{Atom, Fact, Instance, Pred, Var};
 
 use crate::program::{Program, Rule};
 
@@ -17,97 +31,165 @@ pub struct FixpointResult {
     pub derived: usize,
 }
 
-/// `true` iff some negated atom of the rule, instantiated by `binding`,
-/// holds in `db` (blocking the derivation). Safe negation guarantees the
-/// instantiated atoms are ground.
-fn negation_blocks(rule: &Rule, binding: &Substitution, db: &Instance) -> bool {
-    rule.negative.iter().any(|n| {
-        let fact = binding
-            .apply_atom(n)
-            .to_fact()
-            .expect("safe negation grounds negated atoms");
-        db.contains(&fact)
-    })
+/// One rule's delta plan for one body-atom pivot: the rest of the body,
+/// compiled with the pivot's variables declared bound.
+#[derive(Debug, Clone)]
+struct PivotPlan {
+    /// The pivot atom pattern, matched against delta facts.
+    atom: Atom,
+    /// The remaining body (and the rule's negated atoms), seeded by the
+    /// pivot match.
+    body: CompiledBody,
 }
 
-/// Evaluates a rule body over `db` and returns the derivable head facts.
-/// Negated atoms are checked against `neg_db` (the model of the lower
-/// strata; for stratified programs this equals `db`).
-fn apply_rule(rule: &Rule, db: &Instance) -> Vec<Fact> {
-    if rule.negative.is_empty() {
-        // Range restriction guarantees the constructed query is safe. The
-        // query name is display-only; a placeholder suffices.
-        let q = Query::new(
-            magik_relalg::Symbol::placeholder(),
-            rule.head.args.clone(),
-            rule.body.clone(),
-        );
-        let ans = answers(&q, db).expect("range-restricted rule bodies are safe");
-        return ans
-            .into_iter()
-            .map(|tuple| Fact::new(rule.head.pred, tuple))
-            .collect();
-    }
-    // With negation we need full assignments to ground the negated atoms.
-    homomorphisms(&rule.body, db)
-        .into_iter()
-        .filter(|h| !negation_blocks(rule, h, db))
-        .filter_map(|h| h.apply_atom(&rule.head).to_fact())
-        .collect()
+/// A rule compiled for fixpoint execution.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledRule {
+    head_pred: Pred,
+    /// Full-body plan (naive rounds, round 0 of semi-naive).
+    full: CompiledBody,
+    /// One delta plan per body-atom position (semi-naive rounds); empty
+    /// when compiled with `with_pivots = false`.
+    pivots: Vec<PivotPlan>,
 }
 
-/// Like [`apply_rule`], but requires the body atom at `pivot` to match the
-/// fact `delta_fact` (the semi-naive restriction).
-fn apply_rule_with_pivot(
-    rule: &Rule,
-    pivot: usize,
-    delta_fact: &Fact,
-    db: &Instance,
-    out: &mut Vec<Fact>,
-) {
-    let Some(binding) = mgu_atoms(&rule.body[pivot], &delta_fact.to_atom()) else {
-        return;
-    };
-    let rest: Vec<Atom> = rule
-        .body
-        .iter()
-        .enumerate()
-        .filter(|&(i, _)| i != pivot)
-        .map(|(_, a)| binding.apply_atom(a))
-        .collect();
-    if rule.negative.is_empty() {
-        let head = binding.apply_atom(&rule.head);
-        let q = Query::new(magik_relalg::Symbol::placeholder(), head.args.clone(), rest);
-        let ans = answers(&q, db).expect("bound pivot keeps the query safe");
-        out.extend(
-            ans.into_iter()
-                .map(|tuple| Fact::new(rule.head.pred, tuple)),
-        );
-        return;
-    }
-    // Negation: enumerate full assignments of the remaining body and
-    // combine them with the pivot binding before grounding the negated
-    // atoms and the head.
-    for h in homomorphisms(&rest, db) {
-        let full = h.compose(&binding);
-        if negation_blocks(rule, &full, db) {
-            continue;
+impl CompiledRule {
+    fn compile(rule: &Rule, stats: Option<&Instance>, with_pivots: bool) -> CompiledRule {
+        let full = CompiledBody::compile(
+            &rule.head.args,
+            &rule.body,
+            &rule.negative,
+            &BTreeSet::new(),
+            stats,
+        )
+        .expect("range-restricted rules compile");
+        let mut pivots = Vec::new();
+        if with_pivots {
+            for (i, pivot) in rule.body.iter().enumerate() {
+                let rest: Vec<Atom> = rule
+                    .body
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, a)| a.clone())
+                    .collect();
+                let bound: BTreeSet<Var> = pivot.vars().collect();
+                let body =
+                    CompiledBody::compile(&rule.head.args, &rest, &rule.negative, &bound, stats)
+                        .expect("pivot-bound rule bodies compile");
+                pivots.push(PivotPlan {
+                    atom: pivot.clone(),
+                    body,
+                });
+            }
         }
-        if let Some(fact) = full.apply_atom(&rule.head).to_fact() {
-            out.push(fact);
+        CompiledRule {
+            head_pred: rule.head.pred,
+            full,
+            pivots,
         }
     }
+
+    /// Evaluates the full body over `model` and appends the derivable
+    /// head facts to `out`.
+    fn apply_full(&self, model: &Instance, stats: &mut ExecStats, out: &mut Vec<Fact>) {
+        self.full
+            .for_each_derivation(model, &[], stats, &mut |args| {
+                out.push(Fact::new(self.head_pred, args));
+            });
+    }
 }
 
-/// Naive fixpoint of a set of rules over `model` (in place).
-fn fixpoint_naive(rules: &[&Rule], model: &mut Instance) -> (usize, usize) {
+/// A program compiled for fixpoint execution: rules grouped by stratum,
+/// each carrying its reusable plans.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledProgram {
+    strata: Vec<Vec<CompiledRule>>,
+}
+
+impl CompiledProgram {
+    /// Compiles every rule of `program`, ordering plans by the statistics
+    /// of `stats`. `with_pivots` additionally compiles the per-pivot delta
+    /// plans (needed by semi-naive evaluation and incremental insertion).
+    pub(crate) fn compile(
+        program: &Program,
+        stats: Option<&Instance>,
+        with_pivots: bool,
+    ) -> CompiledProgram {
+        let mut strata: Vec<Vec<CompiledRule>> = vec![Vec::new(); program.num_strata()];
+        for rule in program.rules() {
+            strata[program.stratum(rule.head.pred)].push(CompiledRule::compile(
+                rule,
+                stats,
+                with_pivots,
+            ));
+        }
+        CompiledProgram { strata }
+    }
+
+    /// Naive stratified fixpoint over `edb`.
+    pub(crate) fn eval_naive(&self, edb: &Instance) -> FixpointResult {
+        let mut model = edb.clone();
+        let mut iterations = 0;
+        let mut derived = 0;
+        let mut stats = ExecStats::default();
+        for stratum in &self.strata {
+            let (i, d) = fixpoint_naive(stratum, &mut model, &mut stats);
+            iterations += i;
+            derived += d;
+        }
+        FixpointResult {
+            model,
+            iterations,
+            derived,
+        }
+    }
+
+    /// Semi-naive stratified fixpoint over `edb`.
+    pub(crate) fn eval_semi_naive(&self, edb: &Instance) -> FixpointResult {
+        let mut model = edb.clone();
+        let mut iterations = 0;
+        let mut derived = 0;
+        let mut stats = ExecStats::default();
+        for stratum in &self.strata {
+            let (i, d) = fixpoint_semi_naive(stratum, &mut model, &mut stats);
+            iterations += i;
+            derived += d;
+        }
+        FixpointResult {
+            model,
+            iterations,
+            derived,
+        }
+    }
+
+    /// Propagates `delta` — facts already inserted into `model` — through
+    /// every rule to a fixpoint, reusing the compiled delta plans. Returns
+    /// `(rounds, derived)`. Used by [`crate::Materialized`] (positive
+    /// programs, so stratification is immaterial).
+    pub(crate) fn propagate_delta(&self, model: &mut Instance, delta: Vec<Fact>) -> (usize, usize) {
+        let rules: Vec<CompiledRule> = self.strata.iter().flatten().cloned().collect();
+        let mut stats = ExecStats::default();
+        propagate_delta_compiled(&rules, model, delta, &mut stats)
+    }
+}
+
+/// Naive fixpoint of one stratum's rules over `model` (in place).
+fn fixpoint_naive(
+    rules: &[CompiledRule],
+    model: &mut Instance,
+    stats: &mut ExecStats,
+) -> (usize, usize) {
     let mut iterations = 0;
     let mut derived = 0;
+    let mut buffer = Vec::new();
     loop {
         iterations += 1;
         let mut new_facts = 0;
         for rule in rules {
-            for fact in apply_rule(rule, model) {
+            buffer.clear();
+            rule.apply_full(model, stats, &mut buffer);
+            for fact in buffer.drain(..) {
                 if model.insert(fact) {
                     new_facts += 1;
                 }
@@ -120,31 +202,36 @@ fn fixpoint_naive(rules: &[&Rule], model: &mut Instance) -> (usize, usize) {
     }
 }
 
-/// Propagates `delta` — facts already inserted into `model` — through the
-/// rules to a fixpoint, semi-naive style: each round only re-evaluates
-/// rules with at least one body atom pivoted on a previous round's fact.
-/// Returns `(rounds, derived)`. This is the engine shared by
-/// [`Program::eval_semi_naive`] (seeded by a full naive pass) and by
-/// [`crate::Materialized`] (seeded by externally asserted facts).
-pub(crate) fn propagate_delta(
-    rules: &[&Rule],
+/// Propagates `delta` through the compiled delta plans to a fixpoint:
+/// each round matches every delta fact against every rule's pivot atoms,
+/// seeds the pivot's plan with the match, and collects new derivations
+/// into the next round's delta. Returns `(rounds, derived)`.
+fn propagate_delta_compiled(
+    rules: &[CompiledRule],
     model: &mut Instance,
     mut delta: Vec<Fact>,
+    stats: &mut ExecStats,
 ) -> (usize, usize) {
     let mut iterations = 0;
     let mut derived = 0;
-    let mut buffer = Vec::new();
+    let mut buffer: Vec<Fact> = Vec::new();
     while !delta.is_empty() {
         iterations += 1;
         let mut next_delta = Vec::new();
         for rule in rules {
-            for (pivot, body_atom) in rule.body.iter().enumerate() {
+            for pp in &rule.pivots {
                 for fact in &delta {
-                    if fact.pred != body_atom.pred {
+                    if fact.pred != pp.atom.pred {
                         continue;
                     }
+                    let Some(seed) = match_ground(&pp.atom, &fact.args) else {
+                        continue;
+                    };
                     buffer.clear();
-                    apply_rule_with_pivot(rule, pivot, fact, model, &mut buffer);
+                    pp.body
+                        .for_each_derivation(model, &seed, stats, &mut |args| {
+                            buffer.push(Fact::new(rule.head_pred, args));
+                        });
                     for derived_fact in buffer.drain(..) {
                         if model.insert(derived_fact.clone()) {
                             next_delta.push(derived_fact);
@@ -159,73 +246,49 @@ pub(crate) fn propagate_delta(
     (iterations, derived)
 }
 
-/// Semi-naive fixpoint of a set of rules over `model` (in place).
-fn fixpoint_semi_naive(rules: &[&Rule], model: &mut Instance) -> (usize, usize) {
-    // Round 0: full naive pass to seed the deltas.
+/// Semi-naive fixpoint of one stratum's rules over `model` (in place).
+fn fixpoint_semi_naive(
+    rules: &[CompiledRule],
+    model: &mut Instance,
+    stats: &mut ExecStats,
+) -> (usize, usize) {
+    // Round 0: full pass to seed the deltas.
     let mut derived = 0;
     let mut delta: Vec<Fact> = Vec::new();
+    let mut buffer = Vec::new();
     for rule in rules {
-        for fact in apply_rule(rule, model) {
+        buffer.clear();
+        rule.apply_full(model, stats, &mut buffer);
+        for fact in buffer.drain(..) {
             if model.insert(fact.clone()) {
                 delta.push(fact);
                 derived += 1;
             }
         }
     }
-    let (rounds, propagated) = propagate_delta(rules, model, delta);
+    let (rounds, propagated) = propagate_delta_compiled(rules, model, delta, stats);
     (1 + rounds, derived + propagated)
 }
 
 impl Program {
-    /// Groups rules by the stratum of their head predicate, ascending.
-    fn rules_by_stratum(&self) -> Vec<Vec<&Rule>> {
-        let mut strata: Vec<Vec<&Rule>> = vec![Vec::new(); self.num_strata()];
-        for rule in self.rules() {
-            strata[self.stratum(rule.head.pred)].push(rule);
-        }
-        strata
-    }
-
     /// Computes the (stratified) least model by **naive** iteration within
     /// each stratum: apply every rule of the stratum to the full instance
-    /// until no new fact is derived, then move to the next stratum.
+    /// until no new fact is derived, then move to the next stratum. Rule
+    /// bodies are compiled to plans once, up front.
     pub fn eval_naive(&self, edb: &Instance) -> FixpointResult {
-        let mut model = edb.clone();
-        let mut iterations = 0;
-        let mut derived = 0;
-        for stratum in self.rules_by_stratum() {
-            let (i, d) = fixpoint_naive(&stratum, &mut model);
-            iterations += i;
-            derived += d;
-        }
-        FixpointResult {
-            model,
-            iterations,
-            derived,
-        }
+        CompiledProgram::compile(self, Some(edb), false).eval_naive(edb)
     }
 
     /// Computes the (stratified) least model by **semi-naive** iteration
     /// within each stratum: after the first round, a rule is only
     /// re-evaluated with at least one positive body atom bound to a fact
-    /// derived in the previous round.
+    /// derived in the previous round — via delta plans compiled once per
+    /// (rule, pivot) and reused across all rounds.
     ///
     /// Produces exactly the same model as [`Program::eval_naive`]; property
     /// tests in this crate assert the agreement on random programs.
     pub fn eval_semi_naive(&self, edb: &Instance) -> FixpointResult {
-        let mut model = edb.clone();
-        let mut iterations = 0;
-        let mut derived = 0;
-        for stratum in self.rules_by_stratum() {
-            let (i, d) = fixpoint_semi_naive(&stratum, &mut model);
-            iterations += i;
-            derived += d;
-        }
-        FixpointResult {
-            model,
-            iterations,
-            derived,
-        }
+        CompiledProgram::compile(self, Some(edb), true).eval_semi_naive(edb)
     }
 
     /// Evaluates a conjunctive query over the least model of the program
@@ -255,11 +318,11 @@ impl Program {
     /// ```
     pub fn query(
         &self,
-        q: &Query,
+        q: &magik_relalg::Query,
         edb: &Instance,
     ) -> Result<magik_relalg::AnswerSet, magik_relalg::EvalError> {
         let model = self.eval_semi_naive(edb).model;
-        answers(q, &model)
+        magik_relalg::answers(q, &model)
     }
 
     /// Applies every rule **once** to `db` and returns only the derived
@@ -267,9 +330,14 @@ impl Program {
     /// consequence operator `T_P(db)`, used by the completeness crate to
     /// implement the paper's `T_C` operator via the Section 5 encoding.
     pub fn immediate_consequences(&self, db: &Instance) -> Instance {
+        let compiled = CompiledProgram::compile(self, Some(db), false);
         let mut out = Instance::new();
-        for rule in self.rules() {
-            for fact in apply_rule(rule, db) {
+        let mut stats = ExecStats::default();
+        let mut buffer = Vec::new();
+        for rule in compiled.strata.iter().flatten() {
+            buffer.clear();
+            rule.apply_full(db, &mut stats, &mut buffer);
+            for fact in buffer.drain(..) {
                 out.insert(fact);
             }
         }

@@ -13,8 +13,8 @@
 
 use magik_relalg::{Fact, Instance};
 
-use crate::eval::propagate_delta;
-use crate::program::{Program, Rule};
+use crate::eval::CompiledProgram;
+use crate::program::Program;
 
 /// Errors constructing a [`Materialized`] model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,12 +45,18 @@ impl std::error::Error for MaterializeError {}
 /// * [`Materialized::retract`] removes an EDB fact and **recomputes** the
 ///   model (correct, not incremental; see the module docs).
 ///
+/// The rules are compiled to execution plans **once**, at construction:
+/// insertions, retraction recomputations, and every fixpoint round they
+/// trigger all reuse the same [`CompiledProgram`] instead of re-planning
+/// each rule per operation.
+///
 /// The model always equals `program.eval_semi_naive(edb).model`; property
 /// tests in this crate assert that invariant over random programs and
 /// random interleavings of assertions and retractions.
 #[derive(Debug, Clone)]
 pub struct Materialized {
     program: Program,
+    compiled: CompiledProgram,
     edb: Instance,
     model: Instance,
 }
@@ -62,9 +68,11 @@ impl Materialized {
         if program.rules().iter().any(|r| !r.negative.is_empty()) {
             return Err(MaterializeError::NegationNotSupported);
         }
-        let model = program.eval_semi_naive(&edb).model;
+        let compiled = CompiledProgram::compile(&program, Some(&edb), true);
+        let model = compiled.eval_semi_naive(&edb).model;
         Ok(Materialized {
             program,
+            compiled,
             edb,
             model,
         })
@@ -102,19 +110,19 @@ impl Materialized {
             }
         }
         let seeds = delta.len();
-        let rules: Vec<&Rule> = self.program.rules().iter().collect();
-        let (_, derived) = propagate_delta(&rules, &mut self.model, delta);
+        let (_, derived) = self.compiled.propagate_delta(&mut self.model, delta);
         seeds + derived
     }
 
     /// Retracts one EDB fact; returns `true` if it was present. The model
     /// is recomputed from the retained EDB (fallback strategy, same API
-    /// an incremental deletion would have).
+    /// an incremental deletion would have) — but with the plans compiled
+    /// at construction, not re-planned per retract.
     pub fn retract(&mut self, fact: &Fact) -> bool {
         if !self.edb.remove(fact) {
             return false;
         }
-        self.model = self.program.eval_semi_naive(&self.edb).model;
+        self.model = self.compiled.eval_semi_naive(&self.edb).model;
         true
     }
 }
@@ -122,6 +130,7 @@ impl Materialized {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::program::Rule;
     use magik_relalg::{Atom, Term, Vocabulary};
 
     fn tc_setup(v: &mut Vocabulary) -> (magik_relalg::Pred, magik_relalg::Pred, Program) {

@@ -129,6 +129,24 @@ proptest! {
         prop_assert_eq!(naive.derived, semi.derived);
     }
 
+    /// Both engines (compiled plans, delta propagation) compute exactly
+    /// the model of the seed re-planning naive fixpoint kept in
+    /// `magik_exec::reference`.
+    #[test]
+    fn compiled_fixpoints_match_reference_oracle(rules in proptest::collection::vec(arule(), 0..4), facts in afacts()) {
+        let mut v = Vocabulary::new();
+        let program = materialize(&mut v, &rules);
+        let edb = materialize_edb(&mut v, &facts);
+        let positive: Vec<(Atom, Vec<Atom>)> = program
+            .rules()
+            .iter()
+            .map(|r| (r.head.clone(), r.body.clone()))
+            .collect();
+        let oracle = magik_exec::reference::naive_fixpoint(&positive, &edb);
+        prop_assert_eq!(&program.eval_naive(&edb).model, &oracle);
+        prop_assert_eq!(&program.eval_semi_naive(&edb).model, &oracle);
+    }
+
     #[test]
     fn model_contains_edb_and_is_fixpoint(rules in proptest::collection::vec(arule(), 0..4), facts in afacts()) {
         let mut v = Vocabulary::new();

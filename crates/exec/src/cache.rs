@@ -1,0 +1,150 @@
+//! An LRU cache of compiled plans.
+//!
+//! Compiling a plan is cheap but not free (greedy ordering is quadratic in
+//! the body size), and on hot paths — the server answering the same
+//! canonical query under churning data epochs, fixpoints re-entered per
+//! increment — the same body is compiled over and over. The cache stores
+//! [`CompiledQuery`]s behind [`Arc`] so hits share one allocation, and
+//! counts hits/misses so the server can export a plan-cache hit rate next
+//! to its verdict- and answer-cache rates.
+//!
+//! # Invalidation
+//!
+//! A cached plan stays *correct* under data changes — statistics drive
+//! only atom ordering — so data-epoch bumps do not clear the cache; the
+//! entry ages out through normal LRU pressure. Keys must capture
+//! everything answer-relevant (the server keys on the canonical query
+//! form, whose equality implies query equivalence), and the owner must
+//! [`clear`](PlanCache::clear) on events that remap interned ids, e.g. the
+//! server's TCS/vocabulary epoch bumps.
+
+use std::hash::Hash;
+use std::sync::Arc;
+
+use crate::compiled::CompiledQuery;
+
+/// An exact LRU cache of shared compiled queries, with hit/miss counters.
+///
+/// Eviction scans for the minimum recency stamp — O(capacity), the same
+/// trade the server's verdict caches make: at a few hundred entries the
+/// scan is far cheaper than one plan compilation it saves.
+#[derive(Debug, Clone)]
+pub struct PlanCache<K> {
+    cap: usize,
+    tick: u64,
+    map: std::collections::HashMap<K, (Arc<CompiledQuery>, u64)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone> PlanCache<K> {
+    /// Creates a cache holding at most `cap` plans (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        PlanCache {
+            cap: cap.max(1),
+            tick: 0,
+            map: std::collections::HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency and counting a hit or miss.
+    pub fn get(&mut self, key: &K) -> Option<Arc<CompiledQuery>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let found = self.map.get_mut(key).map(|(v, stamp)| {
+            *stamp = tick;
+            Arc::clone(v)
+        });
+        if found.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        found
+    }
+
+    /// Inserts `key → plan`, evicting the least recently used entry if the
+    /// cache is full.
+    pub fn insert(&mut self, key: K, plan: Arc<CompiledQuery>) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.cap {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (plan, self.tick));
+    }
+
+    /// The number of cached plans.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` iff the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lifetime hit count (hits survive [`clear`](PlanCache::clear)).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops every cached plan, keeping the hit/miss counters. Call on
+    /// events that remap interned ids (vocabulary or TCS epoch bumps).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magik_relalg::{Query, Vocabulary};
+
+    fn trivial_plan(v: &mut Vocabulary, name: &str) -> Arc<CompiledQuery> {
+        let q = Query::boolean(v.sym(name), vec![]);
+        Arc::new(CompiledQuery::compile(&q, None).unwrap())
+    }
+
+    #[test]
+    fn counts_hits_and_misses_and_evicts_lru() {
+        let mut v = Vocabulary::new();
+        let mut c = PlanCache::new(2);
+        assert!(c.get(&"a").is_none());
+        c.insert("a", trivial_plan(&mut v, "qa"));
+        c.insert("b", trivial_plan(&mut v, "qb"));
+        assert!(c.get(&"a").is_some()); // refresh "a"; "b" is now LRU
+        c.insert("c", trivial_plan(&mut v, "qc"));
+        assert!(c.get(&"b").is_none());
+        assert!(c.get(&"c").is_some());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let mut v = Vocabulary::new();
+        let mut c = PlanCache::new(4);
+        c.insert("a", trivial_plan(&mut v, "qa"));
+        assert!(c.get(&"a").is_some());
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.get(&"a").is_none());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+}

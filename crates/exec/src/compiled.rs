@@ -1,0 +1,304 @@
+//! Compiled queries and rule bodies: the execution units shared by the
+//! evaluation, containment, Datalog, and server layers.
+
+use std::collections::BTreeSet;
+
+use magik_relalg::exec::{ExecStats, Plan, Projection};
+use magik_relalg::{AnswerSet, Atom, Cst, EvalError, Fact, Instance, Pred, Query, Term, Var};
+
+/// A safety-checked conjunctive query compiled to a [`Plan`] plus a head
+/// [`Projection`].
+///
+/// Compilation fixes the atom order and access paths against the supplied
+/// statistics instance; the compiled form can then be executed any number
+/// of times, against the same instance or later versions of it (statistics
+/// drift affects only speed, never results). This is what the server's
+/// plan cache stores.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    query: Query,
+    plan: Plan,
+    head: Projection,
+}
+
+impl CompiledQuery {
+    /// Compiles `q` using the statistics of `stats` for atom ordering.
+    ///
+    /// Returns [`EvalError::UnsafeQuery`] if a head variable does not
+    /// occur in the body, exactly like
+    /// [`answers`](magik_relalg::answers).
+    pub fn compile(q: &Query, stats: Option<&Instance>) -> Result<CompiledQuery, EvalError> {
+        let body_vars = q.body_vars();
+        if let Some(v) = q.head_vars().into_iter().find(|v| !body_vars.contains(v)) {
+            return Err(EvalError::UnsafeQuery(v));
+        }
+        let plan = Plan::compile(&q.body, &BTreeSet::new(), stats);
+        let head = Projection::compile(&q.head, &plan).map_err(EvalError::UnsafeQuery)?;
+        Ok(CompiledQuery {
+            query: q.clone(),
+            plan,
+            head,
+        })
+    }
+
+    /// Evaluates the compiled query over `db`, accumulating execution
+    /// counters into `stats`.
+    pub fn answers(&self, db: &Instance, stats: &mut ExecStats) -> AnswerSet {
+        let mut out = AnswerSet::new();
+        self.plan.run(db, &[], stats, &mut |row| {
+            out.insert(self.head.emit(row));
+            true
+        });
+        out
+    }
+
+    /// `true` iff the query has at least one answer over `db`.
+    pub fn has_any_answer(&self, db: &Instance, stats: &mut ExecStats) -> bool {
+        self.plan.first_match(db, &[], stats)
+    }
+
+    /// The source query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+}
+
+/// A rule-shaped body compiled for full or delta-mode execution: positive
+/// atoms as a [`Plan`], a head template as a [`Projection`], and ground
+/// templates for stratified negated atoms.
+///
+/// For **full** execution compile with an empty `bound` set and run with an
+/// empty seed. For **delta** execution compile the body *minus* the pivot
+/// atom with the pivot's variables declared `bound`, then seed each run
+/// from a delta fact via [`match_ground`]. Either way the plan is compiled
+/// once and reused across fixpoint rounds and increments.
+#[derive(Debug, Clone)]
+pub struct CompiledBody {
+    plan: Plan,
+    head: Projection,
+    /// Negated atoms as `(pred, ground template)`: a derivation survives
+    /// iff none of the grounded facts is present in the instance.
+    neg: Vec<(Pred, Projection)>,
+}
+
+impl CompiledBody {
+    /// Compiles a rule body.
+    ///
+    /// `head_args` is the head template (any term list over the rule's
+    /// variables), `body` the positive atoms, `negative` the negated atoms
+    /// (their variables must be covered by `body` ∪ `bound` —
+    /// range-restriction, which the Datalog layer validates), and `bound`
+    /// the variables that will be seeded at run time. Fails with the first
+    /// variable that no slot covers.
+    pub fn compile(
+        head_args: &[Term],
+        body: &[Atom],
+        negative: &[Atom],
+        bound: &BTreeSet<Var>,
+        stats: Option<&Instance>,
+    ) -> Result<CompiledBody, Var> {
+        let plan = Plan::compile(body, bound, stats);
+        let head = Projection::compile(head_args, &plan)?;
+        let neg = negative
+            .iter()
+            .map(|a| Ok((a.pred, Projection::compile(&a.args, &plan)?)))
+            .collect::<Result<_, _>>()?;
+        Ok(CompiledBody { plan, head, neg })
+    }
+
+    /// Enumerates the head tuples derivable over `db` from assignments
+    /// extending `seed`, skipping rows blocked by a negated atom. Head
+    /// tuples are handed to `emit` (duplicates are possible; callers
+    /// dedupe on insertion).
+    pub fn for_each_derivation(
+        &self,
+        db: &Instance,
+        seed: &[(Var, Cst)],
+        stats: &mut ExecStats,
+        emit: &mut dyn FnMut(Vec<Cst>),
+    ) {
+        self.plan.run(db, seed, stats, &mut |row| {
+            let blocked = self
+                .neg
+                .iter()
+                .any(|(pred, proj)| db.contains(&Fact::new(*pred, proj.emit(row))));
+            if !blocked {
+                emit(self.head.emit(row));
+            }
+            true
+        });
+    }
+
+    /// The compiled plan over the positive atoms.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+}
+
+/// Matches a ground tuple against an atom pattern: the pivot step of delta
+/// execution. Returns the variable bindings induced by the match, or
+/// `None` if a constant disagrees or a repeated variable would need two
+/// values. The bindings seed a delta-mode [`CompiledBody`] run.
+pub fn match_ground(atom: &Atom, args: &[Cst]) -> Option<Vec<(Var, Cst)>> {
+    if atom.args.len() != args.len() {
+        return None;
+    }
+    let mut seed: Vec<(Var, Cst)> = Vec::with_capacity(args.len());
+    for (&t, &c) in atom.args.iter().zip(args) {
+        match t {
+            Term::Cst(tc) => {
+                if tc != c {
+                    return None;
+                }
+            }
+            Term::Var(v) => match seed.iter().find(|&&(sv, _)| sv == v) {
+                Some(&(_, bound)) => {
+                    if bound != c {
+                        return None;
+                    }
+                }
+                None => seed.push((v, c)),
+            },
+        }
+    }
+    Some(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magik_relalg::Vocabulary;
+
+    fn fact(v: &mut Vocabulary, p: Pred, args: &[&str]) -> Fact {
+        Fact::new(p, args.iter().map(|s| v.cst(s)).collect())
+    }
+
+    #[test]
+    fn compiled_query_matches_answers() {
+        let mut v = Vocabulary::new();
+        let e = v.pred("e", 2);
+        let mut db = Instance::new();
+        for (a, b) in [("a", "b"), ("b", "c")] {
+            db.insert(fact(&mut v, e, &[a, b]));
+        }
+        let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+        let q = Query::new(
+            v.sym("q"),
+            vec![Term::Var(x), Term::Var(z)],
+            vec![
+                Atom::new(e, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(e, vec![Term::Var(y), Term::Var(z)]),
+            ],
+        );
+        let cq = CompiledQuery::compile(&q, Some(&db)).unwrap();
+        let mut stats = ExecStats::default();
+        let ans = cq.answers(&db, &mut stats);
+        assert_eq!(ans, magik_relalg::answers(&q, &db).unwrap());
+        assert!(stats.rows >= 1);
+        assert!(cq.has_any_answer(&db, &mut stats));
+
+        // Same compiled plan, later instance version: still correct.
+        db.insert(fact(&mut v, e, &["c", "d"]));
+        let ans2 = cq.answers(&db, &mut ExecStats::default());
+        assert_eq!(ans2, magik_relalg::answers(&q, &db).unwrap());
+        assert_eq!(ans2.len(), 2);
+    }
+
+    #[test]
+    fn compiled_query_rejects_unsafe_heads() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let q = Query::new(
+            v.sym("q"),
+            vec![Term::Var(y)],
+            vec![Atom::new(p, vec![Term::Var(x)])],
+        );
+        assert_eq!(
+            CompiledQuery::compile(&q, None).err(),
+            Some(EvalError::UnsafeQuery(y))
+        );
+    }
+
+    #[test]
+    fn delta_body_derives_only_from_the_seed() {
+        let mut v = Vocabulary::new();
+        let e = v.pred("e", 2);
+        let p = v.pred("p", 2);
+        let mut db = Instance::new();
+        db.insert(fact(&mut v, p, &["a", "b"]));
+        db.insert(fact(&mut v, p, &["x", "y"]));
+        db.insert(fact(&mut v, e, &["b", "c"]));
+        let (xv, yv, zv) = (v.var("X"), v.var("Y"), v.var("Z"));
+        // p(X,Z) ← p(X,Y), e(Y,Z), with p(X,Y) as the pivot.
+        let pivot = Atom::new(p, vec![Term::Var(xv), Term::Var(yv)]);
+        let rest = vec![Atom::new(e, vec![Term::Var(yv), Term::Var(zv)])];
+        let bound: BTreeSet<Var> = [xv, yv].into_iter().collect();
+        let body = CompiledBody::compile(
+            &[Term::Var(xv), Term::Var(zv)],
+            &rest,
+            &[],
+            &bound,
+            Some(&db),
+        )
+        .unwrap();
+        let seed = match_ground(&pivot, &[v.cst("a"), v.cst("b")]).unwrap();
+        let mut derived = Vec::new();
+        body.for_each_derivation(&db, &seed, &mut ExecStats::default(), &mut |t| {
+            derived.push(t);
+        });
+        assert_eq!(derived, vec![vec![v.cst("a"), v.cst("c")]]);
+        // A delta fact that matches nothing downstream derives nothing.
+        let seed = match_ground(&pivot, &[v.cst("x"), v.cst("y")]).unwrap();
+        let mut none = Vec::new();
+        body.for_each_derivation(&db, &seed, &mut ExecStats::default(), &mut |t| {
+            none.push(t);
+        });
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn negated_atoms_block_derivations() {
+        let mut v = Vocabulary::new();
+        let node = v.pred("node", 1);
+        let reach = v.pred("reach", 1);
+        let mut db = Instance::new();
+        for n in ["a", "b"] {
+            db.insert(fact(&mut v, node, &[n]));
+        }
+        db.insert(fact(&mut v, reach, &["a"]));
+        let x = v.var("X");
+        // unreach(X) ← node(X), ¬reach(X).
+        let body = CompiledBody::compile(
+            &[Term::Var(x)],
+            &[Atom::new(node, vec![Term::Var(x)])],
+            &[Atom::new(reach, vec![Term::Var(x)])],
+            &BTreeSet::new(),
+            Some(&db),
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        body.for_each_derivation(&db, &[], &mut ExecStats::default(), &mut |t| {
+            out.push(t);
+        });
+        assert_eq!(out, vec![vec![v.cst("b")]]);
+    }
+
+    #[test]
+    fn match_ground_handles_constants_and_repeats() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 3);
+        let x = v.var("X");
+        let (a, b) = (v.cst("a"), v.cst("b"));
+        let atom = Atom::new(p, vec![Term::Var(x), Term::Cst(a), Term::Var(x)]);
+        assert_eq!(match_ground(&atom, &[b, a, b]), Some(vec![(x, b)]));
+        assert_eq!(match_ground(&atom, &[b, b, b]), None); // constant mismatch
+        assert_eq!(match_ground(&atom, &[a, a, b]), None); // repeat mismatch
+        assert_eq!(match_ground(&atom, &[a, a]), None); // arity mismatch
+    }
+}

@@ -1,0 +1,40 @@
+//! Compiled query-execution layer for MAGIK-rs.
+//!
+//! Every reasoning layer of the system — query evaluation, the
+//! Chandra–Merlin containment checks, the completeness engine's searches
+//! over the frozen canonical database, and the semi-naive Datalog fixpoints
+//! behind the Section 5 encoding — reduces to matching a conjunctive body
+//! against an [`Instance`](magik_relalg::Instance). The plan IR itself (planner, executor,
+//! projections, counters) lives in [`magik_relalg::exec`] because it is
+//! inseparable from the data model; this crate re-exports it and adds the
+//! layers the *callers* share:
+//!
+//! * [`CompiledQuery`] — a safety-checked query compiled to a plan plus a
+//!   head projection, executable repeatedly against evolving instances;
+//! * [`CompiledBody`] — a rule-shaped body (positive atoms, stratified
+//!   negation, declared-bound pivot variables) compiled for full or
+//!   delta-mode execution, the building block of the Datalog engine;
+//! * [`match_ground`] — pivot matching: unifies a ground fact with an atom
+//!   pattern to produce the seed bindings of a delta run;
+//! * [`PlanCache`] — a small LRU of shared [`CompiledQuery`]s with
+//!   hit/miss counters, used by the server engine keyed on canonical query
+//!   forms;
+//! * [`explain_text`] / [`explain_json`] — human- and machine-readable
+//!   renderings of a plan and its execution counters, backing the CLI's
+//!   `explain-plan` command;
+//! * [`reference`] — the seed backtracking evaluator, preserved verbatim
+//!   as the oracle for equivalence tests and the baseline for benches.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod cache;
+mod compiled;
+mod explain;
+pub mod reference;
+
+pub use cache::PlanCache;
+pub use compiled::{match_ground, CompiledBody, CompiledQuery};
+pub use explain::{explain_json, explain_text};
+pub use magik_relalg::exec::{
+    Access, ColAction, ExecStats, Key, OpCounters, Plan, PlanOp, Projection, Row,
+};

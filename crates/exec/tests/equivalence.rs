@@ -1,0 +1,235 @@
+//! Equivalence suite: planned execution against the seed evaluator.
+//!
+//! Random conjunctive queries and ground instances over a small fixed
+//! schema; each property asserts that the compiled-plan executor and the
+//! preserved dynamic-ordering oracle in [`magik_exec::reference`] compute
+//! exactly the same thing — answer sets, boolean `has_answer` probes,
+//! homomorphism sets, and errors for unsafe heads.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use magik_exec::reference;
+use magik_exec::{CompiledQuery, ExecStats};
+use magik_relalg::{
+    answers, freeze_atom, has_answer, homomorphisms, Atom, Cst, Instance, Query, Substitution,
+    Term, Vocabulary,
+};
+
+/// Abstract term: materialized against a vocabulary later.
+#[derive(Debug, Clone, Copy)]
+enum ATerm {
+    Var(u8),
+    Cst(u8),
+}
+
+#[derive(Debug, Clone)]
+struct AAtom {
+    pred: u8,
+    args: Vec<ATerm>,
+}
+
+#[derive(Debug, Clone)]
+struct AQuery {
+    head: Vec<ATerm>,
+    body: Vec<AAtom>,
+}
+
+const NUM_PREDS: u8 = 3;
+const NUM_VARS: u8 = 5;
+const NUM_CSTS: u8 = 3;
+
+fn pred_arity(p: u8) -> usize {
+    [1, 2, 3][p as usize % 3]
+}
+
+fn aterm() -> impl Strategy<Value = ATerm> {
+    prop_oneof![
+        (0..NUM_VARS).prop_map(ATerm::Var),
+        (0..NUM_CSTS).prop_map(ATerm::Cst),
+    ]
+}
+
+fn aatom() -> impl Strategy<Value = AAtom> {
+    (0..NUM_PREDS).prop_flat_map(|p| {
+        proptest::collection::vec(aterm(), pred_arity(p))
+            .prop_map(move |args| AAtom { pred: p, args })
+    })
+}
+
+fn aquery(max_body: usize) -> impl Strategy<Value = AQuery> {
+    (
+        proptest::collection::vec(aterm(), 0..3),
+        proptest::collection::vec(aatom(), 0..=max_body),
+    )
+        .prop_map(|(head, body)| AQuery { head, body })
+}
+
+struct Ctx {
+    vocab: Vocabulary,
+}
+
+impl Ctx {
+    fn new() -> Self {
+        Ctx {
+            vocab: Vocabulary::new(),
+        }
+    }
+
+    fn term(&mut self, t: ATerm) -> Term {
+        match t {
+            ATerm::Var(i) => Term::Var(self.vocab.var(&format!("X{i}"))),
+            ATerm::Cst(i) => Term::Cst(self.vocab.cst(&format!("c{i}"))),
+        }
+    }
+
+    fn atom(&mut self, a: &AAtom) -> Atom {
+        let pred = self.vocab.pred(&format!("p{}", a.pred), pred_arity(a.pred));
+        let args = a.args.iter().map(|&t| self.term(t)).collect();
+        Atom::new(pred, args)
+    }
+
+    fn query(&mut self, q: &AQuery) -> Query {
+        let name = self.vocab.sym("q");
+        let head = q.head.iter().map(|&t| self.term(t)).collect();
+        let body = q.body.iter().map(|a| self.atom(a)).collect();
+        Query::new(name, head, body)
+    }
+
+    /// Materializes a ground instance by freezing variables into
+    /// constants (gives ground, varied instances).
+    fn instance(&mut self, atoms: &[AAtom]) -> Instance {
+        atoms
+            .iter()
+            .map(|a| {
+                let atom = self.atom(a);
+                freeze_atom(&atom)
+            })
+            .collect()
+    }
+
+    /// The constant pool tuples of a given arity: every candidate target
+    /// for a `has_answer` probe (plus the frozen constants the instance
+    /// materializer introduces are covered by the answer tuples
+    /// themselves).
+    fn all_tuples(&mut self, arity: usize) -> Vec<Vec<Cst>> {
+        let pool: Vec<Cst> = (0..NUM_CSTS)
+            .map(|i| self.vocab.cst(&format!("c{i}")))
+            .collect();
+        let mut out = vec![Vec::new()];
+        for _ in 0..arity {
+            out = out
+                .into_iter()
+                .flat_map(|t| {
+                    pool.iter().map(move |&c| {
+                        let mut t = t.clone();
+                        t.push(c);
+                        t
+                    })
+                })
+                .collect();
+        }
+        out
+    }
+}
+
+/// Makes a safe variant of a query: drop head terms whose variable is
+/// not in the body.
+fn safe_head(q: &Query) -> Query {
+    let body_vars = q.body_vars();
+    let head = q
+        .head
+        .iter()
+        .copied()
+        .filter(|t| t.as_var().is_none_or(|v| body_vars.contains(&v)))
+        .collect();
+    Query::new(q.name, head, q.body.clone())
+}
+
+/// Canonical, order-insensitive rendering of a homomorphism set.
+fn hom_set(homs: &[Substitution]) -> BTreeSet<String> {
+    homs.iter()
+        .map(|s| {
+            let mut pairs: Vec<(magik_relalg::Var, Term)> = s.iter().collect();
+            pairs.sort_by_key(|&(v, _)| v);
+            format!("{pairs:?}")
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `magik_relalg::answers` (a compiled plan per call) computes the
+    /// seed evaluator's answer set — including the error for unsafe
+    /// heads.
+    #[test]
+    fn planned_answers_match_reference(q in aquery(4), d in proptest::collection::vec(aatom(), 0..8)) {
+        let mut ctx = Ctx::new();
+        let query = ctx.query(&q);
+        let db = ctx.instance(&d);
+        match (answers(&query, &db), reference::answers(&query, &db)) {
+            (Ok(planned), Ok(oracle)) => prop_assert_eq!(planned, oracle),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (planned, oracle) => prop_assert!(false, "planned {planned:?} vs oracle {oracle:?}"),
+        }
+    }
+
+    /// A `CompiledQuery` compiled once keeps computing the reference
+    /// answer set as the instance it runs over changes (plans fix the
+    /// strategy, never the semantics).
+    #[test]
+    fn compiled_query_matches_reference_across_instances(
+        q in aquery(4),
+        d1 in proptest::collection::vec(aatom(), 0..6),
+        d2 in proptest::collection::vec(aatom(), 0..6),
+    ) {
+        let mut ctx = Ctx::new();
+        let query = safe_head(&ctx.query(&q));
+        let small = ctx.instance(&d1);
+        let mut big = small.clone();
+        big.extend_from(&ctx.instance(&d2));
+        // Compile against the small instance's statistics, execute on both.
+        let cq = CompiledQuery::compile(&query, Some(&small)).unwrap();
+        let mut stats = ExecStats::default();
+        prop_assert_eq!(cq.answers(&small, &mut stats), reference::answers(&query, &small).unwrap());
+        prop_assert_eq!(cq.answers(&big, &mut stats), reference::answers(&query, &big).unwrap());
+        // And a stats-less (shape-heuristic) plan agrees too.
+        let blind = CompiledQuery::compile(&query, None).unwrap();
+        prop_assert_eq!(blind.answers(&big, &mut stats), reference::answers(&query, &big).unwrap());
+    }
+
+    /// `has_answer` (first-match mode over a seeded plan) agrees with the
+    /// oracle on *every* candidate tuple over the constant pool, answers
+    /// and non-answers alike, plus each actual answer tuple.
+    #[test]
+    fn has_answer_matches_reference_on_all_candidates(q in aquery(3), d in proptest::collection::vec(aatom(), 0..6)) {
+        let mut ctx = Ctx::new();
+        let query = safe_head(&ctx.query(&q));
+        let db = ctx.instance(&d);
+        for tuple in ctx.all_tuples(query.head.len()) {
+            prop_assert_eq!(
+                has_answer(&query, &db, &tuple),
+                reference::has_answer(&query, &db, &tuple),
+                "tuple {:?}", tuple
+            );
+        }
+        for tuple in &answers(&query, &db).unwrap() {
+            prop_assert!(has_answer(&query, &db, tuple));
+        }
+    }
+
+    /// The homomorphism enumeration (what containment and the
+    /// completeness engine consume) yields the same set of substitutions.
+    #[test]
+    fn homomorphisms_match_reference(q in aquery(4), d in proptest::collection::vec(aatom(), 0..8)) {
+        let mut ctx = Ctx::new();
+        let query = ctx.query(&q);
+        let db = ctx.instance(&d);
+        let planned = homomorphisms(&query.body, &db);
+        let oracle = reference::homomorphisms(&query.body, &db);
+        prop_assert_eq!(planned.len(), oracle.len());
+        prop_assert_eq!(hom_set(&planned), hom_set(&oracle));
+    }
+}

@@ -1,15 +1,17 @@
-//! Conjunctive-query evaluation by backtracking join.
+//! Conjunctive-query evaluation over compiled plans.
 //!
 //! Evaluation searches for assignments α of the query's variables to
-//! constants of the instance such that αB ⊆ D. The search orders body atoms
-//! dynamically: at every step it picks the atom with the fewest candidate
-//! tuples under the current partial assignment, enumerating candidates
-//! through the per-column hash indexes of [`Relation`](crate::Relation).
+//! constants of the instance such that αB ⊆ D. The search itself lives in
+//! [`crate::exec`]: each entry point compiles the body into a [`Plan`]
+//! (atom order and index access paths fixed up front from the instance's
+//! statistics) and runs it in the appropriate mode — enumerate-all for
+//! [`answers`] and [`homomorphisms`], first-match for [`has_answer`].
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::atom::Atom;
+use crate::exec::{ExecStats, Plan, Projection};
 use crate::instance::Instance;
 use crate::query::Query;
 use crate::subst::Substitution;
@@ -44,160 +46,24 @@ impl fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
-/// Partial assignment during search.
-type Bindings = HashMap<Var, Cst>;
-
-/// Tries to extend `bind` so that the atom matches `tuple`. On success
-/// returns the list of variables newly bound (the trail); on failure returns
-/// `None` and leaves `bind` exactly as it was.
-fn match_atom(atom: &Atom, tuple: &[Cst], bind: &mut Bindings) -> Option<Vec<Var>> {
-    let mut trail = Vec::new();
-    for (&t, &c) in atom.args.iter().zip(tuple) {
-        let ok = match t {
-            Term::Cst(tc) => tc == c,
-            Term::Var(v) => match bind.get(&v) {
-                Some(&bound) => bound == c,
-                None => {
-                    bind.insert(v, c);
-                    trail.push(v);
-                    true
-                }
-            },
-        };
-        if !ok {
-            for v in trail {
-                bind.remove(&v);
-            }
-            return None;
-        }
-    }
-    Some(trail)
-}
-
-/// Estimated number of candidate tuples for `atom` under `bind`, and the
-/// best access path: `Some((col, cst))` to use the column index, `None` for
-/// a full scan.
-fn plan_atom(atom: &Atom, db: &Instance, bind: &Bindings) -> (usize, Option<(usize, Cst)>) {
-    let Some(rel) = db.relation(atom.pred) else {
-        return (0, None);
-    };
-    let mut best = (rel.len(), None);
-    for (col, &t) in atom.args.iter().enumerate() {
-        let value = match t {
-            Term::Cst(c) => Some(c),
-            Term::Var(v) => bind.get(&v).copied(),
-        };
-        if let Some(c) = value {
-            let n = rel.matches(col, c).map_or(0, <[u32]>::len);
-            if n < best.0 {
-                best = (n, Some((col, c)));
-            }
-        }
-    }
-    best
-}
-
-/// Depth-first search over the remaining atoms. `visit` returns `true` to
-/// continue enumerating and `false` to stop early. Returns `false` iff the
-/// search was stopped early.
-fn search(
-    remaining: &mut Vec<&Atom>,
-    db: &Instance,
-    bind: &mut Bindings,
-    visit: &mut dyn FnMut(&Bindings) -> bool,
-) -> bool {
-    if remaining.is_empty() {
-        return visit(bind);
-    }
-    // Pick the most constrained atom (fewest candidates).
-    let mut best_i = 0;
-    let mut best = (usize::MAX, None);
-    for (i, atom) in remaining.iter().enumerate() {
-        let plan = plan_atom(atom, db, bind);
-        if plan.0 < best.0 {
-            best_i = i;
-            best = plan;
-            if best.0 == 0 {
-                return true; // dead branch, nothing to enumerate
-            }
-        }
-    }
-    let atom = remaining.swap_remove(best_i);
-    let rel = db.relation(atom.pred).expect("plan found candidates");
-    let mut keep_going = true;
-    let mut try_tuple = |tuple: &[Cst], remaining: &mut Vec<&Atom>, bind: &mut Bindings| -> bool {
-        if let Some(trail) = match_atom(atom, tuple, bind) {
-            let cont = search(remaining, db, bind, visit);
-            for v in trail {
-                bind.remove(&v);
-            }
-            cont
-        } else {
-            true
-        }
-    };
-    match best.1 {
-        Some((col, c)) => {
-            // The index vector is owned by the relation, which we never
-            // mutate during search, so iterating positions is safe.
-            let positions = rel.matches(col, c).unwrap_or(&[]);
-            for &pos in positions {
-                if !try_tuple(rel.tuple(pos), remaining, bind) {
-                    keep_going = false;
-                    break;
-                }
-            }
-        }
-        None => {
-            for tuple in rel.iter() {
-                if !try_tuple(tuple, remaining, bind) {
-                    keep_going = false;
-                    break;
-                }
-            }
-        }
-    }
-    // Restore `remaining` for the caller (swap_remove order is irrelevant:
-    // the set of remaining atoms is what matters).
-    remaining.push(atom);
-    keep_going
-}
-
-/// Enumerates satisfying assignments of `body` over `db` extending `seed`,
-/// calling `visit` for each; `visit` returns `false` to stop. Returns
-/// `false` iff stopped early.
-fn for_each_model(
-    body: &[Atom],
-    db: &Instance,
-    seed: Bindings,
-    visit: &mut dyn FnMut(&Bindings) -> bool,
-) -> bool {
-    let mut remaining: Vec<&Atom> = body.iter().collect();
-    let mut bind = seed;
-    search(&mut remaining, db, &mut bind, visit)
-}
-
 /// Evaluates a query over an instance: the set of answers
 /// `{αū | αB ⊆ D}`.
 ///
-/// Returns [`EvalError::UnsafeQuery`] if a head variable does not occur in
-/// the body (the answer set would be infinite).
+/// Compiles a [`Plan`] for the body (ordered by the instance's statistics)
+/// and enumerates all rows; see [`crate::exec`] for the plan IR. Returns
+/// [`EvalError::UnsafeQuery`] if a head variable does not occur in the
+/// body (the answer set would be infinite).
 pub fn answers(q: &Query, db: &Instance) -> Result<AnswerSet, EvalError> {
     let body_vars = q.body_vars();
     if let Some(v) = q.head_vars().into_iter().find(|v| !body_vars.contains(v)) {
         return Err(EvalError::UnsafeQuery(v));
     }
+    let plan = Plan::compile(&q.body, &BTreeSet::new(), Some(db));
+    let head = Projection::compile(&q.head, &plan).map_err(EvalError::UnsafeQuery)?;
     let mut out = AnswerSet::new();
-    for_each_model(&q.body, db, Bindings::new(), &mut |bind| {
-        let tuple = q
-            .head
-            .iter()
-            .map(|&t| match t {
-                Term::Cst(c) => c,
-                Term::Var(v) => bind[&v],
-            })
-            .collect();
-        out.insert(tuple);
+    let mut stats = ExecStats::default();
+    plan.run(db, &[], &mut stats, &mut |row| {
+        out.insert(head.emit(row));
         true
     });
     Ok(out)
@@ -209,12 +75,16 @@ pub fn answers(q: &Query, db: &Instance) -> Result<AnswerSet, EvalError> {
 /// Unlike [`answers`], this works for **generalized** (unsafe) queries: head
 /// variables missing from the body are simply bound by the target tuple.
 /// Returns `false` if the arities of `target` and the head differ.
+///
+/// Runs the compiled plan in first-match mode: the head variables are
+/// declared bound, seeded from `target`, and the search stops at the first
+/// witness.
 pub fn has_answer(q: &Query, db: &Instance, target: &[Cst]) -> bool {
     if q.head.len() != target.len() {
         return false;
     }
     // Seed the assignment from the head/target correspondence.
-    let mut seed = Bindings::new();
+    let mut seed: Vec<(Var, Cst)> = Vec::new();
     for (&t, &c) in q.head.iter().zip(target) {
         match t {
             Term::Cst(tc) => {
@@ -222,24 +92,19 @@ pub fn has_answer(q: &Query, db: &Instance, target: &[Cst]) -> bool {
                     return false;
                 }
             }
-            Term::Var(v) => match seed.get(&v) {
-                Some(&bound) => {
+            Term::Var(v) => match seed.iter().find(|&&(sv, _)| sv == v) {
+                Some(&(_, bound)) => {
                     if bound != c {
                         return false;
                     }
                 }
-                None => {
-                    seed.insert(v, c);
-                }
+                None => seed.push((v, c)),
             },
         }
     }
-    let mut found = false;
-    for_each_model(&q.body, db, seed, &mut |_| {
-        found = true;
-        false // stop at the first witness
-    });
-    found
+    let bound: BTreeSet<Var> = seed.iter().map(|&(v, _)| v).collect();
+    let plan = Plan::compile(&q.body, &bound, Some(db));
+    plan.first_match(db, &seed, &mut ExecStats::default())
 }
 
 /// Enumerates all homomorphisms from `body` into `db`, as ground
@@ -248,10 +113,11 @@ pub fn has_answer(q: &Query, db: &Instance, target: &[Cst]) -> bool {
 /// Mostly useful for tests and for the Datalog engine; prefer [`answers`]
 /// when only head images are needed.
 pub fn homomorphisms(body: &[Atom], db: &Instance) -> Vec<Substitution> {
+    let plan = Plan::compile(body, &BTreeSet::new(), Some(db));
     let mut out = Vec::new();
-    for_each_model(body, db, Bindings::new(), &mut |bind| {
+    plan.run(db, &[], &mut ExecStats::default(), &mut |row| {
         out.push(Substitution::from_pairs(
-            bind.iter().map(|(&v, &c)| (v, Term::Cst(c))),
+            row.iter().map(|(v, c)| (v, Term::Cst(c))),
         ));
         true
     });

@@ -115,6 +115,12 @@ impl Relation {
             .and_then(|ix| ix.get(&value))
             .map(Vec::as_slice)
     }
+
+    /// The number of distinct values appearing in column `col` — the
+    /// denominator of the planner's uniform selectivity estimate.
+    pub fn distinct_in_col(&self, col: usize) -> usize {
+        self.col_index.get(col).map_or(0, HashMap::len)
+    }
 }
 
 /// A database instance: a finite set of facts, grouped by relation.

@@ -49,6 +49,7 @@ mod atom;
 mod containment;
 mod display;
 mod eval;
+pub mod exec;
 mod instance;
 mod minimize;
 mod query;

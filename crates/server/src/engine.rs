@@ -46,9 +46,11 @@ use magik_completeness::{
     is_complete, k_mcs, mcg, tc_encoding, CanonicalQuery, ConstraintSet, KMcsOptions, TcSet,
 };
 use magik_datalog::Materialized;
+use magik_exec::{CompiledQuery, ExecStats, PlanCache};
 use magik_parser::{parse_atom, parse_query, parse_tcs, print_query};
-use magik_relalg::{answers, Answer, DisplayWith, Fact, Instance, Pred, Vocabulary};
+use magik_relalg::{Answer, DisplayWith, Fact, Instance, Pred, Vocabulary};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::cache::LruCache;
 use crate::metrics::{Metrics, Op};
@@ -57,6 +59,8 @@ use crate::metrics::{Metrics, Op};
 const VERDICT_CACHE_CAP: usize = 1024;
 /// Default capacity of the answer cache.
 const ANSWER_CACHE_CAP: usize = 256;
+/// Default capacity of the plan cache.
+const PLAN_CACHE_CAP: usize = 256;
 
 /// The mutable reasoning state, guarded by the engine's `RwLock`.
 #[derive(Debug)]
@@ -105,6 +109,11 @@ pub struct Engine {
     state: RwLock<State>,
     verdicts: Mutex<LruCache<(CanonicalQuery, u64), bool>>,
     answer_cache: Mutex<LruCache<(CanonicalQuery, u64), Vec<Answer>>>,
+    /// Compiled plans keyed by canonical query form alone: canonical
+    /// equality implies query equivalence, so a cached plan stays correct
+    /// across data-epoch bumps (statistics drift affects only speed). The
+    /// cache is cleared on TCS/vocabulary-shaping events (`compl`).
+    plans: Mutex<PlanCache<CanonicalQuery>>,
     metrics: Metrics,
 }
 
@@ -142,6 +151,7 @@ impl Engine {
             state: RwLock::new(state),
             verdicts: Mutex::new(LruCache::new(VERDICT_CACHE_CAP)),
             answer_cache: Mutex::new(LruCache::new(ANSWER_CACHE_CAP)),
+            plans: Mutex::new(PlanCache::new(PLAN_CACHE_CAP)),
             metrics: Metrics::new(),
         }
     }
@@ -249,6 +259,11 @@ impl Engine {
     }
 
     /// `eval <query>` — answers over the stored database.
+    ///
+    /// Two cache tiers: the answer cache (exact results, invalidated by
+    /// data-epoch bumps) and, on answer misses, the plan cache (compiled
+    /// plans, valid across data epochs). A query that misses both is
+    /// compiled once and its plan kept for the session.
     fn req_eval(&self, src: &str) -> Result<String, (&'static str, String)> {
         let q = {
             let mut vocab = self.vocab.lock().expect("vocab lock");
@@ -256,13 +271,33 @@ impl Engine {
         };
         let canon = CanonicalQuery::of(&q);
         let state = self.state.read().expect("state lock");
-        let key = (canon, state.data_epoch);
+        let key = (canon.clone(), state.data_epoch);
         let cached = self.answer_cache.lock().expect("cache lock").get(&key);
         self.metrics.answer_probe(cached.is_some());
         let answer_list = match cached {
             Some(list) => list,
             None => {
-                let set = answers(&q, &state.db).map_err(|e| ("eval", format!("{e:?}")))?;
+                let plan = self.plans.lock().expect("cache lock").get(&canon);
+                self.metrics.plan_probe(plan.is_some());
+                let plan = match plan {
+                    Some(plan) => plan,
+                    None => {
+                        // Failed compiles (unsafe queries) are not cached:
+                        // the error must be re-reported per request.
+                        let compiled = CompiledQuery::compile(&q, Some(&state.db))
+                            .map_err(|e| ("eval", format!("{e:?}")))?;
+                        let plan = Arc::new(compiled);
+                        self.plans
+                            .lock()
+                            .expect("cache lock")
+                            .insert(canon, Arc::clone(&plan));
+                        plan
+                    }
+                };
+                let mut stats = ExecStats::default();
+                let set = plan.answers(&state.db, &mut stats);
+                self.metrics
+                    .record_exec(stats.probes, stats.scanned, stats.backtracks);
                 let list: Vec<Answer> = set.into_iter().collect();
                 self.answer_cache
                     .lock()
@@ -322,8 +357,12 @@ impl Engine {
         state.tcs_epoch += 1;
         state.rebuild_tc(&mut vocab);
         // Stale verdict keys are unreachable after the epoch bump; drop
-        // them eagerly so they stop occupying cache capacity.
+        // them eagerly so they stop occupying cache capacity. Plans are
+        // dropped too: `compl` is the one request that reshapes the
+        // session's predicate landscape, and a cold plan cache costs only
+        // one recompile per canonical query.
         self.verdicts.lock().expect("cache lock").clear();
+        self.plans.lock().expect("cache lock").clear();
         Ok(format!("ok epoch={}", state.tcs_epoch))
     }
 
@@ -476,6 +515,43 @@ mod tests {
             metrics.contains("answer_cache.hits=1 answer_cache.misses=2"),
             "{metrics}"
         );
+    }
+
+    #[test]
+    fn eval_reuses_compiled_plans_across_data_epochs() {
+        let e = Engine::new();
+        e.handle("assert edge(a, b).");
+        let q = "eval q(X, Y) :- edge(X, Y).";
+        assert_eq!(e.handle(q), "ok 1 (a, b)");
+        // The data-epoch bump invalidates the answers but not the plan.
+        e.handle("assert edge(b, c).");
+        assert_eq!(e.handle(q), "ok 2 (a, b); (b, c)");
+        let metrics = e.handle("metrics");
+        assert!(
+            metrics.contains("plan_cache.hits=1 plan_cache.misses=1"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("exec.probes="), "{metrics}");
+        // `compl` clears the plan cache: the next evaluation that misses
+        // the answer cache recompiles.
+        e.handle("compl edge(X, Y) ; true.");
+        e.handle("assert edge(c, d).");
+        assert_eq!(e.handle(q), "ok 3 (a, b); (b, c); (c, d)");
+        let metrics = e.handle("metrics");
+        assert!(
+            metrics.contains("plan_cache.hits=1 plan_cache.misses=2"),
+            "{metrics}"
+        );
+    }
+
+    #[test]
+    fn eval_unsafe_query_errors_and_is_not_plan_cached() {
+        let e = Engine::new();
+        e.handle("assert edge(a, b).");
+        let q = "eval q(X, Y) :- edge(X, Z).";
+        assert!(e.handle(q).starts_with("err eval "), "{}", e.handle(q));
+        let metrics = e.handle("metrics");
+        assert!(metrics.contains("plan_cache.hits=0"), "{metrics}");
     }
 
     #[test]

@@ -129,6 +129,11 @@ struct Inner {
     verdict_misses: u64,
     answer_hits: u64,
     answer_misses: u64,
+    plan_hits: u64,
+    plan_misses: u64,
+    exec_probes: u64,
+    exec_scanned: u64,
+    exec_backtracks: u64,
 }
 
 /// Shared, thread-safe server metrics.
@@ -173,9 +178,29 @@ impl Metrics {
         }
     }
 
+    /// Records a plan-cache probe outcome.
+    pub fn plan_probe(&self, hit: bool) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        if hit {
+            inner.plan_hits += 1;
+        } else {
+            inner.plan_misses += 1;
+        }
+    }
+
+    /// Accumulates executor counters from one plan run (plain integers so
+    /// the metrics layer stays decoupled from the execution crate).
+    pub fn record_exec(&self, probes: u64, scanned: u64, backtracks: u64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.exec_probes += probes;
+        inner.exec_scanned += scanned;
+        inner.exec_backtracks += backtracks;
+    }
+
     /// Renders all metrics as one line of `key=value` fields: per-op
     /// `<op>.count/.err/.p50us/.p90us/.p99us/.maxus` (ops with zero
-    /// requests are omitted) plus cache hit/miss counters and hit rates.
+    /// requests are omitted) plus cache hit/miss counters and hit rates
+    /// (verdict, answer, and plan caches) and aggregate executor counters.
     pub fn render(&self) -> String {
         let inner = self.inner.lock().expect("metrics lock");
         let mut out = String::new();
@@ -214,6 +239,17 @@ impl Metrics {
             inner.answer_hits,
             inner.answer_misses,
             rate(inner.answer_hits, inner.answer_misses),
+        );
+        let _ = write!(
+            out,
+            " plan_cache.hits={} plan_cache.misses={} plan_cache.rate={:.3} \
+             exec.probes={} exec.scanned={} exec.backtracks={}",
+            inner.plan_hits,
+            inner.plan_misses,
+            rate(inner.plan_hits, inner.plan_misses),
+            inner.exec_probes,
+            inner.exec_scanned,
+            inner.exec_backtracks,
         );
         out
     }
@@ -258,5 +294,24 @@ mod tests {
         assert!(text.contains("verdict_cache.rate=0.500"));
         // Untouched ops are omitted.
         assert!(!text.contains("eval.count"));
+    }
+
+    #[test]
+    fn render_includes_plan_cache_and_exec_counters() {
+        let m = Metrics::new();
+        m.plan_probe(false);
+        m.plan_probe(true);
+        m.record_exec(5, 40, 12);
+        m.record_exec(1, 2, 0);
+        let text = m.render();
+        assert!(
+            text.contains("plan_cache.hits=1 plan_cache.misses=1"),
+            "{text}"
+        );
+        assert!(text.contains("plan_cache.rate=0.500"), "{text}");
+        assert!(
+            text.contains("exec.probes=6 exec.scanned=42 exec.backtracks=12"),
+            "{text}"
+        );
     }
 }

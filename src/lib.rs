@@ -23,6 +23,7 @@
 //! | module (re-export of) | contents |
 //! |---|---|
 //! | [`relalg`] | terms, atoms, queries, instances, evaluation, containment, minimization |
+//! | [`exec`] | compiled query-execution layer: plan IR, compiled queries/rule bodies, plan cache, explain output |
 //! | [`unify`] | unification, MGUs, renaming apart |
 //! | [`datalog`] | forward-chaining Datalog engine (naive + semi-naive) |
 //! | [`prolog`] | SLD resolution engine over compound terms |
@@ -68,6 +69,7 @@
 pub use magik_analyze as analyze;
 pub use magik_completeness as completeness;
 pub use magik_datalog as datalog;
+pub use magik_exec as exec;
 pub use magik_parser as parser;
 pub use magik_prolog as prolog;
 pub use magik_relalg as relalg;
@@ -89,6 +91,9 @@ pub use magik_completeness::{
     KeyViolation, Lint, McgStats, PublishableCount, TcSet, TcStatement,
 };
 pub use magik_datalog::{MaterializeError, Materialized};
+pub use magik_exec::{
+    explain_json, explain_text, CompiledBody, CompiledQuery, ExecStats, Plan, PlanCache,
+};
 pub use magik_parser::{
     parse_atom, parse_document, parse_instance, parse_query, parse_rules, parse_tcs,
     print_document, print_domain, print_instance, print_key, print_query, print_tcs, Document,
