@@ -1,0 +1,93 @@
+//! Experiment A10 — parallel scaling of the reasoning core.
+//!
+//! Two workloads, each at 1, 2, 4 and 8 executor threads:
+//!
+//! * `fixpoint` — the semi-naive Datalog fixpoint (the engine under both
+//!   `T_C` materialization and the completeness check) on a non-linear
+//!   transitive closure whose per-round deltas are large enough to
+//!   partition across workers.
+//! * `k_mcs` — the Algorithm 3 specialization search on the satisfiable
+//!   Table 1 workload at k = 7 (the largest sweep point of experiment
+//!   A4, ~tens of ms sequential), fanned out over extension candidates.
+//!
+//! Thread counts above the machine's core count measure oversubscription
+//! overhead, not speedup. Numbers are recorded in `EXPERIMENTS.md`
+//! (experiment A10); the acceptance bar is ≥ 2× at 4 threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use magik::datalog::{Program, Rule};
+use magik::workload::paper::table1_satisfiable;
+use magik::{k_mcs_on, Atom, Executor, Fact, Instance, KMcsOptions, Term, Vocabulary};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Non-linear transitive closure over a chorded cycle: few rounds, big
+/// deltas — the regime where partitioning the delta pays.
+fn fixpoint_workload() -> (Program, Instance) {
+    const N: usize = 64;
+    let mut v = Vocabulary::new();
+    let edge = v.pred("edge", 2);
+    let path = v.pred("path", 2);
+    let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+    let rules = vec![
+        Rule::new(
+            Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
+            vec![Atom::new(edge, vec![Term::Var(x), Term::Var(y)])],
+        ),
+        Rule::new(
+            Atom::new(path, vec![Term::Var(x), Term::Var(z)]),
+            vec![
+                Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(path, vec![Term::Var(y), Term::Var(z)]),
+            ],
+        ),
+    ];
+    let program = Program::new(rules).expect("range-restricted by construction");
+    let mut edb = Instance::new();
+    let mut c = |i: usize| v.cst(&format!("n{}", i % N));
+    for i in 0..N {
+        edb.insert(Fact::new(edge, vec![c(i), c(i + 1)]));
+        if i % 9 == 0 {
+            edb.insert(Fact::new(edge, vec![c(i), c(i * 5 + 2)]));
+        }
+    }
+    (program, edb)
+}
+
+fn bench_fixpoint(c: &mut Criterion) {
+    let (program, edb) = fixpoint_workload();
+    let expected = program.eval_semi_naive(&edb).model;
+    let mut group = c.benchmark_group("parallel_scaling/fixpoint");
+    group.sample_size(10);
+    for threads in THREADS {
+        let exec = Executor::with_threads(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| {
+                let result = program.eval_semi_naive_on(&edb, &exec);
+                assert_eq!(result.model.len(), expected.len());
+                result
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_k_mcs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling/k_mcs");
+    group.sample_size(10);
+    for threads in THREADS {
+        let exec = Executor::with_threads(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter_batched(
+                table1_satisfiable,
+                |mut w| k_mcs_on(&w.q_l, &w.tcs, &mut w.vocab, KMcsOptions::new(7), &exec),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fixpoint, bench_k_mcs);
+criterion_main!(benches);

@@ -11,7 +11,8 @@
 //! magik eval <file>               evaluate each query over the facts
 //! magik explain <file>            statement-set diagnostics
 //! magik explain-plan <file>       compiled execution plan per query
-//! magik serve [--addr A] [file]   TCP completeness service
+//! magik serve [--addr A] [--workers N] [--threads N] [file]
+//!                                 TCP completeness service
 //! ```
 //!
 //! `<file>` may be `-` for stdin. Exit code 0 on success, 1 on usage
@@ -61,10 +62,13 @@ commands:
                                     per-op runtime counters
   repl       [file]                 interactive session (optionally seeded
                                     from a file)
-  serve      [--addr HOST:PORT] [--workers N] [file]
+  serve      [--addr HOST:PORT] [--workers N] [--threads N] [file]
                                     serve the line protocol over TCP
                                     (default 127.0.0.1:7171, 4 workers),
-                                    optionally preloading a document
+                                    optionally preloading a document;
+                                    --threads sizes the reasoning pool
+                                    (default: MAGIK_THREADS, else the
+                                    machine's available parallelism)
 
 <file> may be `-` to read from stdin.";
 
@@ -513,12 +517,23 @@ fn cmd_explain_plan(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `magik serve [--addr HOST:PORT] [--workers N] [file]` — run the TCP
-/// completeness service (see `magik-server`), optionally preloading the
-/// TCS and facts of a document. Blocks until killed.
+/// `magik serve [--addr HOST:PORT] [--workers N] [--threads N] [file]` —
+/// run the TCP completeness service (see `magik-server`), optionally
+/// preloading the TCS and facts of a document. Blocks until killed.
+///
+/// `--workers` sizes the connection pool (one handler per live
+/// connection); `--threads` sizes the *reasoning* pool the engine fans
+/// parallel work out over, defaulting to the `MAGIK_THREADS` environment
+/// variable, and failing that to the machine's available parallelism.
+/// `--threads 1` reasons sequentially.
 fn cmd_serve(args: &[String]) -> ExitCode {
     let mut addr = "127.0.0.1:7171".to_string();
     let mut workers = 4usize;
+    let mut threads = std::env::var("MAGIK_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(magik::available_parallelism);
     let mut file = None;
     let mut rest = args.iter();
     while let Some(opt) = rest.next() {
@@ -537,6 +552,13 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                     return ExitCode::from(1);
                 }
             },
+            "--threads" => match rest.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("magik: --threads requires a positive integer");
+                    return ExitCode::from(1);
+                }
+            },
             other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
             other => {
                 eprintln!("magik: unknown option `{other}`\n{USAGE}");
@@ -544,6 +566,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             }
         }
     }
+    let exec = magik::Executor::with_threads(threads);
     let engine = match file {
         Some(path) => {
             let (vocab, doc) = match load(&path) {
@@ -556,9 +579,14 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                      send them as `check`/`eval` requests"
                 );
             }
-            Engine::with_session(vocab, doc.tcs, doc.facts)
+            Engine::with_session_on(vocab, doc.tcs, doc.facts, exec)
         }
-        None => Engine::new(),
+        None => Engine::with_session_on(
+            Vocabulary::new(),
+            magik::TcSet::new(Vec::new()),
+            magik::Instance::new(),
+            exec,
+        ),
     };
     let server = match Server::start(std::sync::Arc::new(engine), addr.as_str(), workers) {
         Ok(s) => s,
@@ -569,7 +597,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     };
     let bound = server.local_addr();
     println!(
-        "magik: serving on {bound} with {workers} workers (try `nc {} {}` then `ping`)",
+        "magik: serving on {bound} with {workers} workers and {threads} reasoning \
+         threads (try `nc {} {}` then `ping`)",
         bound.ip(),
         bound.port()
     );

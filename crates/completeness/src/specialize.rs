@@ -21,7 +21,9 @@
 //! suite asserts the agreement.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
+use magik_exec::Executor;
 use magik_relalg::{is_contained_in, minimize, Atom, Pred, Query, Term, Vocabulary};
 
 use crate::mci::{canonical_form, collect_bounded_instantiations, retain_maximal};
@@ -174,6 +176,28 @@ fn multisets(preds: &[Pred], len: usize) -> Vec<Vec<Pred>> {
 ///            "q(N) :- pupil(N, C, S), school(S, primary, merano), learns(N, english)");
 /// ```
 pub fn k_mcs(q: &Query, tcs: &TcSet, vocab: &mut Vocabulary, options: KMcsOptions) -> KMcsOutcome {
+    k_mcs_on(q, tcs, vocab, options, &Executor::Sequential)
+}
+
+/// Like [`k_mcs`], but fanning the per-extension unifier searches out over
+/// `exec`. The searches for the extensions of one size are independent —
+/// only the candidate *merge* (canonical dedup and subsumption pruning)
+/// is order-sensitive, and it runs sequentially in enumeration order — so
+/// the outcome (queries **and** stats) is identical to the sequential run.
+///
+/// Parallelism applies to the optimized engine with an unlimited
+/// unification budget; a finite [`KMcsOptions::max_unify_calls`] threads a
+/// running total through the extension order that parallel tasks cannot
+/// observe, so budgeted runs (and the naive engine, which exists to
+/// reproduce the paper's sequential baseline) fall back to sequential
+/// search.
+pub fn k_mcs_on(
+    q: &Query,
+    tcs: &TcSet,
+    vocab: &mut Vocabulary,
+    options: KMcsOptions,
+    exec: &Executor,
+) -> KMcsOutcome {
     // The k-MCS space is defined by the size of the query *as given*
     // (at most |Q| + k atoms); minimization below only shrinks the
     // search base, never the space.
@@ -182,6 +206,22 @@ pub fn k_mcs(q: &Query, tcs: &TcSet, vocab: &mut Vocabulary, options: KMcsOption
     let max_extension = bound.saturating_sub(1);
     let sigma: Vec<Pred> = tcs.signature().into_iter().collect();
     let head_preds: HashSet<Pred> = tcs.statements().iter().map(|c| c.head.pred).collect();
+
+    if options.engine == KMcsEngine::Optimized
+        && exec.threads() > 1
+        && options.max_unify_calls == u64::MAX
+    {
+        return k_mcs_parallel(
+            &q,
+            tcs,
+            vocab,
+            bound,
+            max_extension,
+            &sigma,
+            &head_preds,
+            exec,
+        );
+    }
 
     let mut stats = KMcsStats::default();
     let mut complete_search = true;
@@ -300,6 +340,108 @@ pub fn k_mcs(q: &Query, tcs: &TcSet, vocab: &mut Vocabulary, options: KMcsOption
                 complete_search,
             }
         }
+    }
+}
+
+/// The parallel optimized engine: for each extension size, mint all
+/// searchable extensions up front (vocabulary mutation stays on the
+/// calling thread), fan the bounded-instantiation searches out over
+/// `exec`, then merge the per-extension candidate lists sequentially in
+/// enumeration order so canonical dedup and subsumption pruning see
+/// exactly the sequence the sequential engine sees.
+///
+/// Tasks must not touch the shared vocabulary, yet the candidates they
+/// return may mention statement-pool variables. The statement pool is
+/// therefore pre-filled (against the shared vocabulary) to the deepest
+/// stock one search path can draw — every body atom renames at most one
+/// statement — and each task clones that pool plus a vocabulary snapshot;
+/// the snapshot only absorbs throwaway `$n` canonicalization interning.
+#[allow(clippy::too_many_arguments)]
+fn k_mcs_parallel(
+    q: &Query,
+    tcs: &TcSet,
+    vocab: &mut Vocabulary,
+    bound: usize,
+    max_extension: usize,
+    sigma: &[Pred],
+    head_preds: &HashSet<Pred>,
+    exec: &Executor,
+) -> KMcsOutcome {
+    let mut stats = KMcsStats::default();
+    let mut ext_pool = VarPool::new("F");
+    let mut stmt_pool = VarPool::new("T");
+    let max_stmt_vars = tcs
+        .statements()
+        .iter()
+        .map(|c| c.all_vars().len())
+        .max()
+        .unwrap_or(0);
+    // Deepest possible path: every atom of the largest extended query
+    // renames the largest statement.
+    for _ in 0..(q.size() + max_extension) * max_stmt_vars {
+        stmt_pool.draw(vocab);
+    }
+    stmt_pool.release(0);
+    let shared_tcs = Arc::new(tcs.clone());
+    let pool_template = Arc::new(stmt_pool);
+
+    let mut kept: Vec<Query> = Vec::new();
+    let mut seen = HashSet::new();
+    for size in 0..=max_extension {
+        let mut batch: Vec<Query> = Vec::new();
+        for multiset in multisets(sigma, size) {
+            if multiset.iter().any(|p| !head_preds.contains(p)) {
+                stats.extensions_skipped += 1;
+                continue;
+            }
+            ext_pool.release(0);
+            let extension: Vec<Atom> = multiset
+                .iter()
+                .map(|&p| fresh_atom(p, &mut ext_pool, vocab))
+                .collect();
+            batch.push(q.with_atoms(extension));
+        }
+        // Snapshot the vocabulary *after* minting this size's extension
+        // atoms, so every variable of every `q2` resolves in the clone.
+        let vocab_template = Arc::new(vocab.clone());
+        let task_tcs = Arc::clone(&shared_tcs);
+        let task_pool = Arc::clone(&pool_template);
+        let searched = exec.map(batch, move |q2| {
+            let mut v = (*vocab_template).clone();
+            let mut pool = (*task_pool).clone();
+            collect_bounded_instantiations(
+                &q2,
+                &task_tcs,
+                &mut v,
+                &mut pool,
+                bound,
+                true,
+                SearchBudget::default(),
+            )
+        });
+        for (cands, search_stats, _exhausted) in searched {
+            stats.extensions += 1;
+            stats.unify_calls += search_stats.unify_calls;
+            stats.configurations += search_stats.configurations;
+            for c in cands {
+                let canon = canonical_form(&c, vocab);
+                if !seen.insert(canon) {
+                    continue;
+                }
+                stats.candidates += 1;
+                if kept.iter().any(|f| is_contained_in(&c, f)) {
+                    stats.pruned_by_subsumption += 1;
+                    continue;
+                }
+                kept.retain(|f| !is_contained_in(f, &c));
+                kept.push(c);
+            }
+        }
+    }
+    KMcsOutcome {
+        queries: kept,
+        stats,
+        complete_search: true,
     }
 }
 
@@ -485,6 +627,65 @@ mod tests {
             assert!(is_contained_in(mcs, &q));
             assert!(mcs.size() <= q.size() + 1);
         }
+    }
+
+    #[test]
+    fn parallel_k_mcs_matches_sequential_exactly() {
+        // Same queries, same order, same stats — the parallel fan-out
+        // merges in enumeration order, so nothing distinguishes it.
+        let exec = Executor::with_threads(4);
+        for k in 0..=2 {
+            let mut v1 = Vocabulary::new();
+            let (tcs1, q1) = flight(&mut v1);
+            let seq = k_mcs(&q1, &tcs1, &mut v1, KMcsOptions::new(k));
+            let mut v2 = Vocabulary::new();
+            let (tcs2, q2) = flight(&mut v2);
+            let par = k_mcs_on(&q2, &tcs2, &mut v2, KMcsOptions::new(k), &exec);
+            assert!(par.complete_search);
+            assert_eq!(seq.stats, par.stats, "k = {k}");
+            assert_eq!(seq.queries.len(), par.queries.len(), "k = {k}");
+            for (s, p) in seq.queries.iter().zip(&par.queries) {
+                assert!(are_equivalent(s, p), "k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_k_mcs_matches_sequential_on_school() {
+        let exec = Executor::with_threads(4);
+        let mut v1 = Vocabulary::new();
+        let tcs1 = school_tcs(&mut v1);
+        let q1 = q_pbl(&mut v1);
+        let seq = k_mcs(&q1, &tcs1, &mut v1, KMcsOptions::new(1));
+        let mut v2 = Vocabulary::new();
+        let tcs2 = school_tcs(&mut v2);
+        let q2 = q_pbl(&mut v2);
+        let par = k_mcs_on(&q2, &tcs2, &mut v2, KMcsOptions::new(1), &exec);
+        assert_eq!(seq.stats, par.stats);
+        assert_eq!(seq.queries.len(), par.queries.len());
+        for (s, p) in seq.queries.iter().zip(&par.queries) {
+            assert!(are_equivalent(s, p));
+        }
+    }
+
+    #[test]
+    fn budgeted_parallel_run_falls_back_to_sequential() {
+        // A finite budget is order-sensitive; the parallel entry point
+        // must produce the budgeted sequential result, not ignore it.
+        let mut v = Vocabulary::new();
+        let (tcs, q) = table1(&mut v);
+        let exec = Executor::with_threads(4);
+        let outcome = k_mcs_on(
+            &q,
+            &tcs,
+            &mut v,
+            KMcsOptions {
+                max_unify_calls: 3,
+                ..KMcsOptions::new(3)
+            },
+            &exec,
+        );
+        assert!(!outcome.complete_search);
     }
 
     #[test]

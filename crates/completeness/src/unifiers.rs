@@ -32,7 +32,12 @@ use crate::tcs::{TcSet, TcStatement};
 /// Reuse is sound because (a) bindings are rolled back before a variable
 /// is released and (b) variables only need to be distinct *within* one
 /// candidate configuration, never across independent ones.
-#[derive(Debug, Default)]
+///
+/// A pool is `Clone` so that a pre-filled pool (whose variables live in
+/// the shared vocabulary) can be handed to parallel search tasks: each
+/// task clones the pool and draws from the pre-minted stock without ever
+/// touching the vocabulary.
+#[derive(Debug, Clone, Default)]
 pub(crate) struct VarPool {
     vars: Vec<Var>,
     top: usize,

@@ -10,9 +10,10 @@ use proptest::prelude::*;
 use magik_completeness::semantics::IncompleteDatabase;
 use magik_completeness::{
     complete_unifiers, g_op, is_complete, is_complete_under, is_complete_via_datalog,
-    is_instantiation_of, k_mcs, mcg, mcg_under, mcis, tc_apply, tc_apply_datalog, ConstraintSet,
-    FiniteDomain, KMcsEngine, KMcsOptions, TcSet, TcStatement,
+    is_instantiation_of, k_mcs, k_mcs_on, mcg, mcg_under, mcis, tc_apply, tc_apply_datalog,
+    ConstraintSet, FiniteDomain, KMcsEngine, KMcsOptions, TcSet, TcStatement,
 };
+use magik_exec::Executor;
 use magik_relalg::{
     are_equivalent, is_contained_in, Atom, Fact, Instance, Query, Term, Vocabulary,
 };
@@ -493,6 +494,38 @@ proptest! {
             prop_assert!(is_complete(m, &tcs));
             prop_assert!(is_contained_in(m, &q));
             prop_assert!(m.size() <= magik_relalg::minimize(&q).size() + 1);
+        }
+    }
+
+    /// Parallel k-MCS is indistinguishable from the sequential engine:
+    /// identical search statistics and pairwise-equivalent result sets.
+    /// (Variable *names* may differ — the parallel path pre-mints pool
+    /// variables — so the comparison is up to equivalence, not syntax.)
+    #[test]
+    fn parallel_k_mcs_matches_sequential(
+        specs in proptest::collection::vec(atcs(), 0..3),
+        qb in proptest::collection::vec(aatom(), 1..3),
+        k in 0..2u32,
+    ) {
+        let mut ctx = Ctx::new();
+        let tcs = ctx.tcs(&specs);
+        let q = ctx.query(&qb);
+        let seq = k_mcs(&q, &tcs, &mut ctx.vocab.clone(), KMcsOptions::new(k as usize));
+        let par = k_mcs_on(
+            &q,
+            &tcs,
+            &mut ctx.vocab,
+            KMcsOptions::new(k as usize),
+            &Executor::with_threads(4),
+        );
+        prop_assert!(seq.complete_search && par.complete_search);
+        prop_assert_eq!(seq.stats, par.stats);
+        prop_assert_eq!(seq.queries.len(), par.queries.len());
+        for sq in &seq.queries {
+            prop_assert!(par.queries.iter().any(|pq| are_equivalent(sq, pq)));
+        }
+        for pq in &par.queries {
+            prop_assert!(seq.queries.iter().any(|sq| are_equivalent(sq, pq)));
         }
     }
 }

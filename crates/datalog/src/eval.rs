@@ -13,9 +13,10 @@
 //! at every search node of every round.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
-use magik_exec::{match_ground, CompiledBody, ExecStats};
-use magik_relalg::{Atom, Fact, Instance, Pred, Var};
+use magik_exec::{match_ground, partition, CompiledBody, ExecStats, Executor};
+use magik_relalg::{Atom, Fact, Instance, Pred, Snapshot, StoreView, Var};
 
 use crate::program::{Program, Rule};
 
@@ -54,7 +55,7 @@ pub(crate) struct CompiledRule {
 }
 
 impl CompiledRule {
-    fn compile(rule: &Rule, stats: Option<&Instance>, with_pivots: bool) -> CompiledRule {
+    fn compile(rule: &Rule, stats: Option<&dyn StoreView>, with_pivots: bool) -> CompiledRule {
         let full = CompiledBody::compile(
             &rule.head.args,
             &rule.body,
@@ -92,7 +93,12 @@ impl CompiledRule {
 
     /// Evaluates the full body over `model` and appends the derivable
     /// head facts to `out`.
-    fn apply_full(&self, model: &Instance, stats: &mut ExecStats, out: &mut Vec<Fact>) {
+    fn apply_full<S: StoreView + ?Sized>(
+        &self,
+        model: &S,
+        stats: &mut ExecStats,
+        out: &mut Vec<Fact>,
+    ) {
         self.full
             .for_each_derivation(model, &[], stats, &mut |args| {
                 out.push(Fact::new(self.head_pred, args));
@@ -102,9 +108,12 @@ impl CompiledRule {
 
 /// A program compiled for fixpoint execution: rules grouped by stratum,
 /// each carrying its reusable plans.
+///
+/// Each stratum's rules sit behind an `Arc` so parallel fixpoint rounds
+/// can share them with pool tasks without cloning any plans.
 #[derive(Debug, Clone)]
 pub(crate) struct CompiledProgram {
-    strata: Vec<Vec<CompiledRule>>,
+    strata: Vec<Arc<Vec<CompiledRule>>>,
 }
 
 impl CompiledProgram {
@@ -113,7 +122,7 @@ impl CompiledProgram {
     /// plans (needed by semi-naive evaluation and incremental insertion).
     pub(crate) fn compile(
         program: &Program,
-        stats: Option<&Instance>,
+        stats: Option<&dyn StoreView>,
         with_pivots: bool,
     ) -> CompiledProgram {
         let mut strata: Vec<Vec<CompiledRule>> = vec![Vec::new(); program.num_strata()];
@@ -124,7 +133,9 @@ impl CompiledProgram {
                 with_pivots,
             ));
         }
-        CompiledProgram { strata }
+        CompiledProgram {
+            strata: strata.into_iter().map(Arc::new).collect(),
+        }
     }
 
     /// Naive stratified fixpoint over `edb`.
@@ -147,12 +158,25 @@ impl CompiledProgram {
 
     /// Semi-naive stratified fixpoint over `edb`.
     pub(crate) fn eval_semi_naive(&self, edb: &Instance) -> FixpointResult {
+        self.eval_semi_naive_on(edb, &Executor::Sequential)
+    }
+
+    /// Semi-naive stratified fixpoint over `edb`, with each round's delta
+    /// partitioned across `exec`.
+    ///
+    /// Parallel rounds evaluate every delta plan against a [`Snapshot`] of
+    /// the model frozen at round start and merge the per-task buffers by
+    /// sorted dedup, so the computed least model is **identical** to the
+    /// sequential one (facts the eager sequential loop discovers mid-round
+    /// are discovered one round later; the fixpoint is unchanged — the
+    /// `iterations` count may legitimately differ).
+    pub(crate) fn eval_semi_naive_on(&self, edb: &Instance, exec: &Executor) -> FixpointResult {
         let mut model = edb.clone();
         let mut iterations = 0;
         let mut derived = 0;
         let mut stats = ExecStats::default();
         for stratum in &self.strata {
-            let (i, d) = fixpoint_semi_naive(stratum, &mut model, &mut stats);
+            let (i, d) = fixpoint_semi_naive(stratum, &mut model, &mut stats, exec);
             iterations += i;
             derived += d;
         }
@@ -164,13 +188,28 @@ impl CompiledProgram {
     }
 
     /// Propagates `delta` — facts already inserted into `model` — through
-    /// every rule to a fixpoint, reusing the compiled delta plans. Returns
-    /// `(rounds, derived)`. Used by [`crate::Materialized`] (positive
-    /// programs, so stratification is immaterial).
-    pub(crate) fn propagate_delta(&self, model: &mut Instance, delta: Vec<Fact>) -> (usize, usize) {
-        let rules: Vec<CompiledRule> = self.strata.iter().flatten().cloned().collect();
+    /// every rule to a fixpoint with the rounds partitioned across `exec`,
+    /// reusing the compiled delta plans. Returns `(rounds, derived)`. Used
+    /// by [`crate::Materialized`] (positive programs, so stratification is
+    /// immaterial).
+    pub(crate) fn propagate_delta_on(
+        &self,
+        model: &mut Instance,
+        delta: Vec<Fact>,
+        exec: &Executor,
+    ) -> (usize, usize) {
+        let rules = self.all_rules();
         let mut stats = ExecStats::default();
-        propagate_delta_compiled(&rules, model, delta, &mut stats)
+        propagate_delta_compiled(&rules, model, delta, &mut stats, exec)
+    }
+
+    /// All rules of every stratum behind one `Arc` (shared, not cloned,
+    /// when the program has a single stratum — the common positive case).
+    fn all_rules(&self) -> Arc<Vec<CompiledRule>> {
+        match self.strata.as_slice() {
+            [single] => Arc::clone(single),
+            strata => Arc::new(strata.iter().flat_map(|s| s.iter()).cloned().collect()),
+        }
     }
 }
 
@@ -202,23 +241,91 @@ fn fixpoint_naive(
     }
 }
 
+/// The smallest delta a parallel round bothers fanning out; below this
+/// the snapshot + merge overhead outweighs the work.
+const PARALLEL_DELTA_THRESHOLD: usize = 16;
+
+/// One parallel delta round: every (rule, pivot, delta-fact) combination
+/// is evaluated against a [`Snapshot`] of the model frozen at round start,
+/// with the delta partitioned into contiguous chunks across `exec`.
+/// Per-task buffers are merged deterministically (concatenate in chunk
+/// order, sort, dedup), so the round's candidate set — and therefore the
+/// whole fixpoint — is independent of scheduling.
+fn parallel_round(
+    rules: &Arc<Vec<CompiledRule>>,
+    snap: &Snapshot,
+    delta: &Arc<Vec<Fact>>,
+    exec: &Executor,
+    stats: &mut ExecStats,
+) -> Vec<Fact> {
+    let ranges = partition(delta.len(), exec.threads() * 2);
+    let (rules, snap2, delta2) = (Arc::clone(rules), snap.clone(), Arc::clone(delta));
+    let results = exec.map(ranges, move |range| {
+        let mut local: Vec<Fact> = Vec::new();
+        let mut local_stats = ExecStats::default();
+        for fact in &delta2[range] {
+            for rule in rules.iter() {
+                for pp in &rule.pivots {
+                    if fact.pred != pp.atom.pred {
+                        continue;
+                    }
+                    let Some(seed) = match_ground(&pp.atom, &fact.args) else {
+                        continue;
+                    };
+                    pp.body
+                        .for_each_derivation(&snap2, &seed, &mut local_stats, &mut |args| {
+                            local.push(Fact::new(rule.head_pred, args));
+                        });
+                }
+            }
+        }
+        local.sort_unstable();
+        local.dedup();
+        (local, local_stats)
+    });
+    let mut merged: Vec<Fact> = Vec::new();
+    for (local, local_stats) in results {
+        stats.absorb(&local_stats);
+        merged.extend(local);
+    }
+    merged.sort_unstable();
+    merged.dedup();
+    merged
+}
+
 /// Propagates `delta` through the compiled delta plans to a fixpoint:
 /// each round matches every delta fact against every rule's pivot atoms,
 /// seeds the pivot's plan with the match, and collects new derivations
 /// into the next round's delta. Returns `(rounds, derived)`.
+///
+/// Rounds with a delta worth splitting are partitioned across `exec`; the
+/// final model is identical either way (see
+/// [`CompiledProgram::eval_semi_naive_on`]).
 fn propagate_delta_compiled(
-    rules: &[CompiledRule],
+    rules: &Arc<Vec<CompiledRule>>,
     model: &mut Instance,
     mut delta: Vec<Fact>,
     stats: &mut ExecStats,
+    exec: &Executor,
 ) -> (usize, usize) {
     let mut iterations = 0;
     let mut derived = 0;
     let mut buffer: Vec<Fact> = Vec::new();
     while !delta.is_empty() {
         iterations += 1;
+        if exec.threads() > 1 && delta.len() >= PARALLEL_DELTA_THRESHOLD {
+            let snap = model.snapshot();
+            let delta_arc = Arc::new(std::mem::take(&mut delta));
+            for fact in parallel_round(rules, &snap, &delta_arc, exec, stats) {
+                if model.insert(fact.clone()) {
+                    delta.push(fact);
+                    derived += 1;
+                }
+            }
+            continue;
+        }
         let mut next_delta = Vec::new();
-        for rule in rules {
+        for rule in rules.iter() {
             for pp in &rule.pivots {
                 for fact in &delta {
                     if fact.pred != pp.atom.pred {
@@ -248,25 +355,53 @@ fn propagate_delta_compiled(
 
 /// Semi-naive fixpoint of one stratum's rules over `model` (in place).
 fn fixpoint_semi_naive(
-    rules: &[CompiledRule],
+    rules: &Arc<Vec<CompiledRule>>,
     model: &mut Instance,
     stats: &mut ExecStats,
+    exec: &Executor,
 ) -> (usize, usize) {
-    // Round 0: full pass to seed the deltas.
+    // Round 0: full pass to seed the deltas (parallelized across rules —
+    // each task evaluates one rule's full plan against a frozen snapshot).
     let mut derived = 0;
     let mut delta: Vec<Fact> = Vec::new();
-    let mut buffer = Vec::new();
-    for rule in rules {
-        buffer.clear();
-        rule.apply_full(model, stats, &mut buffer);
-        for fact in buffer.drain(..) {
+    if exec.threads() > 1 && rules.len() > 1 {
+        let snap = model.snapshot();
+        let rules2 = Arc::clone(rules);
+        let results = exec.map((0..rules.len()).collect(), move |ri| {
+            let mut local = Vec::new();
+            let mut local_stats = ExecStats::default();
+            rules2[ri].apply_full(&snap, &mut local_stats, &mut local);
+            local.sort_unstable();
+            local.dedup();
+            (local, local_stats)
+        });
+        let mut merged: Vec<Fact> = Vec::new();
+        for (local, local_stats) in results {
+            stats.absorb(&local_stats);
+            merged.extend(local);
+        }
+        merged.sort_unstable();
+        merged.dedup();
+        for fact in merged {
             if model.insert(fact.clone()) {
                 delta.push(fact);
                 derived += 1;
             }
         }
+    } else {
+        let mut buffer = Vec::new();
+        for rule in rules.iter() {
+            buffer.clear();
+            rule.apply_full(model, stats, &mut buffer);
+            for fact in buffer.drain(..) {
+                if model.insert(fact.clone()) {
+                    delta.push(fact);
+                    derived += 1;
+                }
+            }
+        }
     }
-    let (rounds, propagated) = propagate_delta_compiled(rules, model, delta, stats);
+    let (rounds, propagated) = propagate_delta_compiled(rules, model, delta, stats, exec);
     (1 + rounds, derived + propagated)
 }
 
@@ -289,6 +424,18 @@ impl Program {
     /// tests in this crate assert the agreement on random programs.
     pub fn eval_semi_naive(&self, edb: &Instance) -> FixpointResult {
         CompiledProgram::compile(self, Some(edb), true).eval_semi_naive(edb)
+    }
+
+    /// [`Program::eval_semi_naive`] with each fixpoint round's delta
+    /// partitioned across `exec`.
+    ///
+    /// The least model is **identical** to the sequential one: parallel
+    /// rounds run against a frozen snapshot of the model and merge worker
+    /// buffers by sorted dedup, so only the round in which a fact is
+    /// discovered (and hence [`FixpointResult::iterations`]) can differ.
+    /// Property tests assert model equality on random programs.
+    pub fn eval_semi_naive_on(&self, edb: &Instance, exec: &Executor) -> FixpointResult {
+        CompiledProgram::compile(self, Some(edb), true).eval_semi_naive_on(edb, exec)
     }
 
     /// Evaluates a conjunctive query over the least model of the program
@@ -334,7 +481,7 @@ impl Program {
         let mut out = Instance::new();
         let mut stats = ExecStats::default();
         let mut buffer = Vec::new();
-        for rule in compiled.strata.iter().flatten() {
+        for rule in compiled.strata.iter().flat_map(|s| s.iter()) {
             buffer.clear();
             rule.apply_full(db, &mut stats, &mut buffer);
             for fact in buffer.drain(..) {

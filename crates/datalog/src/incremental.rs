@@ -11,6 +11,7 @@
 //! API (the classic DRed over-deletion algorithm can replace it without a
 //! signature change).
 
+use magik_exec::Executor;
 use magik_relalg::{Fact, Instance};
 
 use crate::eval::CompiledProgram;
@@ -59,22 +60,36 @@ pub struct Materialized {
     compiled: CompiledProgram,
     edb: Instance,
     model: Instance,
+    exec: Executor,
 }
 
 impl Materialized {
     /// Materializes `program` over `edb`. Fails if the program uses
     /// negation (incremental insertion would be unsound).
     pub fn new(program: Program, edb: Instance) -> Result<Self, MaterializeError> {
+        Materialized::with_executor(program, edb, Executor::Sequential)
+    }
+
+    /// [`Materialized::new`] with fixpoint rounds partitioned across
+    /// `exec` — the initial materialization, every insertion's delta
+    /// propagation, and every retraction's recomputation all fan out on
+    /// it. The maintained model is identical to the sequential one.
+    pub fn with_executor(
+        program: Program,
+        edb: Instance,
+        exec: Executor,
+    ) -> Result<Self, MaterializeError> {
         if program.rules().iter().any(|r| !r.negative.is_empty()) {
             return Err(MaterializeError::NegationNotSupported);
         }
         let compiled = CompiledProgram::compile(&program, Some(&edb), true);
-        let model = compiled.eval_semi_naive(&edb).model;
+        let model = compiled.eval_semi_naive_on(&edb, &exec).model;
         Ok(Materialized {
             program,
             compiled,
             edb,
             model,
+            exec,
         })
     }
 
@@ -110,7 +125,9 @@ impl Materialized {
             }
         }
         let seeds = delta.len();
-        let (_, derived) = self.compiled.propagate_delta(&mut self.model, delta);
+        let (_, derived) = self
+            .compiled
+            .propagate_delta_on(&mut self.model, delta, &self.exec);
         seeds + derived
     }
 
@@ -122,7 +139,10 @@ impl Materialized {
         if !self.edb.remove(fact) {
             return false;
         }
-        self.model = self.compiled.eval_semi_naive(&self.edb).model;
+        self.model = self
+            .compiled
+            .eval_semi_naive_on(&self.edb, &self.exec)
+            .model;
         true
     }
 }

@@ -171,6 +171,48 @@ proptest! {
         prop_assert!(m_small.is_subset_of(&m_big));
     }
 
+    /// Parallel semi-naive evaluation reaches exactly the sequential
+    /// least model: same model, same derived count, for any rule set and
+    /// EDB. (Iteration counts may differ; the fixpoint may not.)
+    #[test]
+    fn parallel_fixpoint_matches_sequential(rules in proptest::collection::vec(arule(), 0..4), facts in afacts()) {
+        let mut v = Vocabulary::new();
+        let program = materialize(&mut v, &rules);
+        let edb = materialize_edb(&mut v, &facts);
+        let sequential = program.eval_semi_naive(&edb);
+        let parallel = program.eval_semi_naive_on(&edb, &magik_exec::Executor::with_threads(4));
+        prop_assert_eq!(&sequential.model, &parallel.model);
+        prop_assert_eq!(sequential.derived, parallel.derived);
+    }
+
+    /// An incrementally maintained model driven by a pooled executor
+    /// agrees with the sequential from-scratch fixpoint across random
+    /// insert/retract interleavings.
+    #[test]
+    fn parallel_materialized_matches_scratch(
+        rules in proptest::collection::vec(arule(), 0..4),
+        initial in afacts(),
+        updates in proptest::collection::vec((afacts(), 0..4usize), 0..3),
+    ) {
+        let mut v = Vocabulary::new();
+        let program = materialize(&mut v, &rules);
+        let edb = materialize_edb(&mut v, &initial);
+        let exec = magik_exec::Executor::with_threads(4);
+        let mut m =
+            magik_datalog::Materialized::with_executor(program.clone(), edb, exec).unwrap();
+        prop_assert_eq!(m.model(), &program.eval_semi_naive(m.edb()).model);
+        for (batch, retract_ix) in updates {
+            let facts = materialize_edb(&mut v, &batch);
+            m.insert_all(facts.iter_facts());
+            prop_assert_eq!(m.model(), &program.eval_semi_naive(m.edb()).model);
+            let victim = m.edb().iter_facts().nth(retract_ix);
+            if let Some(victim) = victim {
+                m.retract(&victim);
+                prop_assert_eq!(m.model(), &program.eval_semi_naive(m.edb()).model);
+            }
+        }
+    }
+
     /// The incrementally maintained model always equals the from-scratch
     /// fixpoint, across random interleavings of assertions and
     /// retractions (the `magik-server` assert-fact/retract hot path).

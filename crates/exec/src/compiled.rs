@@ -4,7 +4,7 @@
 use std::collections::BTreeSet;
 
 use magik_relalg::exec::{ExecStats, Plan, Projection};
-use magik_relalg::{AnswerSet, Atom, Cst, EvalError, Fact, Instance, Pred, Query, Term, Var};
+use magik_relalg::{AnswerSet, Atom, Cst, EvalError, Fact, Pred, Query, StoreView, Term, Var};
 
 /// A safety-checked conjunctive query compiled to a [`Plan`] plus a head
 /// [`Projection`].
@@ -27,7 +27,7 @@ impl CompiledQuery {
     /// Returns [`EvalError::UnsafeQuery`] if a head variable does not
     /// occur in the body, exactly like
     /// [`answers`](magik_relalg::answers).
-    pub fn compile(q: &Query, stats: Option<&Instance>) -> Result<CompiledQuery, EvalError> {
+    pub fn compile(q: &Query, stats: Option<&dyn StoreView>) -> Result<CompiledQuery, EvalError> {
         let body_vars = q.body_vars();
         if let Some(v) = q.head_vars().into_iter().find(|v| !body_vars.contains(v)) {
             return Err(EvalError::UnsafeQuery(v));
@@ -43,7 +43,7 @@ impl CompiledQuery {
 
     /// Evaluates the compiled query over `db`, accumulating execution
     /// counters into `stats`.
-    pub fn answers(&self, db: &Instance, stats: &mut ExecStats) -> AnswerSet {
+    pub fn answers<S: StoreView + ?Sized>(&self, db: &S, stats: &mut ExecStats) -> AnswerSet {
         let mut out = AnswerSet::new();
         self.plan.run(db, &[], stats, &mut |row| {
             out.insert(self.head.emit(row));
@@ -53,7 +53,7 @@ impl CompiledQuery {
     }
 
     /// `true` iff the query has at least one answer over `db`.
-    pub fn has_any_answer(&self, db: &Instance, stats: &mut ExecStats) -> bool {
+    pub fn has_any_answer<S: StoreView + ?Sized>(&self, db: &S, stats: &mut ExecStats) -> bool {
         self.plan.first_match(db, &[], stats)
     }
 
@@ -100,7 +100,7 @@ impl CompiledBody {
         body: &[Atom],
         negative: &[Atom],
         bound: &BTreeSet<Var>,
-        stats: Option<&Instance>,
+        stats: Option<&dyn StoreView>,
     ) -> Result<CompiledBody, Var> {
         let plan = Plan::compile(body, bound, stats);
         let head = Projection::compile(head_args, &plan)?;
@@ -115,9 +115,9 @@ impl CompiledBody {
     /// extending `seed`, skipping rows blocked by a negated atom. Head
     /// tuples are handed to `emit` (duplicates are possible; callers
     /// dedupe on insertion).
-    pub fn for_each_derivation(
+    pub fn for_each_derivation<S: StoreView + ?Sized>(
         &self,
-        db: &Instance,
+        db: &S,
         seed: &[(Var, Cst)],
         stats: &mut ExecStats,
         emit: &mut dyn FnMut(Vec<Cst>),
@@ -172,7 +172,7 @@ pub fn match_ground(atom: &Atom, args: &[Cst]) -> Option<Vec<(Var, Cst)>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use magik_relalg::Vocabulary;
+    use magik_relalg::{Instance, Vocabulary};
 
     fn fact(v: &mut Vocabulary, p: Pred, args: &[&str]) -> Fact {
         Fact::new(p, args.iter().map(|s| v.cst(s)).collect())

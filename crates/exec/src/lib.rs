@@ -22,6 +22,9 @@
 //! * [`explain_text`] / [`explain_json`] — human- and machine-readable
 //!   renderings of a plan and its execution counters, backing the CLI's
 //!   `explain-plan` command;
+//! * [`Executor`] — the pluggable parallel executor (sequential, or
+//!   fork-join over the shared work-stealing `magik-runtime` pool) that
+//!   the Datalog fixpoints, the k-MCS search, and the server fan out on;
 //! * [`reference`] — the seed backtracking evaluator, preserved verbatim
 //!   as the oracle for equivalence tests and the baseline for benches.
 #![forbid(unsafe_code)]
@@ -29,11 +32,13 @@
 
 mod cache;
 mod compiled;
+mod executor;
 mod explain;
 pub mod reference;
 
 pub use cache::PlanCache;
 pub use compiled::{match_ground, CompiledBody, CompiledQuery};
+pub use executor::{available_parallelism, partition, Executor, PoolCounters, ThreadPool};
 pub use explain::{explain_json, explain_text};
 pub use magik_relalg::exec::{
     Access, ColAction, ExecStats, Key, OpCounters, Plan, PlanOp, Projection, Row,

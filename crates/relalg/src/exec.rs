@@ -52,7 +52,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use crate::atom::{Atom, Pred};
-use crate::instance::Instance;
+use crate::instance::StoreView;
 use crate::term::{Cst, Term, Var};
 
 /// How a [`PlanOp`] enumerates candidate tuples.
@@ -230,7 +230,7 @@ impl Row<'_> {
 fn estimate(
     atom: &Atom,
     slot_of: &HashMap<Var, usize>,
-    stats: Option<&Instance>,
+    stats: Option<&dyn StoreView>,
 ) -> (usize, Access) {
     // Without statistics, fall back to a shape heuristic: constants are
     // the most selective, bound-variable probes next, scans last; the
@@ -291,7 +291,7 @@ impl Plan {
     /// supplies the instance whose cardinalities and index selectivities
     /// drive atom ordering; without it a shape heuristic is used. The
     /// statistics influence only performance, never results.
-    pub fn compile(body: &[Atom], bound: &BTreeSet<Var>, stats: Option<&Instance>) -> Plan {
+    pub fn compile(body: &[Atom], bound: &BTreeSet<Var>, stats: Option<&dyn StoreView>) -> Plan {
         let mut slots: Vec<Var> = bound.iter().copied().collect();
         let seed_slots = slots.len();
         let mut slot_of: HashMap<Var, usize> =
@@ -379,11 +379,14 @@ impl Plan {
     /// `seed`, calling `visit` for each complete row; `visit` returns
     /// `false` to stop the search. Returns `false` iff stopped early.
     ///
+    /// `db` is any [`StoreView`] — a live [`crate::Instance`] or a frozen
+    /// [`crate::Snapshot`]; plans are store-agnostic.
+    ///
     /// Every variable declared `bound` at compile time must be covered by
     /// `seed`; seed entries for variables without a slot are ignored.
-    pub fn run(
+    pub fn run<S: StoreView + ?Sized>(
         &self,
-        db: &Instance,
+        db: &S,
         seed: &[(Var, Cst)],
         stats: &mut ExecStats,
         visit: &mut dyn FnMut(Row<'_>) -> bool,
@@ -404,7 +407,12 @@ impl Plan {
 
     /// `true` iff the body has at least one satisfying assignment over
     /// `db` extending `seed` (first-match mode: stops at the first row).
-    pub fn first_match(&self, db: &Instance, seed: &[(Var, Cst)], stats: &mut ExecStats) -> bool {
+    pub fn first_match<S: StoreView + ?Sized>(
+        &self,
+        db: &S,
+        seed: &[(Var, Cst)],
+        stats: &mut ExecStats,
+    ) -> bool {
         let mut found = false;
         self.run(db, seed, stats, &mut |_| {
             found = true;
@@ -413,10 +421,10 @@ impl Plan {
         found
     }
 
-    fn step(
+    fn step<S: StoreView + ?Sized>(
         &self,
         i: usize,
-        db: &Instance,
+        db: &S,
         regs: &mut Vec<Option<Cst>>,
         stats: &mut ExecStats,
         visit: &mut dyn FnMut(Row<'_>) -> bool,
@@ -461,12 +469,12 @@ impl Plan {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn try_tuple(
+    fn try_tuple<S: StoreView + ?Sized>(
         &self,
         i: usize,
         op: &PlanOp,
         tuple: &[Cst],
-        db: &Instance,
+        db: &S,
         regs: &mut Vec<Option<Cst>>,
         stats: &mut ExecStats,
         visit: &mut dyn FnMut(Row<'_>) -> bool,
@@ -559,6 +567,7 @@ impl Projection {
 mod tests {
     use super::*;
     use crate::atom::Fact;
+    use crate::instance::Instance;
     use crate::Vocabulary;
 
     fn fact(v: &mut Vocabulary, p: Pred, args: &[&str]) -> Fact {
@@ -728,6 +737,51 @@ mod tests {
             }
         ));
         assert_eq!(collect_rows(&plan, &db).len(), 2); // a->b->c, b->c->d
+    }
+
+    #[test]
+    fn plans_run_identically_on_instance_and_snapshot() {
+        let mut v = Vocabulary::new();
+        let e = v.pred("e", 2);
+        let mut db = Instance::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("a", "c"), ("c", "a")] {
+            db.insert(fact(&mut v, e, &[a, b]));
+        }
+        let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+        let body = vec![
+            Atom::new(e, vec![Term::Var(x), Term::Var(y)]),
+            Atom::new(e, vec![Term::Var(y), Term::Var(z)]),
+        ];
+        let snap = db.snapshot();
+        // Compile against either store (the snapshot carries the stats).
+        let plan = Plan::compile(&body, &BTreeSet::new(), Some(&snap));
+        let mut on_db = Vec::new();
+        plan.run(&db, &[], &mut ExecStats::default(), &mut |row| {
+            on_db.push(row.iter().collect::<Vec<_>>());
+            true
+        });
+        let mut on_snap = Vec::new();
+        plan.run(&snap, &[], &mut ExecStats::default(), &mut |row| {
+            on_snap.push(row.iter().collect::<Vec<_>>());
+            true
+        });
+        assert_eq!(on_db, on_snap);
+        // Writes after the snapshot are seen by the instance run only.
+        db.insert(fact(&mut v, e, &["c", "d"]));
+        let count = |s: &mut Vec<()>, _row: Row<'_>| {
+            s.push(());
+            true
+        };
+        let mut later = Vec::new();
+        plan.run(&db, &[], &mut ExecStats::default(), &mut |r| {
+            count(&mut later, r)
+        });
+        let mut frozen = Vec::new();
+        plan.run(&snap, &[], &mut ExecStats::default(), &mut |r| {
+            count(&mut frozen, r)
+        });
+        assert!(later.len() > frozen.len());
+        assert_eq!(frozen.len(), on_snap.len());
     }
 
     #[test]

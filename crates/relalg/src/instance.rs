@@ -1,6 +1,15 @@
 //! Database instances: sets of facts with per-column indexes.
+//!
+//! Relations are `Arc`-shared copy-on-write: cloning an [`Instance`] or
+//! taking a [`Snapshot`] is O(#relations), and a writer clones a relation's
+//! storage only on the first mutation after a share ([`Arc::make_mut`]).
+//! Because the per-column indexes and the statistics the planner consults
+//! live *inside* [`Relation`], a snapshot carries everything evaluation
+//! needs — readers on other threads keep probing a frozen, consistent state
+//! while the writer diverges.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use crate::atom::{Fact, Pred};
 use crate::term::Cst;
@@ -123,10 +132,33 @@ impl Relation {
     }
 }
 
+/// Read access to a set of indexed relations — the store abstraction
+/// compiled plans execute against.
+///
+/// Implemented by [`Instance`] (the mutable, copy-on-write store) and
+/// [`Snapshot`] (a frozen, `Send + Sync` view). `exec::Plan` and everything
+/// built on it ([`crate::answers`], the `magik-exec` compiled bodies, the
+/// Datalog fixpoints) only ever need this read surface, so a single
+/// compiled plan can run against either representation.
+pub trait StoreView {
+    /// The extension of `pred`, if any fact over it exists.
+    fn relation(&self, pred: Pred) -> Option<&Relation>;
+
+    /// Membership test.
+    fn contains(&self, fact: &Fact) -> bool {
+        self.relation(fact.pred)
+            .is_some_and(|r| r.contains(&fact.args))
+    }
+}
+
 /// A database instance: a finite set of facts, grouped by relation.
+///
+/// Relations are `Arc`-shared: `clone` and [`Instance::snapshot`] are
+/// O(#relations), and mutation copies a relation's storage only when it is
+/// shared with a snapshot or another clone (copy-on-write).
 #[derive(Debug, Clone, Default)]
 pub struct Instance {
-    rels: BTreeMap<Pred, Relation>,
+    rels: BTreeMap<Pred, Arc<Relation>>,
 }
 
 impl Instance {
@@ -137,7 +169,7 @@ impl Instance {
 
     /// Inserts a fact; returns `true` if it was not already present.
     pub fn insert(&mut self, fact: Fact) -> bool {
-        self.rels.entry(fact.pred).or_default().insert(fact.args)
+        Arc::make_mut(self.rels.entry(fact.pred).or_default()).insert(fact.args)
     }
 
     /// Inserts a batch of facts, updating the per-relation/per-column
@@ -152,7 +184,7 @@ impl Instance {
         }
         let mut added = 0;
         for (pred, tuples) in grouped {
-            let rel = self.rels.entry(pred).or_default();
+            let rel = Arc::make_mut(self.rels.entry(pred).or_default());
             for args in tuples {
                 if rel.insert(args) {
                     added += 1;
@@ -168,7 +200,11 @@ impl Instance {
         let Some(rel) = self.rels.get_mut(&fact.pred) else {
             return false;
         };
-        let removed = rel.remove(&fact.args);
+        // Only clone-on-write when the fact is actually present.
+        if !rel.contains(&fact.args) {
+            return false;
+        }
+        let removed = Arc::make_mut(rel).remove(&fact.args);
         if rel.is_empty() {
             self.rels.remove(&fact.pred);
         }
@@ -177,24 +213,35 @@ impl Instance {
 
     /// Membership test.
     pub fn contains(&self, fact: &Fact) -> bool {
-        self.rels
-            .get(&fact.pred)
-            .is_some_and(|r| r.contains(&fact.args))
+        StoreView::contains(self, fact)
     }
 
     /// The extension of `pred`, if any fact over it exists.
     pub fn relation(&self, pred: Pred) -> Option<&Relation> {
-        self.rels.get(&pred)
+        self.rels.get(&pred).map(Arc::as_ref)
+    }
+
+    /// Takes an immutable, `Send + Sync` snapshot of the instance.
+    ///
+    /// O(#relations): each relation's storage is shared by bumping its
+    /// `Arc` refcount. Later mutations of `self` copy the touched relation
+    /// first ([`Arc::make_mut`]), so the snapshot keeps observing exactly
+    /// the state at the time of the call — including the per-column
+    /// indexes and statistics the planner uses.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            rels: self.rels.clone(),
+        }
     }
 
     /// Total number of facts.
     pub fn len(&self) -> usize {
-        self.rels.values().map(Relation::len).sum()
+        self.rels.values().map(|r| r.len()).sum()
     }
 
     /// `true` iff the instance has no facts.
     pub fn is_empty(&self) -> bool {
-        self.rels.values().all(Relation::is_empty)
+        self.rels.values().all(|r| r.is_empty())
     }
 
     /// Iterates over all facts, grouped by relation (relations in
@@ -221,6 +268,74 @@ impl Instance {
             .iter_facts()
             .filter(|f| self.insert(f.clone()))
             .count()
+    }
+}
+
+impl StoreView for Instance {
+    fn relation(&self, pred: Pred) -> Option<&Relation> {
+        Instance::relation(self, pred)
+    }
+}
+
+/// An immutable snapshot of an [`Instance`], sharing the relation storage
+/// of the instance it was taken from.
+///
+/// A snapshot is `Send + Sync` and never changes: evaluation on other
+/// threads proceeds against it without any locking while the source
+/// instance keeps mutating (copy-on-write keeps the shared storage
+/// untouched). Obtain one with [`Instance::snapshot`]; turn it back into a
+/// mutable store with [`Snapshot::to_instance`] (also O(#relations)).
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    rels: BTreeMap<Pred, Arc<Relation>>,
+}
+
+impl Snapshot {
+    /// The extension of `pred`, if any fact over it exists.
+    pub fn relation(&self, pred: Pred) -> Option<&Relation> {
+        self.rels.get(&pred).map(Arc::as_ref)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        StoreView::contains(self, fact)
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.rels.values().map(|r| r.len()).sum()
+    }
+
+    /// `true` iff the snapshot has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.rels.values().all(|r| r.is_empty())
+    }
+
+    /// Iterates over all facts, grouped by relation (relations in
+    /// predicate-id order, tuples in insertion order).
+    pub fn iter_facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.rels
+            .iter()
+            .flat_map(|(&p, r)| r.iter().map(move |args| Fact::new(p, args.to_vec())))
+    }
+
+    /// The predicates with at least one fact.
+    pub fn preds(&self) -> impl Iterator<Item = Pred> + '_ {
+        self.rels.keys().copied()
+    }
+
+    /// A mutable instance sharing this snapshot's storage (copy-on-write:
+    /// O(#relations) now, per-relation copies only on mutation).
+    pub fn to_instance(&self) -> Instance {
+        Instance {
+            rels: self.rels.clone(),
+        }
+    }
+}
+
+impl StoreView for Snapshot {
+    fn relation(&self, pred: Pred) -> Option<&Relation> {
+        Snapshot::relation(self, pred)
     }
 }
 
@@ -423,6 +538,89 @@ mod tests {
         assert!(db.remove(&Fact::new(p, vec![a, c])));
         assert!(db.relation(p).is_none());
         assert!(db.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 2);
+        let q = v.pred("q", 1);
+        let mut db = Instance::new();
+        db.insert(fact(&mut v, p, &["a", "b"]));
+        db.insert(fact(&mut v, q, &["a"]));
+        let snap = db.snapshot();
+        // Mutate every relation after the snapshot: insert, remove, and
+        // drop a relation entirely.
+        db.insert(fact(&mut v, p, &["c", "d"]));
+        assert!(db.remove(&fact(&mut v, q, &["a"])));
+        assert!(db.remove(&fact(&mut v, p, &["a", "b"])));
+        // The snapshot still sees exactly the original state, indexes
+        // included.
+        assert_eq!(snap.len(), 2);
+        assert!(snap.contains(&fact(&mut v, p, &["a", "b"])));
+        assert!(!snap.contains(&fact(&mut v, p, &["c", "d"])));
+        let rel = snap.relation(p).unwrap();
+        assert_eq!(rel.matches(0, v.cst("a")).unwrap().len(), 1);
+        assert_eq!(snap.preds().count(), 2);
+        // And the live instance sees only the new state.
+        assert_eq!(db.len(), 1);
+        assert!(db.relation(q).is_none());
+    }
+
+    #[test]
+    fn snapshot_roundtrips_to_instance() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let mut db = Instance::new();
+        db.insert(fact(&mut v, p, &["a"]));
+        db.insert(fact(&mut v, p, &["b"]));
+        let snap = db.snapshot();
+        let mut copy = snap.to_instance();
+        assert_eq!(copy, db);
+        // Writing through the round-tripped instance leaves the snapshot
+        // (and the original) untouched.
+        copy.insert(fact(&mut v, p, &["c"]));
+        assert_eq!(copy.len(), 3);
+        assert_eq!(snap.len(), 2);
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Snapshot>();
+    }
+
+    #[test]
+    fn clone_shares_until_first_write() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let mut db = Instance::new();
+        db.insert(fact(&mut v, p, &["a"]));
+        let mut other = db.clone();
+        // Diverge both sides; neither observes the other's writes.
+        db.insert(fact(&mut v, p, &["b"]));
+        other.insert(fact(&mut v, p, &["c"]));
+        assert!(db.contains(&fact(&mut v, p, &["b"])));
+        assert!(!db.contains(&fact(&mut v, p, &["c"])));
+        assert!(other.contains(&fact(&mut v, p, &["c"])));
+        assert!(!other.contains(&fact(&mut v, p, &["b"])));
+    }
+
+    #[test]
+    fn removing_an_absent_fact_does_not_unshare() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 1);
+        let mut db = Instance::new();
+        db.insert(fact(&mut v, p, &["a"]));
+        let snap = db.snapshot();
+        let absent = fact(&mut v, p, &["zz"]);
+        assert!(!db.remove(&absent));
+        // The relation is still the very same shared allocation.
+        assert!(std::ptr::eq(
+            db.relation(p).unwrap(),
+            snap.relation(p).unwrap()
+        ));
     }
 
     #[test]

@@ -12,10 +12,12 @@
 //!   unsafe intermediate queries), it is checked by [`Query::is_safe`];
 //! * **substitutions** and the freezing map θ ([`Substitution`],
 //!   [`freeze_atom`], [`canonical_database`]);
-//! * database **instances** with per-column indexes ([`Instance`],
-//!   [`Relation`]);
-//! * conjunctive-query **evaluation** by backtracking join ([`answers`],
-//!   [`has_answer`], [`homomorphisms`]);
+//! * database **instances** with per-column indexes and cheap
+//!   copy-on-write **snapshots** ([`Instance`], [`Relation`],
+//!   [`Snapshot`], [`StoreView`]);
+//! * conjunctive-query **evaluation** by compiled register plans (the
+//!   [`exec`] plan IR: atom order, access paths and slot layout fixed at
+//!   compile time; [`answers`], [`has_answer`], [`homomorphisms`]);
 //! * **containment**, **equivalence** and **minimization** of conjunctive
 //!   queries, following Chandra–Merlin ([`is_contained_in`],
 //!   [`are_equivalent`], [`minimize`], [`is_minimal`]).
@@ -61,7 +63,7 @@ pub use atom::{Atom, Fact, Pred};
 pub use containment::{are_equivalent, is_contained_in, is_strictly_contained_in};
 pub use display::{DisplayWith, WithVocab};
 pub use eval::{answers, has_answer, homomorphisms, Answer, AnswerSet, EvalError};
-pub use instance::{Instance, Relation};
+pub use instance::{Instance, Relation, Snapshot, StoreView};
 pub use minimize::{is_minimal, minimize, minimize_in_place};
 pub use query::Query;
 pub use subst::{

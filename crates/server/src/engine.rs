@@ -1,19 +1,27 @@
 //! The session engine: shared reasoning state plus caching and metrics.
 //!
 //! One [`Engine`] is shared by every connection (and every worker thread)
-//! of a server. Internally it is split into three locks, always acquired
-//! in this order:
+//! of a server. State is published as an immutable, epoch-tagged
+//! **snapshot** behind a swap point:
 //!
-//! 1. `vocab: Mutex<Vocabulary>` — parsing interns names, so every request
-//!    briefly serializes on the vocabulary. Parsing is microseconds; the
-//!    expensive reasoning below happens *after* this lock is released or
-//!    under the shared state lock.
-//! 2. `state: RwLock<State>` — the database, the TCS set, and the
-//!    incrementally maintained T_C materialization. Read-only requests
-//!    (`check`, `eval`, `generalize`, `guaranteed`) take the read lock and
-//!    run concurrently; mutations (`assert`, `retract`, `compl`) take the
-//!    write lock.
-//! 3. per-cache `Mutex`es — held only for the probe/insert itself.
+//! * `current: Mutex<Arc<StateSnapshot>>` — the swap point. Read-only
+//!   requests (`check`, `eval`, `generalize`, `specialize`, `guaranteed`,
+//!   `analyze`) lock it just long enough to clone the `Arc`, then
+//!   evaluate entirely on the snapshot: **no lock is held during
+//!   reasoning**, so a slow `specialize` never blocks a concurrent
+//!   `check` or a writer.
+//! * `writer: Mutex<WriterState>` — the mutable master copy (database,
+//!   TCS set, incrementally maintained T_C materialization). Mutations
+//!   (`assert`, `retract`, `compl`) serialize on it, apply their change,
+//!   and publish a fresh snapshot before releasing the lock — so
+//!   snapshots become visible in write order and epochs are monotone.
+//!   Publishing is cheap: the relalg [`Instance`] is copy-on-write, so a
+//!   [`magik_relalg::Snapshot`] is O(#relations) `Arc` bumps.
+//! * `vocab: Mutex<Vocabulary>` — parsing interns names, so every request
+//!   briefly serializes on the vocabulary; it is released (or cloned, for
+//!   `specialize`) before any expensive reasoning. Acquired before
+//!   `writer` when both are needed.
+//! * per-cache `Mutex`es — held only for the probe/insert itself.
 //!
 //! # Epochs and caching
 //!
@@ -30,25 +38,32 @@
 //!
 //! # Incremental T_C
 //!
-//! The engine keeps the Section 5 Datalog encoding of the T_C operator
+//! The writer keeps the Section 5 Datalog encoding of the T_C operator
 //! (`R^a ← R^i, G^i`) materialized over the stored facts via
 //! [`magik_datalog::Materialized`]: `assert` propagates just the new
 //! fact's consequences (delta semi-naive), `retract` falls back to
-//! recomputation, and `compl` rebuilds the encoding. The `guaranteed`
-//! request reads this model to answer "is this fact certain to be in the
-//! available database?" in constant time.
+//! recomputation, and `compl` rebuilds the encoding. Each publish carries
+//! a snapshot of the fixpoint model, so the `guaranteed` request answers
+//! "is this fact certain to be in the available database?" in constant
+//! time without touching the writer.
+//!
+//! # Parallelism
+//!
+//! The engine owns an [`Executor`]; the T_C fixpoint and the `specialize`
+//! search fan out over it when it is pooled ([`Engine::with_session_on`]).
+//! The default is sequential, which embeds cleanly in tests and tools.
 
-use std::sync::{Mutex, RwLock};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use magik_analyze::{analyze_query, analyze_statements};
 use magik_completeness::{
-    is_complete, k_mcs, mcg, tc_encoding, CanonicalQuery, ConstraintSet, KMcsOptions, TcSet,
+    is_complete, k_mcs_on, mcg, tc_encoding, CanonicalQuery, ConstraintSet, KMcsOptions, TcSet,
 };
 use magik_datalog::Materialized;
-use magik_exec::{CompiledQuery, ExecStats, PlanCache};
+use magik_exec::{CompiledQuery, ExecStats, Executor, PlanCache};
 use magik_parser::{parse_atom, parse_query, parse_tcs, print_query};
-use magik_relalg::{Answer, DisplayWith, Fact, Instance, Pred, Vocabulary};
+use magik_relalg::{Answer, DisplayWith, Fact, Instance, Pred, Snapshot, Vocabulary};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -62,13 +77,16 @@ const ANSWER_CACHE_CAP: usize = 256;
 /// Default capacity of the plan cache.
 const PLAN_CACHE_CAP: usize = 256;
 
-/// The mutable reasoning state, guarded by the engine's `RwLock`.
+/// The writer's mutable master state, guarded by the engine's writer
+/// mutex. Mutations edit it in place, then [`WriterState::publish`] a
+/// fresh immutable snapshot.
 #[derive(Debug)]
-struct State {
+struct WriterState {
     /// The stored (available) database.
     db: Instance,
-    /// The table-completeness statements.
-    tcs: TcSet,
+    /// The table-completeness statements (shared with snapshots; writers
+    /// copy-on-write via [`Arc::make_mut`]).
+    tcs: Arc<TcSet>,
     /// Bumped whenever `tcs` changes; part of every verdict-cache key.
     tcs_epoch: u64,
     /// Bumped whenever `db` changes; part of every answer-cache key.
@@ -78,12 +96,30 @@ struct State {
     /// Original predicate → its `R^i` variant in the encoding.
     ideal: BTreeMap<Pred, Pred>,
     /// Original predicate → its `R^a` variant in the encoding.
-    avail: BTreeMap<Pred, Pred>,
+    avail: Arc<BTreeMap<Pred, Pred>>,
 }
 
-impl State {
+/// One immutable published state: what every read-only request evaluates
+/// against, lock-free, after cloning the `Arc` out of the swap point.
+#[derive(Debug)]
+struct StateSnapshot {
+    /// The stored database at publish time.
+    db: Snapshot,
+    /// The TCS set at publish time.
+    tcs: Arc<TcSet>,
+    /// TCS epoch of this snapshot.
+    tcs_epoch: u64,
+    /// Data epoch of this snapshot.
+    data_epoch: u64,
+    /// The materialized T_C fixpoint model at publish time.
+    tc_model: Snapshot,
+    /// Original predicate → its `R^a` variant in the encoding.
+    avail: Arc<BTreeMap<Pred, Pred>>,
+}
+
+impl WriterState {
     /// Rebuilds the T_C materialization after the TCS set changed.
-    fn rebuild_tc(&mut self, vocab: &mut Vocabulary) {
+    fn rebuild_tc(&mut self, vocab: &mut Vocabulary, exec: &Executor) {
         let (program, ideal, avail) = tc_encoding(&self.tcs, vocab);
         let mut edb = Instance::new();
         for fact in self.db.iter_facts() {
@@ -91,22 +127,40 @@ impl State {
                 edb.insert(Fact::new(pi, fact.args));
             }
         }
-        self.tc_mat =
-            Materialized::new(program, edb).expect("the T_C encoding is a positive program");
+        self.tc_mat = Materialized::with_executor(program, edb, exec.clone())
+            .expect("the T_C encoding is a positive program");
         self.ideal = ideal;
-        self.avail = avail;
+        self.avail = Arc::new(avail);
+    }
+
+    /// Builds the immutable snapshot of the current state. O(#relations):
+    /// both stores are copy-on-write, and the TCS and encoding maps are
+    /// shared by `Arc`.
+    fn publish(&self) -> Arc<StateSnapshot> {
+        Arc::new(StateSnapshot {
+            db: self.db.snapshot(),
+            tcs: Arc::clone(&self.tcs),
+            tcs_epoch: self.tcs_epoch,
+            data_epoch: self.data_epoch,
+            tc_model: self.tc_mat.model().snapshot(),
+            avail: Arc::clone(&self.avail),
+        })
     }
 }
 
 /// A shared, thread-safe completeness-reasoning session.
 ///
-/// See the module docs for the locking and caching design. All request
-/// entry points take `&self`; an `Arc<Engine>` can be handed to any number
-/// of worker threads.
+/// See the module docs for the snapshot-swap and caching design. All
+/// request entry points take `&self`; an `Arc<Engine>` can be handed to
+/// any number of worker threads.
 #[derive(Debug)]
 pub struct Engine {
     vocab: Mutex<Vocabulary>,
-    state: RwLock<State>,
+    writer: Mutex<WriterState>,
+    /// The swap point: the latest published snapshot. Readers lock it
+    /// only to clone the `Arc`; writers (holding the writer mutex)
+    /// lock it only to store the next snapshot.
+    current: Mutex<Arc<StateSnapshot>>,
     verdicts: Mutex<LruCache<(CanonicalQuery, u64), bool>>,
     answer_cache: Mutex<LruCache<(CanonicalQuery, u64), Vec<Answer>>>,
     /// Compiled plans keyed by canonical query form alone: canonical
@@ -115,6 +169,10 @@ pub struct Engine {
     /// cache is cleared on TCS/vocabulary-shaping events (`compl`).
     plans: Mutex<PlanCache<CanonicalQuery>>,
     metrics: Metrics,
+    /// The compute executor: T_C fixpoints and `specialize` fan out over
+    /// it. Distinct from the server's connection pool, so reasoning tasks
+    /// never compete with (or deadlock against) connection handlers.
+    exec: Executor,
 }
 
 impl Default for Engine {
@@ -130,11 +188,23 @@ impl Engine {
     }
 
     /// Creates an engine over pre-loaded session state (e.g. a document
-    /// parsed by the CLI before serving).
-    pub fn with_session(mut vocab: Vocabulary, tcs: TcSet, db: Instance) -> Engine {
-        let mut state = State {
+    /// parsed by the CLI before serving), reasoning sequentially.
+    pub fn with_session(vocab: Vocabulary, tcs: TcSet, db: Instance) -> Engine {
+        Engine::with_session_on(vocab, tcs, db, Executor::Sequential)
+    }
+
+    /// Like [`Engine::with_session`], but reasoning on `exec`: pooled
+    /// executors parallelize the T_C fixpoint and the `specialize`
+    /// search.
+    pub fn with_session_on(
+        mut vocab: Vocabulary,
+        tcs: TcSet,
+        db: Instance,
+        exec: Executor,
+    ) -> Engine {
+        let mut writer = WriterState {
             db,
-            tcs,
+            tcs: Arc::new(tcs),
             tcs_epoch: 0,
             data_epoch: 0,
             tc_mat: Materialized::new(
@@ -143,16 +213,19 @@ impl Engine {
             )
             .expect("empty program is positive"),
             ideal: BTreeMap::new(),
-            avail: BTreeMap::new(),
+            avail: Arc::new(BTreeMap::new()),
         };
-        state.rebuild_tc(&mut vocab);
+        writer.rebuild_tc(&mut vocab, &exec);
+        let current = writer.publish();
         Engine {
             vocab: Mutex::new(vocab),
-            state: RwLock::new(state),
+            writer: Mutex::new(writer),
+            current: Mutex::new(current),
             verdicts: Mutex::new(LruCache::new(VERDICT_CACHE_CAP)),
             answer_cache: Mutex::new(LruCache::new(ANSWER_CACHE_CAP)),
             plans: Mutex::new(PlanCache::new(PLAN_CACHE_CAP)),
             metrics: Metrics::new(),
+            exec,
         }
     }
 
@@ -161,10 +234,28 @@ impl Engine {
         &self.metrics
     }
 
+    /// The engine's compute executor.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
     /// The current `(tcs_epoch, data_epoch)` pair.
     pub fn epochs(&self) -> (u64, u64) {
-        let state = self.state.read().expect("state lock");
-        (state.tcs_epoch, state.data_epoch)
+        let snap = self.snapshot();
+        (snap.tcs_epoch, snap.data_epoch)
+    }
+
+    /// Clones the latest published snapshot out of the swap point. The
+    /// lock is held only for the `Arc` clone; everything the caller does
+    /// with the snapshot afterwards is lock-free.
+    fn snapshot(&self) -> Arc<StateSnapshot> {
+        Arc::clone(&self.current.lock().expect("swap lock"))
+    }
+
+    /// Publishes `writer`'s state as the new current snapshot. Called
+    /// with the writer mutex held, so snapshots appear in write order.
+    fn swap(&self, writer: &WriterState) {
+        *self.current.lock().expect("swap lock") = writer.publish();
     }
 
     /// Handles one protocol request line and returns the response line
@@ -187,7 +278,19 @@ impl Engine {
             "compl" => (Op::Compl, self.req_compl(rest)),
             "guaranteed" => (Op::Guaranteed, self.req_guaranteed(rest)),
             "analyze" => (Op::Analyze, self.req_analyze(rest)),
-            "metrics" => (Op::Other, Ok(format!("ok {}", self.metrics.render()))),
+            "metrics" => {
+                let c = self.exec.counters();
+                (
+                    Op::Other,
+                    Ok(format!(
+                        "ok {} runtime.tasks={} runtime.steals={} pool.panics={}",
+                        self.metrics.render(),
+                        c.tasks,
+                        c.steals,
+                        c.panics
+                    )),
+                )
+            }
             "ping" => (Op::Other, Ok("ok pong".to_string())),
             "" => (Op::Other, Err(("proto", "empty request".to_string()))),
             other => (
@@ -210,14 +313,14 @@ impl Engine {
             parse_query(src, &mut vocab).map_err(|e| ("parse", e.to_string()))?
         };
         let canon = CanonicalQuery::of(&q);
-        let state = self.state.read().expect("state lock");
-        let key = (canon, state.tcs_epoch);
+        let snap = self.snapshot();
+        let key = (canon, snap.tcs_epoch);
         if let Some(verdict) = self.verdicts.lock().expect("cache lock").get(&key) {
             self.metrics.verdict_probe(true);
             return Ok(render_verdict(verdict));
         }
         self.metrics.verdict_probe(false);
-        let verdict = is_complete(&q, &state.tcs);
+        let verdict = is_complete(&q, &snap.tcs);
         self.verdicts
             .lock()
             .expect("cache lock")
@@ -227,16 +330,26 @@ impl Engine {
 
     /// `generalize <query>` — the minimal complete generalization.
     fn req_generalize(&self, src: &str) -> Result<String, (&'static str, String)> {
-        let mut vocab = self.vocab.lock().expect("vocab lock");
-        let q = parse_query(src, &mut vocab).map_err(|e| ("parse", e.to_string()))?;
-        let state = self.state.read().expect("state lock");
-        Ok(match mcg(&q, &state.tcs) {
+        let q = {
+            let mut vocab = self.vocab.lock().expect("vocab lock");
+            parse_query(src, &mut vocab).map_err(|e| ("parse", e.to_string()))?
+        };
+        let snap = self.snapshot();
+        // Generalization only drops atoms, so rendering needs no names
+        // beyond those the parse interned.
+        let result = mcg(&q, &snap.tcs);
+        let vocab = self.vocab.lock().expect("vocab lock");
+        Ok(match result {
             Some(g) => format!("ok {}", print_query(&g, &vocab)),
             None => "ok none".to_string(),
         })
     }
 
     /// `specialize <k> <query>` — the k-MCSs, `|`-separated.
+    ///
+    /// The search mints scratch variables, so it runs on a **clone** of
+    /// the vocabulary: the shared vocabulary stays untouched (and
+    /// unlocked) for the duration, and the clone renders the response.
     fn req_specialize(&self, rest: &str) -> Result<String, (&'static str, String)> {
         let (k_str, src) = rest
             .split_once(char::is_whitespace)
@@ -244,10 +357,13 @@ impl Engine {
         let k: usize = k_str
             .parse()
             .map_err(|_| ("proto", format!("invalid k `{k_str}`")))?;
-        let mut vocab = self.vocab.lock().expect("vocab lock");
-        let q = parse_query(src, &mut vocab).map_err(|e| ("parse", e.to_string()))?;
-        let state = self.state.read().expect("state lock");
-        let outcome = k_mcs(&q, &state.tcs, &mut vocab, KMcsOptions::new(k));
+        let (q, mut vocab) = {
+            let mut vocab = self.vocab.lock().expect("vocab lock");
+            let q = parse_query(src, &mut vocab).map_err(|e| ("parse", e.to_string()))?;
+            (q, vocab.clone())
+        };
+        let snap = self.snapshot();
+        let outcome = k_mcs_on(&q, &snap.tcs, &mut vocab, KMcsOptions::new(k), &self.exec);
         let rendered: Vec<String> = outcome
             .queries
             .iter()
@@ -263,15 +379,16 @@ impl Engine {
     /// Two cache tiers: the answer cache (exact results, invalidated by
     /// data-epoch bumps) and, on answer misses, the plan cache (compiled
     /// plans, valid across data epochs). A query that misses both is
-    /// compiled once and its plan kept for the session.
+    /// compiled once and its plan kept for the session. Evaluation runs
+    /// on the snapshot — concurrent writers proceed undisturbed.
     fn req_eval(&self, src: &str) -> Result<String, (&'static str, String)> {
         let q = {
             let mut vocab = self.vocab.lock().expect("vocab lock");
             parse_query(src, &mut vocab).map_err(|e| ("parse", e.to_string()))?
         };
         let canon = CanonicalQuery::of(&q);
-        let state = self.state.read().expect("state lock");
-        let key = (canon.clone(), state.data_epoch);
+        let snap = self.snapshot();
+        let key = (canon.clone(), snap.data_epoch);
         let cached = self.answer_cache.lock().expect("cache lock").get(&key);
         self.metrics.answer_probe(cached.is_some());
         let answer_list = match cached {
@@ -284,7 +401,7 @@ impl Engine {
                     None => {
                         // Failed compiles (unsafe queries) are not cached:
                         // the error must be re-reported per request.
-                        let compiled = CompiledQuery::compile(&q, Some(&state.db))
+                        let compiled = CompiledQuery::compile(&q, Some(&snap.db))
                             .map_err(|e| ("eval", format!("{e:?}")))?;
                         let plan = Arc::new(compiled);
                         self.plans
@@ -295,7 +412,7 @@ impl Engine {
                     }
                 };
                 let mut stats = ExecStats::default();
-                let set = plan.answers(&state.db, &mut stats);
+                let set = plan.answers(&snap.db, &mut stats);
                 self.metrics
                     .record_exec(stats.probes, stats.scanned, stats.backtracks);
                 let list: Vec<Answer> = set.into_iter().collect();
@@ -306,7 +423,6 @@ impl Engine {
                 list
             }
         };
-        drop(state);
         let vocab = self.vocab.lock().expect("vocab lock");
         let rendered: Vec<String> = answer_list
             .iter()
@@ -320,30 +436,32 @@ impl Engine {
     /// `assert <atom>` — insert a ground fact; maintains T_C incrementally.
     fn req_assert(&self, src: &str) -> Result<String, (&'static str, String)> {
         let fact = self.parse_fact(src)?;
-        let mut state = self.state.write().expect("state lock");
-        if !state.db.insert(fact.clone()) {
+        let mut writer = self.writer.lock().expect("writer lock");
+        if !writer.db.insert(fact.clone()) {
             return Ok("ok duplicate".to_string());
         }
-        state.data_epoch += 1;
-        let pi = state.ideal.get(&fact.pred).copied();
+        writer.data_epoch += 1;
+        let pi = writer.ideal.get(&fact.pred).copied();
         if let Some(pi) = pi {
-            state.tc_mat.insert(Fact::new(pi, fact.args));
+            writer.tc_mat.insert(Fact::new(pi, fact.args));
         }
+        self.swap(&writer);
         Ok("ok inserted".to_string())
     }
 
     /// `retract <atom>` — remove a ground fact; recomputes T_C.
     fn req_retract(&self, src: &str) -> Result<String, (&'static str, String)> {
         let fact = self.parse_fact(src)?;
-        let mut state = self.state.write().expect("state lock");
-        if !state.db.remove(&fact) {
+        let mut writer = self.writer.lock().expect("writer lock");
+        if !writer.db.remove(&fact) {
             return Ok("ok absent".to_string());
         }
-        state.data_epoch += 1;
-        let pi = state.ideal.get(&fact.pred).copied();
+        writer.data_epoch += 1;
+        let pi = writer.ideal.get(&fact.pred).copied();
         if let Some(pi) = pi {
-            state.tc_mat.retract(&Fact::new(pi, fact.args));
+            writer.tc_mat.retract(&Fact::new(pi, fact.args));
         }
+        self.swap(&writer);
         Ok("ok retracted".to_string())
     }
 
@@ -352,10 +470,11 @@ impl Engine {
     fn req_compl(&self, src: &str) -> Result<String, (&'static str, String)> {
         let mut vocab = self.vocab.lock().expect("vocab lock");
         let stmt = parse_tcs(src, &mut vocab).map_err(|e| ("parse", e.to_string()))?;
-        let mut state = self.state.write().expect("state lock");
-        state.tcs.push(stmt);
-        state.tcs_epoch += 1;
-        state.rebuild_tc(&mut vocab);
+        let mut writer = self.writer.lock().expect("writer lock");
+        Arc::make_mut(&mut writer.tcs).push(stmt);
+        writer.tcs_epoch += 1;
+        writer.rebuild_tc(&mut vocab, &self.exec);
+        self.swap(&writer);
         // Stale verdict keys are unreachable after the epoch bump; drop
         // them eagerly so they stop occupying cache capacity. Plans are
         // dropped too: `compl` is the one request that reshapes the
@@ -363,16 +482,16 @@ impl Engine {
         // one recompile per canonical query.
         self.verdicts.lock().expect("cache lock").clear();
         self.plans.lock().expect("cache lock").clear();
-        Ok(format!("ok epoch={}", state.tcs_epoch))
+        Ok(format!("ok epoch={}", writer.tcs_epoch))
     }
 
     /// `guaranteed <atom>` — is this fact certain to be available, i.e.
     /// derived by the materialized T_C fixpoint?
     fn req_guaranteed(&self, src: &str) -> Result<String, (&'static str, String)> {
         let fact = self.parse_fact(src)?;
-        let state = self.state.read().expect("state lock");
-        let guaranteed = match state.avail.get(&fact.pred) {
-            Some(&pa) => state.tc_mat.model().contains(&Fact::new(pa, fact.args)),
+        let snap = self.snapshot();
+        let guaranteed = match snap.avail.get(&fact.pred) {
+            Some(&pa) => snap.tc_model.contains(&Fact::new(pa, fact.args)),
             None => false,
         };
         Ok(format!("ok {guaranteed}"))
@@ -391,10 +510,10 @@ impl Engine {
         } else {
             Some(parse_query(rest, &mut vocab).map_err(|e| ("parse", e.to_string()))?)
         };
-        let state = self.state.read().expect("state lock");
+        let snap = self.snapshot();
         let diags = match &query {
-            Some(q) => analyze_query(0, q, &state.tcs, &constraints, &vocab),
-            None => analyze_statements(&state.tcs, &constraints, &vocab),
+            Some(q) => analyze_query(0, q, &snap.tcs, &constraints, &vocab),
+            None => analyze_statements(&snap.tcs, &constraints, &vocab),
         };
         let rendered: Vec<String> = diags
             .iter()
@@ -589,5 +708,64 @@ mod tests {
         assert!(g.starts_with("ok "), "{g}");
         let s = e.handle("specialize 0 q(N) :- pupil(N, C, S), school(S, primary, bolzano).");
         assert!(s.starts_with("ok "), "{s}");
+    }
+
+    #[test]
+    fn epochs_are_visible_and_monotone() {
+        let e = Engine::new();
+        assert_eq!(e.epochs(), (0, 0));
+        e.handle("assert edge(a, b).");
+        assert_eq!(e.epochs(), (0, 1));
+        e.handle("compl edge(X, Y) ; true.");
+        assert_eq!(e.epochs(), (1, 1));
+        // Duplicate inserts and absent retracts publish nothing.
+        e.handle("assert edge(a, b).");
+        e.handle("retract edge(z, z).");
+        assert_eq!(e.epochs(), (1, 1));
+    }
+
+    #[test]
+    fn metrics_report_runtime_counters() {
+        let e = Engine::new();
+        let metrics = e.handle("metrics");
+        assert!(metrics.contains("runtime.tasks=0"), "{metrics}");
+        assert!(metrics.contains("runtime.steals=0"), "{metrics}");
+        assert!(metrics.contains("pool.panics=0"), "{metrics}");
+    }
+
+    #[test]
+    fn pooled_engine_agrees_with_sequential() {
+        let pooled = Engine::with_session_on(
+            Vocabulary::new(),
+            TcSet::new(Vec::new()),
+            Instance::new(),
+            Executor::with_threads(4),
+        );
+        let seq = Engine::new();
+        for e in [&pooled, &seq] {
+            e.handle("compl school(S, primary, D) ; true.");
+            e.handle("compl pupil(N, C, S) ; school(S, T, merano).");
+            e.handle("assert school(hofer, primary, merano).");
+            e.handle("assert pupil(anna, c1, hofer).");
+        }
+        for req in [
+            "check q(N) :- pupil(N, C, S), school(S, primary, merano).",
+            "guaranteed pupil(anna, c1, hofer).",
+            "eval q(N) :- pupil(N, C, S).",
+        ] {
+            assert_eq!(pooled.handle(req), seq.handle(req), "{req}");
+        }
+        // Parallel `specialize` pre-mints pool variables, so scratch-var
+        // *names* differ; the result sets agree up to α-renaming (the
+        // completeness tests assert deep equivalence) and so do counts.
+        let req = "specialize 1 q(N) :- pupil(N, C, S), school(S, primary, bolzano).";
+        let (p, s) = (pooled.handle(req), seq.handle(req));
+        assert_eq!(
+            p.split_whitespace().nth(1),
+            s.split_whitespace().nth(1),
+            "{p} vs {s}"
+        );
+        let metrics = pooled.handle("metrics");
+        assert!(!metrics.contains("runtime.tasks=0"), "{metrics}");
     }
 }

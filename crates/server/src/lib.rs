@@ -9,12 +9,21 @@
 //!
 //! * [`Engine`] — the shared session: database, TCS set, an incrementally
 //!   maintained T_C materialization, a canonical-form verdict cache, an
-//!   answer cache, and metrics. All entry points take `&self`.
+//!   answer cache, and metrics. All entry points take `&self`. State is
+//!   published as immutable snapshots behind a swap point, so read
+//!   requests evaluate without holding any lock — a slow `specialize`
+//!   never blocks a concurrent `check`, and writers proceed undisturbed.
 //! * [`Server`] — `std::net` front end: one request line in, one response
 //!   line out (`ok …` / `err <code> …`); grammar in `PROTOCOL.md`.
-//! * [`ThreadPool`] — the std-only worker pool both of them run on.
+//! * [`ThreadPool`] — the shared `magik-runtime` work-stealing pool the
+//!   connection handlers run on. The engine's *compute* pool (its
+//!   [`Executor`](magik_exec::Executor)) is a separate instance: blocking
+//!   connection handlers must never occupy the workers that reasoning
+//!   fan-outs need, and vice versa.
 //! * [`Metrics`] / [`Histogram`] — per-op counters and fixed-bucket
-//!   latency quantiles, reported by the `metrics` request.
+//!   latency quantiles, reported by the `metrics` request (together with
+//!   the compute pool's `runtime.tasks`/`runtime.steals`/`pool.panics`
+//!   counters).
 //! * [`LruCache`] — the exact LRU underlying both caches.
 //!
 //! # Example
@@ -41,10 +50,9 @@ mod cache;
 mod engine;
 mod metrics;
 mod net;
-mod pool;
 
 pub use cache::LruCache;
 pub use engine::Engine;
+pub use magik_runtime::ThreadPool;
 pub use metrics::{Histogram, Metrics, Op};
 pub use net::Server;
-pub use pool::ThreadPool;

@@ -1,10 +1,15 @@
 //! The line-oriented TCP front end.
 //!
 //! One accept loop hands each connection to a worker from a fixed
-//! [`ThreadPool`]; the worker owns the connection for its lifetime
-//! (thread-per-connection, bounded by the pool size — connections beyond
-//! the pool queue until a worker frees up). Requests are single lines,
-//! responses are single lines; see `PROTOCOL.md` for the grammar.
+//! [`ThreadPool`] (the shared `magik-runtime` pool: panic-isolated
+//! workers, so a handler panic never kills the server); the worker owns
+//! the connection for its lifetime (thread-per-connection, bounded by the
+//! pool size — connections beyond the pool queue until a worker frees
+//! up). This pool is distinct from the engine's compute [`Executor`]
+//! (crate docs explain why). Requests are single lines, responses are
+//! single lines; see `PROTOCOL.md` for the grammar.
+//!
+//! [`Executor`]: magik_exec::Executor
 
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -16,8 +21,9 @@ use std::time::Duration;
 /// How often an idle connection handler wakes up to check the stop flag.
 const STOP_POLL_INTERVAL: Duration = Duration::from_millis(50);
 
+use magik_runtime::ThreadPool;
+
 use crate::engine::Engine;
-use crate::pool::ThreadPool;
 
 /// A running server: an accept loop plus a worker pool, all sharing one
 /// [`Engine`].

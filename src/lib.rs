@@ -22,8 +22,9 @@
 //!
 //! | module (re-export of) | contents |
 //! |---|---|
-//! | [`relalg`] | terms, atoms, queries, instances, evaluation, containment, minimization |
-//! | [`exec`] | compiled query-execution layer: plan IR, compiled queries/rule bodies, plan cache, explain output |
+//! | [`relalg`] | terms, atoms, queries, instances, copy-on-write snapshots, evaluation, containment, minimization |
+//! | [`runtime`] | shared work-stealing thread pool: panic-isolated workers, fork-join helpers |
+//! | [`exec`] | compiled query-execution layer: plan IR, compiled queries/rule bodies, plan cache, pluggable executor, explain output |
 //! | [`unify`] | unification, MGUs, renaming apart |
 //! | [`datalog`] | forward-chaining Datalog engine (naive + semi-naive) |
 //! | [`prolog`] | SLD resolution engine over compound terms |
@@ -73,6 +74,7 @@ pub use magik_exec as exec;
 pub use magik_parser as parser;
 pub use magik_prolog as prolog;
 pub use magik_relalg as relalg;
+pub use magik_runtime as runtime;
 pub use magik_server as server;
 pub use magik_unify as unify;
 pub use magik_workload as workload;
@@ -83,8 +85,8 @@ pub use magik_analyze::{
 pub use magik_completeness::{
     answering, chase_query, classify_answers, complete_unifiers, constraints, count_bounds,
     counterexample, explain, explain_check, g_op, is_complete, is_complete_under,
-    is_complete_via_datalog, is_instantiation_of, is_mcg, is_mci, k_mcs, lint, mcg, mcg_under,
-    mcg_with_stats, mcis, mcis_bounded, publishable_counts, render_counterexample,
+    is_complete_via_datalog, is_instantiation_of, is_mcg, is_mci, k_mcs, k_mcs_on, lint, mcg,
+    mcg_under, mcg_with_stats, mcis, mcis_bounded, publishable_counts, render_counterexample,
     render_explanation, semantics, tc_apply, tc_apply_datalog, tc_encoding, AnswerReport,
     CanonTerm, CanonicalQuery, ChaseOutcome, CheckExplanation, ConstraintSet, CountBounds,
     FiniteDomain, GuaranteeWitness, KMcsEngine, KMcsOptions, KMcsOutcome, KMcsStats, Key,
@@ -92,7 +94,8 @@ pub use magik_completeness::{
 };
 pub use magik_datalog::{MaterializeError, Materialized};
 pub use magik_exec::{
-    explain_json, explain_text, CompiledBody, CompiledQuery, ExecStats, Plan, PlanCache,
+    available_parallelism, explain_json, explain_text, CompiledBody, CompiledQuery, ExecStats,
+    Executor, Plan, PlanCache, PoolCounters, ThreadPool,
 };
 pub use magik_parser::{
     parse_atom, parse_document, parse_instance, parse_query, parse_rules, parse_tcs,
@@ -102,6 +105,6 @@ pub use magik_parser::{
 pub use magik_relalg::{
     answers, are_equivalent, canonical_database, has_answer, is_contained_in,
     is_strictly_contained_in, minimize, Atom, Cst, DisplayWith, Fact, Instance, Pred, Query,
-    Substitution, Term, Var, Vocabulary,
+    Snapshot, StoreView, Substitution, Term, Var, Vocabulary,
 };
 pub use magik_server::{Engine, Server};
