@@ -1,0 +1,157 @@
+//! Experiment A11 — DRed retraction vs full recomputation.
+//!
+//! The workload is a forest of disjoint transitive-closure chains: a
+//! large materialized model in which any single EDB edge only supports
+//! the paths of its own chain. Retracting a small fraction of the EDB
+//! (one edge, or one edge per chain in a small batch) costs DRed work
+//! proportional to the affected chain segments, while the retired
+//! recompute strategy re-derives the entire forest.
+//!
+//! Two scenarios per size:
+//!
+//! * **sustained** — one long-lived `Materialized` absorbs a
+//!   retract/re-insert cycle per iteration (the server writer's
+//!   steady-state shape). This isolates the algorithm: no snapshot of the
+//!   model is outstanding, so copy-on-write never forces a deep copy.
+//! * **cold** — every iteration clones the base `Materialized` and
+//!   retracts from the clone while the base still shares the relations.
+//!   Both sides pay the worst-case copy-on-write cost a just-published
+//!   snapshot inflicts, on top of their own maintenance work.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+use magik::datalog::{Materialized, Program, Rule};
+use magik::{Atom, Fact, Instance, Term, Vocabulary};
+
+/// `chains` disjoint chains of `len` edges each, materialized under the
+/// usual transitive-closure program. Returns the maintained model and the
+/// victim edges: the middle edge of every chain.
+fn chain_forest(chains: usize, len: usize) -> (Materialized, Vec<Fact>) {
+    let mut v = Vocabulary::new();
+    let edge = v.pred("edge", 2);
+    let path = v.pred("path", 2);
+    let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+    let program = Program::new(vec![
+        Rule::new(
+            Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
+            vec![Atom::new(edge, vec![Term::Var(x), Term::Var(y)])],
+        ),
+        Rule::new(
+            Atom::new(path, vec![Term::Var(x), Term::Var(z)]),
+            vec![
+                Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(edge, vec![Term::Var(y), Term::Var(z)]),
+            ],
+        ),
+    ])
+    .unwrap();
+    let mut edb = Instance::new();
+    let mut victims = Vec::new();
+    for c in 0..chains {
+        for i in 0..len {
+            let fact = Fact::new(
+                edge,
+                vec![
+                    v.cst(&format!("n{c}_{i}")),
+                    v.cst(&format!("n{c}_{}", i + 1)),
+                ],
+            );
+            if i == len / 2 {
+                victims.push(fact.clone());
+            }
+            edb.insert(fact);
+        }
+    }
+    (Materialized::new(program, edb).unwrap(), victims)
+}
+
+fn bench_sustained(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_retract/sustained");
+    for chains in [64usize, 256] {
+        let (base, victims) = chain_forest(chains, 16);
+        let model_len = base.model().len();
+        group.throughput(Throughput::Elements(model_len as u64));
+        let victim = victims[0].clone();
+        let mut dred = base.clone();
+        group.bench_function(format!("dred/{model_len}"), |b| {
+            b.iter(|| {
+                let stats = dred.retract_all([victim.clone()]);
+                assert_eq!(stats.removed, 1);
+                dred.insert(victim.clone())
+            });
+        });
+        let victim = victims[0].clone();
+        let mut reco = base.clone();
+        group.bench_function(format!("recompute/{model_len}"), |b| {
+            b.iter(|| {
+                assert_eq!(reco.retract_all_recompute([victim.clone()]), 1);
+                reco.insert(victim.clone())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sustained_batch(c: &mut Criterion) {
+    const BATCH: usize = 8;
+    let mut group = c.benchmark_group("incremental_retract/sustained_batch");
+    let (base, victims) = chain_forest(256, 16);
+    let model_len = base.model().len();
+    let batch: Vec<Fact> = victims.into_iter().take(BATCH).collect();
+    group.throughput(Throughput::Elements(BATCH as u64));
+    let mut dred = base.clone();
+    let facts = batch.clone();
+    group.bench_function(format!("dred/{model_len}"), |b| {
+        b.iter(|| {
+            let stats = dred.retract_all(facts.iter().cloned());
+            assert_eq!(stats.removed, BATCH);
+            dred.insert_all(facts.iter().cloned())
+        });
+    });
+    let mut reco = base.clone();
+    let facts = batch;
+    group.bench_function(format!("recompute/{model_len}"), |b| {
+        b.iter(|| {
+            assert_eq!(reco.retract_all_recompute(facts.iter().cloned()), BATCH);
+            reco.insert_all(facts.iter().cloned())
+        });
+    });
+    group.finish();
+}
+
+fn bench_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_retract/cold");
+    let (base, victims) = chain_forest(256, 16);
+    let model_len = base.model().len();
+    let victim = victims[0].clone();
+    group.throughput(Throughput::Elements(model_len as u64));
+    group.bench_with_input(BenchmarkId::new("dred", model_len), &victim, |b, victim| {
+        b.iter_batched(
+            || base.clone(),
+            |mut m| {
+                let stats = m.retract_all([victim.clone()]);
+                assert_eq!(stats.removed, 1);
+                m
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_with_input(
+        BenchmarkId::new("recompute", model_len),
+        &victim,
+        |b, victim| {
+            b.iter_batched(
+                || base.clone(),
+                |mut m| {
+                    assert_eq!(m.retract_all_recompute([victim.clone()]), 1);
+                    m
+                },
+                BatchSize::LargeInput,
+            );
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_sustained, bench_sustained_batch, bench_cold);
+criterion_main!(benches);

@@ -47,11 +47,19 @@ struct PivotPlan {
 #[derive(Debug, Clone)]
 pub(crate) struct CompiledRule {
     head_pred: Pred,
+    /// The head atom pattern, matched against facts by the DRed support
+    /// check (see [`CompiledRule::support`]).
+    head: Atom,
     /// Full-body plan (naive rounds, round 0 of semi-naive).
     full: CompiledBody,
     /// One delta plan per body-atom position (semi-naive rounds); empty
     /// when compiled with `with_pivots = false`.
     pivots: Vec<PivotPlan>,
+    /// The body compiled with the head's variables declared bound: the
+    /// DRed re-derivation *support plan*, answering "does some rule
+    /// instantiation with this ground head survive?" in first-match mode.
+    /// `None` when compiled with `with_pivots = false`.
+    support: Option<CompiledBody>,
 }
 
 impl CompiledRule {
@@ -65,6 +73,7 @@ impl CompiledRule {
         )
         .expect("range-restricted rules compile");
         let mut pivots = Vec::new();
+        let mut support = None;
         if with_pivots {
             for (i, pivot) in rule.body.iter().enumerate() {
                 let rest: Vec<Atom> = rule
@@ -83,12 +92,45 @@ impl CompiledRule {
                     body,
                 });
             }
+            let head_bound: BTreeSet<Var> = rule.head.vars().collect();
+            support = Some(
+                CompiledBody::compile(
+                    &rule.head.args,
+                    &rule.body,
+                    &rule.negative,
+                    &head_bound,
+                    stats,
+                )
+                .expect("head-bound rule bodies compile"),
+            );
         }
         CompiledRule {
             head_pred: rule.head.pred,
+            head: rule.head.clone(),
             full,
             pivots,
+            support,
         }
+    }
+
+    /// `true` iff this rule derives `fact` in one step from `store`
+    /// (first-match over the support plan; requires `with_pivots`).
+    fn supports<S: StoreView + ?Sized>(
+        &self,
+        store: &S,
+        fact: &Fact,
+        stats: &mut ExecStats,
+    ) -> bool {
+        if self.head_pred != fact.pred {
+            return false;
+        }
+        let Some(seed) = match_ground(&self.head, &fact.args) else {
+            return false;
+        };
+        self.support
+            .as_ref()
+            .expect("support plans are compiled alongside pivots")
+            .has_derivation(store, &seed, stats)
     }
 
     /// Evaluates the full body over `model` and appends the derivable
@@ -211,6 +253,118 @@ impl CompiledProgram {
             strata => Arc::new(strata.iter().flat_map(|s| s.iter()).cloned().collect()),
         }
     }
+
+    /// The DRed **over-deletion** pass: every fact of `model` with at
+    /// least one derivation that (transitively) consumes a fact of
+    /// `seeds`, computed semi-naively with the per-(rule, pivot) delta
+    /// plans. Each round matches the current deletion delta against every
+    /// pivot and evaluates the rest of the body over the model **frozen
+    /// before any deletion** — the over-approximation that makes the pass
+    /// a fixed number of plan runs instead of a model recomputation; the
+    /// re-derivation pass rescues facts with surviving alternative
+    /// derivations. The returned set includes the seeds themselves.
+    ///
+    /// Because the store never changes during the pass, one snapshot
+    /// serves every round and deltas partition across `exec` exactly like
+    /// semi-naive insertion rounds do.
+    pub(crate) fn overdelete_on(
+        &self,
+        model: &Snapshot,
+        seeds: Vec<Fact>,
+        exec: &Executor,
+    ) -> Vec<Fact> {
+        let rules = self.all_rules();
+        let mut stats = ExecStats::default();
+        let mut marked = Instance::new();
+        let mut delta: Vec<Fact> = Vec::new();
+        for fact in seeds {
+            if marked.insert(fact.clone()) {
+                delta.push(fact);
+            }
+        }
+        let mut all = delta.clone();
+        while !delta.is_empty() {
+            let candidates = if exec.threads() > 1 && delta.len() >= PARALLEL_DELTA_THRESHOLD {
+                let delta_arc = Arc::new(std::mem::take(&mut delta));
+                parallel_round(&rules, model, &delta_arc, exec, &mut stats)
+            } else {
+                let round = std::mem::take(&mut delta);
+                delta_round_on(&rules, model, &round, &mut stats)
+            };
+            for fact in candidates {
+                // Heads derived from model facts are model facts (the
+                // model is closed), so membership needs no re-check.
+                if marked.insert(fact.clone()) {
+                    delta.push(fact.clone());
+                    all.push(fact);
+                }
+            }
+        }
+        all
+    }
+
+    /// The seeding step of DRed **re-derivation**: the subset of `facts`
+    /// that some rule derives in one step from `store` (the model with
+    /// the over-deleted facts already removed). Each fact costs one
+    /// first-match run of the matching rules' support plans; the checks
+    /// are independent, so they partition across `exec`.
+    pub(crate) fn supported_on(
+        &self,
+        store: &Snapshot,
+        facts: Vec<Fact>,
+        exec: &Executor,
+    ) -> Vec<Fact> {
+        let rules = self.all_rules();
+        if exec.threads() > 1 && facts.len() >= PARALLEL_DELTA_THRESHOLD {
+            let facts = Arc::new(facts);
+            let ranges = partition(facts.len(), exec.threads() * 2);
+            let (rules2, store2, facts2) = (Arc::clone(&rules), store.clone(), Arc::clone(&facts));
+            let results = exec.map(ranges, move |range| {
+                let mut stats = ExecStats::default();
+                facts2[range]
+                    .iter()
+                    .filter(|f| rules2.iter().any(|r| r.supports(&store2, f, &mut stats)))
+                    .cloned()
+                    .collect::<Vec<Fact>>()
+            });
+            results.into_iter().flatten().collect()
+        } else {
+            let mut stats = ExecStats::default();
+            facts
+                .into_iter()
+                .filter(|f| rules.iter().any(|r| r.supports(store, f, &mut stats)))
+                .collect()
+        }
+    }
+}
+
+/// One sequential delta round over a frozen store: every (rule, pivot,
+/// delta-fact) combination, heads collected without dedup (callers dedup
+/// on insertion into their marked set or model).
+fn delta_round_on<S: StoreView + ?Sized>(
+    rules: &[CompiledRule],
+    store: &S,
+    delta: &[Fact],
+    stats: &mut ExecStats,
+) -> Vec<Fact> {
+    let mut out = Vec::new();
+    for rule in rules {
+        for pp in &rule.pivots {
+            for fact in delta {
+                if fact.pred != pp.atom.pred {
+                    continue;
+                }
+                let Some(seed) = match_ground(&pp.atom, &fact.args) else {
+                    continue;
+                };
+                pp.body
+                    .for_each_derivation(store, &seed, stats, &mut |args| {
+                        out.push(Fact::new(rule.head_pred, args));
+                    });
+            }
+        }
+    }
+    out
 }
 
 /// Naive fixpoint of one stratum's rules over `model` (in place).

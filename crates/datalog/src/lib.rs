@@ -54,5 +54,5 @@ mod incremental;
 mod program;
 
 pub use eval::FixpointResult;
-pub use incremental::{MaterializeError, Materialized};
+pub use incremental::{MaterializeError, Materialized, RetractStats};
 pub use program::{Program, ProgramError, Rule};

@@ -134,6 +134,34 @@ impl CompiledBody {
         });
     }
 
+    /// `true` iff at least one derivation extends `seed` over `db`
+    /// (first-match mode: stops at the first row no negated atom blocks).
+    ///
+    /// This is the *support check* of DRed re-derivation: with the rule's
+    /// head variables declared bound and seeded from an over-deleted
+    /// fact, it answers "does some surviving rule instantiation still
+    /// derive this fact?" without enumerating the instantiations.
+    pub fn has_derivation<S: StoreView + ?Sized>(
+        &self,
+        db: &S,
+        seed: &[(Var, Cst)],
+        stats: &mut ExecStats,
+    ) -> bool {
+        let mut found = false;
+        self.plan.run(db, seed, stats, &mut |row| {
+            let blocked = self
+                .neg
+                .iter()
+                .any(|(pred, proj)| db.contains(&Fact::new(*pred, proj.emit(row))));
+            if blocked {
+                return true; // keep searching past a blocked row
+            }
+            found = true;
+            false
+        });
+        found
+    }
+
     /// The compiled plan over the positive atoms.
     pub fn plan(&self) -> &Plan {
         &self.plan
@@ -287,6 +315,38 @@ mod tests {
             out.push(t);
         });
         assert_eq!(out, vec![vec![v.cst("b")]]);
+    }
+
+    #[test]
+    fn has_derivation_checks_support_under_bound_heads() {
+        let mut v = Vocabulary::new();
+        let e = v.pred("e", 2);
+        let p = v.pred("p", 2);
+        let blocked = v.pred("blocked", 2);
+        let mut db = Instance::new();
+        db.insert(fact(&mut v, p, &["a", "b"]));
+        db.insert(fact(&mut v, e, &["b", "c"]));
+        let (xv, yv, zv) = (v.var("X"), v.var("Y"), v.var("Z"));
+        // p(X,Z) ← p(X,Y), e(Y,Z): is a given p-fact one-step derivable?
+        let head = Atom::new(p, vec![Term::Var(xv), Term::Var(zv)]);
+        let body = vec![
+            Atom::new(p, vec![Term::Var(xv), Term::Var(yv)]),
+            Atom::new(e, vec![Term::Var(yv), Term::Var(zv)]),
+        ];
+        let bound: BTreeSet<Var> = [xv, zv].into_iter().collect();
+        let support = CompiledBody::compile(&head.args, &body, &[], &bound, Some(&db)).unwrap();
+        let mut stats = ExecStats::default();
+        let seed = match_ground(&head, &[v.cst("a"), v.cst("c")]).unwrap();
+        assert!(support.has_derivation(&db, &seed, &mut stats));
+        let seed = match_ground(&head, &[v.cst("a"), v.cst("z")]).unwrap();
+        assert!(!support.has_derivation(&db, &seed, &mut stats));
+        // A negated atom blocks the only supporting row.
+        let neg = vec![Atom::new(blocked, vec![Term::Var(xv), Term::Var(zv)])];
+        let guarded = CompiledBody::compile(&head.args, &body, &neg, &bound, Some(&db)).unwrap();
+        let seed = match_ground(&head, &[v.cst("a"), v.cst("c")]).unwrap();
+        assert!(guarded.has_derivation(&db, &seed, &mut stats));
+        db.insert(fact(&mut v, blocked, &["a", "c"]));
+        assert!(!guarded.has_derivation(&db, &seed, &mut stats));
     }
 
     #[test]

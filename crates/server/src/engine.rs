@@ -41,8 +41,9 @@
 //! The writer keeps the Section 5 Datalog encoding of the T_C operator
 //! (`R^a ← R^i, G^i`) materialized over the stored facts via
 //! [`magik_datalog::Materialized`]: `assert` propagates just the new
-//! fact's consequences (delta semi-naive), `retract` falls back to
-//! recomputation, and `compl` rebuilds the encoding. Each publish carries
+//! fact's consequences (delta semi-naive), `retract` repairs the model
+//! with DRed (over-delete, then re-derive — see the `magik-datalog`
+//! incremental module), and `compl` rebuilds the encoding. Each publish carries
 //! a snapshot of the fixpoint model, so the `guaranteed` request answers
 //! "is this fact certain to be in the available database?" in constant
 //! time without touching the writer.
@@ -449,7 +450,9 @@ impl Engine {
         Ok("ok inserted".to_string())
     }
 
-    /// `retract <atom>` — remove a ground fact; recomputes T_C.
+    /// `retract <atom>` — remove a ground fact; maintains T_C by DRed
+    /// (over-delete, then re-derive) and records the pass sizes in the
+    /// `dred.*` metrics.
     fn req_retract(&self, src: &str) -> Result<String, (&'static str, String)> {
         let fact = self.parse_fact(src)?;
         let mut writer = self.writer.lock().expect("writer lock");
@@ -459,7 +462,11 @@ impl Engine {
         writer.data_epoch += 1;
         let pi = writer.ideal.get(&fact.pred).copied();
         if let Some(pi) = pi {
-            writer.tc_mat.retract(&Fact::new(pi, fact.args));
+            let stats = writer
+                .tc_mat
+                .retract_all(std::iter::once(Fact::new(pi, fact.args)));
+            self.metrics
+                .record_dred(stats.overdeleted as u64, stats.rederived as u64);
         }
         self.swap(&writer);
         Ok("ok retracted".to_string())
@@ -722,6 +729,55 @@ mod tests {
         e.handle("assert edge(a, b).");
         e.handle("retract edge(z, z).");
         assert_eq!(e.epochs(), (1, 1));
+    }
+
+    #[test]
+    fn noop_mutations_keep_caches_warm() {
+        let e = Engine::new();
+        e.handle("compl edge(X, Y) ; true.");
+        e.handle("assert edge(a, b).");
+        let ev = "eval q(X, Y) :- edge(X, Y).";
+        let ck = "check q(X, Y) :- edge(X, Y).";
+        assert_eq!(e.handle(ev), "ok 1 (a, b)");
+        assert_eq!(e.handle(ck), "ok complete");
+        // A duplicate assert and an absent retract change nothing, so the
+        // cached answers and verdicts must keep hitting.
+        assert_eq!(e.handle("assert edge(a, b)."), "ok duplicate");
+        assert_eq!(e.handle("retract edge(z, z)."), "ok absent");
+        assert_eq!(e.handle(ev), "ok 1 (a, b)");
+        assert_eq!(e.handle(ck), "ok complete");
+        let metrics = e.handle("metrics");
+        assert!(
+            metrics.contains("answer_cache.hits=1 answer_cache.misses=1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("verdict_cache.hits=1 verdict_cache.misses=1"),
+            "{metrics}"
+        );
+    }
+
+    #[test]
+    fn retract_reports_dred_metrics() {
+        let e = Engine::new();
+        // The TCS makes edge part of the T_C encoding, so asserts feed
+        // the materialized model and retracts run DRed over it.
+        e.handle("compl edge(X, Y) ; true.");
+        e.handle("assert edge(a, b).");
+        assert_eq!(e.handle("retract edge(a, b)."), "ok retracted");
+        let metrics = e.handle("metrics");
+        let field = |name: &str| {
+            metrics
+                .split_whitespace()
+                .find_map(|kv| kv.strip_prefix(name))
+                .and_then(|v| v.strip_prefix('='))
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("{name} missing in {metrics}"))
+        };
+        // The ideal copy of edge(a,b) and everything it derived was
+        // over-deleted; nothing else derives it, so nothing comes back.
+        assert!(field("dred.overdeleted") >= 1, "{metrics}");
+        assert_eq!(field("dred.rederived"), 0, "{metrics}");
     }
 
     #[test]

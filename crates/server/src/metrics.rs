@@ -134,6 +134,8 @@ struct Inner {
     exec_probes: u64,
     exec_scanned: u64,
     exec_backtracks: u64,
+    dred_overdeleted: u64,
+    dred_rederived: u64,
 }
 
 /// Shared, thread-safe server metrics.
@@ -197,6 +199,15 @@ impl Metrics {
         inner.exec_backtracks += backtracks;
     }
 
+    /// Accumulates DRed retraction work from one `retract` request: how
+    /// many facts the over-deletion pass removed and how many the
+    /// re-derivation pass restored.
+    pub fn record_dred(&self, overdeleted: u64, rederived: u64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.dred_overdeleted += overdeleted;
+        inner.dred_rederived += rederived;
+    }
+
     /// Renders all metrics as one line of `key=value` fields: per-op
     /// `<op>.count/.err/.p50us/.p90us/.p99us/.maxus` (ops with zero
     /// requests are omitted) plus cache hit/miss counters and hit rates
@@ -250,6 +261,11 @@ impl Metrics {
             inner.exec_probes,
             inner.exec_scanned,
             inner.exec_backtracks,
+        );
+        let _ = write!(
+            out,
+            " dred.overdeleted={} dred.rederived={}",
+            inner.dred_overdeleted, inner.dred_rederived,
         );
         out
     }
@@ -313,5 +329,14 @@ mod tests {
             text.contains("exec.probes=6 exec.scanned=42 exec.backtracks=12"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn render_includes_dred_counters() {
+        let m = Metrics::new();
+        assert!(m.render().contains("dred.overdeleted=0 dred.rederived=0"));
+        m.record_dred(7, 3);
+        m.record_dred(1, 0);
+        assert!(m.render().contains("dred.overdeleted=8 dred.rederived=3"));
     }
 }

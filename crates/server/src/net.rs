@@ -12,7 +12,7 @@
 //! [`Executor`]: magik_exec::Executor
 
 use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -20,6 +20,12 @@ use std::time::Duration;
 
 /// How often an idle connection handler wakes up to check the stop flag.
 const STOP_POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// The most bytes one request line may hold (newline excluded). A client
+/// streaming bytes with no newline would otherwise grow the line buffer
+/// without bound; at the cap the server replies `err line too long` and
+/// drops the connection (see `PROTOCOL.md`).
+const MAX_LINE_BYTES: usize = 1 << 20;
 
 use magik_runtime::ThreadPool;
 
@@ -87,8 +93,20 @@ impl Server {
         if self.stop.swap(true, Ordering::SeqCst) {
             return; // already stopped
         }
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
+        // Unblock the accept loop with a throwaway connection. Under a
+        // wildcard bind `local_addr` is the unspecified address
+        // (`0.0.0.0` / `::`), which is not connectable everywhere —
+        // rewrite it to the loopback of the same family, which always
+        // reaches a listener bound to the wildcard.
+        let ip = if self.local_addr.ip().is_unspecified() {
+            match self.local_addr {
+                SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            }
+        } else {
+            self.local_addr.ip()
+        };
+        let _ = TcpStream::connect(SocketAddr::new(ip, self.local_addr.port()));
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -101,13 +119,67 @@ impl Drop for Server {
     }
 }
 
+/// What [`read_bounded_line`] found.
+enum LineRead {
+    /// A line is complete in the caller's buffer (newline stripped).
+    Line,
+    /// Clean end of stream with no pending bytes.
+    Eof,
+    /// The line exceeded the byte cap before its newline arrived.
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line into `buf` (newline excluded), refusing
+/// to buffer more than `max` bytes of it. Timeout errors from the
+/// underlying read propagate with the partial line preserved in `buf`, so
+/// the caller can poll its stop flag and resume. An unterminated final
+/// line before EOF is returned as a [`LineRead::Line`].
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> std::io::Result<LineRead> {
+    loop {
+        let (consumed, done) = {
+            let available = reader.fill_buf()?;
+            if available.is_empty() {
+                return Ok(if buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line
+                });
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(pos) if buf.len() + pos > max => (pos + 1, Some(LineRead::TooLong)),
+                Some(pos) => {
+                    buf.extend_from_slice(&available[..pos]);
+                    (pos + 1, Some(LineRead::Line))
+                }
+                None if buf.len() + available.len() > max => {
+                    (available.len(), Some(LineRead::TooLong))
+                }
+                None => {
+                    buf.extend_from_slice(available);
+                    (available.len(), None)
+                }
+            }
+        };
+        reader.consume(consumed);
+        if let Some(result) = done {
+            return Ok(result);
+        }
+    }
+}
+
 /// Serves one connection: read request lines, write response lines, until
-/// `quit`, EOF, server shutdown, or an I/O error.
+/// `quit`, EOF, server shutdown, an oversized line, or an I/O error.
 ///
 /// Reads use a short timeout so an idle connection notices `stop` instead
-/// of pinning its worker in a blocking read forever. `read_line` appends
-/// any bytes it read before timing out, so a partially received line
-/// survives the poll and is completed on a later iteration.
+/// of pinning its worker in a blocking read forever; a partially received
+/// line survives the poll and is completed on a later iteration. Request
+/// lines are capped at [`MAX_LINE_BYTES`] — past the cap the handler
+/// replies `err line too long` and drops the connection, so a client
+/// streaming an endless unterminated line cannot grow server memory.
 fn serve_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> std::io::Result<()> {
     stream.set_read_timeout(Some(STOP_POLL_INTERVAL))?;
     // Replies are single small lines; without TCP_NODELAY every round
@@ -115,11 +187,15 @@ fn serve_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> st
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut line = Vec::new();
     loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // EOF
-            Ok(_) => {}
+        match read_bounded_line(&mut reader, &mut line, MAX_LINE_BYTES) {
+            Ok(LineRead::Eof) => return Ok(()),
+            Ok(LineRead::Line) => {}
+            Ok(LineRead::TooLong) => {
+                writer.write_all(b"err line too long\n")?;
+                return Ok(());
+            }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                 if stop.load(Ordering::SeqCst) {
                     return Ok(());
@@ -128,7 +204,8 @@ fn serve_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> st
             }
             Err(e) => return Err(e),
         }
-        let trimmed = line.trim();
+        let trimmed = String::from_utf8_lossy(&line);
+        let trimmed = trimmed.trim();
         if !trimmed.is_empty() {
             if trimmed == "quit" {
                 writer.write_all(b"ok bye\n")?;

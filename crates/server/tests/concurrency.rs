@@ -243,6 +243,85 @@ fn checks_proceed_while_specialize_runs() {
     assert!(reply.starts_with("ok "), "specialize failed: {reply}");
 }
 
+/// A retract-heavy storm over the DRed maintenance path: eight threads
+/// assert facts under a completeness statement (so every mutation feeds
+/// the materialized T_C model) and immediately retract most of them,
+/// with duplicate retracts mixed in. Epochs must stay monotone
+/// throughout, and afterwards the engine must agree — verdicts, answers,
+/// and guarantees — with a sequential engine fed only the surviving
+/// facts.
+#[test]
+fn retract_storm_keeps_epochs_and_verdicts_coherent() {
+    let engine = Arc::new(new_engine());
+    assert!(engine
+        .handle("compl edge(X, Y) ; true.")
+        .starts_with("ok epoch="));
+    storm(&engine, |id, engine| {
+        let mut last = engine.epochs();
+        for i in 0..ROUNDS {
+            assert_eq!(
+                engine.handle(&format!("assert edge(c{id}, c{i}).")),
+                "ok inserted"
+            );
+            // Stir the verdict and answer caches mid-storm.
+            engine.handle(&format!("check q(X) :- edge(c{id}, X)."));
+            engine.handle(&format!("eval q(X) :- edge(c{id}, X)."));
+            if i % 4 != 0 {
+                assert_eq!(
+                    engine.handle(&format!("retract edge(c{id}, c{i}).")),
+                    "ok retracted"
+                );
+                // A duplicate retract is a visible no-op.
+                assert_eq!(
+                    engine.handle(&format!("retract edge(c{id}, c{i}).")),
+                    "ok absent"
+                );
+            }
+            let now = engine.epochs();
+            assert!(
+                now.0 >= last.0 && now.1 >= last.1,
+                "epochs regressed: {last:?} -> {now:?}"
+            );
+            last = now;
+        }
+    });
+
+    // Quiescent agreement: only every fourth fact survived, and the
+    // stormed engine must match a sequential engine that never saw the
+    // retracted facts at all.
+    let replay = new_engine();
+    replay.handle("compl edge(X, Y) ; true.");
+    for id in 0..THREADS {
+        for i in (0..ROUNDS).step_by(4) {
+            replay.handle(&format!("assert edge(c{id}, c{i})."));
+        }
+    }
+    for id in 0..THREADS {
+        let req = format!("eval q(X) :- edge(c{id}, X).");
+        assert_eq!(
+            answer_set(&engine.handle(&req)),
+            answer_set(&replay.handle(&req)),
+            "divergence on `{req}`"
+        );
+        let chk = format!("check q(X) :- edge(c{id}, X).");
+        assert_eq!(
+            engine.handle(&chk),
+            replay.handle(&chk),
+            "divergence on `{chk}`"
+        );
+        // Survivors stay guaranteed by the maintained T_C model; the
+        // retracted facts must have lost their guarantee through DRed.
+        assert_eq!(
+            engine.handle(&format!("guaranteed edge(c{id}, c0).")),
+            "ok true"
+        );
+        assert_eq!(
+            engine.handle(&format!("guaranteed edge(c{id}, c1).")),
+            "ok false"
+        );
+    }
+}
+
 /// The verdict cache stays coherent under racing compl bumps: after the
 /// storm settles, every cached verdict replays identically.
 #[test]

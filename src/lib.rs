@@ -92,7 +92,7 @@ pub use magik_completeness::{
     FiniteDomain, GuaranteeWitness, KMcsEngine, KMcsOptions, KMcsOutcome, KMcsStats, Key,
     KeyViolation, Lint, McgStats, PublishableCount, TcSet, TcStatement,
 };
-pub use magik_datalog::{MaterializeError, Materialized};
+pub use magik_datalog::{MaterializeError, Materialized, RetractStats};
 pub use magik_exec::{
     available_parallelism, explain_json, explain_text, CompiledBody, CompiledQuery, ExecStats,
     Executor, Plan, PlanCache, PoolCounters, ThreadPool,
