@@ -23,4 +23,18 @@ if [ "$fail" -ne 0 ]; then
   echo "hygiene: add the attributes at the crate root (see DESIGN.md)" >&2
   exit 1
 fi
+
+# Durability boundary: the fsync primitives (`sync_all`/`sync_data`)
+# must live only inside magik-storage. Everything above it — server,
+# CLI, benches — goes through `Store`, so the WAL/checkpoint ordering
+# invariants (data before rename, rename before directory) cannot be
+# bypassed.
+leaks=$(grep -rln 'sync_all\|sync_data' crates --include='*.rs' | grep -v '^crates/storage/' || true)
+if [ -n "$leaks" ]; then
+  echo "hygiene: fsync primitives outside crates/storage:" >&2
+  echo "$leaks" >&2
+  exit 1
+fi
+
 echo "hygiene: all crate roots forbid unsafe_code and deny missing_docs"
+echo "hygiene: fsync primitives are confined to crates/storage"

@@ -1,0 +1,129 @@
+//! Durability costs: WAL append throughput per fsync policy, and crash
+//! recovery latency with and without checkpoints (experiment A12).
+//!
+//! * `wal_append/{never,interval,always}` — single-record appends
+//!   against a live [`Store`]; `always` pays one fsync per record, so
+//!   the spread between the three policies is the price of the
+//!   durability guarantee itself.
+//! * `wal_recovery/{full_replay,checkpointed}` — time to recover a
+//!   directory holding an N-op history (default 10 000 ops; override
+//!   with `MAGIK_BENCH_WAL_OPS`). `full_replay` has no checkpoints, so
+//!   every op re-executes through the engine; `checkpointed` seeds from
+//!   the newest snapshot and replays only the short tail (≤ 512-op
+//!   checkpoint cadence). Recovery runs through
+//!   [`Engine::verify_recovery`], which does the exact work of
+//!   `Engine::open_durable` without mutating the directory between
+//!   iterations.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use magik::storage::OpKind;
+use magik::{DurabilityOptions, Engine, FsyncPolicy, Store, StoreOptions, WalRecord};
+
+fn scratch(name: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "magik-bench-wal-{name}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn history_ops() -> usize {
+    std::env::var("MAGIK_BENCH_WAL_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000)
+}
+
+/// Builds a durable history of one TCS plus `ops` asserts, then drops
+/// the engine *without* a clean shutdown, exactly like a crash: the
+/// recovery benchmarks below see whatever checkpoints the background
+/// checkpointer managed plus the WAL tail.
+fn build_history(name: &str, ops: usize, checkpoint_every: u64) -> PathBuf {
+    let dir = scratch(name);
+    let opts = DurabilityOptions {
+        fsync: FsyncPolicy::Never,
+        segment_bytes: 1 << 22,
+        checkpoint_every,
+    };
+    let (engine, _) =
+        Engine::open_durable(&dir, opts, magik::Executor::Sequential).expect("virgin dir opens");
+    assert!(engine.handle("compl edge(X, Y) ; true.").starts_with("ok"));
+    for i in 0..ops {
+        let reply = engine.handle(&format!("assert edge(a{i}, b{}).", i % 97));
+        assert!(reply.starts_with("ok"), "{reply}");
+    }
+    drop(engine);
+    dir
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_append");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1));
+    let policies = [
+        ("never", FsyncPolicy::Never),
+        (
+            "interval",
+            FsyncPolicy::parse("interval:100").expect("valid policy"),
+        ),
+        ("always", FsyncPolicy::Always),
+    ];
+    for (label, policy) in policies {
+        let dir = scratch(label);
+        let (mut store, _) = Store::open(
+            &dir,
+            StoreOptions {
+                fsync: policy,
+                segment_bytes: 1 << 22,
+                checkpoints_kept: 2,
+            },
+        )
+        .expect("virgin dir opens");
+        let mut epoch = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| {
+                epoch += 1;
+                store
+                    .append(&WalRecord::Op {
+                        kind: OpKind::Assert,
+                        text: format!("edge(a{epoch}, b)."),
+                        tcs_epoch: 0,
+                        data_epoch: epoch,
+                    })
+                    .expect("append")
+            });
+        });
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let ops = history_ops();
+    let mut group = c.benchmark_group("wal_recovery");
+    // Each sample replays the entire history; three medians of a
+    // seconds-long deterministic workload beat ten of anything shorter.
+    group.sample_size(3);
+    group.throughput(Throughput::Elements(ops as u64));
+    let shapes = [("full_replay", 0u64), ("checkpointed", 512)];
+    for (label, checkpoint_every) in shapes {
+        let dir = build_history(label, ops, checkpoint_every);
+        group.bench_with_input(BenchmarkId::new(label, ops), &ops, |b, _| {
+            b.iter(|| {
+                Engine::verify_recovery(&dir, magik::Executor::Sequential).expect("recovers")
+            });
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_append, bench_recovery);
+criterion_main!(benches);

@@ -11,8 +11,12 @@
 //! magik eval <file>               evaluate each query over the facts
 //! magik explain <file>            statement-set diagnostics
 //! magik explain-plan <file>       compiled execution plan per query
-//! magik serve [--addr A] [--workers N] [--threads N] [file]
+//! magik serve [--addr A] [--workers N] [--threads N]
+//!             [--data-dir DIR] [--fsync MODE] [file]
 //!                                 TCP completeness service
+//! magik recover --data-dir DIR [--verify]
+//!                                 inspect (and optionally verify) a
+//!                                 durable data directory
 //! ```
 //!
 //! `<file>` may be `-` for stdin. Exit code 0 on success, 1 on usage
@@ -30,8 +34,8 @@ use magik::{
     explain_json, explain_text, is_complete, is_complete_under, k_mcs, lint, mcg_under,
     mcg_with_stats, parse_document, publishable_counts, render_counterexample, render_explanation,
     render_json, render_report, semantics::IncompleteDatabase, tc_apply, CompiledQuery,
-    DisplayWith, Document, Engine, ExecStats, KMcsEngine, KMcsOptions, Server, Severity,
-    SourceFile, Vocabulary,
+    DisplayWith, Document, DurabilityOptions, Engine, ExecStats, FsyncPolicy, KMcsEngine,
+    KMcsOptions, Server, Severity, SourceFile, Vocabulary,
 };
 
 const USAGE: &str = "usage: magik <check|generalize|specialize|eval|explain> <file> [options]
@@ -62,13 +66,28 @@ commands:
                                     per-op runtime counters
   repl       [file]                 interactive session (optionally seeded
                                     from a file)
-  serve      [--addr HOST:PORT] [--workers N] [--threads N] [file]
+  serve      [--addr HOST:PORT] [--workers N] [--threads N]
+             [--data-dir DIR] [--fsync always|never|interval[:MS]]
+             [--checkpoint-every N] [--segment-bytes N] [file]
                                     serve the line protocol over TCP
                                     (default 127.0.0.1:7171, 4 workers),
                                     optionally preloading a document;
                                     --threads sizes the reasoning pool
                                     (default: MAGIK_THREADS, else the
-                                    machine's available parallelism)
+                                    machine's available parallelism);
+                                    --data-dir makes the session durable:
+                                    mutations are write-ahead logged to
+                                    DIR (fsynced per --fsync, default
+                                    `always`), checkpointed every N
+                                    logged ops (default 1024, 0 disables),
+                                    and recovered on restart
+  recover    --data-dir DIR [--verify]
+                                    report what crash recovery would use
+                                    from DIR (checkpoint, WAL tail, torn
+                                    bytes) without modifying it; with
+                                    --verify, additionally replay the
+                                    tail into a scratch engine and check
+                                    every op re-derives its logged epochs
 
 <file> may be `-` to read from stdin.";
 
@@ -517,15 +536,47 @@ fn cmd_explain_plan(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `magik serve [--addr HOST:PORT] [--workers N] [--threads N] [file]` —
-/// run the TCP completeness service (see `magik-server`), optionally
-/// preloading the TCS and facts of a document. Blocks until killed.
+/// Feeds a parsed document's statements and facts through the engine's
+/// normal request path (so in durable mode each item is write-ahead
+/// logged like live traffic). Returns the number of items refused.
+fn preload_document(engine: &Engine, vocab: &Vocabulary, doc: &Document) -> usize {
+    let mut refused = 0;
+    for stmt in doc.tcs.statements() {
+        let line = format!("{}.", stmt.display(vocab));
+        let reply = engine.handle(&line);
+        if !reply.starts_with("ok") {
+            eprintln!("magik: preload refused `{line}`: {reply}");
+            refused += 1;
+        }
+    }
+    for fact in doc.facts.iter_facts() {
+        let line = format!("assert {}.", fact.display(vocab));
+        let reply = engine.handle(&line);
+        if !reply.starts_with("ok") {
+            eprintln!("magik: preload refused `{line}`: {reply}");
+            refused += 1;
+        }
+    }
+    refused
+}
+
+/// `magik serve [--addr HOST:PORT] [--workers N] [--threads N]
+/// [--data-dir DIR] [--fsync MODE] [--checkpoint-every N]
+/// [--segment-bytes N] [file]` — run the TCP completeness service (see
+/// `magik-server`), optionally preloading the TCS and facts of a
+/// document. Blocks until killed.
 ///
 /// `--workers` sizes the connection pool (one handler per live
 /// connection); `--threads` sizes the *reasoning* pool the engine fans
 /// parallel work out over, defaulting to the `MAGIK_THREADS` environment
 /// variable, and failing that to the machine's available parallelism.
 /// `--threads 1` reasons sequentially.
+///
+/// `--data-dir` turns on the durability layer: the directory is
+/// recovered (checkpoint + verified WAL replay) before serving, and
+/// every accepted mutation is logged before it is applied. A preload
+/// file is only applied to a *virgin* directory — recovered state wins
+/// over the file otherwise.
 fn cmd_serve(args: &[String]) -> ExitCode {
     let mut addr = "127.0.0.1:7171".to_string();
     let mut workers = 4usize;
@@ -535,6 +586,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         .filter(|&n| n >= 1)
         .unwrap_or_else(magik::available_parallelism);
     let mut file = None;
+    let mut data_dir: Option<String> = None;
+    let mut durability = DurabilityOptions::default();
     let mut rest = args.iter();
     while let Some(opt) = rest.next() {
         match opt.as_str() {
@@ -559,6 +612,34 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                     return ExitCode::from(1);
                 }
             },
+            "--data-dir" => match rest.next() {
+                Some(d) => data_dir = Some(d.clone()),
+                None => {
+                    eprintln!("magik: --data-dir requires a directory path");
+                    return ExitCode::from(1);
+                }
+            },
+            "--fsync" => match rest.next().and_then(|v| FsyncPolicy::parse(v)) {
+                Some(policy) => durability.fsync = policy,
+                None => {
+                    eprintln!("magik: --fsync requires `always`, `never` or `interval[:MILLIS]`");
+                    return ExitCode::from(1);
+                }
+            },
+            "--checkpoint-every" => match rest.next().and_then(|v| v.parse().ok()) {
+                Some(n) => durability.checkpoint_every = n,
+                None => {
+                    eprintln!("magik: --checkpoint-every requires a non-negative integer");
+                    return ExitCode::from(1);
+                }
+            },
+            "--segment-bytes" => match rest.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => durability.segment_bytes = n,
+                _ => {
+                    eprintln!("magik: --segment-bytes requires a positive integer");
+                    return ExitCode::from(1);
+                }
+            },
             other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
             other => {
                 eprintln!("magik: unknown option `{other}`\n{USAGE}");
@@ -567,9 +648,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         }
     }
     let exec = magik::Executor::with_threads(threads);
-    let engine = match file {
+    let preload = match &file {
         Some(path) => {
-            let (vocab, doc) = match load(&path) {
+            let (vocab, doc) = match load(path) {
                 Ok(x) => x,
                 Err(code) => return code,
             };
@@ -579,14 +660,69 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                      send them as `check`/`eval` requests"
                 );
             }
-            Engine::with_session_on(vocab, doc.tcs, doc.facts, exec)
+            Some((vocab, doc))
         }
-        None => Engine::with_session_on(
-            Vocabulary::new(),
-            magik::TcSet::new(Vec::new()),
-            magik::Instance::new(),
-            exec,
-        ),
+        None => None,
+    };
+    let engine = match &data_dir {
+        Some(dir) => {
+            let (engine, report) =
+                match Engine::open_durable(std::path::Path::new(dir), durability, exec) {
+                    Ok(x) => x,
+                    Err(e) => {
+                        eprintln!("magik: cannot open data dir `{dir}`: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+            println!(
+                "magik: recovered `{dir}`: epochs (tcs={}, data={}), {} from checkpoint, \
+                 {} op(s) replayed{}{}",
+                report.tcs_epoch,
+                report.data_epoch,
+                if report.from_checkpoint {
+                    "seeded"
+                } else {
+                    "not seeded"
+                },
+                report.replayed_ops,
+                if report.discarded_bytes > 0 {
+                    format!(", {} torn byte(s) discarded", report.discarded_bytes)
+                } else {
+                    String::new()
+                },
+                if report.checkpoints_skipped > 0 {
+                    format!(
+                        ", {} corrupt checkpoint generation(s) skipped",
+                        report.checkpoints_skipped
+                    )
+                } else {
+                    String::new()
+                },
+            );
+            if let Some((vocab, doc)) = &preload {
+                let virgin = !report.from_checkpoint
+                    && report.replayed_ops == 0
+                    && (report.tcs_epoch, report.data_epoch) == (0, 0);
+                if virgin {
+                    preload_document(&engine, vocab, doc);
+                } else {
+                    eprintln!(
+                        "magik: note: `{dir}` already holds recovered state; \
+                         the preload file is ignored"
+                    );
+                }
+            }
+            engine
+        }
+        None => match preload {
+            Some((vocab, doc)) => Engine::with_session_on(vocab, doc.tcs, doc.facts, exec),
+            None => Engine::with_session_on(
+                Vocabulary::new(),
+                magik::TcSet::new(Vec::new()),
+                magik::Instance::new(),
+                exec,
+            ),
+        },
     };
     let server = match Server::start(std::sync::Arc::new(engine), addr.as_str(), workers) {
         Ok(s) => s,
@@ -607,6 +743,85 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     }
 }
 
+/// `magik recover --data-dir DIR [--verify]` — inspect a durable data
+/// directory without modifying it: report the checkpoint recovery would
+/// seed from, the WAL tail it would replay, and any torn bytes it would
+/// discard. With `--verify`, additionally replay the tail into a scratch
+/// engine and confirm every op re-derives exactly its logged epochs.
+/// Exit codes: 0 recoverable, 1 usage error, 2 corrupt/unreadable.
+fn cmd_recover(args: &[String]) -> ExitCode {
+    let mut dir: Option<String> = None;
+    let mut verify = false;
+    let mut rest = args.iter();
+    while let Some(opt) = rest.next() {
+        match opt.as_str() {
+            "--data-dir" => match rest.next() {
+                Some(d) => dir = Some(d.clone()),
+                None => {
+                    eprintln!("magik: --data-dir requires a directory path");
+                    return ExitCode::from(1);
+                }
+            },
+            "--verify" => verify = true,
+            other if !other.starts_with('-') && dir.is_none() => dir = Some(other.to_string()),
+            other => {
+                eprintln!("magik: unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("magik: recover requires --data-dir DIR\n{USAGE}");
+        return ExitCode::from(1);
+    };
+    let path = std::path::Path::new(&dir);
+    let recovery = match magik::storage::Store::peek(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("magik: `{dir}` is not recoverable: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match &recovery.checkpoint {
+        Some(image) => println!(
+            "checkpoint: epochs (tcs={}, data={}), {} fact(s), {} statement(s)",
+            image.tcs_epoch,
+            image.data_epoch,
+            image.db.len(),
+            image.tcs.len()
+        ),
+        None => println!("checkpoint: none (replay starts from an empty session)"),
+    }
+    if recovery.checkpoints_skipped > 0 {
+        println!(
+            "corrupt checkpoint generation(s) skipped: {}",
+            recovery.checkpoints_skipped
+        );
+    }
+    let (te, de) = recovery.final_epochs();
+    println!(
+        "wal tail: {} op(s) to replay over {} segment(s), reaching epochs (tcs={te}, data={de})",
+        recovery.replayed_ops(),
+        recovery.segments_scanned
+    );
+    if recovery.discarded_bytes > 0 {
+        println!("torn tail: {} byte(s) discarded", recovery.discarded_bytes);
+    }
+    if verify {
+        match Engine::verify_recovery(path, magik::Executor::Sequential) {
+            Ok(report) => println!(
+                "verify: OK — replay of {} op(s) reaches epochs (tcs={}, data={})",
+                report.replayed_ops, report.tcs_epoch, report.data_epoch
+            ),
+            Err(e) => {
+                eprintln!("magik: `{dir}` fails replay verification: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
@@ -621,6 +836,9 @@ fn main() -> ExitCode {
     }
     if command == "serve" {
         return cmd_serve(&args[1..]);
+    }
+    if command == "recover" {
+        return cmd_recover(&args[1..]);
     }
     if command == "repl" {
         let mut session = repl::Repl::new();

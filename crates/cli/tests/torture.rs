@@ -1,0 +1,365 @@
+//! Crash-torture tests of `magik serve --data-dir`: the server is
+//! SIGKILLed at pseudorandom points while mutations are in flight, then
+//! restarted, and the recovered session must agree exactly with an
+//! in-process oracle engine that replayed the acknowledged ops (the one
+//! op whose ack the client never read is allowed to be either durable or
+//! lost — but nothing in between, and nothing else may change).
+//!
+//! Corruption fixtures (garbage or truncated checkpoints, torn WAL
+//! tails) additionally pin down that `magik recover` fails *cleanly* —
+//! a diagnostic and a nonzero exit, never a panic.
+//!
+//! `MAGIK_TORTURE_ROUNDS` scales the kill/restart rounds (default 3).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use magik::{DurabilityOptions, Engine, FsyncPolicy};
+
+fn data_dir(name: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "magik-torture-{name}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A deterministic splitmix-style generator: the torture schedule must
+/// reproduce from the seed, so `std::random`-style entropy is out.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 33
+    }
+
+    /// A random mutation over a 3-predicate, 3-constant universe —
+    /// small enough that duplicates and retractions of live facts occur.
+    fn op(&mut self) -> String {
+        let p = self.next() % 3;
+        let a = 1 + self.next() % 3;
+        let b = 1 + self.next() % 3;
+        match self.next() % 8 {
+            0 => format!("compl p{p}(X, Y) ; true."),
+            1 => format!("compl p{p}(X, Y) ; p{}(Y, Z).", (p + 1) % 3),
+            2..=5 => format!("assert p{p}(c{a}, c{b})."),
+            _ => format!("retract p{p}(c{a}, c{b})."),
+        }
+    }
+}
+
+/// Queries probing both the recovered facts and the recovered TCS.
+const PROBES: [&str; 3] = [
+    "q(X, Y) :- p0(X, Y).",
+    "q(X) :- p1(X, Y), p2(Y, Z).",
+    "q(X, Z) :- p2(X, Y), p0(Y, Z).",
+];
+
+struct ServerProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServerProc {
+    /// Spawns `magik serve` over `dir` and waits for its listening
+    /// address; small segments force WAL rotation mid-run.
+    fn spawn(dir: &Path) -> ServerProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_magik"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+                "--threads",
+                "1",
+                "--data-dir",
+            ])
+            .arg(dir)
+            .args([
+                "--fsync",
+                "always",
+                "--checkpoint-every",
+                "8",
+                "--segment-bytes",
+                "512",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("serve spawns");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("serve prints its address before exiting")
+                .expect("serve stdout is text");
+            if let Some(rest) = line.split("serving on ").nth(1) {
+                break rest.split_whitespace().next().expect("address").to_string();
+            }
+        };
+        ServerProc { child, addr }
+    }
+
+    /// SIGKILL — no shutdown hook runs, exactly like a crash.
+    fn kill(&mut self) {
+        self.child.kill().expect("kill");
+        self.child.wait().expect("reap");
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn connect(addr: &str) -> Conn {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        Conn {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn req(&mut self, line: &str) -> String {
+        self.send(line);
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("reply");
+        reply.trim_end().to_string()
+    }
+
+    /// Fire an op without waiting for its ack — the in-flight victim.
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send");
+        self.writer.flush().expect("flush");
+    }
+}
+
+fn recover(dir: &Path, verify: bool) -> Output {
+    let mut args = vec!["recover", "--data-dir"];
+    let dir = dir.to_str().expect("utf-8 dir");
+    args.push(dir);
+    if verify {
+        args.push("--verify");
+    }
+    Command::new(env!("CARGO_BIN_EXE_magik"))
+        .args(&args)
+        .output()
+        .expect("recover runs")
+}
+
+/// The epochs the WAL under `dir` recovers to, per `magik recover`.
+fn recovered_epochs(dir: &Path) -> (u64, u64) {
+    let out = recover(dir, false);
+    assert!(out.status.success(), "recover failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let tail = stdout
+        .split("reaching epochs (tcs=")
+        .nth(1)
+        .unwrap_or_else(|| panic!("unexpected recover output: {stdout}"));
+    let te = tail.split(',').next().unwrap().parse().unwrap();
+    let de = tail
+        .split("data=")
+        .nth(1)
+        .unwrap()
+        .split(')')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    (te, de)
+}
+
+fn oracle_epochs_line(oracle: &Engine) -> String {
+    let (te, de) = oracle.epochs();
+    format!("ok tcs={te} data={de}")
+}
+
+/// The headline test: kill `magik serve` mid-write at pseudorandom
+/// points, restart it over the same directory, and require the recovered
+/// session to be byte-for-byte the acknowledged history (modulo the one
+/// unacked in-flight op, which may land or vanish atomically).
+#[test]
+fn killed_server_recovers_exactly_the_acknowledged_ops() {
+    let rounds: u64 = std::env::var("MAGIK_TORTURE_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let dir = data_dir("kill");
+    let mut rng = Lcg(0x5eed_cafe);
+    let oracle = Engine::new();
+    for round in 0..rounds {
+        let mut server = ServerProc::spawn(&dir);
+        let mut conn = Conn::connect(&server.addr);
+        // The restarted server must sit exactly where the oracle sits.
+        assert_eq!(
+            conn.req("epochs"),
+            oracle_epochs_line(&oracle),
+            "round {round}"
+        );
+        for probe in PROBES {
+            let ev = format!("eval {probe}");
+            assert_eq!(conn.req(&ev), oracle.handle(&ev), "round {round}: {ev}");
+            let ck = format!("check {probe}");
+            assert_eq!(conn.req(&ck), oracle.handle(&ck), "round {round}: {ck}");
+        }
+        // Drive acknowledged mutations; the server must answer exactly
+        // like the in-memory oracle at every step.
+        for _ in 0..(8 + rng.next() % 12) {
+            let op = rng.op();
+            assert_eq!(conn.req(&op), oracle.handle(&op), "round {round}: {op}");
+        }
+        // Fire one op, don't wait for the ack, and SIGKILL after a
+        // pseudorandom beat — the op is in flight when the process dies.
+        let inflight = rng.op();
+        conn.send(&inflight);
+        std::thread::sleep(Duration::from_micros(rng.next() % 4000));
+        server.kill();
+        // The directory must verify cleanly whatever the kill point hit.
+        let out = recover(&dir, true);
+        assert!(
+            out.status.success(),
+            "round {round}: recover --verify failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // The in-flight op either reached the log (atomically) or it
+        // didn't; fold the oracle forward only in the first case.
+        if recovered_epochs(&dir) != oracle.epochs() {
+            oracle.handle(&inflight);
+            assert_eq!(
+                recovered_epochs(&dir),
+                oracle.epochs(),
+                "round {round}: recovered state is neither acked nor acked+inflight"
+            );
+        }
+    }
+    // One final restart closes the loop on the last kill.
+    let mut server = ServerProc::spawn(&dir);
+    let mut conn = Conn::connect(&server.addr);
+    assert_eq!(conn.req("epochs"), oracle_epochs_line(&oracle));
+    for probe in PROBES {
+        let ev = format!("eval {probe}");
+        assert_eq!(conn.req(&ev), oracle.handle(&ev), "{ev}");
+    }
+    server.kill();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Builds a durable directory with enough history for checkpoints.
+fn seeded_dir(name: &str, checkpoint_every: u64) -> PathBuf {
+    let dir = data_dir(name);
+    let opts = DurabilityOptions {
+        fsync: FsyncPolicy::Always,
+        segment_bytes: 256,
+        checkpoint_every,
+    };
+    let (engine, _) =
+        Engine::open_durable(&dir, opts, magik::Executor::Sequential).expect("virgin dir opens");
+    engine.handle("compl p0(X, Y) ; true.");
+    for i in 0..6 {
+        engine.handle(&format!("assert p0(c{i}, c{}).", i + 1));
+    }
+    engine.shutdown_durability().expect("clean shutdown");
+    dir
+}
+
+fn snap_files(dir: &Path) -> Vec<PathBuf> {
+    let mut snaps: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("data dir listable")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "snap"))
+        .collect();
+    snaps.sort();
+    snaps
+}
+
+#[test]
+fn recover_rejects_garbage_checkpoints_cleanly() {
+    let dir = seeded_dir("garbage-ckpt", 2);
+    let snaps = snap_files(&dir);
+    assert!(!snaps.is_empty(), "seed run produced no checkpoints");
+    for snap in &snaps {
+        std::fs::write(snap, b"this is not a checkpoint").expect("overwrite");
+    }
+    let out = recover(&dir, false);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("corrupt"),
+        "diagnostic names the cause: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "no panic: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recover_rejects_truncated_checkpoints_cleanly() {
+    let dir = seeded_dir("trunc-ckpt", 2);
+    for snap in snap_files(&dir) {
+        let bytes = std::fs::read(&snap).expect("read snap");
+        std::fs::write(&snap, &bytes[..bytes.len().min(10)]).expect("truncate");
+    }
+    let out = recover(&dir, true);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("corrupt"),
+        "diagnostic names the cause: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "no panic: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recover_discards_a_torn_tail_and_still_verifies() {
+    // No checkpoints: the whole history lives in the WAL tail.
+    let dir = seeded_dir("torn", 0);
+    let mut logs: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("data dir listable")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "log"))
+        .collect();
+    logs.sort();
+    let newest = logs.last().expect("wal segments exist");
+    let bytes = std::fs::read(newest).expect("read wal");
+    std::fs::write(newest, &bytes[..bytes.len() - 3]).expect("tear tail");
+    let out = recover(&dir, true);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("torn tail:"), "{stdout}");
+    assert!(stdout.contains("byte(s) discarded"), "{stdout}");
+    assert!(stdout.contains("verify: OK"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recover_requires_a_data_dir() {
+    let out = Command::new(env!("CARGO_BIN_EXE_magik"))
+        .args(["recover", "--verify"])
+        .output()
+        .expect("recover runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--data-dir"));
+}

@@ -1,0 +1,113 @@
+//! Stable binary encoding of table-completeness statements.
+//!
+//! Builds on the primitive codec of `magik_relalg::codec` (varints,
+//! length-prefixed strings, tagged atoms); a [`TcSet`] is a count-prefixed
+//! sequence of statements, each a head atom plus a count-prefixed
+//! condition. Decoding validates every predicate and variable against the
+//! vocabulary the bytes claim to be relative to and reports failures as
+//! [`CodecError`] — never a panic.
+
+use magik_relalg::codec::{decode_atom, encode_atom, put_varint, CodecError, Reader};
+use magik_relalg::Vocabulary;
+
+use crate::tcs::{TcSet, TcStatement};
+
+/// Encodes one statement: head atom, then count-prefixed condition atoms.
+pub fn encode_statement(c: &TcStatement, out: &mut Vec<u8>) {
+    encode_atom(&c.head, out);
+    put_varint(out, c.condition.len() as u64);
+    for a in &c.condition {
+        encode_atom(a, out);
+    }
+}
+
+/// Decodes one statement, validating all atoms against `vocab`.
+pub fn decode_statement(r: &mut Reader<'_>, vocab: &Vocabulary) -> Result<TcStatement, CodecError> {
+    let head = decode_atom(r, vocab)?;
+    let n = r.count(2)?;
+    let mut condition = Vec::with_capacity(n);
+    for _ in 0..n {
+        condition.push(decode_atom(r, vocab)?);
+    }
+    Ok(TcStatement::new(head, condition))
+}
+
+/// Encodes a TCS set as a count-prefixed statement sequence.
+pub fn encode_tcs(tcs: &TcSet, out: &mut Vec<u8>) {
+    put_varint(out, tcs.len() as u64);
+    for c in tcs.statements() {
+        encode_statement(c, out);
+    }
+}
+
+/// Decodes a TCS set encoded by [`encode_tcs`].
+pub fn decode_tcs(r: &mut Reader<'_>, vocab: &Vocabulary) -> Result<TcSet, CodecError> {
+    let n = r.count(3)?;
+    let mut statements = Vec::with_capacity(n);
+    for _ in 0..n {
+        statements.push(decode_statement(r, vocab)?);
+    }
+    Ok(TcSet::new(statements))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magik_relalg::{Atom, Term};
+
+    fn sample() -> (Vocabulary, TcSet) {
+        let mut v = Vocabulary::new();
+        let pupil = v.pred("pupil", 3);
+        let school = v.pred("school", 3);
+        let (n, c, s, t) = (v.var("N"), v.var("C"), v.var("S"), v.var("T"));
+        let (primary, merano) = (v.cst("primary"), v.cst("merano"));
+        let tcs = TcSet::new(vec![
+            TcStatement::new(
+                Atom::new(school, vec![Term::Var(s), Term::Cst(primary), Term::Var(t)]),
+                vec![],
+            ),
+            TcStatement::new(
+                Atom::new(pupil, vec![Term::Var(n), Term::Var(c), Term::Var(s)]),
+                vec![Atom::new(
+                    school,
+                    vec![Term::Var(s), Term::Var(t), Term::Cst(merano)],
+                )],
+            ),
+        ]);
+        (v, tcs)
+    }
+
+    #[test]
+    fn tcs_roundtrips() {
+        let (v, tcs) = sample();
+        let mut buf = Vec::new();
+        encode_tcs(&tcs, &mut buf);
+        let mut r = Reader::new(&buf);
+        let back = decode_tcs(&mut r, &v).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(back, tcs);
+    }
+
+    #[test]
+    fn truncated_tcs_errors_cleanly() {
+        let (v, tcs) = sample();
+        let mut buf = Vec::new();
+        encode_tcs(&tcs, &mut buf);
+        for cut in 0..buf.len() {
+            assert!(
+                decode_tcs(&mut Reader::new(&buf[..cut]), &v).is_err(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_vocabulary_is_rejected() {
+        let (_, tcs) = sample();
+        let mut buf = Vec::new();
+        encode_tcs(&tcs, &mut buf);
+        // A vocabulary that never interned these predicates.
+        let empty = Vocabulary::new();
+        assert!(decode_tcs(&mut Reader::new(&buf), &empty).is_err());
+    }
+}

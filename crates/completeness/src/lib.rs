@@ -65,6 +65,7 @@
 pub mod answering;
 mod canonical;
 mod check;
+pub mod codec;
 pub mod constraints;
 pub mod explain;
 mod generalize;

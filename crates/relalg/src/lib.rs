@@ -48,6 +48,7 @@
 #![deny(missing_docs)]
 
 mod atom;
+pub mod codec;
 mod containment;
 mod display;
 mod eval;

@@ -40,15 +40,15 @@ impl Symbol {
 /// building fresh query extensions).
 #[derive(Debug, Default, Clone)]
 pub struct Vocabulary {
-    strings: Vec<String>,
-    by_string: HashMap<String, Symbol>,
+    pub(crate) strings: Vec<String>,
+    pub(crate) by_string: HashMap<String, Symbol>,
     /// Name of each variable, indexed by `Var::index()`.
-    var_names: Vec<Symbol>,
-    var_by_name: HashMap<Symbol, Var>,
+    pub(crate) var_names: Vec<Symbol>,
+    pub(crate) var_by_name: HashMap<Symbol, Var>,
     /// `(name, arity)` of each predicate, indexed by `Pred::index()`.
-    preds: Vec<(Symbol, usize)>,
-    pred_by_sig: HashMap<(Symbol, usize), Pred>,
-    fresh_counter: u64,
+    pub(crate) preds: Vec<(Symbol, usize)>,
+    pub(crate) pred_by_sig: HashMap<(Symbol, usize), Pred>,
+    pub(crate) fresh_counter: u64,
 }
 
 impl Vocabulary {

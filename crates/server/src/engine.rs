@@ -54,6 +54,8 @@
 //! search fan out over it when it is pooled ([`Engine::with_session_on`]).
 //! The default is sequential, which embeds cleanly in tests and tools.
 
+use std::path::Path;
+use std::sync::atomic::Ordering;
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -65,10 +67,14 @@ use magik_datalog::Materialized;
 use magik_exec::{CompiledQuery, ExecStats, Executor, PlanCache};
 use magik_parser::{parse_atom, parse_query, parse_tcs, print_query};
 use magik_relalg::{Answer, DisplayWith, Fact, Instance, Pred, Snapshot, Vocabulary};
+use magik_storage::{
+    CheckpointImage, OpKind, Recovery, StorageError, Store, StoreOptions, WalRecord,
+};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::cache::LruCache;
+use crate::durability::{Durability, DurabilityOptions, RecoveryReport};
 use crate::metrics::{Metrics, Op};
 
 /// Default capacity of the verdict cache.
@@ -169,7 +175,16 @@ pub struct Engine {
     /// across data-epoch bumps (statistics drift affects only speed). The
     /// cache is cleared on TCS/vocabulary-shaping events (`compl`).
     plans: Mutex<PlanCache<CanonicalQuery>>,
-    metrics: Metrics,
+    metrics: Arc<Metrics>,
+    /// The optional durability layer ([`Engine::open_durable`]): WAL
+    /// appended under the writer mutex before every applied mutation,
+    /// plus the background checkpointer. `None` = memory-only session.
+    durability: Option<Arc<Durability>>,
+    /// One background worker for checkpoint serialization. Owned by the
+    /// engine, not by [`Durability`]: checkpoint jobs hold an
+    /// `Arc<Durability>`, and a pool inside it could end up dropped (and
+    /// joined) from its own worker thread.
+    checkpointer: Option<magik_runtime::ThreadPool>,
     /// The compute executor: T_C fixpoints and `specialize` fan out over
     /// it. Distinct from the server's connection pool, so reasoning tasks
     /// never compete with (or deadlock against) connection handlers.
@@ -225,9 +240,217 @@ impl Engine {
             verdicts: Mutex::new(LruCache::new(VERDICT_CACHE_CAP)),
             answer_cache: Mutex::new(LruCache::new(ANSWER_CACHE_CAP)),
             plans: Mutex::new(PlanCache::new(PLAN_CACHE_CAP)),
-            metrics: Metrics::new(),
+            metrics: Arc::new(Metrics::new()),
+            durability: None,
+            checkpointer: None,
             exec,
         }
+    }
+
+    /// Opens (or creates) a **durable** engine over the data directory
+    /// `dir`: recovers the newest valid checkpoint, replays the WAL tail
+    /// through the normal request path (verifying every replayed op
+    /// re-derives exactly the epochs the log recorded), then attaches the
+    /// write-ahead logging and checkpointing layer so subsequent
+    /// mutations are logged before they are applied.
+    pub fn open_durable(
+        dir: &Path,
+        opts: DurabilityOptions,
+        exec: Executor,
+    ) -> Result<(Engine, RecoveryReport), StorageError> {
+        let (store, recovery) = Store::open(
+            dir,
+            StoreOptions {
+                fsync: opts.fsync,
+                segment_bytes: opts.segment_bytes,
+                checkpoints_kept: 2,
+            },
+        )?;
+        let report = RecoveryReport::of(&recovery);
+        let mut engine = Engine::replay(recovery, exec, dir)?;
+        engine.metrics.set_replayed(report.replayed_ops);
+        engine.durability = Some(Arc::new(Durability::new(store, opts.checkpoint_every)));
+        if opts.checkpoint_every > 0 {
+            engine.checkpointer = Some(magik_runtime::ThreadPool::new(1));
+        }
+        Ok((engine, report))
+    }
+
+    /// Verifies that the data under `dir` recovers cleanly — same
+    /// checkpoint load and verified replay as [`Engine::open_durable`],
+    /// but against a throwaway engine and **without** mutating the
+    /// directory (no temp-file sweep, no fresh WAL segment). Backs
+    /// `magik recover --verify`.
+    pub fn verify_recovery(dir: &Path, exec: Executor) -> Result<RecoveryReport, StorageError> {
+        let recovery = Store::peek(dir)?;
+        let report = RecoveryReport::of(&recovery);
+        Engine::replay(recovery, exec, dir)?;
+        Ok(report)
+    }
+
+    /// Builds an engine from recovered state: the checkpoint image (if
+    /// any) seeds the session, then the WAL tail replays through
+    /// [`Engine::handle`] — the exact same parse/apply path live traffic
+    /// takes. Every replayed op must succeed *and* land the engine on the
+    /// epochs the log recorded for it; any disagreement is reported as
+    /// corruption, never silently absorbed.
+    fn replay(recovery: Recovery, exec: Executor, dir: &Path) -> Result<Engine, StorageError> {
+        let engine = match recovery.checkpoint {
+            Some(image) => {
+                let e = Engine::with_session_on(image.vocab, image.tcs, image.db, exec);
+                e.set_epochs(image.tcs_epoch, image.data_epoch);
+                e
+            }
+            None => Engine::with_session_on(
+                Vocabulary::new(),
+                TcSet::new(Vec::new()),
+                Instance::new(),
+                exec,
+            ),
+        };
+        for rec in &recovery.tail {
+            let diverged = |got: String| StorageError::Corrupt {
+                path: dir.to_path_buf(),
+                detail: format!("replay diverged at logged epochs {:?}: {got}", rec.epochs()),
+            };
+            if let WalRecord::Op { kind, text, .. } = rec {
+                let reply = engine.handle(&format!("{} {text}", kind.verb()));
+                if !reply.starts_with("ok") {
+                    return Err(diverged(format!("engine replied `{reply}`")));
+                }
+            }
+            // Marks assert the current epochs; ops must have advanced to
+            // exactly the epochs the record carries.
+            if engine.epochs() != rec.epochs() {
+                return Err(diverged(format!("engine is at {:?}", engine.epochs())));
+            }
+        }
+        Ok(engine)
+    }
+
+    /// Seeds the epoch counters from a recovered checkpoint and
+    /// republishes, so replay and caching see the restored history
+    /// position instead of a fresh session's (0, 0).
+    fn set_epochs(&self, tcs_epoch: u64, data_epoch: u64) {
+        let mut writer = self.writer.lock().expect("writer lock");
+        writer.tcs_epoch = tcs_epoch;
+        writer.data_epoch = data_epoch;
+        self.swap(&writer);
+    }
+
+    /// Flushes the durability layer for a clean shutdown: an epoch
+    /// [`WalRecord::Mark`], a WAL fsync, and a final synchronous
+    /// checkpoint (skipped when the newest on-disk checkpoint is already
+    /// current) — after which a restart replays zero records. No-op for
+    /// memory-only engines.
+    pub fn shutdown_durability(&self) -> Result<(), StorageError> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        if d.is_poisoned() {
+            return Err(StorageError::Io(std::io::Error::other(
+                "durability layer poisoned; in-memory state was not flushed",
+            )));
+        }
+        let snap = self.snapshot();
+        let vocab = self.vocab.lock().expect("vocab lock").clone();
+        // One store guard across mark + flush + checkpoint serializes
+        // against any in-flight background checkpoint.
+        let mut store = d.store();
+        store.append(&WalRecord::Mark {
+            tcs_epoch: snap.tcs_epoch,
+            data_epoch: snap.data_epoch,
+        })?;
+        store.flush()?;
+        let start = Instant::now();
+        let outcome = store.checkpoint(&CheckpointImage {
+            vocab,
+            tcs: (*snap.tcs).clone(),
+            db: snap.db.to_instance(),
+            tcs_epoch: snap.tcs_epoch,
+            data_epoch: snap.data_epoch,
+        })?;
+        if outcome.written {
+            self.metrics.record_checkpoint(start.elapsed());
+        }
+        Ok(())
+    }
+
+    /// Logs one mutation (with its post-op epochs) before it is applied.
+    /// Called with the writer mutex held, so log order is publish order.
+    /// On a memory-only engine this is free.
+    fn log_mutation(
+        &self,
+        kind: OpKind,
+        text: &str,
+        tcs_epoch: u64,
+        data_epoch: u64,
+    ) -> Result<(), (&'static str, String)> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        let rec = WalRecord::Op {
+            kind,
+            text: text.to_string(),
+            tcs_epoch,
+            data_epoch,
+        };
+        let append = d.append(&rec).map_err(|e| ("storage", e.to_string()))?;
+        self.metrics.record_wal(append.bytes, append.synced);
+        Ok(())
+    }
+
+    /// Post-mutation housekeeping: ticks the checkpoint counter and, when
+    /// the threshold is reached, captures the freshly published snapshot
+    /// (plus a vocabulary clone, taken *after* the snapshot so it is a
+    /// superset of the names the snapshot uses) and hands it to the
+    /// background checkpointer. Called with **no** engine lock held.
+    fn after_mutation(&self) {
+        let Some(d) = &self.durability else {
+            return;
+        };
+        let Some(pool) = &self.checkpointer else {
+            return;
+        };
+        if d.checkpoint_every == 0 || d.is_poisoned() {
+            return;
+        }
+        let ticked = d.since_checkpoint.fetch_add(1, Ordering::SeqCst) + 1;
+        if ticked < d.checkpoint_every {
+            return;
+        }
+        if d.checkpointing.swap(true, Ordering::SeqCst) {
+            return; // one checkpoint in flight is enough
+        }
+        let pending = d.since_checkpoint.swap(0, Ordering::SeqCst);
+        let snap = self.snapshot();
+        let vocab = self.vocab.lock().expect("vocab lock").clone();
+        let worker = Arc::clone(d);
+        let metrics = Arc::clone(&self.metrics);
+        pool.execute(move || {
+            let image = CheckpointImage {
+                vocab,
+                tcs: (*snap.tcs).clone(),
+                db: snap.db.to_instance(),
+                tcs_epoch: snap.tcs_epoch,
+                data_epoch: snap.data_epoch,
+            };
+            let start = Instant::now();
+            match worker.store().checkpoint(&image) {
+                Ok(outcome) => {
+                    if outcome.written {
+                        metrics.record_checkpoint(start.elapsed());
+                    }
+                }
+                Err(_) => {
+                    // Checkpointing is an optimization: the WAL still
+                    // holds everything. Restore the tick count so the
+                    // next mutation retries.
+                    worker.since_checkpoint.fetch_add(pending, Ordering::SeqCst);
+                }
+            }
+            worker.checkpointing.store(false, Ordering::SeqCst);
+        });
     }
 
     /// The engine's metrics (shared with the request handlers).
@@ -291,6 +514,10 @@ impl Engine {
                         c.panics
                     )),
                 )
+            }
+            "epochs" => {
+                let (te, de) = self.epochs();
+                (Op::Other, Ok(format!("ok tcs={te} data={de}")))
             }
             "ping" => (Op::Other, Ok("ok pong".to_string())),
             "" => (Op::Other, Err(("proto", "empty request".to_string()))),
@@ -435,18 +662,24 @@ impl Engine {
     }
 
     /// `assert <atom>` — insert a ground fact; maintains T_C incrementally.
+    /// On a durable engine the op is logged (and fsynced per policy)
+    /// *before* it is applied: an append failure leaves memory untouched.
     fn req_assert(&self, src: &str) -> Result<String, (&'static str, String)> {
         let fact = self.parse_fact(src)?;
         let mut writer = self.writer.lock().expect("writer lock");
-        if !writer.db.insert(fact.clone()) {
+        if writer.db.contains(&fact) {
             return Ok("ok duplicate".to_string());
         }
+        self.log_mutation(OpKind::Assert, src, writer.tcs_epoch, writer.data_epoch + 1)?;
+        writer.db.insert(fact.clone());
         writer.data_epoch += 1;
         let pi = writer.ideal.get(&fact.pred).copied();
         if let Some(pi) = pi {
             writer.tc_mat.insert(Fact::new(pi, fact.args));
         }
         self.swap(&writer);
+        drop(writer);
+        self.after_mutation();
         Ok("ok inserted".to_string())
     }
 
@@ -456,9 +689,16 @@ impl Engine {
     fn req_retract(&self, src: &str) -> Result<String, (&'static str, String)> {
         let fact = self.parse_fact(src)?;
         let mut writer = self.writer.lock().expect("writer lock");
-        if !writer.db.remove(&fact) {
+        if !writer.db.contains(&fact) {
             return Ok("ok absent".to_string());
         }
+        self.log_mutation(
+            OpKind::Retract,
+            src,
+            writer.tcs_epoch,
+            writer.data_epoch + 1,
+        )?;
+        writer.db.remove(&fact);
         writer.data_epoch += 1;
         let pi = writer.ideal.get(&fact.pred).copied();
         if let Some(pi) = pi {
@@ -469,6 +709,8 @@ impl Engine {
                 .record_dred(stats.overdeleted as u64, stats.rederived as u64);
         }
         self.swap(&writer);
+        drop(writer);
+        self.after_mutation();
         Ok("ok retracted".to_string())
     }
 
@@ -478,6 +720,7 @@ impl Engine {
         let mut vocab = self.vocab.lock().expect("vocab lock");
         let stmt = parse_tcs(src, &mut vocab).map_err(|e| ("parse", e.to_string()))?;
         let mut writer = self.writer.lock().expect("writer lock");
+        self.log_mutation(OpKind::Compl, src, writer.tcs_epoch + 1, writer.data_epoch)?;
         Arc::make_mut(&mut writer.tcs).push(stmt);
         writer.tcs_epoch += 1;
         writer.rebuild_tc(&mut vocab, &self.exec);
@@ -489,7 +732,11 @@ impl Engine {
         // one recompile per canonical query.
         self.verdicts.lock().expect("cache lock").clear();
         self.plans.lock().expect("cache lock").clear();
-        Ok(format!("ok epoch={}", writer.tcs_epoch))
+        let epoch = writer.tcs_epoch;
+        drop(writer);
+        drop(vocab);
+        self.after_mutation();
+        Ok(format!("ok epoch={epoch}"))
     }
 
     /// `guaranteed <atom>` — is this fact certain to be available, i.e.

@@ -25,6 +25,13 @@
 //!   the compute pool's `runtime.tasks`/`runtime.steals`/`pool.panics`
 //!   counters).
 //! * [`LruCache`] — the exact LRU underlying both caches.
+//! * [`Engine::open_durable`] / [`DurabilityOptions`] — the optional
+//!   durability layer (`magik-storage`): mutations are written ahead to a
+//!   CRC-framed WAL before they are applied, a background worker writes
+//!   periodic snapshot checkpoints, and opening recovers the newest valid
+//!   checkpoint plus a verified replay of the WAL tail
+//!   ([`RecoveryReport`]). [`Server::stop`] flushes the log and writes a
+//!   final checkpoint, so a clean stop replays zero records on restart.
 //!
 //! # Example
 //!
@@ -47,11 +54,13 @@
 #![deny(missing_docs)]
 
 mod cache;
+mod durability;
 mod engine;
 mod metrics;
 mod net;
 
 pub use cache::LruCache;
+pub use durability::{DurabilityOptions, RecoveryReport};
 pub use engine::Engine;
 pub use magik_runtime::ThreadPool;
 pub use metrics::{Histogram, Metrics, Op};

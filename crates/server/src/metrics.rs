@@ -136,6 +136,12 @@ struct Inner {
     exec_backtracks: u64,
     dred_overdeleted: u64,
     dred_rederived: u64,
+    wal_appends: u64,
+    wal_bytes: u64,
+    wal_fsyncs: u64,
+    checkpoint_count: u64,
+    checkpoint_duration_ms: u64,
+    recovery_replayed: u64,
 }
 
 /// Shared, thread-safe server metrics.
@@ -208,6 +214,26 @@ impl Metrics {
         inner.dred_rederived += rederived;
     }
 
+    /// Records one WAL append: its frame size and whether it fsynced.
+    pub fn record_wal(&self, bytes: u64, synced: bool) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.wal_appends += 1;
+        inner.wal_bytes += bytes;
+        inner.wal_fsyncs += u64::from(synced);
+    }
+
+    /// Records one completed checkpoint and how long it took.
+    pub fn record_checkpoint(&self, took: Duration) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.checkpoint_count += 1;
+        inner.checkpoint_duration_ms += u64::try_from(took.as_millis()).unwrap_or(u64::MAX);
+    }
+
+    /// Records how many WAL ops crash recovery replayed at startup.
+    pub fn set_replayed(&self, ops: u64) {
+        self.inner.lock().expect("metrics lock").recovery_replayed = ops;
+    }
+
     /// Renders all metrics as one line of `key=value` fields: per-op
     /// `<op>.count/.err/.p50us/.p90us/.p99us/.maxus` (ops with zero
     /// requests are omitted) plus cache hit/miss counters and hit rates
@@ -266,6 +292,17 @@ impl Metrics {
             out,
             " dred.overdeleted={} dred.rederived={}",
             inner.dred_overdeleted, inner.dred_rederived,
+        );
+        let _ = write!(
+            out,
+            " wal.appends={} wal.bytes={} wal.fsyncs={} checkpoint.count={} \
+             checkpoint.duration_ms={} recovery.replayed_ops={}",
+            inner.wal_appends,
+            inner.wal_bytes,
+            inner.wal_fsyncs,
+            inner.checkpoint_count,
+            inner.checkpoint_duration_ms,
+            inner.recovery_replayed,
         );
         out
     }
@@ -327,6 +364,35 @@ mod tests {
         assert!(text.contains("plan_cache.rate=0.500"), "{text}");
         assert!(
             text.contains("exec.probes=6 exec.scanned=42 exec.backtracks=12"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn render_includes_durability_counters() {
+        let m = Metrics::new();
+        // The durability fields are always rendered, even at zero, so a
+        // scraper can rely on their presence.
+        let text = m.render();
+        assert!(
+            text.contains("wal.appends=0 wal.bytes=0 wal.fsyncs=0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("checkpoint.count=0 checkpoint.duration_ms=0 recovery.replayed_ops=0"),
+            "{text}"
+        );
+        m.record_wal(32, true);
+        m.record_wal(40, false);
+        m.record_checkpoint(Duration::from_millis(7));
+        m.set_replayed(5);
+        let text = m.render();
+        assert!(
+            text.contains("wal.appends=2 wal.bytes=72 wal.fsyncs=1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("checkpoint.count=1 checkpoint.duration_ms=7 recovery.replayed_ops=5"),
             "{text}"
         );
     }

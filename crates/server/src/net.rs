@@ -38,6 +38,9 @@ pub struct Server {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    /// Kept so shutdown can flush the engine's durability layer after
+    /// the last in-flight request has finished.
+    engine: Arc<Engine>,
 }
 
 impl Server {
@@ -53,6 +56,7 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
+        let accept_engine = Arc::clone(&engine);
         let accept_thread = std::thread::Builder::new()
             .name("magik-accept".to_string())
             .spawn(move || {
@@ -62,7 +66,7 @@ impl Server {
                         break;
                     }
                     let Ok(stream) = conn else { continue };
-                    let engine = Arc::clone(&engine);
+                    let engine = Arc::clone(&accept_engine);
                     let stop = Arc::clone(&stop_flag);
                     pool.execute(move || {
                         let _ = serve_connection(stream, &engine, &stop);
@@ -74,6 +78,7 @@ impl Server {
             local_addr,
             stop,
             accept_thread: Some(accept_thread),
+            engine,
         })
     }
 
@@ -110,6 +115,13 @@ impl Server {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        // Every in-flight request has finished (the accept thread joins
+        // its worker pool), so the engine state is final: flush the WAL
+        // and write the shutdown checkpoint. A clean stop therefore
+        // leaves zero records for the next open to replay. Failures are
+        // swallowed — shutdown runs in Drop — but the WAL already holds
+        // every acknowledged mutation, so nothing is lost either way.
+        let _ = self.engine.shutdown_durability();
     }
 }
 

@@ -1,0 +1,290 @@
+//! Snapshot checkpoints: compact on-disk images of a session's state.
+//!
+//! # File format
+//!
+//! ```text
+//! [magic "MGKCKPT1": 8 bytes][version: u32 LE = 1]
+//! [body_len: u32 LE][crc32(body): u32 LE]
+//! [body: varint tcs_epoch, varint data_epoch,
+//!        vocabulary, TCS set, instance — see magik_relalg::codec]
+//! ```
+//!
+//! The materialized T_C model is deliberately **not** stored: it is a
+//! deterministic function of (TCS set, facts) and is rebuilt by the
+//! engine constructor on load, so a checkpoint can never disagree with
+//! the model it implies.
+//!
+//! # Atomicity
+//!
+//! [`write`] serializes to a `.tmp` file in the same directory, fsyncs
+//! it, renames it to its final epoch-stamped name
+//! (`ckpt-<tcs>-<data>.snap`), and fsyncs the directory. A crash at any
+//! point leaves either the previous generation intact or the new file
+//! complete — never a half-written `.snap`. Stale `.tmp` files are swept
+//! on store open.
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use magik_completeness::codec::{decode_tcs, encode_tcs};
+use magik_completeness::TcSet;
+use magik_relalg::codec::{
+    decode_instance, decode_vocabulary, encode_instance, encode_vocabulary, put_varint, Reader,
+};
+use magik_relalg::{Instance, Vocabulary};
+
+use crate::crc::crc32;
+use crate::wal::sync_dir;
+use crate::StorageError;
+
+const MAGIC: &[u8; 8] = b"MGKCKPT1";
+const VERSION: u32 = 1;
+
+/// A decoded checkpoint: everything needed to reconstruct an engine
+/// session at the recorded epochs.
+#[derive(Debug, Clone)]
+pub struct CheckpointImage {
+    /// The interner at checkpoint time (its fresh counter included, so
+    /// recovered sessions cannot re-mint pre-crash scratch variables).
+    pub vocab: Vocabulary,
+    /// The table-completeness statements.
+    pub tcs: TcSet,
+    /// The stored facts.
+    pub db: Instance,
+    /// TCS epoch of the image.
+    pub tcs_epoch: u64,
+    /// Data epoch of the image.
+    pub data_epoch: u64,
+}
+
+impl CheckpointImage {
+    /// The image's position on the linear mutation history.
+    pub fn epoch_sum(&self) -> u64 {
+        self.tcs_epoch + self.data_epoch
+    }
+}
+
+/// The final file name for an image at the given epochs.
+pub(crate) fn checkpoint_path(dir: &Path, tcs_epoch: u64, data_epoch: u64) -> PathBuf {
+    dir.join(format!("ckpt-{tcs_epoch:020}-{data_epoch:020}.snap"))
+}
+
+/// All checkpoints under `dir` as `(tcs_epoch, data_epoch, path)`,
+/// sorted oldest-first by history position (epoch sum).
+pub(crate) fn list_checkpoints(dir: &Path) -> std::io::Result<Vec<(u64, u64, PathBuf)>> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix("ckpt-")
+            .and_then(|s| s.strip_suffix(".snap"))
+        else {
+            continue;
+        };
+        let Some((te, de)) = stem.split_once('-') else {
+            continue;
+        };
+        if let (Ok(te), Ok(de)) = (te.parse::<u64>(), de.parse::<u64>()) {
+            found.push((te, de, entry.path()));
+        }
+    }
+    found.sort_by_key(|&(te, de, _)| (te + de, te));
+    Ok(found)
+}
+
+/// Writes `image` durably under `dir` (temp file + fsync + atomic rename
+/// + directory fsync) and returns the final path.
+pub(crate) fn write(dir: &Path, image: &CheckpointImage) -> std::io::Result<PathBuf> {
+    let mut body = Vec::new();
+    put_varint(&mut body, image.tcs_epoch);
+    put_varint(&mut body, image.data_epoch);
+    encode_vocabulary(&image.vocab, &mut body);
+    encode_tcs(&image.tcs, &mut body);
+    encode_instance(
+        image.db.iter_facts().collect::<Vec<_>>().into_iter(),
+        &mut body,
+    );
+    let mut bytes = Vec::with_capacity(body.len() + 24);
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&VERSION.to_le_bytes());
+    bytes.extend_from_slice(
+        &u32::try_from(body.len())
+            .expect("checkpoint fits u32")
+            .to_le_bytes(),
+    );
+    bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+    bytes.extend_from_slice(&body);
+
+    let final_path = checkpoint_path(dir, image.tcs_epoch, image.data_epoch);
+    let tmp_path = dir.join(format!(
+        "ckpt-{:020}-{:020}.tmp",
+        image.tcs_epoch, image.data_epoch
+    ));
+    let mut tmp = File::create(&tmp_path)?;
+    tmp.write_all(&bytes)?;
+    tmp.sync_all()?;
+    drop(tmp);
+    std::fs::rename(&tmp_path, &final_path)?;
+    sync_dir(dir)?;
+    Ok(final_path)
+}
+
+/// Reads and validates a checkpoint file. Truncation, CRC mismatches,
+/// version skew and undecodable bodies all come back as
+/// [`StorageError::Corrupt`].
+pub(crate) fn read(path: &Path) -> Result<CheckpointImage, StorageError> {
+    let corrupt = |detail: &str| StorageError::Corrupt {
+        path: path.to_path_buf(),
+        detail: detail.to_string(),
+    };
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    if data.len() < 16 || &data[..8] != MAGIC {
+        return Err(corrupt("bad checkpoint magic"));
+    }
+    let version = u32::from_le_bytes([data[8], data[9], data[10], data[11]]);
+    if version != VERSION {
+        return Err(corrupt("unsupported checkpoint version"));
+    }
+    if data.len() < 20 {
+        return Err(corrupt("checkpoint header truncated"));
+    }
+    let body_len = u32::from_le_bytes([data[12], data[13], data[14], data[15]]) as usize;
+    if data.len() - 20 != body_len {
+        return Err(corrupt("checkpoint length mismatch"));
+    }
+    let crc = u32::from_le_bytes([data[16], data[17], data[18], data[19]]);
+    let body = &data[20..];
+    if crc32(body) != crc {
+        return Err(corrupt("checkpoint CRC mismatch"));
+    }
+    let mut r = Reader::new(body);
+    let mut parse = || -> Result<CheckpointImage, magik_relalg::codec::CodecError> {
+        let tcs_epoch = r.varint()?;
+        let data_epoch = r.varint()?;
+        let vocab = decode_vocabulary(&mut r)?;
+        let tcs = decode_tcs(&mut r, &vocab)?;
+        let db = decode_instance(&mut r, &vocab)?;
+        if !r.is_empty() {
+            return Err(magik_relalg::codec::CodecError::Malformed(
+                "trailing bytes in checkpoint body",
+            ));
+        }
+        Ok(CheckpointImage {
+            vocab,
+            tcs,
+            db,
+            tcs_epoch,
+            data_epoch,
+        })
+    };
+    parse().map_err(|e| corrupt(&format!("undecodable checkpoint body: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dir;
+    use magik_relalg::Fact;
+
+    fn sample_image() -> CheckpointImage {
+        let mut vocab = Vocabulary::new();
+        let edge = vocab.pred("edge", 2);
+        let mut db = Instance::new();
+        db.insert(Fact::new(edge, vec![vocab.cst("a"), vocab.cst("b")]));
+        db.insert(Fact::new(edge, vec![vocab.cst("b"), vocab.cst("c")]));
+        let (x, y) = (vocab.var("X"), vocab.var("Y"));
+        let tcs = TcSet::new(vec![magik_completeness::TcStatement::new(
+            magik_relalg::Atom::new(
+                edge,
+                vec![magik_relalg::Term::Var(x), magik_relalg::Term::Var(y)],
+            ),
+            vec![],
+        )]);
+        CheckpointImage {
+            vocab,
+            tcs,
+            db,
+            tcs_epoch: 1,
+            data_epoch: 2,
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips() {
+        let dir = test_dir("ckpt-roundtrip");
+        let image = sample_image();
+        let path = write(&dir, &image).unwrap();
+        let back = read(&path).unwrap();
+        assert_eq!(back.tcs_epoch, 1);
+        assert_eq!(back.data_epoch, 2);
+        assert_eq!(back.db, image.db);
+        assert_eq!(back.tcs, image.tcs);
+        assert_eq!(back.vocab.num_preds(), image.vocab.num_preds());
+        // No temp files survive a successful write.
+        assert!(std::fs::read_dir(&dir).unwrap().all(|e| !e
+            .unwrap()
+            .file_name()
+            .to_string_lossy()
+            .ends_with(".tmp")));
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_rejected_cleanly() {
+        let dir = test_dir("ckpt-trunc");
+        let path = write(&dir, &sample_image()).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        for cut in [0, 4, 15, 23, data.len() / 2, data.len() - 1] {
+            std::fs::write(&path, &data[..cut]).unwrap();
+            let err = read(&path).unwrap_err();
+            assert!(
+                matches!(err, StorageError::Corrupt { .. }),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_rejected() {
+        let dir = test_dir("ckpt-flip");
+        let path = write(&dir, &sample_image()).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        for at in [24, data.len() / 2, data.len() - 1] {
+            let mut copy = data.clone();
+            copy[at] ^= 0x40;
+            std::fs::write(&path, &copy).unwrap();
+            assert!(read(&path).is_err(), "flip at {at} accepted");
+        }
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let dir = test_dir("ckpt-version");
+        let path = write(&dir, &sample_image()).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        data[8] = 9; // version 9
+        std::fs::write(&path, &data).unwrap();
+        let err = read(&path).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn listing_orders_by_history_position() {
+        let dir = test_dir("ckpt-list");
+        let mut image = sample_image();
+        for (te, de) in [(0, 5), (2, 1), (1, 2)] {
+            image.tcs_epoch = te;
+            image.data_epoch = de;
+            write(&dir, &image).unwrap();
+        }
+        let listed: Vec<(u64, u64)> = list_checkpoints(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(te, de, _)| (te, de))
+            .collect();
+        assert_eq!(listed, vec![(1, 2), (2, 1), (0, 5)]);
+    }
+}

@@ -1,0 +1,550 @@
+//! The durable store: WAL + checkpoints + crash recovery, composed.
+//!
+//! # Recovery algorithm
+//!
+//! 1. Sweep stale `*.tmp` files (a crash mid-checkpoint leaves one; the
+//!    atomic rename guarantees it is never a valid `.snap`).
+//! 2. Load the **newest valid** checkpoint. A corrupt newest checkpoint
+//!    falls back one generation (two are retained exactly for this); if
+//!    checkpoints exist but none loads, recovery refuses with a clean
+//!    corruption error rather than silently replaying from an empty
+//!    state the truncated log can no longer reach.
+//! 3. Scan WAL segments in sequence order. Records at or before the
+//!    checkpoint's history position (epoch sum) are covered and skipped;
+//!    the rest form the replay tail. Each tail op must advance exactly
+//!    the epoch its kind implies (`compl` bumps the TCS epoch,
+//!    `assert`/`retract` the data epoch) — any gap or mismatch is
+//!    corruption, caught *before* any replay happens.
+//! 4. A torn frame at the end of the **final** segment is discarded
+//!    (counted in [`Recovery::discarded_bytes`]); the same bytes anywhere
+//!    else are corruption, because rotation seals segments with fsync.
+//!
+//! Opening always starts a **fresh** segment — the store never appends
+//! after a possibly-torn tail.
+
+use std::path::{Path, PathBuf};
+
+use crate::checkpoint::{self, CheckpointImage};
+use crate::wal::{
+    list_segments, scan_segment, sync_dir, Append, FsyncPolicy, OpKind, Wal, WalRecord,
+};
+use crate::StorageError;
+
+/// Tuning knobs for a [`Store`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// When appends reach stable storage.
+    pub fsync: FsyncPolicy,
+    /// Rotate the WAL segment after roughly this many bytes.
+    pub segment_bytes: u64,
+    /// How many checkpoint generations to retain (at least 2, so a
+    /// corrupt newest checkpoint can fall back without losing the log
+    /// coverage truncation assumed).
+    pub checkpoints_kept: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            fsync: FsyncPolicy::Always,
+            segment_bytes: 1 << 20,
+            checkpoints_kept: 2,
+        }
+    }
+}
+
+/// What recovery found on disk.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The newest valid checkpoint, if any.
+    pub checkpoint: Option<CheckpointImage>,
+    /// The records past the checkpoint, to be replayed in order.
+    pub tail: Vec<WalRecord>,
+    /// Torn-tail bytes discarded from the final segment.
+    pub discarded_bytes: u64,
+    /// Corrupt checkpoint generations skipped before a valid one loaded.
+    pub checkpoints_skipped: usize,
+    /// WAL segments scanned.
+    pub segments_scanned: usize,
+}
+
+impl Recovery {
+    /// The epochs the recovered session must end at after replay.
+    pub fn final_epochs(&self) -> (u64, u64) {
+        for rec in self.tail.iter().rev() {
+            if matches!(rec, WalRecord::Op { .. }) {
+                return rec.epochs();
+            }
+        }
+        self.checkpoint
+            .as_ref()
+            .map_or((0, 0), |c| (c.tcs_epoch, c.data_epoch))
+    }
+
+    /// The number of mutation ops in the replay tail (marks excluded).
+    pub fn replayed_ops(&self) -> u64 {
+        self.tail
+            .iter()
+            .filter(|r| matches!(r, WalRecord::Op { .. }))
+            .count() as u64
+    }
+}
+
+/// What one checkpoint call did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckpointOutcome {
+    /// `false` when the image's epochs already match the newest
+    /// checkpoint on disk (nothing to do).
+    pub written: bool,
+    /// Old checkpoint generations pruned.
+    pub checkpoints_removed: usize,
+    /// WAL segments truncated (fully covered by the oldest retained
+    /// checkpoint).
+    pub segments_removed: usize,
+}
+
+/// An open durable store: recovered state plus a writable log.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    opts: StoreOptions,
+    wal: Wal,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store under `dir`: sweeps stale
+    /// temp files, recovers, and starts a fresh WAL segment for appends.
+    pub fn open(dir: &Path, opts: StoreOptions) -> Result<(Store, Recovery), StorageError> {
+        std::fs::create_dir_all(dir)?;
+        sweep_tmp(dir)?;
+        let recovery = recover(dir)?;
+        let next_seq = list_segments(dir)?.last().map_or(0, |&(seq, _)| seq + 1);
+        let wal = Wal::create(dir, next_seq, opts.fsync, opts.segment_bytes.max(64))?;
+        Ok((
+            Store {
+                dir: dir.to_path_buf(),
+                opts: StoreOptions {
+                    checkpoints_kept: opts.checkpoints_kept.max(2),
+                    ..opts
+                },
+                wal,
+            },
+            recovery,
+        ))
+    }
+
+    /// Runs the recovery scan **without** touching the directory: no temp
+    /// sweep, no new segment. The inspection path of `magik recover`.
+    pub fn peek(dir: &Path) -> Result<Recovery, StorageError> {
+        recover(dir)
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one record, honouring the fsync policy.
+    pub fn append(&mut self, rec: &WalRecord) -> Result<Append, StorageError> {
+        Ok(self.wal.append(rec)?)
+    }
+
+    /// Forces the log to stable storage regardless of policy.
+    pub fn flush(&mut self) -> Result<(), StorageError> {
+        Ok(self.wal.sync()?)
+    }
+
+    /// Writes a checkpoint of `image`, prunes old generations, and
+    /// truncates WAL segments fully covered by the **oldest retained**
+    /// checkpoint. Skips entirely when the newest on-disk checkpoint
+    /// already has the image's epochs.
+    pub fn checkpoint(
+        &mut self,
+        image: &CheckpointImage,
+    ) -> Result<CheckpointOutcome, StorageError> {
+        let existing = checkpoint::list_checkpoints(&self.dir)?;
+        if let Some(&(te, de, _)) = existing.last() {
+            if (te, de) == (image.tcs_epoch, image.data_epoch) {
+                return Ok(CheckpointOutcome::default());
+            }
+        }
+        checkpoint::write(&self.dir, image)?;
+        let mut outcome = CheckpointOutcome {
+            written: true,
+            ..CheckpointOutcome::default()
+        };
+        // Prune: keep the newest `checkpoints_kept` generations.
+        let all = checkpoint::list_checkpoints(&self.dir)?;
+        let keep_from = all.len().saturating_sub(self.opts.checkpoints_kept);
+        for (_, _, path) in &all[..keep_from] {
+            std::fs::remove_file(path)?;
+            outcome.checkpoints_removed += 1;
+        }
+        // Truncate WAL segments covered by the *oldest retained*
+        // checkpoint, so falling back one checkpoint generation always
+        // still finds the log records it needs.
+        let retained = &all[keep_from..];
+        let cover_sum = retained.first().map_or(0, |&(te, de, _)| te + de);
+        for (seq, path) in list_segments(&self.dir)? {
+            if seq == self.wal.current_seq() {
+                continue;
+            }
+            // Old segments may carry a discarded torn tail from a
+            // pre-recovery crash; scan tolerantly, and when in doubt
+            // (scan error) leave the segment alone.
+            let Ok(scan) = scan_segment(&path, true) else {
+                continue;
+            };
+            let covered = scan
+                .records
+                .last()
+                .is_none_or(|rec| rec.epoch_sum() <= cover_sum);
+            if covered {
+                std::fs::remove_file(&path)?;
+                outcome.segments_removed += 1;
+            }
+        }
+        if outcome.checkpoints_removed + outcome.segments_removed > 0 {
+            sync_dir(&self.dir)?;
+        }
+        Ok(outcome)
+    }
+}
+
+/// Deletes leftover `*.tmp` files from a crash mid-checkpoint.
+fn sweep_tmp(dir: &Path) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry.file_name().to_string_lossy().ends_with(".tmp") {
+            std::fs::remove_file(entry.path())?;
+        }
+    }
+    Ok(())
+}
+
+fn recover(dir: &Path) -> Result<Recovery, StorageError> {
+    // Step 1: newest valid checkpoint, falling back over corrupt ones.
+    let ckpts = checkpoint::list_checkpoints(dir)?;
+    let mut image = None;
+    let mut skipped = 0;
+    for (_, _, path) in ckpts.iter().rev() {
+        match checkpoint::read(path) {
+            Ok(img) => {
+                image = Some(img);
+                break;
+            }
+            Err(StorageError::Corrupt { .. }) => skipped += 1,
+            Err(e) => return Err(e),
+        }
+    }
+    if image.is_none() && !ckpts.is_empty() {
+        // Checkpoints were written, so earlier WAL segments may have been
+        // truncated — replaying from scratch would silently diverge.
+        return Err(StorageError::Corrupt {
+            path: ckpts.last().expect("nonempty").2.clone(),
+            detail: format!("all {} checkpoint generations are corrupt", ckpts.len()),
+        });
+    }
+    let base = image
+        .as_ref()
+        .map_or((0, 0), |c| (c.tcs_epoch, c.data_epoch));
+    let base_sum = base.0 + base.1;
+
+    // Step 2: scan segments, collect the tail past the checkpoint.
+    let segments = list_segments(dir)?;
+    let mut recovery = Recovery {
+        checkpoint: image,
+        tail: Vec::new(),
+        discarded_bytes: 0,
+        checkpoints_skipped: skipped,
+        segments_scanned: segments.len(),
+    };
+    let (mut te, mut de) = base;
+    let last_index = segments.len().saturating_sub(1);
+    for (i, (_, path)) in segments.iter().enumerate() {
+        let scan = scan_segment(path, i == last_index)?;
+        recovery.discarded_bytes += scan.torn_bytes;
+        for rec in scan.records {
+            if rec.epoch_sum() <= base_sum && recovery.tail.is_empty() {
+                continue; // covered by the checkpoint
+            }
+            let corrupt = |detail: String| StorageError::Corrupt {
+                path: path.clone(),
+                detail,
+            };
+            match &rec {
+                WalRecord::Op { kind, .. } => {
+                    let expect = match kind {
+                        OpKind::Compl => (te + 1, de),
+                        OpKind::Assert | OpKind::Retract => (te, de + 1),
+                    };
+                    if rec.epochs() != expect {
+                        return Err(corrupt(format!(
+                            "epoch gap: expected {expect:?}, record carries {:?}",
+                            rec.epochs()
+                        )));
+                    }
+                    (te, de) = expect;
+                    recovery.tail.push(rec);
+                }
+                WalRecord::Mark { .. } => {
+                    if rec.epochs() != (te, de) {
+                        return Err(corrupt(format!(
+                            "mark epochs {:?} disagree with state ({te}, {de})",
+                            rec.epochs()
+                        )));
+                    }
+                    recovery.tail.push(rec);
+                }
+            }
+        }
+    }
+    Ok(recovery)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dir;
+    use magik_relalg::{Fact, Instance, Vocabulary};
+
+    fn assert_op(i: u64, de: u64) -> WalRecord {
+        WalRecord::Op {
+            kind: OpKind::Assert,
+            text: format!("edge(a{i}, b{i})."),
+            tcs_epoch: 0,
+            data_epoch: de,
+        }
+    }
+
+    fn image_at(te: u64, de: u64) -> CheckpointImage {
+        let mut vocab = Vocabulary::new();
+        let edge = vocab.pred("edge", 2);
+        let mut db = Instance::new();
+        for i in 0..de {
+            db.insert(Fact::new(
+                edge,
+                vec![vocab.cst(&format!("a{i}")), vocab.cst(&format!("b{i}"))],
+            ));
+        }
+        CheckpointImage {
+            vocab,
+            tcs: magik_completeness::TcSet::new(Vec::new()),
+            db,
+            tcs_epoch: te,
+            data_epoch: de,
+        }
+    }
+
+    #[test]
+    fn empty_store_recovers_empty() {
+        let dir = test_dir("store-empty");
+        let (_, recovery) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert!(recovery.checkpoint.is_none());
+        assert!(recovery.tail.is_empty());
+        assert_eq!(recovery.final_epochs(), (0, 0));
+    }
+
+    #[test]
+    fn appends_survive_reopen() {
+        let dir = test_dir("store-reopen");
+        let opts = StoreOptions {
+            fsync: FsyncPolicy::Never,
+            ..StoreOptions::default()
+        };
+        let (mut store, _) = Store::open(&dir, opts).unwrap();
+        for i in 0..5 {
+            store.append(&assert_op(i, i + 1)).unwrap();
+        }
+        store.flush().unwrap();
+        drop(store);
+        let (_, recovery) = Store::open(&dir, opts).unwrap();
+        assert_eq!(recovery.replayed_ops(), 5);
+        assert_eq!(recovery.final_epochs(), (0, 5));
+        assert_eq!(recovery.discarded_bytes, 0);
+    }
+
+    #[test]
+    fn checkpoint_covers_earlier_records() {
+        let dir = test_dir("store-cover");
+        let opts = StoreOptions {
+            fsync: FsyncPolicy::Never,
+            ..StoreOptions::default()
+        };
+        let (mut store, _) = Store::open(&dir, opts).unwrap();
+        for i in 0..5 {
+            store.append(&assert_op(i, i + 1)).unwrap();
+        }
+        let outcome = store.checkpoint(&image_at(0, 5)).unwrap();
+        assert!(outcome.written);
+        for i in 5..7 {
+            store.append(&assert_op(i, i + 1)).unwrap();
+        }
+        store.flush().unwrap();
+        drop(store);
+        let (_, recovery) = Store::open(&dir, opts).unwrap();
+        assert_eq!(
+            recovery
+                .checkpoint
+                .as_ref()
+                .map(|c| (c.tcs_epoch, c.data_epoch)),
+            Some((0, 5))
+        );
+        assert_eq!(recovery.replayed_ops(), 2);
+        assert_eq!(recovery.final_epochs(), (0, 7));
+    }
+
+    #[test]
+    fn checkpoint_is_idempotent_at_same_epochs() {
+        let dir = test_dir("store-idem");
+        let (mut store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert!(store.checkpoint(&image_at(0, 3)).unwrap().written);
+        assert!(!store.checkpoint(&image_at(0, 3)).unwrap().written);
+    }
+
+    #[test]
+    fn retention_keeps_two_and_truncates_covered_segments() {
+        let dir = test_dir("store-retain");
+        let opts = StoreOptions {
+            fsync: FsyncPolicy::Never,
+            segment_bytes: 64, // rotate roughly every couple of records
+            checkpoints_kept: 2,
+        };
+        let (mut store, _) = Store::open(&dir, opts).unwrap();
+        let mut de = 0;
+        for round in 1..=3u64 {
+            for _ in 0..4 {
+                de += 1;
+                store.append(&assert_op(de, de)).unwrap();
+            }
+            store.checkpoint(&image_at(0, de)).unwrap();
+            let ckpts = checkpoint::list_checkpoints(&dir).unwrap();
+            assert!(ckpts.len() <= 2, "round {round}: {ckpts:?}");
+        }
+        // Segments covered by the *older* retained checkpoint (0,8) are
+        // gone; the recovery tail replays only what that coverage allows.
+        drop(store);
+        let (_, recovery) = Store::open(&dir, opts).unwrap();
+        assert_eq!(recovery.checkpoint.as_ref().map(|c| c.data_epoch), Some(12));
+        assert_eq!(recovery.replayed_ops(), 0);
+        let remaining = list_segments(&dir).unwrap();
+        for (_, path) in &remaining {
+            let scan = scan_segment(path, true).unwrap();
+            if let Some(last) = scan.records.last() {
+                assert!(last.epoch_sum() > 8, "covered segment survived: {path:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_a_generation() {
+        let dir = test_dir("store-fallback");
+        let opts = StoreOptions {
+            fsync: FsyncPolicy::Never,
+            ..StoreOptions::default()
+        };
+        let (mut store, _) = Store::open(&dir, opts).unwrap();
+        for i in 0..4 {
+            store.append(&assert_op(i, i + 1)).unwrap();
+        }
+        store.checkpoint(&image_at(0, 2)).unwrap();
+        store.checkpoint(&image_at(0, 4)).unwrap();
+        store.flush().unwrap();
+        drop(store);
+        // Corrupt the newest checkpoint.
+        let newest = checkpoint::list_checkpoints(&dir).unwrap().pop().unwrap().2;
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let at = bytes.len() - 1;
+        bytes[at] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+        let (_, recovery) = Store::open(&dir, opts).unwrap();
+        assert_eq!(recovery.checkpoints_skipped, 1);
+        assert_eq!(recovery.checkpoint.as_ref().map(|c| c.data_epoch), Some(2));
+        // The log still covers everything past the older checkpoint.
+        assert_eq!(recovery.replayed_ops(), 2);
+        assert_eq!(recovery.final_epochs(), (0, 4));
+    }
+
+    #[test]
+    fn all_checkpoints_corrupt_is_a_clean_error() {
+        let dir = test_dir("store-allcorrupt");
+        let (mut store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+        store.checkpoint(&image_at(0, 1)).unwrap();
+        drop(store);
+        for (_, _, path) in checkpoint::list_checkpoints(&dir).unwrap() {
+            std::fs::write(&path, b"garbage").unwrap();
+        }
+        let err = Store::open(&dir, StoreOptions::default()).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn epoch_gap_in_tail_is_corruption() {
+        let dir = test_dir("store-gap");
+        let opts = StoreOptions {
+            fsync: FsyncPolicy::Never,
+            ..StoreOptions::default()
+        };
+        let (mut store, _) = Store::open(&dir, opts).unwrap();
+        store.append(&assert_op(0, 1)).unwrap();
+        store.append(&assert_op(1, 3)).unwrap(); // skips epoch 2
+        store.flush().unwrap();
+        drop(store);
+        let err = Store::open(&dir, opts).unwrap_err();
+        assert!(err.to_string().contains("epoch gap"), "{err}");
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_on_open() {
+        let dir = test_dir("store-tmp");
+        std::fs::write(dir.join("ckpt-00-00.tmp"), b"half a checkpoint").unwrap();
+        let (_, recovery) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert!(recovery.checkpoint.is_none());
+        assert!(!dir.join("ckpt-00-00.tmp").exists());
+    }
+
+    #[test]
+    fn mark_records_verify_but_do_not_advance() {
+        let dir = test_dir("store-mark");
+        let opts = StoreOptions {
+            fsync: FsyncPolicy::Never,
+            ..StoreOptions::default()
+        };
+        let (mut store, _) = Store::open(&dir, opts).unwrap();
+        store.append(&assert_op(0, 1)).unwrap();
+        store
+            .append(&WalRecord::Mark {
+                tcs_epoch: 0,
+                data_epoch: 1,
+            })
+            .unwrap();
+        store.flush().unwrap();
+        drop(store);
+        let (_, recovery) = Store::open(&dir, opts).unwrap();
+        assert_eq!(recovery.replayed_ops(), 1);
+        assert_eq!(recovery.tail.len(), 2);
+        assert_eq!(recovery.final_epochs(), (0, 1));
+    }
+
+    #[test]
+    fn mismatched_mark_is_corruption() {
+        let dir = test_dir("store-badmark");
+        let opts = StoreOptions {
+            fsync: FsyncPolicy::Never,
+            ..StoreOptions::default()
+        };
+        let (mut store, _) = Store::open(&dir, opts).unwrap();
+        store.append(&assert_op(0, 1)).unwrap();
+        store
+            .append(&WalRecord::Mark {
+                tcs_epoch: 1,
+                data_epoch: 1,
+            })
+            .unwrap();
+        store.flush().unwrap();
+        drop(store);
+        let err = Store::open(&dir, opts).unwrap_err();
+        assert!(err.to_string().contains("mark"), "{err}");
+    }
+}

@@ -31,7 +31,8 @@
 //! | [`completeness`] | TCSs, `T_C`/`G_C`, completeness check, MCG, MCI, k-MCS; finite-domain + key constraints, answering with guarantees, explanations, lints |
 //! | [`parser`] | text syntax for queries, statements and facts, with byte-span tracking |
 //! | [`analyze`] | span-aware static analysis: `M0xx` diagnostics over statements, queries, facts and the Datalog encoding |
-//! | [`server`] | concurrent completeness service: session engine, verdict cache, TCP front end |
+//! | [`server`] | concurrent completeness service: session engine, verdict cache, TCP front end, optional durability |
+//! | [`storage`] | write-ahead log + snapshot checkpoints: CRC-framed segments, atomic checkpoint images, crash recovery |
 //! | [`workload`] | paper workloads, synthetic data, random generators |
 //!
 //! The most common items are re-exported at the crate root.
@@ -76,6 +77,7 @@ pub use magik_prolog as prolog;
 pub use magik_relalg as relalg;
 pub use magik_runtime as runtime;
 pub use magik_server as server;
+pub use magik_storage as storage;
 pub use magik_unify as unify;
 pub use magik_workload as workload;
 
@@ -107,4 +109,7 @@ pub use magik_relalg::{
     is_strictly_contained_in, minimize, Atom, Cst, DisplayWith, Fact, Instance, Pred, Query,
     Snapshot, StoreView, Substitution, Term, Var, Vocabulary,
 };
-pub use magik_server::{Engine, Server};
+pub use magik_server::{DurabilityOptions, Engine, RecoveryReport, Server};
+pub use magik_storage::{
+    CheckpointImage, FsyncPolicy, StorageError, Store, StoreOptions, WalRecord,
+};
