@@ -36,5 +36,21 @@ if [ -n "$leaks" ]; then
   exit 1
 fi
 
+# Diagnostic catalogue: every stable M0xx code defined in diag.rs must
+# have a `### M0xx` entry in ANALYSES.md, so `magik analyze --explain`
+# always has something to print and the docs cannot silently lag the
+# analyzer.
+missing=""
+for code in $(grep -o '=> "M0[0-9][0-9]"' crates/analyze/src/diag.rs | grep -o 'M0[0-9][0-9]' | sort -u); do
+  if ! grep -q "^### $code " ANALYSES.md; then
+    missing="$missing $code"
+  fi
+done
+if [ -n "$missing" ]; then
+  echo "hygiene: diagnostic codes without an ANALYSES.md entry:$missing" >&2
+  exit 1
+fi
+
 echo "hygiene: all crate roots forbid unsafe_code and deny missing_docs"
 echo "hygiene: fsync primitives are confined to crates/storage"
+echo "hygiene: every M0xx code is catalogued in ANALYSES.md"

@@ -2,12 +2,14 @@
 //! renderers.
 //!
 //! Every analysis in this crate reports [`Diagnostic`]s. A diagnostic has
-//! a stable [`Code`] (`M001`–`M017` — tools may match on these, so codes
+//! a stable [`Code`] (`M001`–`M024` — tools may match on these, so codes
 //! are never reused or renumbered; see `ANALYSES.md` for the catalogue),
 //! a [`Severity`], a logical [`Location`] inside the analyzed document,
 //! and — when the document was parsed from source — a byte [`Span`] that
 //! the text renderer turns into a rustc-style excerpt with a caret
-//! underline.
+//! underline. Passes that know how to repair a finding attach
+//! [`Suggestion`]s; the [`crate::apply_fixes`] driver applies the
+//! machine-applicable ones.
 
 use std::fmt;
 
@@ -100,6 +102,28 @@ pub enum Code {
     /// M017: a statement (a rule of the Section 5 encoding) is not
     /// reachable from any query in the document.
     UnusedStatement,
+    /// M018: a live-session statement duplicates or is subsumed by
+    /// another statement of the live set.
+    RedundantLiveStatement,
+    /// M019: a live-session statement's condition is unsatisfiable under
+    /// the session's integrity constraints.
+    UnsatisfiableLiveStatement,
+    /// M020: a relation has asserted facts but no statement guarantees
+    /// any part of it — a completeness blind spot.
+    CompletenessBlindSpot,
+    /// M021: a live-session statement's pattern matches zero stored
+    /// facts — the guarantee is currently vacuous.
+    VacuousStatement,
+    /// M022: a query atom's relation is transitively unguaranteeable in
+    /// the live session — the check is trivially incomplete for every
+    /// instance (greatest-fixpoint coverage analysis).
+    TriviallyIncompleteCheck,
+    /// M023: the session stores facts but holds no statements at all —
+    /// every completeness check is trivially incomplete.
+    EmptyStatementSet,
+    /// M024: one relation name is interned at two different arities in
+    /// the live session vocabulary.
+    LiveArityConflict,
 }
 
 impl Code {
@@ -123,6 +147,87 @@ impl Code {
             Code::UnboundedRecursion => "M015",
             Code::BoundedRecursion => "M016",
             Code::UnusedStatement => "M017",
+            Code::RedundantLiveStatement => "M018",
+            Code::UnsatisfiableLiveStatement => "M019",
+            Code::CompletenessBlindSpot => "M020",
+            Code::VacuousStatement => "M021",
+            Code::TriviallyIncompleteCheck => "M022",
+            Code::EmptyStatementSet => "M023",
+            Code::LiveArityConflict => "M024",
+        }
+    }
+
+    /// Every registered code, in numeric order. The catalogue checks and
+    /// `--explain` completion iterate this.
+    pub const ALL: [Code; 24] = [
+        Code::DuplicateStatement,
+        Code::SubsumedStatement,
+        Code::SelfConditioned,
+        Code::UnguaranteeableCondition,
+        Code::DeadStatement,
+        Code::UnsafeQuery,
+        Code::UnsatisfiableQuery,
+        Code::DeadQueryAtom,
+        Code::NoMcg,
+        Code::FixpointBound,
+        Code::UnknownRelation,
+        Code::ArityConflict,
+        Code::DomainViolationFact,
+        Code::KeyViolationFacts,
+        Code::UnboundedRecursion,
+        Code::BoundedRecursion,
+        Code::UnusedStatement,
+        Code::RedundantLiveStatement,
+        Code::UnsatisfiableLiveStatement,
+        Code::CompletenessBlindSpot,
+        Code::VacuousStatement,
+        Code::TriviallyIncompleteCheck,
+        Code::EmptyStatementSet,
+        Code::LiveArityConflict,
+    ];
+
+    /// Parses a stable code string (`"M004"`, case-insensitive on the
+    /// letter) back into a [`Code`].
+    pub fn parse(s: &str) -> Option<Code> {
+        let s = s.trim();
+        Code::ALL
+            .iter()
+            .copied()
+            .find(|c| c.as_str().eq_ignore_ascii_case(s))
+    }
+
+    /// A short, stable title for the code, used as the SARIF rule
+    /// description and as the `--explain` header.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::DuplicateStatement => "statement duplicates an earlier one up to renaming",
+            Code::SubsumedStatement => "statement is subsumed by a more general one",
+            Code::SelfConditioned => "statement conditions on its own head relation",
+            Code::UnguaranteeableCondition => "condition relation is never guaranteed",
+            Code::DeadStatement => "statement can never fire under the constraints",
+            Code::UnsafeQuery => "query is not range-restricted",
+            Code::UnsatisfiableQuery => "query is unsatisfiable under the constraints",
+            Code::DeadQueryAtom => "query atom's relation is transitively unguaranteeable",
+            Code::NoMcg => "the minimal complete generalization does not exist",
+            Code::FixpointBound => "static bound on MCG fixpoint iterations and MCS sizes",
+            Code::UnknownRelation => "relation occurs nowhere else in the document",
+            Code::ArityConflict => "relation name used at two different arities",
+            Code::DomainViolationFact => "stored fact violates a finite-domain constraint",
+            Code::KeyViolationFacts => "stored facts violate a key constraint",
+            Code::UnboundedRecursion => "cyclic statement set with unbounded MCS sizes",
+            Code::BoundedRecursion => "cyclic but weakly acyclic statement set",
+            Code::UnusedStatement => "statement is unreachable from every query",
+            Code::RedundantLiveStatement => "live statement is redundant in the session set",
+            Code::UnsatisfiableLiveStatement => {
+                "live statement can never fire under the session constraints"
+            }
+            Code::CompletenessBlindSpot => "relation has asserted facts but no covering statement",
+            Code::VacuousStatement => "live statement matches no stored facts",
+            Code::TriviallyIncompleteCheck => {
+                "completeness check is trivially incomplete for every instance"
+            }
+            Code::EmptyStatementSet => "session stores facts but holds no statements",
+            Code::LiveArityConflict => "relation name interned at two arities in the session",
         }
     }
 
@@ -132,7 +237,11 @@ impl Code {
             Code::UnsafeQuery | Code::DomainViolationFact | Code::KeyViolationFacts => {
                 Severity::Error
             }
-            Code::FixpointBound | Code::BoundedRecursion | Code::UnusedStatement => Severity::Info,
+            Code::FixpointBound
+            | Code::BoundedRecursion
+            | Code::UnusedStatement
+            | Code::VacuousStatement
+            | Code::EmptyStatementSet => Severity::Info,
             _ => Severity::Warning,
         }
     }
@@ -231,6 +340,41 @@ impl fmt::Display for Location {
     }
 }
 
+/// Whether a [`Suggestion`] may be applied without human review.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Applicability {
+    /// The fix is semantics-preserving (or removes provably-inert text);
+    /// `--fix` applies it automatically.
+    MachineApplicable,
+    /// The fix is a plausible repair but may change meaning; it is shown
+    /// but never auto-applied.
+    MaybeIncorrect,
+}
+
+impl Applicability {
+    /// The lowercase name used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Applicability::MachineApplicable => "machine-applicable",
+            Applicability::MaybeIncorrect => "maybe-incorrect",
+        }
+    }
+}
+
+/// A structured repair attached to a [`Diagnostic`]: replace the byte
+/// range `span` of the source with `replacement` (empty to delete).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suggestion {
+    /// Human-readable description of the edit (`"delete this statement"`).
+    pub message: String,
+    /// Byte range of the source to replace.
+    pub span: Span,
+    /// The replacement text (may be empty, meaning deletion).
+    pub replacement: String,
+    /// Whether `--fix` may apply this edit unattended.
+    pub applicability: Applicability,
+}
+
 /// One finding of the analyzer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -246,6 +390,8 @@ pub struct Diagnostic {
     pub span: Option<Span>,
     /// Supplementary notes rendered under the excerpt.
     pub notes: Vec<String>,
+    /// Structured repairs; empty when the pass knows no fix.
+    pub suggestions: Vec<Suggestion>,
 }
 
 impl Diagnostic {
@@ -258,12 +404,19 @@ impl Diagnostic {
             location,
             span: None,
             notes: Vec::new(),
+            suggestions: Vec::new(),
         }
     }
 
     /// Adds a note (builder style).
     pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
         self.notes.push(note.into());
+        self
+    }
+
+    /// Attaches a repair (builder style).
+    pub fn with_suggestion(mut self, suggestion: Suggestion) -> Diagnostic {
+        self.suggestions.push(suggestion);
         self
     }
 }
@@ -326,11 +479,25 @@ pub fn render_text(diag: &Diagnostic, source: Option<&SourceFile<'_>>) -> String
             for note in &diag.notes {
                 out.push_str(&format!("{pad} = note: {note}\n"));
             }
+            for s in &diag.suggestions {
+                out.push_str(&format!(
+                    "{pad} = help: {} ({})\n",
+                    s.message,
+                    s.applicability.as_str()
+                ));
+            }
         }
         _ => {
             out.push_str(&format!("  --> {}\n", diag.location));
             for note in &diag.notes {
                 out.push_str(&format!("  = note: {note}\n"));
+            }
+            for s in &diag.suggestions {
+                out.push_str(&format!(
+                    "  = help: {} ({})\n",
+                    s.message,
+                    s.applicability.as_str()
+                ));
             }
         }
     }
@@ -449,14 +616,30 @@ pub fn render_json(diags: &[Diagnostic], source: Option<&SourceFile<'_>>) -> Str
             .map(|n| format!("\"{}\"", json_escape(n)))
             .collect::<Vec<_>>()
             .join(",");
+        let suggestions = d
+            .suggestions
+            .iter()
+            .map(|s| {
+                format!(
+                    r#"{{"message":"{}","span":{{"start":{},"end":{}}},"replacement":"{}","applicability":"{}"}}"#,
+                    json_escape(&s.message),
+                    s.span.start,
+                    s.span.end,
+                    json_escape(&s.replacement),
+                    s.applicability.as_str()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         items.push(format!(
-            r#"{{"code":"{}","severity":"{}","message":"{}","location":{},"span":{},"notes":[{}]}}"#,
+            r#"{{"code":"{}","severity":"{}","message":"{}","location":{},"span":{},"notes":[{}],"suggestions":[{}]}}"#,
             d.code,
             d.severity,
             json_escape(&d.message),
             json_location(&d.location),
             span,
-            notes
+            notes,
+            suggestions
         ));
     }
     let count = |s: Severity| diags.iter().filter(|d| d.severity == s).count();
@@ -571,11 +754,57 @@ mod tests {
             Code::UnboundedRecursion,
             Code::BoundedRecursion,
             Code::UnusedStatement,
+            Code::RedundantLiveStatement,
+            Code::UnsatisfiableLiveStatement,
+            Code::CompletenessBlindSpot,
+            Code::VacuousStatement,
+            Code::TriviallyIncompleteCheck,
+            Code::EmptyStatementSet,
+            Code::LiveArityConflict,
         ];
         let strs: std::collections::BTreeSet<&str> = all.iter().map(|c| c.as_str()).collect();
         assert_eq!(strs.len(), all.len());
         for (i, c) in all.iter().enumerate() {
             assert_eq!(c.as_str(), format!("M{:03}", i + 1));
         }
+        assert_eq!(Code::ALL.as_slice(), all.as_slice());
+        for c in Code::ALL {
+            assert_eq!(Code::parse(c.as_str()), Some(c));
+            assert_eq!(Code::parse(&c.as_str().to_ascii_lowercase()), Some(c));
+        }
+        assert_eq!(Code::parse("M099"), None);
+        assert_eq!(Code::parse("bogus"), None);
+    }
+
+    #[test]
+    fn suggestions_render_in_text_and_json() {
+        let src = SourceFile::new("spec.magik", "compl p(X) ; q(X).\n");
+        let mut d = Diagnostic::new(
+            Code::DuplicateStatement,
+            Location::Statement {
+                index: 0,
+                part: StatementPart::Whole,
+            },
+            "statement duplicates statement [0]",
+        )
+        .with_suggestion(Suggestion {
+            message: "delete this statement".to_string(),
+            span: Span::new(0, 18),
+            replacement: String::new(),
+            applicability: Applicability::MachineApplicable,
+        });
+        d.span = Some(Span::new(0, 18));
+        let text = render_text(&d, Some(&src));
+        assert!(
+            text.contains("= help: delete this statement (machine-applicable)"),
+            "{text}"
+        );
+        let json = render_json(&[d], Some(&src));
+        assert!(
+            json.contains(
+                r#""suggestions":[{"message":"delete this statement","span":{"start":0,"end":18},"replacement":"","applicability":"machine-applicable"}]"#
+            ),
+            "{json}"
+        );
     }
 }

@@ -1,0 +1,49 @@
+//! `--explain M0xx`: the diagnostic catalogue, embedded at build time.
+//!
+//! `ANALYSES.md` at the repository root is the human-authored catalogue
+//! of every stable code (trigger conditions, examples, rationale). It is
+//! compiled into the binary with `include_str!` so `magik analyze
+//! --explain M004` works offline at the terminal, and the hygiene CI
+//! check asserts every registered [`Code`] actually has an entry.
+
+use crate::diag::Code;
+
+/// The embedded catalogue text.
+pub const CATALOGUE: &str = include_str!("../../../ANALYSES.md");
+
+/// The catalogue entry for `code`: its `### M0xx — …` section, from the
+/// heading up to (excluding) the next heading. `None` when the
+/// catalogue has no entry — the caller can fall back to [`Code::title`].
+pub fn explain_code(code: Code) -> Option<String> {
+    let needle = format!("### {} ", code.as_str());
+    let start = CATALOGUE.find(&needle)?;
+    let body = &CATALOGUE[start..];
+    let end = body[4..]
+        .find("\n### ")
+        .or_else(|| body[4..].find("\n## "))
+        .map_or(body.len(), |i| i + 4);
+    Some(body[..end].trim_end().to_owned() + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_document_code_has_a_catalogue_entry() {
+        for c in Code::ALL {
+            let entry = explain_code(c)
+                .unwrap_or_else(|| panic!("no ANALYSES.md entry for {}", c.as_str()));
+            assert!(entry.starts_with(&format!("### {}", c.as_str())), "{entry}");
+            // Sections are self-contained: no other heading bleeds in.
+            assert!(!entry[4..].contains("\n### "), "{entry}");
+        }
+    }
+
+    #[test]
+    fn explain_is_none_only_for_missing_sections() {
+        let entry = explain_code(Code::UnguaranteeableCondition).unwrap();
+        assert!(entry.contains("M004"), "{entry}");
+        assert!(entry.to_lowercase().contains("guarantee"), "{entry}");
+    }
+}

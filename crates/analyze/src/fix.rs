@@ -1,0 +1,350 @@
+//! Autofix: attaching structured [`Suggestion`]s to diagnostics and the
+//! `--fix` fixpoint driver that applies the machine-applicable ones.
+//!
+//! The driver is deliberately conservative. Each round it
+//!
+//! 1. parses and analyzes the current text,
+//! 2. collects every [`Applicability::MachineApplicable`] suggestion,
+//! 3. applies a non-overlapping subset (longest span first, then lowest
+//!    start — deterministic conflict resolution),
+//! 4. re-parses and re-analyzes the result, and **reverts the whole
+//!    round** unless the text still parses and the diagnostic severity
+//!    profile `(errors, warnings, infos)` strictly decreased
+//!    lexicographically (fixing an error may legitimately surface an
+//!    info — e.g. repairing an unsafe query unlocks the M010 bound — so
+//!    a raw count comparison would be too strict).
+//!
+//! Rounds repeat until no suggestion remains or a round is reverted, so
+//! [`fix_source`] is a fixpoint: running it on its own output applies
+//! zero edits. The progress guard is what makes the crate-level proptest
+//! law (`--fix` output re-parses and has strictly fewer diagnostics at
+//! the severest level it changed) hold by construction rather than by
+//! hope.
+
+use magik_parser::{parse_document, Document, ParseError};
+use magik_relalg::{DisplayWith, Term, Vocabulary};
+
+use crate::diag::{
+    Applicability, Code, Diagnostic, Location, QueryPart, StatementPart, Suggestion,
+};
+use crate::passes::analyze_document;
+
+/// Attaches repair suggestions to freshly produced diagnostics. Called by
+/// [`analyze_document`] after span resolution; diagnostics without a
+/// resolvable span (programmatic documents) get no suggestions.
+pub(crate) fn attach_suggestions(diags: &mut [Diagnostic], doc: &Document, vocab: &Vocabulary) {
+    for d in diags.iter_mut() {
+        let Some(span) = d.span else { continue };
+        match (d.code, d.location) {
+            (
+                Code::DuplicateStatement,
+                Location::Statement {
+                    part: StatementPart::Whole,
+                    ..
+                },
+            ) => {
+                d.suggestions.push(Suggestion {
+                    message: "delete this duplicate statement".to_owned(),
+                    span,
+                    replacement: String::new(),
+                    applicability: Applicability::MachineApplicable,
+                });
+            }
+            (
+                Code::SubsumedStatement,
+                Location::Statement {
+                    part: StatementPart::Whole,
+                    ..
+                },
+            ) => {
+                d.suggestions.push(Suggestion {
+                    message: "delete this subsumed statement".to_owned(),
+                    span,
+                    replacement: String::new(),
+                    applicability: Applicability::MachineApplicable,
+                });
+            }
+            (
+                Code::DeadStatement,
+                Location::Statement {
+                    part: StatementPart::Whole,
+                    ..
+                },
+            ) => {
+                d.suggestions.push(Suggestion {
+                    message: "delete this dead statement".to_owned(),
+                    span,
+                    replacement: String::new(),
+                    applicability: Applicability::MachineApplicable,
+                });
+            }
+            (
+                Code::UnusedStatement,
+                Location::Statement {
+                    part: StatementPart::Whole,
+                    ..
+                },
+            ) => {
+                d.suggestions.push(Suggestion {
+                    message: "delete this unused statement".to_owned(),
+                    span,
+                    replacement: String::new(),
+                    applicability: Applicability::MaybeIncorrect,
+                });
+            }
+            (Code::DomainViolationFact, Location::Fact { .. }) => {
+                d.suggestions.push(Suggestion {
+                    message: "delete this constraint-violating fact".to_owned(),
+                    span,
+                    replacement: String::new(),
+                    applicability: Applicability::MaybeIncorrect,
+                });
+            }
+            (
+                Code::UnsafeQuery,
+                Location::Query {
+                    index,
+                    part: QueryPart::Head,
+                },
+            ) => {
+                let Some(q) = doc.queries.get(index) else {
+                    continue;
+                };
+                let body_vars = q.body_vars();
+                let kept: Vec<String> = q
+                    .head
+                    .iter()
+                    .filter(|t| match t {
+                        Term::Var(v) => body_vars.contains(v),
+                        Term::Cst(_) => true,
+                    })
+                    .map(|t| t.display(vocab).to_string())
+                    .collect();
+                d.suggestions.push(Suggestion {
+                    message: "drop the unbound head variables".to_owned(),
+                    span,
+                    replacement: format!("{}({})", vocab.name(q.name), kept.join(", ")),
+                    applicability: Applicability::MachineApplicable,
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One `--fix` run: the resulting text plus what happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixReport {
+    /// The fixed source (equal to the input when nothing was applied).
+    pub text: String,
+    /// Committed fix rounds (each round re-parses and re-analyzes).
+    pub rounds: usize,
+    /// Total edits applied across committed rounds.
+    pub applied: usize,
+    /// Diagnostic count of the input text.
+    pub diags_before: usize,
+    /// Diagnostic count of the output text.
+    pub diags_after: usize,
+}
+
+fn analyze_text(src: &str) -> Result<(Document, Vec<Diagnostic>), ParseError> {
+    let mut vocab = Vocabulary::new();
+    let doc = parse_document(src, &mut vocab)?;
+    let diags = analyze_document(&doc, &mut vocab);
+    Ok((doc, diags))
+}
+
+/// The `(errors, warnings, infos)` profile the progress guard compares.
+pub fn severity_profile(diags: &[Diagnostic]) -> (usize, usize, usize) {
+    let count = |s: crate::diag::Severity| diags.iter().filter(|d| d.severity == s).count();
+    (
+        count(crate::diag::Severity::Error),
+        count(crate::diag::Severity::Warning),
+        count(crate::diag::Severity::Info),
+    )
+}
+
+/// Applies the given edits to `src`: sorts longest-span-first (ties by
+/// start position, then replacement text), drops edits overlapping an
+/// already-selected one, and splices the survivors. Whole-line deletions
+/// also consume the line's trailing newline so no blank line is left
+/// behind. Returns the new text and the number of edits applied.
+pub fn apply_edits(src: &str, edits: &[Suggestion]) -> (String, usize) {
+    let mut ordered: Vec<&Suggestion> = edits.iter().collect();
+    ordered.sort_by(|a, b| {
+        b.span
+            .len()
+            .cmp(&a.span.len())
+            .then_with(|| a.span.start.cmp(&b.span.start))
+            .then_with(|| a.replacement.cmp(&b.replacement))
+    });
+    let mut selected: Vec<&Suggestion> = Vec::new();
+    for e in ordered {
+        if e.span.end > src.len() || e.span.start > e.span.end {
+            continue;
+        }
+        let overlaps = selected
+            .iter()
+            .any(|s| e.span.start < s.span.end && s.span.start < e.span.end);
+        if !overlaps {
+            selected.push(e);
+        }
+    }
+    let applied = selected.len();
+    // Splice back-to-front so earlier offsets stay valid.
+    selected.sort_by_key(|s| std::cmp::Reverse(s.span.start));
+    let bytes = src.as_bytes();
+    let mut text = src.to_owned();
+    for e in selected {
+        let (mut start, mut end) = (e.span.start, e.span.end);
+        if e.replacement.is_empty() {
+            // Deleting a whole line? Consume its indentation and newline.
+            let mut ls = start;
+            while ls > 0 && (bytes[ls - 1] == b' ' || bytes[ls - 1] == b'\t') {
+                ls -= 1;
+            }
+            let mut le = end;
+            while le < bytes.len() && (bytes[le] == b' ' || bytes[le] == b'\t') {
+                le += 1;
+            }
+            if (ls == 0 || bytes[ls - 1] == b'\n') && (le == bytes.len() || bytes[le] == b'\n') {
+                start = ls;
+                end = if le < bytes.len() { le + 1 } else { le };
+            }
+        }
+        text.replace_range(start..end, &e.replacement);
+    }
+    (text, applied)
+}
+
+/// Runs the fix driver to its fixpoint. Errors only when the *input*
+/// does not parse; committed intermediate states always parse.
+pub fn fix_source(src: &str) -> Result<FixReport, ParseError> {
+    let (_, diags) = analyze_text(src)?;
+    let diags_before = diags.len();
+    let mut cur = src.to_owned();
+    let mut count = diags_before;
+    let mut profile = severity_profile(&diags);
+    let mut rounds = 0;
+    let mut applied_total = 0;
+    loop {
+        let (_, diags) = analyze_text(&cur).expect("committed text parses");
+        let edits: Vec<Suggestion> = diags
+            .iter()
+            .flat_map(|d| d.suggestions.iter())
+            .filter(|s| s.applicability == Applicability::MachineApplicable)
+            .cloned()
+            .collect();
+        if edits.is_empty() {
+            break;
+        }
+        let (next, applied) = apply_edits(&cur, &edits);
+        if applied == 0 || next == cur {
+            break;
+        }
+        // Progress guard: revert the round unless the result parses and
+        // strictly shrinks the severity profile.
+        let Ok((_, next_diags)) = analyze_text(&next) else {
+            break;
+        };
+        let next_profile = severity_profile(&next_diags);
+        if next_profile >= profile {
+            break;
+        }
+        profile = next_profile;
+        count = next_diags.len();
+        cur = next;
+        rounds += 1;
+        applied_total += applied;
+    }
+    Ok(FixReport {
+        text: cur,
+        rounds,
+        applied: applied_total,
+        diags_before,
+        diags_after: count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magik_parser::Span;
+
+    #[test]
+    fn duplicate_statement_is_deleted_and_fix_is_idempotent() {
+        let src = "compl p(X) ; true.\ncompl p(Y) ; true.\nquery q(X) :- p(X).\n";
+        let report = fix_source(src).unwrap();
+        assert_eq!(report.text, "compl p(X) ; true.\nquery q(X) :- p(X).\n");
+        assert!(report.applied >= 1);
+        assert!(report.diags_after < report.diags_before);
+        let again = fix_source(&report.text).unwrap();
+        assert_eq!(again.text, report.text);
+        assert_eq!(again.applied, 0);
+    }
+
+    #[test]
+    fn unsafe_query_head_is_qualified() {
+        let src = "compl p(X) ; true.\nquery q(X, Y) :- p(X).\n";
+        let report = fix_source(src).unwrap();
+        assert!(
+            report.text.contains("query q(X) :- p(X)."),
+            "{}",
+            report.text
+        );
+        let (_, diags) = analyze_text(&report.text).unwrap();
+        assert!(diags.iter().all(|d| d.code != Code::UnsafeQuery));
+    }
+
+    #[test]
+    fn overlapping_edits_pick_the_longest_deterministically() {
+        let src = "abcdef";
+        let edits = vec![
+            Suggestion {
+                message: "short".into(),
+                span: Span::new(1, 3),
+                replacement: "X".into(),
+                applicability: Applicability::MachineApplicable,
+            },
+            Suggestion {
+                message: "long".into(),
+                span: Span::new(0, 4),
+                replacement: "Y".into(),
+                applicability: Applicability::MachineApplicable,
+            },
+        ];
+        let (text, applied) = apply_edits(src, &edits);
+        assert_eq!(applied, 1);
+        assert_eq!(text, "Yef");
+    }
+
+    #[test]
+    fn disjoint_edits_all_apply() {
+        let src = "abcdef";
+        let edits = vec![
+            Suggestion {
+                message: "a".into(),
+                span: Span::new(0, 1),
+                replacement: "X".into(),
+                applicability: Applicability::MachineApplicable,
+            },
+            Suggestion {
+                message: "b".into(),
+                span: Span::new(5, 6),
+                replacement: "Z".into(),
+                applicability: Applicability::MachineApplicable,
+            },
+        ];
+        let (text, applied) = apply_edits(src, &edits);
+        assert_eq!(applied, 2);
+        assert_eq!(text, "XbcdeZ");
+    }
+
+    #[test]
+    fn clean_input_is_untouched() {
+        let src = "compl p(X) ; true.\nquery q(X) :- p(X).\n";
+        let report = fix_source(src).unwrap();
+        assert_eq!(report.text, src);
+        assert_eq!(report.rounds, 0);
+    }
+}

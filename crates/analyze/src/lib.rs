@@ -40,14 +40,24 @@
 mod coverage;
 mod diag;
 mod encoding;
+mod explain;
+mod fix;
 mod passes;
+mod sarif;
+mod state_passes;
+mod suppress;
 
 pub use coverage::guaranteeable_relations;
 pub use diag::{
-    render_json, render_report, render_text, summary_line, Code, Diagnostic, Location, QueryPart,
-    Severity, SourceFile, StatementPart,
+    render_json, render_report, render_text, summary_line, Applicability, Code, Diagnostic,
+    Location, QueryPart, Severity, SourceFile, StatementPart, Suggestion,
 };
+pub use explain::{explain_code, CATALOGUE};
+pub use fix::{apply_edits, fix_source, severity_profile, FixReport};
 pub use passes::{analyze_document, analyze_query, analyze_statements};
+pub use sarif::{render_sarif, SarifFile};
+pub use state_passes::{analyze_check, analyze_state};
+pub use suppress::{allow_directives, filter_suppressed, AllowDirective, Baseline, Fingerprint};
 
 #[cfg(test)]
 mod tests {
@@ -249,6 +259,32 @@ mod tests {
         let mut sorted = spanned.clone();
         sorted.sort_unstable();
         assert_eq!(spanned, sorted);
+    }
+
+    #[test]
+    fn mixed_arity_documents_report_m012() {
+        // The parser rejects mixed arities outright, so M012 is reachable
+        // only for programmatically built documents (e.g. server sessions
+        // reassembled from requests) — this doubles as its golden: the
+        // exact spanless rendering.
+        let mut v = Vocabulary::new();
+        let p1 = v.pred("p", 1);
+        let p2 = v.pred("p", 2);
+        let a = v.cst("a");
+        let mut doc = magik_parser::Document::default();
+        doc.facts.insert(magik_relalg::Fact::new(p1, vec![a]));
+        doc.facts.insert(magik_relalg::Fact::new(p2, vec![a, a]));
+        let diags = analyze_document(&doc, &mut v);
+        let m012 = diags
+            .iter()
+            .find(|d| d.code == Code::ArityConflict)
+            .expect("M012 fires");
+        assert!(
+            m012.message.contains("`p`") && m012.message.contains("1 and 2"),
+            "{m012:?}"
+        );
+        let text = render_report(std::slice::from_ref(m012), None);
+        assert!(text.contains("warning[M012]"), "{text}");
     }
 
     #[test]

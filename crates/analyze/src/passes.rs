@@ -74,6 +74,7 @@ pub fn analyze_document(doc: &Document, vocab: &mut Vocabulary) -> Vec<Diagnosti
     for d in &mut diags {
         d.span = resolve_span(&d.location, &doc.spans);
     }
+    crate::fix::attach_suggestions(&mut diags, doc, vocab);
     diags.sort_by(|a, b| {
         let key = |d: &Diagnostic| {
             d.span

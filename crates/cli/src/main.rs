@@ -30,12 +30,13 @@ use std::process::ExitCode;
 mod repl;
 
 use magik::{
-    analyze_document, answers, classify_answers, count_bounds, counterexample, explain_check,
-    explain_json, explain_text, is_complete, is_complete_under, k_mcs, lint, mcg_under,
-    mcg_with_stats, parse_document, publishable_counts, render_counterexample, render_explanation,
-    render_json, render_report, semantics::IncompleteDatabase, tc_apply, CompiledQuery,
-    DisplayWith, Document, DurabilityOptions, Engine, ExecStats, FsyncPolicy, KMcsEngine,
-    KMcsOptions, Server, Severity, SourceFile, Vocabulary,
+    allow_directives, analyze_document, answers, classify_answers, count_bounds, counterexample,
+    explain_check, explain_code, explain_json, explain_text, filter_suppressed, fix_source,
+    is_complete, is_complete_under, k_mcs, lint, mcg_under, mcg_with_stats, parse_document,
+    publishable_counts, render_counterexample, render_explanation, render_json, render_report,
+    render_sarif, semantics::IncompleteDatabase, tc_apply, Baseline, Code, CompiledQuery,
+    Diagnostic, DisplayWith, Document, DurabilityOptions, Engine, ExecStats, FsyncPolicy,
+    KMcsEngine, KMcsOptions, SarifFile, Server, Severity, SourceFile, Vocabulary,
 };
 
 const USAGE: &str = "usage: magik <check|generalize|specialize|eval|explain> <file> [options]
@@ -51,12 +52,22 @@ commands:
   why        <file>                 per-atom completeness explanation and,
                                     for incomplete queries, a counterexample
   explain    <file>                 statement-set diagnostics and lints
-  analyze    <file> [--format text|json] [--deny infos|warnings|errors]
+  analyze    <file|dir>... [--format text|json|sarif]
+             [--deny infos|warnings|errors] [--fix]
+             [--baseline F] [--write-baseline F] [--explain M0xx]
                                     static analysis: span-annotated M0xx
                                     diagnostics for statements, queries,
-                                    facts and the Datalog encoding; exit 3
-                                    if any diagnostic reaches the --deny
-                                    level (default: errors)
+                                    facts and the Datalog encoding, over
+                                    any number of files (directories
+                                    recurse into *.magik); exit 3 if any
+                                    kept diagnostic reaches the --deny
+                                    level (default: errors); --fix applies
+                                    machine-applicable suggestions in
+                                    place; `% magik: allow(M0xx)` comments
+                                    suppress findings; --baseline filters
+                                    accepted findings, --write-baseline
+                                    records them; --explain prints the
+                                    catalogue entry for one code
   simulate   <file>                 treat facts as the ideal state and show
                                     which query answers are at risk
   explain-plan <file> [--format text|json]
@@ -372,22 +383,54 @@ fn cmd_simulate(vocab: &Vocabulary, doc: &Document) {
     }
 }
 
-/// `magik analyze <file> [--format text|json] [--deny LEVEL]` — run the
-/// static analyzer and render its report. Exit codes: 0 clean (below the
-/// deny level), 1 usage error, 2 parse error, 3 diagnostics at or above
-/// the deny level.
+/// Output format of `magik analyze`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AnalyzeFormat {
+    Text,
+    Json,
+    Sarif,
+}
+
+/// Recursively collects `*.magik` files under `dir`, sorted by path so
+/// runs are deterministic.
+fn collect_magik_files(dir: &std::path::Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::path);
+    for e in entries {
+        let p = e.path();
+        if p.is_dir() {
+            collect_magik_files(&p, out)?;
+        } else if p.extension().is_some_and(|x| x == "magik") {
+            out.push(p.to_string_lossy().into_owned());
+        }
+    }
+    Ok(())
+}
+
+/// `magik analyze <file|dir>... [--format text|json|sarif] [--deny LEVEL]
+/// [--fix] [--baseline F] [--write-baseline F] [--explain M0xx]` — run
+/// the static analyzer over every input (directories recurse into
+/// `*.magik`) and render one report with one aggregated exit code:
+/// 0 clean (below the deny level everywhere), 1 usage/read error,
+/// 2 parse error, 3 diagnostics at or above the deny level; the worst
+/// code across all inputs wins. `--fix` applies the machine-applicable
+/// suggestions in place and re-analyzes the result.
 fn cmd_analyze(args: &[String]) -> ExitCode {
-    let mut json = false;
+    let mut format = AnalyzeFormat::Text;
     let mut deny = Severity::Error;
-    let mut file = None;
+    let mut fix = false;
+    let mut baseline_path: Option<String> = None;
+    let mut write_baseline: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
     let mut rest = args.iter();
     while let Some(opt) = rest.next() {
         match opt.as_str() {
             "--format" => match rest.next().map(String::as_str) {
-                Some("text") => json = false,
-                Some("json") => json = true,
+                Some("text") => format = AnalyzeFormat::Text,
+                Some("json") => format = AnalyzeFormat::Json,
+                Some("sarif") => format = AnalyzeFormat::Sarif,
                 _ => {
-                    eprintln!("magik: --format requires `text` or `json`");
+                    eprintln!("magik: --format requires `text`, `json` or `sarif`");
                     return ExitCode::from(1);
                 }
             },
@@ -398,8 +441,38 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                     return ExitCode::from(1);
                 }
             },
-            other if other == "-" || (!other.starts_with('-') && file.is_none()) => {
-                file = Some(other.to_string());
+            "--fix" => fix = true,
+            "--baseline" => match rest.next() {
+                Some(p) => baseline_path = Some(p.clone()),
+                None => {
+                    eprintln!("magik: --baseline requires a file path");
+                    return ExitCode::from(1);
+                }
+            },
+            "--write-baseline" => match rest.next() {
+                Some(p) => write_baseline = Some(p.clone()),
+                None => {
+                    eprintln!("magik: --write-baseline requires a file path");
+                    return ExitCode::from(1);
+                }
+            },
+            "--explain" => {
+                return match rest.next().and_then(|v| Code::parse(v)) {
+                    Some(code) => {
+                        match explain_code(code) {
+                            Some(entry) => print!("{entry}"),
+                            None => println!("{}: {}", code.as_str(), code.title()),
+                        }
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        eprintln!("magik: --explain requires a diagnostic code (M001–M024)");
+                        ExitCode::from(1)
+                    }
+                };
+            }
+            other if other == "-" || !other.starts_with('-') => {
+                inputs.push(other.to_string());
             }
             other => {
                 eprintln!("magik: unknown option `{other}`\n{USAGE}");
@@ -407,37 +480,148 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             }
         }
     }
-    let Some(path) = file else {
+    if inputs.is_empty() {
         eprintln!("magik: missing <file>\n{USAGE}");
         return ExitCode::from(1);
+    }
+    if fix && inputs.iter().any(|p| p == "-") {
+        eprintln!("magik: --fix requires file paths, not stdin");
+        return ExitCode::from(1);
+    }
+    // Expand directories into their `*.magik` files, in CLI order.
+    let mut files: Vec<String> = Vec::new();
+    for input in &inputs {
+        if input != "-" && std::path::Path::new(input).is_dir() {
+            if let Err(e) = collect_magik_files(std::path::Path::new(input), &mut files) {
+                eprintln!("magik: cannot read directory `{input}`: {e}");
+                return ExitCode::from(1);
+            }
+        } else {
+            files.push(input.clone());
+        }
+    }
+    let baseline = match &baseline_path {
+        Some(p) => match std::fs::read_to_string(p).map_err(|e| e.to_string()) {
+            Ok(text) => match Baseline::from_json(&text) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("magik: cannot parse baseline `{p}`: {e}");
+                    return ExitCode::from(1);
+                }
+            },
+            Err(e) => {
+                eprintln!("magik: cannot read baseline `{p}`: {e}");
+                return ExitCode::from(1);
+            }
+        },
+        None => None,
     };
-    let src = match read_input(&path) {
-        Ok(src) => src,
-        Err(e) => {
-            eprintln!("magik: cannot read `{path}`: {e}");
+    let mut recorded = Baseline::new();
+    let mut exit: u8 = 0;
+    // (path, source, kept diagnostics) per analyzed file; SARIF renders
+    // them as one run at the end.
+    let mut analyzed: Vec<(String, String, Vec<Diagnostic>)> = Vec::new();
+    for path in &files {
+        let mut src = match read_input(path) {
+            Ok(src) => src,
+            Err(e) => {
+                eprintln!("magik: cannot read `{path}`: {e}");
+                exit = exit.max(1);
+                continue;
+            }
+        };
+        if fix {
+            match fix_source(&src) {
+                Ok(report) => {
+                    if report.applied > 0 {
+                        if let Err(e) = std::fs::write(path, &report.text) {
+                            eprintln!("magik: cannot write fixed `{path}`: {e}");
+                            exit = exit.max(1);
+                            continue;
+                        }
+                        eprintln!(
+                            "magik: {path}: applied {} fix(es) in {} round(s)",
+                            report.applied, report.rounds
+                        );
+                        src = report.text;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("magik: {path}:{e}");
+                    exit = exit.max(2);
+                    continue;
+                }
+            }
+        }
+        let mut vocab = Vocabulary::new();
+        let doc = match parse_document(&src, &mut vocab) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("magik: {path}:{e}");
+                exit = exit.max(2);
+                continue;
+            }
+        };
+        let diags = analyze_document(&doc, &mut vocab);
+        let directives = allow_directives(&doc.spans.comments);
+        let index = magik::parser::LineIndex::new(&src);
+        let (kept, suppressed) = filter_suppressed(diags, &directives, &index);
+        let (kept, baselined) = match &baseline {
+            Some(b) => b.filter(path, kept),
+            None => (kept, Vec::new()),
+        };
+        if write_baseline.is_some() {
+            recorded.record(path, &kept);
+        }
+        match format {
+            AnalyzeFormat::Text => {
+                let source = SourceFile::new(path, &src);
+                print!("{}", render_report(&kept, Some(&source)));
+                if !suppressed.is_empty() {
+                    println!("{path}: {} suppressed", suppressed.len());
+                }
+                if !baselined.is_empty() {
+                    println!("{path}: {} baselined", baselined.len());
+                }
+            }
+            AnalyzeFormat::Json => {
+                let source = SourceFile::new(path, &src);
+                println!("{}", render_json(&kept, Some(&source)));
+            }
+            AnalyzeFormat::Sarif => {}
+        }
+        if kept.iter().any(|d| d.severity >= deny) {
+            exit = exit.max(3);
+        }
+        analyzed.push((path.clone(), src, kept));
+    }
+    if format == AnalyzeFormat::Sarif {
+        let sources: Vec<SourceFile> = analyzed
+            .iter()
+            .map(|(path, src, _)| SourceFile::new(path, src))
+            .collect();
+        let entries: Vec<SarifFile> = analyzed
+            .iter()
+            .zip(&sources)
+            .map(|((path, _, kept), source)| SarifFile {
+                name: path,
+                source: Some(source),
+                diags: kept,
+            })
+            .collect();
+        print!("{}", render_sarif(&entries, env!("CARGO_PKG_VERSION")));
+    }
+    if let Some(p) = &write_baseline {
+        if let Err(e) = std::fs::write(p, recorded.to_json()) {
+            eprintln!("magik: cannot write baseline `{p}`: {e}");
             return ExitCode::from(1);
         }
-    };
-    let mut vocab = Vocabulary::new();
-    let doc = match parse_document(&src, &mut vocab) {
-        Ok(doc) => doc,
-        Err(e) => {
-            eprintln!("magik: {path}:{e}");
-            return ExitCode::from(2);
-        }
-    };
-    let diags = analyze_document(&doc, &mut vocab);
-    let source = SourceFile::new(&path, &src);
-    if json {
-        println!("{}", render_json(&diags, Some(&source)));
-    } else {
-        print!("{}", render_report(&diags, Some(&source)));
+        eprintln!(
+            "magik: wrote baseline `{p}` with {} finding(s)",
+            recorded.len()
+        );
     }
-    if diags.iter().any(|d| d.severity >= deny) {
-        ExitCode::from(3)
-    } else {
-        ExitCode::SUCCESS
-    }
+    ExitCode::from(exit)
 }
 
 /// Escapes a string for inclusion in a JSON string literal (for the

@@ -1,0 +1,203 @@
+//! End-to-end tests of `magik analyze`: multi-input aggregation, --fix,
+//! suppression, baselines, SARIF, --explain, and the deny gate.
+
+use std::process::{Command, Output};
+
+fn magik(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_magik"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn testdata(rel: &str) -> String {
+    format!("{}/../../testdata/{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("magik-analyze-cli").join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn multiple_files_aggregate_to_the_worst_exit_code() {
+    // school.magik is clean (exit 0); m006 has an error (exit 3).
+    let out = magik(&[
+        "analyze",
+        &testdata("school.magik"),
+        &testdata("analyze/m006.magik"),
+    ]);
+    assert_eq!(out.status.code(), Some(3));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[M006]"), "{stdout}");
+    // Order independence of aggregation: clean last still exits 3.
+    let out = magik(&[
+        "analyze",
+        &testdata("analyze/m006.magik"),
+        &testdata("school.magik"),
+    ]);
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn directory_input_recurses_and_aggregates() {
+    // testdata/analyze holds per-code fixtures, several with errors.
+    let out = magik(&["analyze", &testdata("analyze")]);
+    assert_eq!(out.status.code(), Some(3));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Files are visited in sorted order, so both ends of the suite show.
+    assert!(stdout.contains("m001.magik"), "{stdout}");
+    assert!(stdout.contains("m017.magik"), "{stdout}");
+}
+
+#[test]
+fn trap_spec_is_still_denied() {
+    let out = magik(&["analyze", &testdata("bad/trap.magik")]);
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn fix_is_idempotent_on_the_fixable_fixture() {
+    let dir = scratch_dir("fix-idempotent");
+    let file = dir.join("fixable.magik");
+    std::fs::copy(testdata("fix/fixable.magik"), &file).unwrap();
+    let path = file.to_str().unwrap();
+
+    let first = magik(&["analyze", path, "--fix"]);
+    let err = String::from_utf8_lossy(&first.stderr);
+    assert!(err.contains("applied 2 fix(es)"), "{err}");
+    let fixed = std::fs::read_to_string(&file).unwrap();
+
+    // Second pass: no edits, file byte-identical.
+    let second = magik(&["analyze", path, "--fix"]);
+    let err = String::from_utf8_lossy(&second.stderr);
+    assert!(!err.contains("applied"), "second --fix not a no-op: {err}");
+    assert_eq!(std::fs::read_to_string(&file).unwrap(), fixed);
+    // The fixed file is clean of machine-applicable findings: the
+    // duplicate (M001) and the unsafe head (M006) are gone.
+    let stdout = String::from_utf8_lossy(&second.stdout);
+    assert!(!stdout.contains("[M001]"), "{stdout}");
+    assert!(!stdout.contains("[M006]"), "{stdout}");
+    assert_eq!(second.status.code(), Some(0));
+}
+
+#[test]
+fn inline_allow_directives_suppress_diagnostics() {
+    let dir = scratch_dir("suppress");
+    let file = dir.join("allowed.magik");
+    std::fs::write(
+        &file,
+        "compl p(X) ; true.\n\
+         % magik: allow(M001)\n\
+         compl p(Y) ; true.\n\
+         query q(X) :- p(X).\n",
+    )
+    .unwrap();
+    let out = magik(&["analyze", file.to_str().unwrap(), "--deny", "warnings"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("[M001]"), "{stdout}");
+    assert!(stdout.contains("1 suppressed"), "{stdout}");
+    assert_eq!(out.status.code(), Some(0));
+
+    // Without the directive the same document is denied.
+    let bare = dir.join("bare.magik");
+    std::fs::write(
+        &bare,
+        "compl p(X) ; true.\ncompl p(Y) ; true.\nquery q(X) :- p(X).\n",
+    )
+    .unwrap();
+    let out = magik(&["analyze", bare.to_str().unwrap(), "--deny", "warnings"]);
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn baseline_round_trip_accepts_preexisting_findings() {
+    let dir = scratch_dir("baseline");
+    let file = dir.join("legacy.magik");
+    std::fs::write(
+        &file,
+        "compl p(X) ; true.\ncompl p(Y) ; true.\nquery q(X) :- p(X).\n",
+    )
+    .unwrap();
+    let path = file.to_str().unwrap();
+    let baseline = dir.join("baseline.json");
+    let bpath = baseline.to_str().unwrap();
+
+    // Record the current findings...
+    let out = magik(&["analyze", path, "--write-baseline", bpath]);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("wrote baseline"), "{err}");
+    assert!(std::fs::read_to_string(&baseline)
+        .unwrap()
+        .contains("\"M001\""));
+
+    // ...then the baseline turns the deny gate green.
+    let out = magik(&["analyze", path, "--deny", "warnings", "--baseline", bpath]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("[M001]"), "{stdout}");
+    assert!(stdout.contains("baselined"), "{stdout}");
+    assert_eq!(out.status.code(), Some(0));
+
+    // A *new* finding in the same file is still reported and denied.
+    std::fs::write(
+        &file,
+        "compl p(X) ; true.\ncompl p(Y) ; true.\ncompl p(Z) ; true.\nquery q(X) :- p(X).\n",
+    )
+    .unwrap();
+    let out = magik(&["analyze", path, "--deny", "warnings", "--baseline", bpath]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[M001]"), "{stdout}");
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn sarif_output_is_one_run_over_all_inputs() {
+    let out = magik(&[
+        "analyze",
+        &testdata("analyze/m001.magik"),
+        &testdata("analyze/m006.magik"),
+        "--format",
+        "sarif",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"version\":\"2.1.0\""), "{stdout}");
+    assert_eq!(stdout.matches("\"runs\":[").count(), 1, "{stdout}");
+    // Both files land in the single run, with their rules and regions.
+    assert!(stdout.contains("m001.magik"), "{stdout}");
+    assert!(stdout.contains("m006.magik"), "{stdout}");
+    assert!(stdout.contains("\"ruleId\":\"M001\""), "{stdout}");
+    assert!(stdout.contains("\"ruleId\":\"M006\""), "{stdout}");
+    assert!(stdout.contains("\"startLine\""), "{stdout}");
+    // The deny gate still applies to SARIF runs.
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn explain_prints_the_catalogue_entry() {
+    let out = magik(&["analyze", "--explain", "M001"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("### M001"), "{stdout}");
+    assert!(stdout.contains("duplicate"), "{stdout}");
+    // Live-session codes are catalogued too.
+    let out = magik(&["analyze", "--explain", "M022"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("### M022"), "{stdout}");
+
+    let out = magik(&["analyze", "--explain", "M999"]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn fix_refuses_stdin() {
+    let out = magik(&["analyze", "-", "--fix"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--fix requires file paths"), "{err}");
+}

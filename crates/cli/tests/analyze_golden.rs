@@ -1,0 +1,67 @@
+//! Golden-output tests for `magik analyze`: one fixture per diagnostic
+//! code, compared byte-for-byte (message, caret excerpt, span columns)
+//! against `testdata/golden/analyze/`.
+//!
+//! The subprocess runs from the repository root with *relative* fixture
+//! paths so the `--> path:line:col` lines are machine-independent. To
+//! regenerate after an intentional output change:
+//!
+//! ```sh
+//! for f in testdata/analyze/m*.magik; do
+//!   cargo run -p magik-cli -- analyze "$f" \
+//!     > "testdata/golden/analyze/$(basename "$f" .magik).txt"
+//! done
+//! ```
+//!
+//! M012 (arity conflict) has no fixture: the parser rejects mixed
+//! arities before analysis can see them, so the code is reachable only
+//! for programmatically built documents — its exact rendering is pinned
+//! by a unit test in `magik-analyze`.
+
+use std::process::Command;
+
+fn repo_root() -> String {
+    format!("{}/../..", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Every code with a CLI-reachable fixture (M001–M017 minus M012).
+const CODES: [&str; 16] = [
+    "m001", "m002", "m003", "m004", "m005", "m006", "m007", "m008", "m009", "m010", "m011", "m013",
+    "m014", "m015", "m016", "m017",
+];
+
+#[test]
+fn analyzer_outputs_match_goldens() {
+    for name in CODES {
+        let fixture = format!("testdata/analyze/{name}.magik");
+        let out = Command::new(env!("CARGO_BIN_EXE_magik"))
+            .current_dir(repo_root())
+            .args(["analyze", &fixture])
+            .output()
+            .expect("binary runs");
+        // Fixtures with error-severity diagnostics exit 3 under the
+        // default deny level; everything else exits 0.
+        assert!(
+            matches!(out.status.code(), Some(0 | 3)),
+            "unexpected exit for {fixture}: {:?}",
+            out.status
+        );
+        let actual = String::from_utf8_lossy(&out.stdout);
+        let golden_path = format!("{}/testdata/golden/analyze/{name}.txt", repo_root());
+        let expected = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("missing golden file {golden_path}: {e}"));
+        assert_eq!(
+            actual, expected,
+            "analyze output for {fixture} diverged from its golden"
+        );
+        // The golden itself must pin the code, its caret excerpt, and a
+        // resolved span (except M012, which is spanless and absent here).
+        let code = name.to_uppercase();
+        assert!(expected.contains(&format!("[{code}]")), "{golden_path}");
+        assert!(expected.contains('^'), "{golden_path} has no caret line");
+        assert!(
+            expected.contains(&format!("testdata/analyze/{name}.magik:")),
+            "{golden_path} has no span location"
+        );
+    }
+}

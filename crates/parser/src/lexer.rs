@@ -64,6 +64,23 @@ pub struct Token {
     pub span: Span,
 }
 
+/// A `%`-to-end-of-line comment captured as trivia during tokenization.
+///
+/// Comments carry no semantics for parsing, but downstream tools (notably
+/// `magik-analyze` suppression directives such as `% magik: allow(M001)`)
+/// need their text and position, so the lexer records them instead of
+/// discarding them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// The raw comment text, including the leading `%`, excluding the
+    /// terminating newline.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Byte range of the comment text (without the newline).
+    pub span: Span,
+}
+
 /// A tokenization error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LexError {
@@ -85,9 +102,17 @@ impl fmt::Display for LexError {
 
 impl std::error::Error for LexError {}
 
-/// Tokenizes a whole source string.
+/// Tokenizes a whole source string, discarding comment trivia.
+#[cfg(test)]
 pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    tokenize_with_comments(src).map(|(tokens, _)| tokens)
+}
+
+/// Tokenizes a whole source string, additionally returning every `%`
+/// comment as [`Comment`] trivia in source order.
+pub(crate) fn tokenize_with_comments(src: &str) -> Result<(Vec<Token>, Vec<Comment>), LexError> {
     let mut tokens = Vec::new();
+    let mut comments = Vec::new();
     let bytes = src.as_bytes();
     let mut pos = 0;
     let mut line = 1;
@@ -112,6 +137,11 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 while pos < bytes.len() && bytes[pos] != b'\n' {
                     advance(&mut pos, &mut line, &mut col);
                 }
+                comments.push(Comment {
+                    text: String::from_utf8_lossy(&bytes[tpos..pos]).into_owned(),
+                    line: tline,
+                    span: Span::new(tpos, pos),
+                });
             }
             b'(' | b')' | b',' | b';' | b'.' | b'{' | b'}' => {
                 let kind = match c {
@@ -219,7 +249,7 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
         col,
         span: Span::point(pos),
     });
-    Ok(tokens)
+    Ok((tokens, comments))
 }
 
 #[cfg(test)]
@@ -258,6 +288,25 @@ mod tests {
         assert_eq!(tokens[0].kind, TokenKind::Symbol("p".into()));
         assert_eq!((tokens[0].line, tokens[0].col), (2, 3));
         assert_eq!(tokens[0].span, Span::new(7, 8));
+    }
+
+    #[test]
+    fn comments_are_captured_as_trivia() {
+        let src = "% first\np. % trailing\n% last";
+        let (tokens, comments) = tokenize_with_comments(src).unwrap();
+        assert_eq!(tokens[0].kind, TokenKind::Symbol("p".into()));
+        assert_eq!(comments.len(), 3);
+        assert_eq!(comments[0].text, "% first");
+        assert_eq!(comments[0].line, 1);
+        assert_eq!(
+            &src[comments[0].span.start..comments[0].span.end],
+            "% first"
+        );
+        assert_eq!(comments[1].text, "% trailing");
+        assert_eq!(comments[1].line, 2);
+        assert_eq!(comments[2].text, "% last");
+        assert_eq!(comments[2].line, 3);
+        assert_eq!(comments[2].span.end, src.len());
     }
 
     #[test]

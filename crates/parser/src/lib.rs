@@ -50,7 +50,7 @@ mod parse;
 mod print;
 mod span;
 
-pub use lexer::{LexError, Token, TokenKind};
+pub use lexer::{Comment, LexError, Token, TokenKind};
 pub use parse::{
     parse_atom, parse_document, parse_instance, parse_query, parse_rules, parse_tcs, Document,
     DocumentSpans, ParseError, QuerySpans, StatementSpans,

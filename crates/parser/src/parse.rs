@@ -6,7 +6,7 @@ use std::fmt;
 use magik_completeness::{ConstraintSet, FiniteDomain, Key, TcSet, TcStatement};
 use magik_relalg::{Atom, Cst, Fact, Instance, Query, Term, Vocabulary};
 
-use crate::lexer::{tokenize, LexError, Token, TokenKind};
+use crate::lexer::{tokenize_with_comments, Comment, LexError, Token, TokenKind};
 use crate::span::Span;
 
 /// A parsed document: queries, TC statements and facts, in source order
@@ -43,6 +43,10 @@ pub struct DocumentSpans {
     pub domains: Vec<Span>,
     /// One entry per `key` item.
     pub keys: Vec<Span>,
+    /// Every `%` comment in the source, in order. Comments are trivia for
+    /// parsing but carry analyzer suppression directives such as
+    /// `% magik: allow(M001)`.
+    pub comments: Vec<Comment>,
 }
 
 /// Spans for one parsed query: the whole item, its head atom, and each
@@ -105,6 +109,7 @@ impl From<LexError> for ParseError {
 
 struct Parser<'a> {
     tokens: Vec<Token>,
+    comments: Vec<Comment>,
     pos: usize,
     vocab: &'a mut Vocabulary,
     /// Enforces one arity per predicate name within a parse.
@@ -113,8 +118,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(src: &str, vocab: &'a mut Vocabulary) -> Result<Self, ParseError> {
+        let (tokens, comments) = tokenize_with_comments(src)?;
         Ok(Parser {
-            tokens: tokenize(src)?,
+            tokens,
+            comments,
             pos: 0,
             vocab,
             arities: HashMap::new(),
@@ -378,6 +385,7 @@ impl<'a> Parser<'a> {
 
     fn document(&mut self) -> Result<Document, ParseError> {
         let mut doc = Document::default();
+        doc.spans.comments = self.comments.clone();
         loop {
             let tok = self.peek().clone();
             match &tok.kind {

@@ -59,7 +59,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use magik_analyze::{analyze_query, analyze_statements};
+use magik_analyze::{analyze_check, analyze_query, analyze_state, analyze_statements};
 use magik_completeness::{
     is_complete, k_mcs_on, mcg, tc_encoding, CanonicalQuery, ConstraintSet, KMcsOptions, TcSet,
 };
@@ -83,6 +83,17 @@ const VERDICT_CACHE_CAP: usize = 1024;
 const ANSWER_CACHE_CAP: usize = 256;
 /// Default capacity of the plan cache.
 const PLAN_CACHE_CAP: usize = 256;
+/// Default capacity of the state-analysis cache. Small: entries are
+/// keyed by epoch pair, so at most one key is live at a time and the
+/// rest only serve brief races against concurrent writers.
+const ANALYSIS_CACHE_CAP: usize = 8;
+
+/// The state-analysis cache: the rendered `analyze state` reply, keyed
+/// by the `(tcs_epoch, data_epoch)` pair it was computed against. The
+/// live-session diagnostics (M018–M024) depend on the TCS set *and* the
+/// stored facts, so either epoch bump makes the old key unreachable —
+/// invalidation rides the existing writer-mutex mutation path for free.
+type AnalysisCache = LruCache<(u64, u64), String>;
 
 /// The writer's mutable master state, guarded by the engine's writer
 /// mutex. Mutations edit it in place, then [`WriterState::publish`] a
@@ -170,6 +181,8 @@ pub struct Engine {
     current: Mutex<Arc<StateSnapshot>>,
     verdicts: Mutex<LruCache<(CanonicalQuery, u64), bool>>,
     answer_cache: Mutex<LruCache<(CanonicalQuery, u64), Vec<Answer>>>,
+    /// Cached `analyze state` replies; see [`AnalysisCache`].
+    analysis: Mutex<AnalysisCache>,
     /// Compiled plans keyed by canonical query form alone: canonical
     /// equality implies query equivalence, so a cached plan stays correct
     /// across data-epoch bumps (statistics drift affects only speed). The
@@ -239,6 +252,7 @@ impl Engine {
             current: Mutex::new(current),
             verdicts: Mutex::new(LruCache::new(VERDICT_CACHE_CAP)),
             answer_cache: Mutex::new(LruCache::new(ANSWER_CACHE_CAP)),
+            analysis: Mutex::new(AnalysisCache::new(ANALYSIS_CACHE_CAP)),
             plans: Mutex::new(PlanCache::new(PLAN_CACHE_CAP)),
             metrics: Arc::new(Metrics::new()),
             durability: None,
@@ -751,12 +765,34 @@ impl Engine {
         Ok(format!("ok {guaranteed}"))
     }
 
-    /// `analyze [<query>]` — static analysis against the session TCS set.
-    /// With a query, the per-query diagnostics (M006–M010); without one,
-    /// the statement-set diagnostics (M001–M005). Diagnostics come back
-    /// `|`-separated on one line; the session holds no integrity
-    /// constraints, so the constraint-dependent checks are vacuous.
+    /// `analyze [state] [<query>]` — static analysis of the session.
+    ///
+    /// * `analyze` — the statement-set diagnostics (M001–M005) over the
+    ///   session TCS set.
+    /// * `analyze <query>` — the per-query diagnostics (M006–M010).
+    /// * `analyze state` — the live-session diagnostics (M018–M024) over
+    ///   the TCS set *and* the stored instance; cached per
+    ///   `(tcs_epoch, data_epoch)` (see [`AnalysisCache`]), so repeated
+    ///   requests at an unchanged epoch are cache hits.
+    /// * `analyze state <query>` — the trivially-incomplete check (M022)
+    ///   for a concrete query against the live statement set.
+    ///
+    /// Diagnostics come back `|`-separated on one line; the session holds
+    /// no integrity constraints, so the constraint-dependent checks are
+    /// vacuous.
     fn req_analyze(&self, rest: &str) -> Result<String, (&'static str, String)> {
+        if rest == "state" {
+            return self.analyze_state_cached();
+        }
+        if let Some(qsrc) = rest.strip_prefix("state ") {
+            let q = {
+                let mut vocab = self.vocab.lock().expect("vocab lock");
+                parse_query(qsrc, &mut vocab).map_err(|e| ("parse", e.to_string()))?
+            };
+            let snap = self.snapshot();
+            let vocab = self.vocab.lock().expect("vocab lock");
+            return Ok(render_diags(&analyze_check(0, &q, &snap.tcs, &vocab)));
+        }
         let constraints = ConstraintSet::default();
         let mut vocab = self.vocab.lock().expect("vocab lock");
         let query = if rest.is_empty() {
@@ -769,13 +805,31 @@ impl Engine {
             Some(q) => analyze_query(0, q, &snap.tcs, &constraints, &vocab),
             None => analyze_statements(&snap.tcs, &constraints, &vocab),
         };
-        let rendered: Vec<String> = diags
-            .iter()
-            .map(|d| format!("{}[{}] {}", d.severity, d.code, d.message))
-            .collect();
-        Ok(format!("ok {} {}", rendered.len(), rendered.join(" | "))
-            .trim_end()
-            .to_string())
+        Ok(render_diags(&diags))
+    }
+
+    /// The cached `analyze state` path: probe the analysis cache at the
+    /// snapshot's epoch pair, computing (and caching) the live-session
+    /// diagnostics on a miss. Probes land in the `analysis_cache.*`
+    /// metrics.
+    fn analyze_state_cached(&self) -> Result<String, (&'static str, String)> {
+        let snap = self.snapshot();
+        let key = (snap.tcs_epoch, snap.data_epoch);
+        if let Some(reply) = self.analysis.lock().expect("cache lock").get(&key) {
+            self.metrics.analysis_probe(true);
+            return Ok(reply);
+        }
+        self.metrics.analysis_probe(false);
+        let facts: Vec<Fact> = snap.db.iter_facts().collect();
+        let vocab = self.vocab.lock().expect("vocab lock");
+        let diags = analyze_state(&snap.tcs, &ConstraintSet::default(), &facts, &vocab);
+        drop(vocab);
+        let reply = render_diags(&diags);
+        self.analysis
+            .lock()
+            .expect("cache lock")
+            .insert(key, reply.clone());
+        Ok(reply)
     }
 
     fn parse_fact(&self, src: &str) -> Result<Fact, (&'static str, String)> {
@@ -785,6 +839,16 @@ impl Engine {
         atom.to_fact()
             .ok_or_else(|| ("proto", "fact must be ground (no variables)".to_string()))
     }
+}
+
+fn render_diags(diags: &[magik_analyze::Diagnostic]) -> String {
+    let rendered: Vec<String> = diags
+        .iter()
+        .map(|d| format!("{}[{}] {}", d.severity, d.code, d.message))
+        .collect();
+    format!("ok {} {}", rendered.len(), rendered.join(" | "))
+        .trim_end()
+        .to_string()
 }
 
 fn render_verdict(complete: bool) -> String {
@@ -953,6 +1017,62 @@ mod tests {
         let unsafe_q = e.handle("analyze q(X, Y) :- pupil(X, C, S).");
         assert!(unsafe_q.contains("error[M006]"), "{unsafe_q}");
         assert!(e.handle("analyze q(X :-").starts_with("err parse "));
+    }
+
+    #[test]
+    fn analyze_state_reports_live_session_diagnostics() {
+        let e = Engine::new();
+        // Facts but no statements: M023 (and only M023 — the empty set
+        // mutes the per-relation blind spots).
+        e.handle("assert pupil(john, c1, goethe).");
+        let s = e.handle("analyze state");
+        assert!(s.starts_with("ok 1 info[M023]"), "{s}");
+        // A statement for school leaves pupil a blind spot (M020) and,
+        // matching no stored fact, is itself vacuous (M021).
+        e.handle("compl school(S, primary, D) ; true.");
+        let s = e.handle("analyze state");
+        assert!(s.contains("warning[M020]"), "{s}");
+        assert!(s.contains("info[M021]"), "{s}");
+        assert!(!s.contains("M023"), "{s}");
+        // The trivially-incomplete check for a concrete query: class
+        // heads no statement, so the check can never succeed.
+        e.handle("compl pupil(N, C, S) ; class(C, S, L, T).");
+        let q = e.handle("analyze state q(N) :- pupil(N, C, S).");
+        assert!(q.contains("warning[M022]"), "{q}");
+        assert!(e.handle("analyze state q(X :-").starts_with("err parse "));
+    }
+
+    #[test]
+    fn analyze_state_caches_by_epoch_pair() {
+        let e = Engine::new();
+        e.handle("compl school(S, primary, D) ; true.");
+        e.handle("assert pupil(john, c1, goethe).");
+        let first = e.handle("analyze state");
+        // Unchanged epochs: the second request must hit the cache and
+        // return the identical reply.
+        assert_eq!(e.handle("analyze state"), first);
+        let metrics = e.handle("metrics");
+        assert!(
+            metrics.contains("analysis_cache.hits=1 analysis_cache.misses=1"),
+            "{metrics}"
+        );
+        // A data-epoch bump moves the key: the next request recomputes.
+        e.handle("assert school(goethe, primary, merano).");
+        let after = e.handle("analyze state");
+        assert_ne!(after, first, "{after}");
+        let metrics = e.handle("metrics");
+        assert!(
+            metrics.contains("analysis_cache.hits=1 analysis_cache.misses=2"),
+            "{metrics}"
+        );
+        // No-op mutations publish nothing, so the cache stays warm.
+        e.handle("assert school(goethe, primary, merano).");
+        assert_eq!(e.handle("analyze state"), after);
+        let metrics = e.handle("metrics");
+        assert!(
+            metrics.contains("analysis_cache.hits=2 analysis_cache.misses=2"),
+            "{metrics}"
+        );
     }
 
     #[test]

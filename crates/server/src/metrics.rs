@@ -131,6 +131,8 @@ struct Inner {
     answer_misses: u64,
     plan_hits: u64,
     plan_misses: u64,
+    analysis_hits: u64,
+    analysis_misses: u64,
     exec_probes: u64,
     exec_scanned: u64,
     exec_backtracks: u64,
@@ -193,6 +195,17 @@ impl Metrics {
             inner.plan_hits += 1;
         } else {
             inner.plan_misses += 1;
+        }
+    }
+
+    /// Records a state-analysis-cache probe outcome (`analyze state` at
+    /// an unchanged epoch pair hits).
+    pub fn analysis_probe(&self, hit: bool) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        if hit {
+            inner.analysis_hits += 1;
+        } else {
+            inner.analysis_misses += 1;
         }
     }
 
@@ -287,6 +300,13 @@ impl Metrics {
             inner.exec_probes,
             inner.exec_scanned,
             inner.exec_backtracks,
+        );
+        let _ = write!(
+            out,
+            " analysis_cache.hits={} analysis_cache.misses={} analysis_cache.rate={:.3}",
+            inner.analysis_hits,
+            inner.analysis_misses,
+            rate(inner.analysis_hits, inner.analysis_misses),
         );
         let _ = write!(
             out,

@@ -82,7 +82,10 @@ pub use magik_unify as unify;
 pub use magik_workload as workload;
 
 pub use magik_analyze::{
-    analyze_document, render_json, render_report, summary_line, Diagnostic, Severity, SourceFile,
+    allow_directives, analyze_check, analyze_document, analyze_state, apply_edits, explain_code,
+    filter_suppressed, fix_source, render_json, render_report, render_sarif, severity_profile,
+    summary_line, AllowDirective, Applicability, Baseline, Code, Diagnostic, Fingerprint,
+    FixReport, SarifFile, Severity, SourceFile, Suggestion, CATALOGUE,
 };
 pub use magik_completeness::{
     answering, chase_query, classify_answers, complete_unifiers, constraints, count_bounds,
