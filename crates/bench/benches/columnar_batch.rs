@@ -1,0 +1,180 @@
+//! Experiment A13 — columnar batch execution vs the tuple-at-a-time
+//! executor.
+//!
+//! Three comparisons, each batch-vs-tuple on identical inputs:
+//!
+//! * **mixed_traffic** — the workload crate's deterministic eval/churn
+//!   stream (A7/A8 shape: the school instance, `Q_ppb`/`Q_pbl`, 90/10
+//!   eval-to-churn) driven through [`ExecMode::Batch`] vs
+//!   [`ExecMode::Tuple`].
+//! * **delta_round/tc_chain** — one semi-naive delta round of the A9
+//!   transitive-closure chain: the whole round's seeds through
+//!   `CompiledBody::derive_batch` vs one `for_each_derivation` call per
+//!   seed (the pre-vectorization inner loop).
+//! * **delta_round/labeled_tc** — the same round shape on the A9 TC
+//!   workload generalized to labeled edges (label-constrained
+//!   reachability): the body joins `edge(Y, Z, L)` on the **two-column**
+//!   key `(Y, L)`, where every single-column index bucket is large but
+//!   the combined key is selective. This is where the batch executor's
+//!   runtime-chosen hash join beats per-row bucket probing
+//!   asymptotically — the ≥3x acceptance bar of ISSUE 8 is measured
+//!   here.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use magik::exec::CompiledBody;
+use magik::workload::traffic::{drive, school_traffic, ExecMode, TrafficConfig};
+use magik::{Atom, Cst, ExecStats, Fact, Instance, Term, Var, Vocabulary};
+
+fn bench_mixed_traffic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("columnar_batch/mixed_traffic");
+    let traffic = school_traffic(TrafficConfig::default());
+    group.throughput(Throughput::Elements(traffic.ops.len() as u64));
+    for mode in [ExecMode::Batch, ExecMode::Tuple] {
+        let name = match mode {
+            ExecMode::Batch => "batch",
+            ExecMode::Tuple => "tuple",
+        };
+        group.bench_with_input(
+            BenchmarkId::new(name, traffic.ops.len()),
+            &traffic,
+            |b, t| {
+                b.iter(|| drive(t, mode).answers);
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A delta-round fixture: a compiled rule body plus one round's seeds.
+struct Round {
+    body: CompiledBody,
+    db: Instance,
+    seeds: Vec<Vec<(Var, Cst)>>,
+}
+
+/// One semi-naive round of the A9 TC chain (`path(X,Z) :- path(X,Y),
+/// edge(Y,Z)` pivoted on `path`): the delta is the `edge` relation
+/// itself (round 1), each seed deriving at most one tuple.
+fn tc_chain_round(n: usize) -> Round {
+    let mut v = Vocabulary::new();
+    let edge = v.pred("edge", 2);
+    let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+    let mut db = Instance::new();
+    for i in 0..n {
+        db.insert(Fact::new(
+            edge,
+            vec![v.cst(&format!("n{i}")), v.cst(&format!("n{}", i + 1))],
+        ));
+    }
+    let bound: BTreeSet<Var> = [x, y].into_iter().collect();
+    let body = CompiledBody::compile(
+        &[Term::Var(x), Term::Var(z)],
+        &[Atom::new(edge, vec![Term::Var(y), Term::Var(z)])],
+        &[],
+        &bound,
+        Some(&db),
+    )
+    .unwrap();
+    let seeds = db
+        .relation(edge)
+        .unwrap()
+        .iter()
+        .map(|r| vec![(x, r.get(0)), (y, r.get(1))])
+        .collect();
+    Round { body, db, seeds }
+}
+
+/// One semi-naive round of label-constrained TC (`path(X,Z,L) :-
+/// path(X,Y,L), edge(Y,Z,L)` pivoted on `path`): `nodes` nodes,
+/// `labels` labels, `deg` out-edges per (node, label). The body joins
+/// `edge` on the two-column key `(Y, L)`.
+fn labeled_tc_round(nodes: usize, labels: usize, deg: usize) -> Round {
+    let mut v = Vocabulary::new();
+    let edge = v.pred("edge", 3);
+    let (x, y, z, l) = (v.var("X"), v.var("Y"), v.var("Z"), v.var("L"));
+    let mut db = Instance::new();
+    for ni in 0..nodes {
+        for li in 0..labels {
+            for d in 0..deg {
+                let dst = (ni * 7 + li * 3 + d + 1) % nodes;
+                db.insert(Fact::new(
+                    edge,
+                    vec![
+                        v.cst(&format!("n{ni}")),
+                        v.cst(&format!("n{dst}")),
+                        v.cst(&format!("l{li}")),
+                    ],
+                ));
+            }
+        }
+    }
+    let bound: BTreeSet<Var> = [x, y, l].into_iter().collect();
+    let body = CompiledBody::compile(
+        &[Term::Var(x), Term::Var(z), Term::Var(l)],
+        &[Atom::new(
+            edge,
+            vec![Term::Var(y), Term::Var(z), Term::Var(l)],
+        )],
+        &[],
+        &bound,
+        Some(&db),
+    )
+    .unwrap();
+    // The round-1 delta: path(X,Y,L) = the edges themselves.
+    let seeds = db
+        .relation(edge)
+        .unwrap()
+        .iter()
+        .map(|r| vec![(x, r.get(0)), (y, r.get(1)), (l, r.get(2))])
+        .collect();
+    Round { body, db, seeds }
+}
+
+fn bench_round(group_name: &str, c: &mut Criterion, round: &Round) {
+    let mut group = c.benchmark_group(group_name);
+    group.throughput(Throughput::Elements(round.seeds.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("batch", round.seeds.len()),
+        round,
+        |b, rd| {
+            b.iter(|| {
+                let mut stats = ExecStats::default();
+                let mut n = 0usize;
+                rd.body
+                    .derive_batch(&rd.db, &rd.seeds, &mut stats, &mut |_| n += 1);
+                n
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("tuple", round.seeds.len()),
+        round,
+        |b, rd| {
+            b.iter(|| {
+                let mut stats = ExecStats::default();
+                let mut n = 0usize;
+                for seed in &rd.seeds {
+                    rd.body
+                        .for_each_derivation(&rd.db, seed, &mut stats, &mut |_| n += 1);
+                }
+                n
+            });
+        },
+    );
+    group.finish();
+}
+
+fn bench_delta_rounds(c: &mut Criterion) {
+    let chain = tc_chain_round(4096);
+    bench_round("columnar_batch/delta_round_tc_chain", c, &chain);
+    // 64 nodes x 64 labels x 4 out-edges: 16384 edge facts; single-column
+    // buckets of ~256 rows, combined (Y, L) buckets of ~4.
+    let labeled = labeled_tc_round(64, 64, 4);
+    bench_round("columnar_batch/delta_round_labeled_tc", c, &labeled);
+}
+
+criterion_group!(benches, bench_mixed_traffic, bench_delta_rounds);
+criterion_main!(benches);

@@ -11,6 +11,12 @@
 //!   > testdata/golden/school_specialize_k1.txt
 //! cargo run -p magik-cli -- check testdata/classes.magik > testdata/golden/classes_check.txt
 //! cargo run -p magik-cli -- explain testdata/classes.magik > testdata/golden/classes_explain.txt
+//! for f in school joins; do
+//!   cargo run -p magik-cli -- explain-plan testdata/$f.magik \
+//!     > testdata/golden/${f}_explain_plan.txt
+//!   cargo run -p magik-cli -- explain-plan testdata/$f.magik --format json \
+//!     > testdata/golden/${f}_explain_plan.json
+//! done
 //! ```
 
 use std::process::Command;
@@ -59,4 +65,35 @@ fn classes_outputs_match_goldens() {
     let file = testdata("classes.magik");
     assert_golden(&["check", &file], "classes_check.txt");
     assert_golden(&["explain", &file], "classes_explain.txt");
+}
+
+/// `explain-plan` output (text and JSON) is golden-pinned on two
+/// fixtures: the school document (nested-loop joins throughout) and the
+/// joins document, sized so the cost model picks a hash join for its
+/// two-column join — the golden asserts the operator choice and the
+/// batch counters, not just the plan shape.
+#[test]
+fn explain_plan_outputs_match_goldens() {
+    for fixture in ["school", "joins"] {
+        let file = testdata(&format!("{fixture}.magik"));
+        assert_golden(
+            &["explain-plan", &file],
+            &format!("{fixture}_explain_plan.txt"),
+        );
+        assert_golden(
+            &["explain-plan", &file, "--format", "json"],
+            &format!("{fixture}_explain_plan.json"),
+        );
+    }
+}
+
+/// The joins golden really does exercise the hash path — guard against
+/// the fixture silently degrading to nested-loop after a cost-model
+/// retune (the golden would then still "match", just prove nothing).
+#[test]
+fn joins_golden_records_a_hash_join() {
+    let text = std::fs::read_to_string(testdata("golden/joins_explain_plan.txt")).unwrap();
+    assert!(text.contains("join=hash_join"), "{text}");
+    let json = std::fs::read_to_string(testdata("golden/joins_explain_plan.json")).unwrap();
+    assert!(json.contains(r#""join":"hash_join""#), "{json}");
 }

@@ -57,8 +57,8 @@ pub struct KeyViolation {
 
 impl Key {
     /// The key projection of a fact's arguments.
-    fn project<'a>(&self, args: &'a [Cst]) -> Vec<&'a Cst> {
-        self.columns.iter().map(|&c| &args[c]).collect()
+    fn project(&self, args: &[Cst]) -> Vec<Cst> {
+        self.columns.iter().map(|&c| args[c]).collect()
     }
 
     /// Checks a concrete instance for violations.
@@ -66,20 +66,21 @@ impl Key {
         let Some(rel) = db.relation(self.pred) else {
             return Ok(());
         };
-        let mut seen: HashMap<Vec<&Cst>, &[Cst]> = HashMap::new();
-        for tuple in rel.iter() {
-            if let Some(&other) = seen.get(&self.project(tuple)) {
-                if other != tuple {
+        let mut seen: HashMap<Vec<Cst>, Vec<Cst>> = HashMap::new();
+        for row in rel.iter() {
+            let tuple = row.to_vec();
+            if let Some(other) = seen.get(&self.project(&tuple)) {
+                if *other != tuple {
                     return Err(KeyViolation {
                         key: self.clone(),
                         facts: (
-                            Fact::new(self.pred, other.to_vec()),
-                            Fact::new(self.pred, tuple.to_vec()),
+                            Fact::new(self.pred, other.clone()),
+                            Fact::new(self.pred, tuple),
                         ),
                     });
                 }
             } else {
-                seen.insert(self.project(tuple), tuple);
+                seen.insert(self.project(&tuple), tuple);
             }
         }
         Ok(())

@@ -16,7 +16,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use magik_exec::{match_ground, partition, CompiledBody, ExecStats, Executor};
-use magik_relalg::{Atom, Fact, Instance, Pred, Snapshot, StoreView, Var};
+use magik_relalg::{Atom, Cst, Fact, Instance, Pred, Snapshot, StoreView, Var};
 
 use crate::program::{Program, Rule};
 
@@ -41,6 +41,18 @@ struct PivotPlan {
     /// The remaining body (and the rule's negated atoms), seeded by the
     /// pivot match.
     body: CompiledBody,
+}
+
+impl PivotPlan {
+    /// The seed rows of one delta round for this pivot: every delta fact
+    /// of the pivot's predicate that matches its pattern, as one batch.
+    fn seeds(&self, delta: &[Fact]) -> Vec<Vec<(Var, Cst)>> {
+        delta
+            .iter()
+            .filter(|f| f.pred == self.atom.pred)
+            .filter_map(|f| match_ground(&self.atom, &f.args))
+            .collect()
+    }
 }
 
 /// A rule compiled for fixpoint execution.
@@ -141,8 +153,9 @@ impl CompiledRule {
         stats: &mut ExecStats,
         out: &mut Vec<Fact>,
     ) {
+        // Batch execution with the unit seed: one all-unbound row.
         self.full
-            .for_each_derivation(model, &[], stats, &mut |args| {
+            .derive_batch(model, &[Vec::new()], stats, &mut |args| {
                 out.push(Fact::new(self.head_pred, args));
             });
     }
@@ -178,6 +191,34 @@ impl CompiledProgram {
         CompiledProgram {
             strata: strata.into_iter().map(Arc::new).collect(),
         }
+    }
+
+    /// Compiles `program`'s **maintenance plans** — the plans a
+    /// [`Materialized`](crate::Materialized) model keeps for its whole
+    /// lifetime — and materializes the least model, in one step.
+    ///
+    /// This is the single code path through which every maintenance plan
+    /// is compiled, and it guarantees the plans see **materialized-model
+    /// statistics**: a first compile against the EDB only bootstraps the
+    /// initial fixpoint; the plans actually kept are then recompiled
+    /// against the resulting model. Compiling maintenance plans from EDB
+    /// statistics alone is subtly catastrophic — IDB relations have no
+    /// EDB facts, so the planner sees them as empty (estimate 0) and
+    /// happily scans or probes the large materialized relations last-ditch
+    /// at run time; the DRed support checks, which probe the model
+    /// per-fact, degrade worst. The batch join-strategy choices inherit
+    /// the same statistics, so they too are sized to the model.
+    ///
+    /// Returns the compiled program and the model it was compiled against.
+    pub(crate) fn compile_maintenance(
+        program: &Program,
+        edb: &Instance,
+        exec: &Executor,
+    ) -> (CompiledProgram, Instance) {
+        let bootstrap = CompiledProgram::compile(program, Some(edb), true);
+        let model = bootstrap.eval_semi_naive_on(edb, exec).model;
+        let compiled = CompiledProgram::compile(program, Some(&model), true);
+        (compiled, model)
     }
 
     /// Naive stratified fixpoint over `edb`.
@@ -338,9 +379,11 @@ impl CompiledProgram {
     }
 }
 
-/// One sequential delta round over a frozen store: every (rule, pivot,
-/// delta-fact) combination, heads collected without dedup (callers dedup
-/// on insertion into their marked set or model).
+/// One sequential delta round over a frozen store: the round's delta facts
+/// are grouped into **one seed batch per (rule, pivot)** and each group
+/// runs through the pivot's batch plan in a single pass. Heads are
+/// collected without dedup (callers dedup on insertion into their marked
+/// set or model).
 fn delta_round_on<S: StoreView + ?Sized>(
     rules: &[CompiledRule],
     store: &S,
@@ -350,18 +393,10 @@ fn delta_round_on<S: StoreView + ?Sized>(
     let mut out = Vec::new();
     for rule in rules {
         for pp in &rule.pivots {
-            for fact in delta {
-                if fact.pred != pp.atom.pred {
-                    continue;
-                }
-                let Some(seed) = match_ground(&pp.atom, &fact.args) else {
-                    continue;
-                };
-                pp.body
-                    .for_each_derivation(store, &seed, stats, &mut |args| {
-                        out.push(Fact::new(rule.head_pred, args));
-                    });
-            }
+            let seeds = pp.seeds(delta);
+            pp.body.derive_batch(store, &seeds, stats, &mut |args| {
+                out.push(Fact::new(rule.head_pred, args));
+            });
         }
     }
     out
@@ -399,12 +434,13 @@ fn fixpoint_naive(
 /// the snapshot + merge overhead outweighs the work.
 const PARALLEL_DELTA_THRESHOLD: usize = 16;
 
-/// One parallel delta round: every (rule, pivot, delta-fact) combination
-/// is evaluated against a [`Snapshot`] of the model frozen at round start,
-/// with the delta partitioned into contiguous chunks across `exec`.
-/// Per-task buffers are merged deterministically (concatenate in chunk
-/// order, sort, dedup), so the round's candidate set — and therefore the
-/// whole fixpoint — is independent of scheduling.
+/// One parallel delta round: the delta is partitioned into contiguous
+/// chunks across `exec`, and each task batches its chunk per (rule, pivot)
+/// — one seed batch per group, evaluated against a [`Snapshot`] of the
+/// model frozen at round start (the pool steals whole batches, not
+/// tuples). Per-task buffers are merged deterministically (concatenate in
+/// chunk order, sort, dedup), so the round's candidate set — and therefore
+/// the whole fixpoint — is independent of scheduling.
 fn parallel_round(
     rules: &Arc<Vec<CompiledRule>>,
     snap: &Snapshot,
@@ -417,20 +453,14 @@ fn parallel_round(
     let results = exec.map(ranges, move |range| {
         let mut local: Vec<Fact> = Vec::new();
         let mut local_stats = ExecStats::default();
-        for fact in &delta2[range] {
-            for rule in rules.iter() {
-                for pp in &rule.pivots {
-                    if fact.pred != pp.atom.pred {
-                        continue;
-                    }
-                    let Some(seed) = match_ground(&pp.atom, &fact.args) else {
-                        continue;
-                    };
-                    pp.body
-                        .for_each_derivation(&snap2, &seed, &mut local_stats, &mut |args| {
-                            local.push(Fact::new(rule.head_pred, args));
-                        });
-                }
+        let chunk = &delta2[range];
+        for rule in rules.iter() {
+            for pp in &rule.pivots {
+                let seeds = pp.seeds(chunk);
+                pp.body
+                    .derive_batch(&snap2, &seeds, &mut local_stats, &mut |args| {
+                        local.push(Fact::new(rule.head_pred, args));
+                    });
             }
         }
         local.sort_unstable();
@@ -478,26 +508,25 @@ fn propagate_delta_compiled(
             }
             continue;
         }
+        // Sequential round: one seed batch per (rule, pivot) group.
+        // Derivations of earlier groups are inserted before later groups
+        // run (eager, like the old per-fact loop between facts); within a
+        // group the batch sees the model as of group start — anything
+        // missed reappears via the next round's delta, so the fixpoint is
+        // unchanged (the semi-naive argument; only `iterations` can
+        // differ).
         let mut next_delta = Vec::new();
         for rule in rules.iter() {
             for pp in &rule.pivots {
-                for fact in &delta {
-                    if fact.pred != pp.atom.pred {
-                        continue;
-                    }
-                    let Some(seed) = match_ground(&pp.atom, &fact.args) else {
-                        continue;
-                    };
-                    buffer.clear();
-                    pp.body
-                        .for_each_derivation(model, &seed, stats, &mut |args| {
-                            buffer.push(Fact::new(rule.head_pred, args));
-                        });
-                    for derived_fact in buffer.drain(..) {
-                        if model.insert(derived_fact.clone()) {
-                            next_delta.push(derived_fact);
-                            derived += 1;
-                        }
+                let seeds = pp.seeds(&delta);
+                buffer.clear();
+                pp.body.derive_batch(model, &seeds, stats, &mut |args| {
+                    buffer.push(Fact::new(rule.head_pred, args));
+                });
+                for derived_fact in buffer.drain(..) {
+                    if model.insert(derived_fact.clone()) {
+                        next_delta.push(derived_fact);
+                        derived += 1;
                     }
                 }
             }
@@ -867,6 +896,51 @@ mod tests {
         let rel = semi.model.relation(out).unwrap();
         assert_eq!(rel.len(), 1);
         assert!(rel.contains(&[v.cst("1"), v.cst("2")]));
+    }
+
+    #[test]
+    fn maintenance_plans_see_materialized_idb_statistics() {
+        // Regression: maintenance plans (delta pivots, DRed support) must
+        // be compiled against the materialized model, not the EDB — IDB
+        // relations are EDB-empty, so EDB statistics make the planner
+        // treat them as free (estimate 0) and mis-order every body that
+        // mentions one. All construction paths go through
+        // `compile_maintenance`, which this test pins down.
+        let mut v = Vocabulary::new();
+        let (_, edb) = chain_edb(&mut v, 6);
+        let (path, program) = tc_program(&mut v);
+        let (compiled, model) =
+            CompiledProgram::compile_maintenance(&program, &edb, &Executor::Sequential);
+        let path_facts = model.relation(path).unwrap().len();
+        assert_eq!(path_facts, 21);
+        // The recursive rule path(X,Z) ← path(X,Y), path(Y,Z).
+        let recursive = compiled
+            .strata
+            .iter()
+            .flat_map(|s| s.iter())
+            .find(|r| r.full.plan().ops().len() == 2)
+            .expect("the recursive rule has a two-atom body");
+        // Its support plan (head vars bound) starts at the path atom: the
+        // estimate must reflect the 21 materialized path facts, not the
+        // empty EDB relation.
+        let support = recursive.support.as_ref().unwrap();
+        let first = &support.plan().ops()[0];
+        assert_eq!(first.pred, path);
+        assert!(
+            first.est > 0,
+            "support plan must see materialized path statistics, got est=0"
+        );
+        // Contrast: compiling the same program against the EDB alone
+        // reports the IDB relation as empty.
+        let edb_only = CompiledProgram::compile(&program, Some(&edb), true);
+        let naive_rule = edb_only
+            .strata
+            .iter()
+            .flat_map(|s| s.iter())
+            .find(|r| r.full.plan().ops().len() == 2)
+            .unwrap();
+        let naive_first = &naive_rule.support.as_ref().unwrap().plan().ops()[0];
+        assert_eq!(naive_first.est, 0, "EDB-only stats see path as empty");
     }
 
     #[test]

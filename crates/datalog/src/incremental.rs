@@ -127,15 +127,10 @@ impl Materialized {
         if program.rules().iter().any(|r| !r.negative.is_empty()) {
             return Err(MaterializeError::NegationNotSupported);
         }
-        let compiled = CompiledProgram::compile(&program, Some(&edb), true);
-        let model = compiled.eval_semi_naive_on(&edb, &exec).model;
-        // Recompile the maintained plans against the *model*: the EDB has
-        // no derived facts, so plans compiled from its statistics treat
-        // IDB relations as free to scan — catastrophic for the DRed
-        // support checks, which probe the large materialized model
-        // per-fact. One extra compile per construction buys access paths
-        // sized to what the maintenance plans actually run against.
-        let compiled = CompiledProgram::compile(&program, Some(&model), true);
+        // All maintenance plans come from the one code path that
+        // guarantees materialized-model statistics for IDB relations (see
+        // [`CompiledProgram::compile_maintenance`]).
+        let (compiled, model) = CompiledProgram::compile_maintenance(&program, &edb, &exec);
         Ok(Materialized {
             program,
             compiled,

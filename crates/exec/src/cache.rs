@@ -82,6 +82,13 @@ impl<K: Eq + Hash + Clone> PlanCache<K> {
         self.map.insert(key, (plan, self.tick));
     }
 
+    /// Iterates the cached entries (unspecified order) without touching
+    /// recency or the hit/miss counters — the server's plan-introspection
+    /// endpoint walks this to report each entry's operator choices.
+    pub fn entries(&self) -> impl Iterator<Item = (&K, &Arc<CompiledQuery>)> {
+        self.map.iter().map(|(k, (v, _))| (k, v))
+    }
+
     /// The number of cached plans.
     pub fn len(&self) -> usize {
         self.map.len()

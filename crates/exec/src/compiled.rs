@@ -3,6 +3,7 @@
 
 use std::collections::BTreeSet;
 
+use magik_relalg::batch::{Batch, BatchPlan, JoinStrategy};
 use magik_relalg::exec::{ExecStats, Plan, Projection};
 use magik_relalg::{AnswerSet, Atom, Cst, EvalError, Fact, Pred, Query, StoreView, Term, Var};
 
@@ -18,6 +19,7 @@ use magik_relalg::{AnswerSet, Atom, Cst, EvalError, Fact, Pred, Query, StoreView
 pub struct CompiledQuery {
     query: Query,
     plan: Plan,
+    batch: BatchPlan,
     head: Projection,
 }
 
@@ -33,23 +35,27 @@ impl CompiledQuery {
             return Err(EvalError::UnsafeQuery(v));
         }
         let plan = Plan::compile(&q.body, &BTreeSet::new(), stats);
+        let batch = BatchPlan::compile(&plan, stats, 1);
         let head = Projection::compile(&q.head, &plan).map_err(EvalError::UnsafeQuery)?;
         Ok(CompiledQuery {
             query: q.clone(),
             plan,
+            batch,
             head,
         })
     }
 
-    /// Evaluates the compiled query over `db`, accumulating execution
-    /// counters into `stats`.
+    /// Evaluates the compiled query over `db` in batch mode, accumulating
+    /// execution counters into `stats`.
     pub fn answers<S: StoreView + ?Sized>(&self, db: &S, stats: &mut ExecStats) -> AnswerSet {
-        let mut out = AnswerSet::new();
-        self.plan.run(db, &[], stats, &mut |row| {
-            out.insert(self.head.emit(row));
-            true
-        });
-        out
+        let out = self
+            .batch
+            .run(db, Batch::from_seeds(&self.plan, &[Vec::new()]), stats);
+        let mut ans = AnswerSet::new();
+        for r in 0..out.len() {
+            ans.insert(self.head.emit_with(&mut |s| out.value(s, r)));
+        }
+        ans
     }
 
     /// `true` iff the query has at least one answer over `db`.
@@ -66,6 +72,24 @@ impl CompiledQuery {
     pub fn plan(&self) -> &Plan {
         &self.plan
     }
+
+    /// The batch recompilation of [`CompiledQuery::plan`] (join-strategy
+    /// choices live here).
+    pub fn batch_plan(&self) -> &BatchPlan {
+        &self.batch
+    }
+
+    /// The join strategies of the plan's join ops, in op order — what the
+    /// server's plan cache records per entry. Ops without join keys
+    /// (scans, pure filters) are skipped.
+    pub fn join_strategies(&self) -> Vec<JoinStrategy> {
+        self.batch
+            .ops()
+            .iter()
+            .filter(|op| !op.join_keys().is_empty())
+            .map(|op| op.strategy)
+            .collect()
+    }
 }
 
 /// A rule-shaped body compiled for full or delta-mode execution: positive
@@ -80,11 +104,18 @@ impl CompiledQuery {
 #[derive(Debug, Clone)]
 pub struct CompiledBody {
     plan: Plan,
+    batch: BatchPlan,
     head: Projection,
     /// Negated atoms as `(pred, ground template)`: a derivation survives
     /// iff none of the grounded facts is present in the instance.
     neg: Vec<(Pred, Projection)>,
 }
+
+/// Nominal delta-batch size assumed when choosing join strategies for
+/// delta-mode bodies: a round's (rule, pivot) group is seeded with all the
+/// round's matching delta facts at once, so the planner should not assume
+/// single-row batches.
+const NOMINAL_DELTA_BATCH: usize = 64;
 
 impl CompiledBody {
     /// Compiles a rule body.
@@ -103,12 +134,23 @@ impl CompiledBody {
         stats: Option<&dyn StoreView>,
     ) -> Result<CompiledBody, Var> {
         let plan = Plan::compile(body, bound, stats);
+        let expected = if bound.is_empty() {
+            1
+        } else {
+            NOMINAL_DELTA_BATCH
+        };
+        let batch = BatchPlan::compile(&plan, stats, expected);
         let head = Projection::compile(head_args, &plan)?;
         let neg = negative
             .iter()
             .map(|a| Ok((a.pred, Projection::compile(&a.args, &plan)?)))
             .collect::<Result<_, _>>()?;
-        Ok(CompiledBody { plan, head, neg })
+        Ok(CompiledBody {
+            plan,
+            batch,
+            head,
+            neg,
+        })
     }
 
     /// Enumerates the head tuples derivable over `db` from assignments
@@ -162,9 +204,45 @@ impl CompiledBody {
         found
     }
 
+    /// Batched [`CompiledBody::for_each_derivation`]: runs the whole
+    /// `seeds` batch through the plan in one pass — one seed row per
+    /// delta fact of a (rule, pivot) group — and emits every surviving
+    /// head tuple. Derives exactly the tuples that per-seed calls to
+    /// `for_each_derivation` would (order within the batch unspecified;
+    /// callers dedupe on insertion).
+    pub fn derive_batch<S: StoreView + ?Sized>(
+        &self,
+        db: &S,
+        seeds: &[Vec<(Var, Cst)>],
+        stats: &mut ExecStats,
+        emit: &mut dyn FnMut(Vec<Cst>),
+    ) {
+        if seeds.is_empty() {
+            return;
+        }
+        let out = self
+            .batch
+            .run(db, Batch::from_seeds(&self.plan, seeds), stats);
+        for r in 0..out.len() {
+            let mut get = |s: usize| out.value(s, r);
+            let blocked = self
+                .neg
+                .iter()
+                .any(|(pred, proj)| db.contains(&Fact::new(*pred, proj.emit_with(&mut get))));
+            if !blocked {
+                emit(self.head.emit_with(&mut get));
+            }
+        }
+    }
+
     /// The compiled plan over the positive atoms.
     pub fn plan(&self) -> &Plan {
         &self.plan
+    }
+
+    /// The batch recompilation of the plan (join-strategy choices).
+    pub fn batch_plan(&self) -> &BatchPlan {
+        &self.batch
     }
 }
 
@@ -288,6 +366,66 @@ mod tests {
             none.push(t);
         });
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn derive_batch_matches_per_seed_derivations() {
+        let mut v = Vocabulary::new();
+        let e = v.pred("e", 2);
+        let p = v.pred("p", 2);
+        let blocked = v.pred("blocked", 2);
+        let mut db = Instance::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("b", "d"), ("c", "c")] {
+            db.insert(fact(&mut v, e, &[a, b]));
+        }
+        db.insert(fact(&mut v, blocked, &["a", "d"]));
+        let (xv, yv, zv) = (v.var("X"), v.var("Y"), v.var("Z"));
+        // p(X,Z) ← p(X,Y), e(Y,Z), ¬blocked(X,Z), pivot p(X,Y).
+        let pivot = Atom::new(p, vec![Term::Var(xv), Term::Var(yv)]);
+        let rest = vec![Atom::new(e, vec![Term::Var(yv), Term::Var(zv)])];
+        let neg = vec![Atom::new(blocked, vec![Term::Var(xv), Term::Var(zv)])];
+        let bound: BTreeSet<Var> = [xv, yv].into_iter().collect();
+        let body = CompiledBody::compile(
+            &[Term::Var(xv), Term::Var(zv)],
+            &rest,
+            &neg,
+            &bound,
+            Some(&db),
+        )
+        .unwrap();
+        let deltas = [
+            [v.cst("a"), v.cst("b")],
+            [v.cst("q"), v.cst("b")],
+            [v.cst("z"), v.cst("nope")],
+        ];
+        let seeds: Vec<Vec<(Var, Cst)>> = deltas
+            .iter()
+            .filter_map(|d| match_ground(&pivot, d))
+            .collect();
+        // Oracle: one for_each_derivation call per seed.
+        let mut expect = Vec::new();
+        for seed in &seeds {
+            body.for_each_derivation(&db, seed, &mut ExecStats::default(), &mut |t| {
+                expect.push(t);
+            });
+        }
+        expect.sort();
+        // (a,b) reaches c but not the blocked d; (q,b) reaches both.
+        assert_eq!(
+            expect,
+            vec![
+                vec![v.cst("a"), v.cst("c")],
+                vec![v.cst("q"), v.cst("c")],
+                vec![v.cst("q"), v.cst("d")],
+            ]
+        );
+        let mut stats = ExecStats::default();
+        let mut got = Vec::new();
+        body.derive_batch(&db, &seeds, &mut stats, &mut |t| got.push(t));
+        got.sort();
+        assert_eq!(got, expect);
+        assert_eq!(stats.batches, 1, "one batch for the whole seed group");
+        body.derive_batch(&db, &[], &mut stats, &mut |_| panic!("no seeds"));
     }
 
     #[test]

@@ -25,6 +25,7 @@ fn key_text(key: Key, slots: &[magik_relalg::Var], vocab: &Vocabulary) -> String
 /// counters, followed by the aggregate totals.
 pub fn explain_text(cq: &CompiledQuery, stats: Option<&ExecStats>, vocab: &Vocabulary) -> String {
     let plan = cq.plan();
+    let batch = cq.batch_plan();
     let q = cq.query();
     let slots = plan.slots();
     let mut out = String::new();
@@ -44,13 +45,22 @@ pub fn explain_text(cq: &CompiledQuery, stats: Option<&ExecStats>, vocab: &Vocab
                 format!("probe col {} = {}", col, key_text(key, slots, vocab))
             }
         };
+        // The batch executor's join-operator choice for this op (only
+        // join ops carry one; scans and pure filters do not).
+        let bop = &batch.ops()[i];
+        let join = if bop.join_keys().is_empty() {
+            String::new()
+        } else {
+            format!("  join={}", bop.strategy.name())
+        };
         let _ = writeln!(
             out,
-            "  op {}: {}  {}  est={}",
+            "  op {}: {}  {}  est={}{}",
             i + 1,
             q.body[op.atom].display(vocab),
             access,
-            op.est
+            op.est,
+            join
         );
         let actions: Vec<String> = op
             .actions
@@ -86,6 +96,11 @@ pub fn explain_text(cq: &CompiledQuery, stats: Option<&ExecStats>, vocab: &Vocab
             "totals: probes={} scanned={} backtracks={} rows={}",
             s.probes, s.scanned, s.backtracks, s.rows
         );
+        let _ = writeln!(
+            out,
+            "batch: batches={} rows={} joins nested={} hash={} merge={}",
+            s.batches, s.batch_rows, s.join_nested, s.join_hash, s.join_merge
+        );
     }
     out
 }
@@ -111,10 +126,11 @@ fn json_escape(s: &str) -> String {
 
 /// Renders a plan as one JSON object with stable keys: `query`, `slots`,
 /// `seed_slots`, `ops` (each with `atom`, `pred`, `access`, `est`,
-/// `actions`, and `counters` when `stats` is given), and `totals` (also
-/// only with `stats`).
+/// `join` for join ops, `actions`, and `counters` when `stats` is given),
+/// and `totals` plus `batch` (also only with `stats`).
 pub fn explain_json(cq: &CompiledQuery, stats: Option<&ExecStats>, vocab: &Vocabulary) -> String {
     let plan = cq.plan();
+    let batch = cq.batch_plan();
     let q = cq.query();
     let slots = plan.slots();
     let mut out = String::from("{");
@@ -182,6 +198,10 @@ pub fn explain_json(cq: &CompiledQuery, stats: Option<&ExecStats>, vocab: &Vocab
             op.est,
             actions.join(",")
         );
+        let bop = &batch.ops()[i];
+        if !bop.join_keys().is_empty() {
+            let _ = write!(out, r#","join":"{}""#, bop.strategy.name());
+        }
         if let Some(stats) = stats {
             if let Some(c) = stats.per_op.get(i) {
                 let _ = write!(
@@ -199,6 +219,11 @@ pub fn explain_json(cq: &CompiledQuery, stats: Option<&ExecStats>, vocab: &Vocab
             out,
             r#","totals":{{"probes":{},"scanned":{},"backtracks":{},"rows":{}}}"#,
             s.probes, s.scanned, s.backtracks, s.rows
+        );
+        let _ = write!(
+            out,
+            r#","batch":{{"batches":{},"rows":{},"join_nested":{},"join_hash":{},"join_merge":{}}}"#,
+            s.batches, s.batch_rows, s.join_nested, s.join_hash, s.join_merge
         );
     }
     out.push('}');
@@ -239,10 +264,17 @@ mod tests {
         assert!(text.contains("plan: 2 ops"), "{text}");
         assert!(text.contains("probe col 0 = ?Y"), "{text}");
         assert!(text.contains("totals: probes="), "{text}");
-        // Without stats, no counter lines appear.
+        // The join op shows its chosen operator; batch counters follow
+        // the totals.
+        assert!(text.contains("join=nested_loop"), "{text}");
+        assert!(text.contains("batch: batches=1"), "{text}");
+        // Without stats, no counter lines appear (but the operator choice
+        // is a compile-time fact and stays).
         let bare = explain_text(&cq, None, &v);
         assert!(!bare.contains("totals:"), "{bare}");
         assert!(!bare.contains("entered="), "{bare}");
+        assert!(!bare.contains("batch:"), "{bare}");
+        assert!(bare.contains("join=nested_loop"), "{bare}");
     }
 
     #[test]
@@ -256,8 +288,12 @@ mod tests {
         assert!(json.contains(r#""kind":"probe""#), "{json}");
         assert!(json.contains(r#""kind":"bind""#), "{json}");
         assert!(json.contains(r#""totals":{"probes":"#), "{json}");
+        assert!(json.contains(r#""join":"nested_loop""#), "{json}");
+        assert!(json.contains(r#""batch":{"batches":1"#), "{json}");
         let bare = explain_json(&cq, None, &v);
         assert!(!bare.contains("totals"), "{bare}");
         assert!(!bare.contains("counters"), "{bare}");
+        assert!(!bare.contains(r#""batch""#), "{bare}");
+        assert!(bare.contains(r#""join":"nested_loop""#), "{bare}");
     }
 }

@@ -40,6 +40,7 @@ pub use cache::PlanCache;
 pub use compiled::{match_ground, CompiledBody, CompiledQuery};
 pub use executor::{available_parallelism, partition, Executor, PoolCounters, ThreadPool};
 pub use explain::{explain_json, explain_text};
+pub use magik_relalg::batch::{Batch, BatchOp, BatchPlan, JoinStrategy};
 pub use magik_relalg::exec::{
     Access, ColAction, ExecStats, Key, OpCounters, Plan, PlanOp, Projection, Row,
 };

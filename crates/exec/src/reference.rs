@@ -12,18 +12,19 @@
 use std::collections::{BTreeSet, HashMap};
 
 use magik_relalg::{
-    Answer, AnswerSet, Atom, Cst, EvalError, Fact, Instance, Query, Substitution, Term, Var,
+    Answer, AnswerSet, Atom, Cst, EvalError, Fact, Instance, Query, RowRef, Substitution, Term, Var,
 };
 
 /// Partial assignment during search.
 type Bindings = HashMap<Var, Cst>;
 
-/// Tries to extend `bind` so that the atom matches `tuple`. On success
-/// returns the list of variables newly bound (the trail); on failure
-/// returns `None` and leaves `bind` exactly as it was.
-fn match_atom(atom: &Atom, tuple: &[Cst], bind: &mut Bindings) -> Option<Vec<Var>> {
+/// Tries to extend `bind` so that the atom matches the stored row. On
+/// success returns the list of variables newly bound (the trail); on
+/// failure returns `None` and leaves `bind` exactly as it was.
+fn match_atom(atom: &Atom, row: RowRef<'_>, bind: &mut Bindings) -> Option<Vec<Var>> {
     let mut trail = Vec::new();
-    for (&t, &c) in atom.args.iter().zip(tuple) {
+    for (col, &t) in atom.args.iter().enumerate() {
+        let c = row.get(col);
         let ok = match t {
             Term::Cst(tc) => tc == c,
             Term::Var(v) => match bind.get(&v) {
@@ -96,30 +97,31 @@ fn search(
     let atom = remaining.swap_remove(best_i);
     let rel = db.relation(atom.pred).expect("plan found candidates");
     let mut keep_going = true;
-    let mut try_tuple = |tuple: &[Cst], remaining: &mut Vec<&Atom>, bind: &mut Bindings| -> bool {
-        if let Some(trail) = match_atom(atom, tuple, bind) {
-            let cont = search(remaining, db, bind, visit);
-            for v in trail {
-                bind.remove(&v);
+    let mut try_tuple =
+        |row: RowRef<'_>, remaining: &mut Vec<&Atom>, bind: &mut Bindings| -> bool {
+            if let Some(trail) = match_atom(atom, row, bind) {
+                let cont = search(remaining, db, bind, visit);
+                for v in trail {
+                    bind.remove(&v);
+                }
+                cont
+            } else {
+                true
             }
-            cont
-        } else {
-            true
-        }
-    };
+        };
     match best.1 {
         Some((col, c)) => {
             let positions = rel.matches(col, c).unwrap_or(&[]);
             for &pos in positions {
-                if !try_tuple(rel.tuple(pos), remaining, bind) {
+                if !try_tuple(rel.row(pos), remaining, bind) {
                     keep_going = false;
                     break;
                 }
             }
         }
         None => {
-            for tuple in rel.iter() {
-                if !try_tuple(tuple, remaining, bind) {
+            for row in rel.iter() {
+                if !try_tuple(row, remaining, bind) {
                     keep_going = false;
                     break;
                 }

@@ -12,9 +12,11 @@ use proptest::prelude::*;
 
 use magik_exec::reference;
 use magik_exec::{CompiledQuery, ExecStats};
+use magik_relalg::batch::{Batch, BatchPlan, JoinStrategy};
+use magik_relalg::exec::{Plan, Projection};
 use magik_relalg::{
-    answers, freeze_atom, has_answer, homomorphisms, Atom, Cst, Instance, Query, Substitution,
-    Term, Vocabulary,
+    answers, freeze_atom, has_answer, homomorphisms, AnswerSet, Atom, Cst, Instance, Query,
+    Substitution, Term, Vocabulary,
 };
 
 /// Abstract term: materialized against a vocabulary later.
@@ -158,6 +160,30 @@ fn hom_set(homs: &[Substitution]) -> BTreeSet<String> {
         .collect()
 }
 
+/// All three join operators a batch plan can choose from.
+const STRATEGIES: [JoinStrategy; 3] = [
+    JoinStrategy::NestedLoop,
+    JoinStrategy::HashJoin,
+    JoinStrategy::MergeJoin,
+];
+
+/// Evaluates `query` over `db` through a batch plan with every join op
+/// forced to `strategy`, projecting rows through the head exactly like
+/// `CompiledQuery::answers` — the harness for operator-equivalence
+/// properties.
+fn forced_answers(query: &Query, db: &Instance, strategy: JoinStrategy) -> AnswerSet {
+    let plan = Plan::compile(&query.body, &BTreeSet::new(), Some(db));
+    let head = Projection::compile(&query.head, &plan).unwrap();
+    let batch = BatchPlan::with_strategy(&plan, strategy);
+    let mut stats = ExecStats::default();
+    let out = batch.run(db, Batch::from_seeds(&plan, &[Vec::new()]), &mut stats);
+    let mut ans = AnswerSet::new();
+    for r in 0..out.len() {
+        ans.insert(head.emit_with(&mut |s| out.value(s, r)));
+    }
+    ans
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -231,5 +257,90 @@ proptest! {
         let oracle = reference::homomorphisms(&query.body, &db);
         prop_assert_eq!(planned.len(), oracle.len());
         prop_assert_eq!(hom_set(&planned), hom_set(&oracle));
+    }
+
+    /// Hash join, merge join, and nested loop — each forced across a
+    /// whole plan — all compute the reference answer set, and hence agree
+    /// with each other and with the cost-model-chosen plan. The small
+    /// constant pool makes duplicate-heavy join columns the common case,
+    /// and the generators routinely produce empty relations (atoms over
+    /// predicates with no facts) and all-constants atoms.
+    #[test]
+    fn forced_join_strategies_match_reference(
+        q in aquery(4),
+        d in proptest::collection::vec(aatom(), 0..8),
+    ) {
+        let mut ctx = Ctx::new();
+        let query = safe_head(&ctx.query(&q));
+        let db = ctx.instance(&d);
+        let oracle = reference::answers(&query, &db).unwrap();
+        for strategy in STRATEGIES {
+            prop_assert_eq!(
+                forced_answers(&query, &db, strategy),
+                oracle.clone(),
+                "strategy {:?}",
+                strategy
+            );
+        }
+    }
+}
+
+/// The shapes most likely to break a join operator, pinned
+/// deterministically: a join against an *empty* relation, a join on a
+/// *duplicate-heavy* column (every build row shares the key), and an
+/// *all-constants* atom (no binds, pure existence filter). All three
+/// operators must agree with the oracle on each.
+#[test]
+fn forced_strategies_cover_edge_shapes() {
+    let mut v = Vocabulary::new();
+    let e = v.pred("e", 2);
+    let none = v.pred("none", 2);
+    let (a, b) = (v.cst("a"), v.cst("b"));
+    let mut db = Instance::new();
+    // Column 0 of `e` holds a single value — maximal duplication.
+    db.insert(magik_relalg::Fact::new(e, vec![a, b]));
+    for i in 0..12 {
+        db.insert(magik_relalg::Fact::new(e, vec![a, v.cst(&format!("t{i}"))]));
+    }
+    let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+    let queries = [
+        // Duplicate-heavy self-join on the constant column.
+        Query::new(
+            v.sym("dup"),
+            vec![Term::Var(y), Term::Var(z)],
+            vec![
+                Atom::new(e, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(e, vec![Term::Var(x), Term::Var(z)]),
+            ],
+        ),
+        // Join into a relation with no facts at all: zero answers.
+        Query::new(
+            v.sym("empty"),
+            vec![Term::Var(x)],
+            vec![
+                Atom::new(e, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(none, vec![Term::Var(y), Term::Var(z)]),
+            ],
+        ),
+        // All-constants atom alongside a bound join.
+        Query::new(
+            v.sym("consts"),
+            vec![Term::Var(y)],
+            vec![
+                Atom::new(e, vec![Term::Cst(a), Term::Cst(b)]),
+                Atom::new(e, vec![Term::Cst(a), Term::Var(y)]),
+            ],
+        ),
+    ];
+    for query in &queries {
+        let oracle = reference::answers(query, &db).unwrap();
+        for strategy in STRATEGIES {
+            assert_eq!(
+                forced_answers(query, &db, strategy),
+                oracle,
+                "query {:?} strategy {strategy:?}",
+                query.name
+            );
+        }
     }
 }

@@ -52,7 +52,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use crate::atom::{Atom, Pred};
-use crate::instance::StoreView;
+use crate::instance::{RowRef, StoreView};
 use crate::term::{Cst, Term, Var};
 
 /// How a [`PlanOp`] enumerates candidate tuples.
@@ -151,6 +151,16 @@ pub struct ExecStats {
     pub backtracks: u64,
     /// Complete rows produced (visitor invocations).
     pub rows: u64,
+    /// Batch-plan executions (see [`crate::batch::BatchPlan::run`]).
+    pub batches: u64,
+    /// Rows materialized into intermediate batches by batch ops.
+    pub batch_rows: u64,
+    /// Batch join ops executed with the nested-loop (index probe) operator.
+    pub join_nested: u64,
+    /// Batch join ops executed with the hash-join operator.
+    pub join_hash: u64,
+    /// Batch join ops executed with the merge-join operator.
+    pub join_merge: u64,
     /// Per-op counters, parallel to [`Plan::ops`].
     pub per_op: Vec<OpCounters>,
 }
@@ -169,7 +179,7 @@ pub struct OpCounters {
 }
 
 impl ExecStats {
-    fn ensure_ops(&mut self, n: usize) {
+    pub(crate) fn ensure_ops(&mut self, n: usize) {
         if self.per_op.len() < n {
             self.per_op.resize(n, OpCounters::default());
         }
@@ -182,6 +192,11 @@ impl ExecStats {
         self.scanned += other.scanned;
         self.backtracks += other.backtracks;
         self.rows += other.rows;
+        self.batches += other.batches;
+        self.batch_rows += other.batch_rows;
+        self.join_nested += other.join_nested;
+        self.join_hash += other.join_hash;
+        self.join_merge += other.join_merge;
         self.ensure_ops(other.per_op.len());
         for (mine, theirs) in self.per_op.iter_mut().zip(other.per_op.iter()) {
             mine.entered += theirs.entered;
@@ -450,15 +465,15 @@ impl Plan {
                     Key::Slot(s) => regs[s].expect("probe slots are bound before the op runs"),
                 };
                 for &pos in rel.matches(col, value).unwrap_or(&[]) {
-                    if !self.try_tuple(i, op, rel.tuple(pos), db, regs, stats, visit) {
+                    if !self.try_row(i, op, rel.row(pos), db, regs, stats, visit) {
                         keep_going = false;
                         break;
                     }
                 }
             }
             Access::Scan => {
-                for tuple in rel.iter() {
-                    if !self.try_tuple(i, op, tuple, db, regs, stats, visit) {
+                for row in rel.iter() {
+                    if !self.try_row(i, op, row, db, regs, stats, visit) {
                         keep_going = false;
                         break;
                     }
@@ -469,11 +484,11 @@ impl Plan {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn try_tuple<S: StoreView + ?Sized>(
+    fn try_row<S: StoreView + ?Sized>(
         &self,
         i: usize,
         op: &PlanOp,
-        tuple: &[Cst],
+        row: RowRef<'_>,
         db: &S,
         regs: &mut Vec<Option<Cst>>,
         stats: &mut ExecStats,
@@ -485,18 +500,18 @@ impl Plan {
         for &action in &op.actions {
             match action {
                 ColAction::CheckConst { col, value } => {
-                    if tuple[col] != value {
+                    if row.get(col) != value {
                         ok = false;
                         break;
                     }
                 }
                 ColAction::CheckSlot { col, slot } => {
-                    if regs[slot] != Some(tuple[col]) {
+                    if regs[slot] != Some(row.get(col)) {
                         ok = false;
                         break;
                     }
                 }
-                ColAction::Bind { col, slot } => regs[slot] = Some(tuple[col]),
+                ColAction::Bind { col, slot } => regs[slot] = Some(row.get(col)),
             }
         }
         let keep_going = if ok {
@@ -558,6 +573,19 @@ impl Projection {
             .map(|&item| match item {
                 ProjItem::Const(c) => c,
                 ProjItem::Slot(s) => row.slot(s),
+            })
+            .collect()
+    }
+
+    /// Materializes the projected tuple with slot values supplied by
+    /// `get` — the batch executor's emission path, where a "row" is one
+    /// index into a [`crate::batch::Batch`]'s columns.
+    pub fn emit_with(&self, get: &mut dyn FnMut(usize) -> Cst) -> Vec<Cst> {
+        self.items
+            .iter()
+            .map(|&item| match item {
+                ProjItem::Const(c) => c,
+                ProjItem::Slot(s) => get(s),
             })
             .collect()
     }

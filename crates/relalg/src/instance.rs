@@ -1,34 +1,95 @@
 //! Database instances: sets of facts with per-column indexes.
 //!
+//! Tuple storage is **columnar**: a relation holds one `Arc`-shared vector
+//! per column (`cols[c][r]` is column `c` of row `r`), so batch operators
+//! can run over contiguous column slices ([`Relation::col`]) and the
+//! tuple-at-a-time executors read single cells ([`Relation::value`],
+//! [`RowRef`]) without materializing row vectors.
+//!
 //! Relations are `Arc`-shared copy-on-write: cloning an [`Instance`] or
 //! taking a [`Snapshot`] is O(#relations), and a writer clones a relation's
 //! storage only on the first mutation after a share ([`Arc::make_mut`]).
-//! Because the per-column indexes and the statistics the planner consults
-//! live *inside* [`Relation`], a snapshot carries everything evaluation
-//! needs — readers on other threads keep probing a frozen, consistent state
-//! while the writer diverges.
+//! The per-column vectors are themselves `Arc`-shared, so that clone copies
+//! the cheap index maps once and each column's data lazily, composing with
+//! the snapshot design. Because the per-column indexes and the statistics
+//! the planner consults live *inside* [`Relation`], a snapshot carries
+//! everything evaluation needs — readers on other threads keep probing a
+//! frozen, consistent state while the writer diverges.
 
 use std::collections::{BTreeMap, HashMap};
+use std::ops::Index;
 use std::sync::Arc;
 
 use crate::atom::{Fact, Pred};
 use crate::term::Cst;
 
-/// The extension of one relation: a set of tuples plus one hash index per
-/// column.
+/// The extension of one relation: a set of tuples in column-major storage
+/// plus one hash index per column.
 ///
 /// The column indexes are maintained eagerly on insertion; evaluation picks
 /// the most selective bound column of an atom to enumerate candidate tuples
 /// (see [`crate::answers`]).
 #[derive(Debug, Clone, Default)]
 pub struct Relation {
-    /// Tuple storage, in insertion order.
-    tuples: Vec<Vec<Cst>>,
-    /// Membership/dedup index: tuple → position in `tuples`.
+    /// Column-major tuple storage: `cols[c][r]` holds column `c` of the
+    /// tuple at position `r` (positions are insertion order, modulo
+    /// [`Relation::remove`]'s swap-removes). Each column vector is
+    /// `Arc`-shared across relation clones until first mutation.
+    cols: Vec<Arc<Vec<Cst>>>,
+    /// Number of tuples (authoritative even for nullary relations, whose
+    /// `cols` is empty).
+    rows: usize,
+    /// Membership/dedup index: tuple → position.
     positions: HashMap<Vec<Cst>, u32>,
     /// `col_index[c][v]` lists the positions of tuples whose column `c`
     /// holds the constant `v`.
     col_index: Vec<HashMap<Cst, Vec<u32>>>,
+}
+
+/// A borrowed view of one tuple of a columnar [`Relation`].
+///
+/// Indexing (`row[c]`) and [`RowRef::get`] read single cells straight out
+/// of the column vectors; [`RowRef::to_vec`] materializes the row when an
+/// owned tuple is needed.
+#[derive(Debug, Clone, Copy)]
+pub struct RowRef<'a> {
+    rel: &'a Relation,
+    pos: u32,
+}
+
+impl RowRef<'_> {
+    /// The number of columns.
+    pub fn arity(&self) -> usize {
+        self.rel.cols.len()
+    }
+
+    /// The value in column `col`.
+    pub fn get(&self, col: usize) -> Cst {
+        self.rel.cols[col][self.pos as usize]
+    }
+
+    /// The tuple's position within its relation.
+    pub fn pos(&self) -> u32 {
+        self.pos
+    }
+
+    /// Materializes the row as an owned tuple.
+    pub fn to_vec(&self) -> Vec<Cst> {
+        self.rel.cols.iter().map(|c| c[self.pos as usize]).collect()
+    }
+
+    /// `true` iff the row equals `tuple` column-for-column.
+    pub fn eq_tuple(&self, tuple: &[Cst]) -> bool {
+        self.arity() == tuple.len() && (0..tuple.len()).all(|c| self.get(c) == tuple[c])
+    }
+}
+
+impl Index<usize> for RowRef<'_> {
+    type Output = Cst;
+
+    fn index(&self, col: usize) -> &Cst {
+        &self.rel.cols[col][self.pos as usize]
+    }
 }
 
 impl Relation {
@@ -39,12 +100,17 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.rows
     }
 
     /// `true` iff the relation has no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.rows == 0
+    }
+
+    /// The number of columns (0 until the first tuple is inserted).
+    pub fn arity(&self) -> usize {
+        self.cols.len()
     }
 
     /// Inserts a tuple; returns `true` if it was not already present.
@@ -52,28 +118,32 @@ impl Relation {
         if self.positions.contains_key(&args) {
             return false;
         }
-        let pos = u32::try_from(self.tuples.len()).expect("relation overflow");
-        if self.col_index.len() < args.len() {
+        let pos = u32::try_from(self.rows).expect("relation overflow");
+        if self.cols.len() < args.len() {
+            self.cols.resize_with(args.len(), Arc::default);
             self.col_index.resize_with(args.len(), HashMap::new);
         }
+        debug_assert_eq!(self.cols.len(), args.len(), "relations have fixed arity");
         for (c, &v) in args.iter().enumerate() {
             self.col_index[c].entry(v).or_default().push(pos);
+            Arc::make_mut(&mut self.cols[c]).push(v);
         }
-        self.positions.insert(args.clone(), pos);
-        self.tuples.push(args);
+        self.rows += 1;
+        self.positions.insert(args, pos);
         true
     }
 
     /// Removes a tuple; returns `true` if it was present.
     ///
     /// Indexes are maintained **incrementally**: the last tuple is swapped
-    /// into the vacated slot and only the column-index postings of the two
-    /// affected tuples are touched — no rebuild. `O(arity · bucket)`.
+    /// into the vacated slot (per column) and only the column-index
+    /// postings of the two affected tuples are touched — no rebuild.
+    /// `O(arity · bucket)`.
     pub fn remove(&mut self, args: &[Cst]) -> bool {
         let Some(pos) = self.positions.remove(args) else {
             return false;
         };
-        let last = u32::try_from(self.tuples.len() - 1).expect("relation overflow");
+        let last = u32::try_from(self.rows - 1).expect("relation overflow");
         // Drop the removed tuple's postings.
         for (c, v) in args.iter().enumerate() {
             let bucket = self.col_index[c].get_mut(v).expect("posting exists");
@@ -84,7 +154,8 @@ impl Relation {
         }
         if pos != last {
             // The last tuple moves into `pos`: rewrite its postings.
-            for (c, v) in self.tuples[last as usize].clone().iter().enumerate() {
+            let moved: Vec<Cst> = self.cols.iter().map(|col| col[last as usize]).collect();
+            for (c, v) in moved.iter().enumerate() {
                 let bucket = self.col_index[c].get_mut(v).expect("posting exists");
                 for p in bucket.iter_mut() {
                     if *p == last {
@@ -94,10 +165,13 @@ impl Relation {
             }
             *self
                 .positions
-                .get_mut(&self.tuples[last as usize])
+                .get_mut(&moved)
                 .expect("moved tuple is indexed") = pos;
         }
-        self.tuples.swap_remove(pos as usize);
+        for col in &mut self.cols {
+            Arc::make_mut(col).swap_remove(pos as usize);
+        }
+        self.rows -= 1;
         true
     }
 
@@ -106,14 +180,27 @@ impl Relation {
         self.positions.contains_key(args)
     }
 
-    /// Iterates over the tuples in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &[Cst]> {
-        self.tuples.iter().map(Vec::as_slice)
+    /// Iterates over the tuples in position order.
+    pub fn iter(&self) -> impl Iterator<Item = RowRef<'_>> {
+        (0..u32::try_from(self.rows).expect("relation overflow"))
+            .map(|pos| RowRef { rel: self, pos })
     }
 
     /// The tuple stored at `pos` (positions come from [`Relation::matches`]).
-    pub fn tuple(&self, pos: u32) -> &[Cst] {
-        &self.tuples[pos as usize]
+    pub fn row(&self, pos: u32) -> RowRef<'_> {
+        debug_assert!((pos as usize) < self.rows);
+        RowRef { rel: self, pos }
+    }
+
+    /// The single cell at (`col`, `pos`).
+    pub fn value(&self, col: usize, pos: u32) -> Cst {
+        self.cols[col][pos as usize]
+    }
+
+    /// The contiguous storage of column `col` — the batch operators'
+    /// scan surface. Empty for columns the relation does not have.
+    pub fn col(&self, col: usize) -> &[Cst] {
+        self.cols.get(col).map_or(&[], |c| c.as_slice())
     }
 
     /// Positions of the tuples whose column `col` holds `value`, or `None`
@@ -393,8 +480,11 @@ mod tests {
         assert_eq!(rel.matches(1, b).unwrap().len(), 2);
         assert_eq!(rel.matches(0, b), None);
         for &pos in rel.matches(0, a).unwrap() {
-            assert_eq!(rel.tuple(pos)[0], a);
+            assert_eq!(rel.row(pos)[0], a);
+            assert_eq!(rel.value(0, pos), a);
         }
+        assert_eq!(rel.col(0).len(), 3);
+        assert_eq!(rel.arity(), 2);
     }
 
     #[test]
@@ -443,7 +533,7 @@ mod tests {
                             .matches(col, val)
                             .unwrap_or(&[])
                             .iter()
-                            .map(|&pos| r.tuple(pos).to_vec())
+                            .map(|&pos| r.row(pos).to_vec())
                             .collect();
                         tuples.sort();
                         tuples
@@ -531,7 +621,7 @@ mod tests {
         assert_eq!(rel.matches(0, a).unwrap().len(), 2);
         assert_eq!(rel.matches(1, b), None);
         for &pos in rel.matches(1, a).unwrap() {
-            assert_eq!(rel.tuple(pos), &[a, a]);
+            assert!(rel.row(pos).eq_tuple(&[a, a]));
         }
         // Removing the final facts drops the relation entirely.
         assert!(db.remove(&Fact::new(p, vec![a, a])));
@@ -621,6 +711,27 @@ mod tests {
             db.relation(p).unwrap(),
             snap.relation(p).unwrap()
         ));
+    }
+
+    #[test]
+    fn cloned_relation_shares_column_storage_until_write() {
+        let mut v = Vocabulary::new();
+        let p = v.pred("p", 2);
+        let mut db = Instance::new();
+        db.insert(fact(&mut v, p, &["a", "b"]));
+        let rel = db.relation(p).unwrap();
+        // A clone (what `Arc::make_mut` performs on a shared relation)
+        // shares the per-column vectors...
+        let shared = rel.clone();
+        assert_eq!(rel.col(0).as_ptr(), shared.col(0).as_ptr());
+        assert_eq!(rel.col(1).as_ptr(), shared.col(1).as_ptr());
+        // ...until the clone's first write, which copies the columns.
+        let mut diverged = rel.clone();
+        assert!(diverged.insert(vec![v.cst("c"), v.cst("d")]));
+        assert_ne!(rel.col(0).as_ptr(), diverged.col(0).as_ptr());
+        assert_eq!(rel.len(), 1);
+        assert_eq!(diverged.len(), 2);
+        assert!(diverged.contains(&[v.cst("a"), v.cst("b")]));
     }
 
     #[test]

@@ -48,6 +48,7 @@
 #![deny(missing_docs)]
 
 mod atom;
+pub mod batch;
 pub mod codec;
 mod containment;
 mod display;
@@ -61,10 +62,11 @@ mod term;
 mod vocab;
 
 pub use atom::{Atom, Fact, Pred};
+pub use batch::{Batch, BatchPlan, JoinStrategy};
 pub use containment::{are_equivalent, is_contained_in, is_strictly_contained_in};
 pub use display::{DisplayWith, WithVocab};
 pub use eval::{answers, has_answer, homomorphisms, Answer, AnswerSet, EvalError};
-pub use instance::{Instance, Relation, Snapshot, StoreView};
+pub use instance::{Instance, Relation, RowRef, Snapshot, StoreView};
 pub use minimize::{is_minimal, minimize, minimize_in_place};
 pub use query::Query;
 pub use subst::{

@@ -34,6 +34,16 @@ impl Cst {
     pub fn is_frozen(self) -> bool {
         matches!(self, Cst::Frozen(_))
     }
+
+    /// The constant packed into 64 bits (tag in the high half, interner
+    /// index in the low) — the batch executor's hash-key form. Distinct
+    /// constants of one vocabulary pack to distinct bits.
+    pub(crate) fn bits(self) -> u64 {
+        match self {
+            Cst::Data(s) => u64::from(s.0),
+            Cst::Frozen(v) => (1 << 32) | u64::from(v.0),
+        }
+    }
 }
 
 /// A term: either a variable or a constant.

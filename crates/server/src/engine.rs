@@ -529,6 +529,28 @@ impl Engine {
                     )),
                 )
             }
+            "plans" => {
+                // Plan-cache introspection: one `<query>:joins=[...]` item
+                // per cached entry, recording the join operator the cost
+                // model chose for each join op of the plan.
+                let vocab = self.vocab.lock().expect("vocab lock");
+                let plans = self.plans.lock().expect("cache lock");
+                let mut items: Vec<String> = plans
+                    .entries()
+                    .map(|(_, p)| {
+                        let joins: Vec<&str> =
+                            p.join_strategies().iter().map(|s| s.name()).collect();
+                        format!("{}:joins=[{}]", vocab.name(p.query().name), joins.join(","))
+                    })
+                    .collect();
+                items.sort();
+                (
+                    Op::Other,
+                    Ok(format!("ok {} {}", items.len(), items.join(" "))
+                        .trim_end()
+                        .to_string()),
+                )
+            }
             "epochs" => {
                 let (te, de) = self.epochs();
                 (Op::Other, Ok(format!("ok tcs={te} data={de}")))
@@ -657,6 +679,11 @@ impl Engine {
                 let set = plan.answers(&snap.db, &mut stats);
                 self.metrics
                     .record_exec(stats.probes, stats.scanned, stats.backtracks);
+                self.metrics.record_batch_exec(
+                    stats.batches,
+                    stats.batch_rows,
+                    (stats.join_nested, stats.join_hash, stats.join_merge),
+                );
                 let list: Vec<Answer> = set.into_iter().collect();
                 self.answer_cache
                     .lock()
@@ -979,6 +1006,22 @@ mod tests {
             metrics.contains("plan_cache.hits=1 plan_cache.misses=2"),
             "{metrics}"
         );
+    }
+
+    #[test]
+    fn plans_command_reports_join_operator_choices() {
+        let e = Engine::new();
+        assert_eq!(e.handle("plans"), "ok 0");
+        e.handle("assert edge(a, b).");
+        e.handle("assert edge(b, c).");
+        e.handle("eval q(X, Z) :- edge(X, Y), edge(Y, Z).");
+        let plans = e.handle("plans");
+        assert!(plans.starts_with("ok 1 q:joins=["), "{plans}");
+        // The batch executor ran: batch and join-strategy counters moved.
+        let metrics = e.handle("metrics");
+        assert!(metrics.contains("exec.batch.count="), "{metrics}");
+        assert!(!metrics.contains("exec.batch.count=0"), "{metrics}");
+        assert!(metrics.contains("exec.join.nested="), "{metrics}");
     }
 
     #[test]

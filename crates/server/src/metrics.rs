@@ -136,6 +136,11 @@ struct Inner {
     exec_probes: u64,
     exec_scanned: u64,
     exec_backtracks: u64,
+    exec_batches: u64,
+    exec_batch_rows: u64,
+    exec_join_nested: u64,
+    exec_join_hash: u64,
+    exec_join_merge: u64,
     dred_overdeleted: u64,
     dred_rederived: u64,
     wal_appends: u64,
@@ -216,6 +221,18 @@ impl Metrics {
         inner.exec_probes += probes;
         inner.exec_scanned += scanned;
         inner.exec_backtracks += backtracks;
+    }
+
+    /// Accumulates batch-execution counters from one plan run: batches
+    /// started, rows materialized across all operators, and how many join
+    /// operators executed under each strategy.
+    pub fn record_batch_exec(&self, batches: u64, batch_rows: u64, joins: (u64, u64, u64)) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.exec_batches += batches;
+        inner.exec_batch_rows += batch_rows;
+        inner.exec_join_nested += joins.0;
+        inner.exec_join_hash += joins.1;
+        inner.exec_join_merge += joins.2;
     }
 
     /// Accumulates DRed retraction work from one `retract` request: how
@@ -303,6 +320,16 @@ impl Metrics {
         );
         let _ = write!(
             out,
+            " exec.batch.count={} exec.batch.rows={} exec.join.nested={} \
+             exec.join.hash={} exec.join.merge={}",
+            inner.exec_batches,
+            inner.exec_batch_rows,
+            inner.exec_join_nested,
+            inner.exec_join_hash,
+            inner.exec_join_merge,
+        );
+        let _ = write!(
+            out,
             " analysis_cache.hits={} analysis_cache.misses={} analysis_cache.rate={:.3}",
             inner.analysis_hits,
             inner.analysis_misses,
@@ -384,6 +411,29 @@ mod tests {
         assert!(text.contains("plan_cache.rate=0.500"), "{text}");
         assert!(
             text.contains("exec.probes=6 exec.scanned=42 exec.backtracks=12"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn render_includes_batch_and_join_counters() {
+        let m = Metrics::new();
+        // Batch counters are always rendered, even at zero, so scrapers
+        // can rely on their presence.
+        let text = m.render();
+        assert!(
+            text.contains("exec.batch.count=0 exec.batch.rows=0"),
+            "{text}"
+        );
+        m.record_batch_exec(3, 120, (2, 1, 0));
+        m.record_batch_exec(1, 30, (0, 0, 1));
+        let text = m.render();
+        assert!(
+            text.contains("exec.batch.count=4 exec.batch.rows=150"),
+            "{text}"
+        );
+        assert!(
+            text.contains("exec.join.nested=2 exec.join.hash=1 exec.join.merge=1"),
             "{text}"
         );
     }

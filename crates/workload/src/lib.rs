@@ -9,6 +9,9 @@
 //! * [`random`] — random conjunctive queries (chain/star/cycle/mixed
 //!   shapes) and random acyclic or cyclic TCS sets with a configurable
 //!   coverage fraction, for scaling benchmarks and property tests.
+//! * [`traffic`] — a deterministic mixed eval/churn op stream over the
+//!   school workload, driven through the batch or tuple executor (the
+//!   A13 harness).
 //!
 //! All generators are deterministic given a seed.
 #![forbid(unsafe_code)]
@@ -18,3 +21,4 @@ pub mod paper;
 pub mod random;
 pub mod reduction;
 pub mod synth;
+pub mod traffic;
