@@ -51,6 +51,19 @@ if [ -n "$missing" ]; then
   exit 1
 fi
 
+# Trusted-checker boundary: magik-cert audits the engine's certificates
+# by direct definition-checking, so it must share zero reasoning code
+# with the crates it audits. Only the shared data model (magik-relalg)
+# is allowed; a dep edge on completeness/datalog/exec would let an
+# engine bug validate itself.
+forbidden=$(grep -En '^(magik-completeness|magik-datalog|magik-exec)[ ".=]' crates/cert/Cargo.toml || true)
+if [ -n "$forbidden" ]; then
+  echo "hygiene: crates/cert/Cargo.toml depends on an engine crate:" >&2
+  echo "$forbidden" >&2
+  exit 1
+fi
+
 echo "hygiene: all crate roots forbid unsafe_code and deny missing_docs"
 echo "hygiene: fsync primitives are confined to crates/storage"
 echo "hygiene: every M0xx code is catalogued in ANALYSES.md"
+echo "hygiene: magik-cert has no dependency on the engine crates"

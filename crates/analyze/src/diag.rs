@@ -2,7 +2,7 @@
 //! renderers.
 //!
 //! Every analysis in this crate reports [`Diagnostic`]s. A diagnostic has
-//! a stable [`Code`] (`M001`–`M024` — tools may match on these, so codes
+//! a stable [`Code`] (`M001`–`M025` — tools may match on these, so codes
 //! are never reused or renumbered; see `ANALYSES.md` for the catalogue),
 //! a [`Severity`], a logical [`Location`] inside the analyzed document,
 //! and — when the document was parsed from source — a byte [`Span`] that
@@ -124,6 +124,10 @@ pub enum Code {
     /// M024: one relation name is interned at two different arities in
     /// the live session vocabulary.
     LiveArityConflict,
+    /// M025: a checked query is incomplete, and a minimal set of
+    /// additional completeness statements that would make it complete is
+    /// attached as the suggested repair.
+    IncompleteWithRepair,
 }
 
 impl Code {
@@ -154,12 +158,13 @@ impl Code {
             Code::TriviallyIncompleteCheck => "M022",
             Code::EmptyStatementSet => "M023",
             Code::LiveArityConflict => "M024",
+            Code::IncompleteWithRepair => "M025",
         }
     }
 
     /// Every registered code, in numeric order. The catalogue checks and
     /// `--explain` completion iterate this.
-    pub const ALL: [Code; 24] = [
+    pub const ALL: [Code; 25] = [
         Code::DuplicateStatement,
         Code::SubsumedStatement,
         Code::SelfConditioned,
@@ -184,6 +189,7 @@ impl Code {
         Code::TriviallyIncompleteCheck,
         Code::EmptyStatementSet,
         Code::LiveArityConflict,
+        Code::IncompleteWithRepair,
     ];
 
     /// Parses a stable code string (`"M004"`, case-insensitive on the
@@ -228,6 +234,7 @@ impl Code {
             }
             Code::EmptyStatementSet => "session stores facts but holds no statements",
             Code::LiveArityConflict => "relation name interned at two arities in the session",
+            Code::IncompleteWithRepair => "query is incomplete; a minimal repair is suggested",
         }
     }
 
@@ -241,7 +248,8 @@ impl Code {
             | Code::BoundedRecursion
             | Code::UnusedStatement
             | Code::VacuousStatement
-            | Code::EmptyStatementSet => Severity::Info,
+            | Code::EmptyStatementSet
+            | Code::IncompleteWithRepair => Severity::Info,
             _ => Severity::Warning,
         }
     }
@@ -761,6 +769,7 @@ mod tests {
             Code::TriviallyIncompleteCheck,
             Code::EmptyStatementSet,
             Code::LiveArityConflict,
+            Code::IncompleteWithRepair,
         ];
         let strs: std::collections::BTreeSet<&str> = all.iter().map(|c| c.as_str()).collect();
         assert_eq!(strs.len(), all.len());

@@ -1,4 +1,4 @@
-//! State-aware analysis: diagnostics M018–M024 over a *live* session
+//! State-aware analysis: diagnostics M018–M025 over a *live* session
 //! (statement set + stored instance + constraints + vocabulary) rather
 //! than a standalone document.
 //!
@@ -11,9 +11,10 @@
 //! guarantees that match nothing currently stored (M021), checks doomed
 //! to come back incomplete on every instance (M022, reusing the
 //! [`guaranteeable_relations`] greatest fixpoint of `coverage.rs`), a
-//! fact-holding session with no statements at all (M023), and same-name
+//! fact-holding session with no statements at all (M023), same-name
 //! relations interned at different arities (M024 — unreachable in a
-//! single parse, but incremental sessions can get there).
+//! single parse, but incremental sessions can get there), and incomplete
+//! checks with an attached minimal repair (M025).
 //!
 //! All diagnostics are span-free ([`Location`]s only): live state has no
 //! source text. The server caches the result per
@@ -218,15 +219,20 @@ pub fn analyze_state(
     out
 }
 
-/// M022 for one query: the check verdict is `incomplete` on *every*
-/// instance when a body atom's relation lies outside the greatest
-/// fixpoint of guaranteeable relations — no complete specialization
-/// exists, so the T_C-based test can never succeed. `index` is only used
-/// for the diagnostic location.
+/// M022/M025 for one query. M022: the check verdict is `incomplete` on
+/// *every* instance when a body atom's relation lies outside the
+/// greatest fixpoint of guaranteeable relations — no complete
+/// specialization exists, so the T_C-based test can never succeed.
+/// M025: the query is incomplete under the current statement set, and a
+/// minimal set of additional statements that would repair it (computed
+/// by [`magik_completeness::repair_suggestions`], 1-minimal: removing
+/// any one leaves the query incomplete) is attached as the suggestion.
+/// `index` is only used for the diagnostic locations.
 pub fn analyze_check(index: usize, q: &Query, tcs: &TcSet, vocab: &Vocabulary) -> Vec<Diagnostic> {
     if q.body.is_empty() {
         return Vec::new();
     }
+    let mut out = Vec::new();
     let alive = guaranteeable_relations(tcs);
     let dead: Vec<String> = q
         .body
@@ -234,28 +240,54 @@ pub fn analyze_check(index: usize, q: &Query, tcs: &TcSet, vocab: &Vocabulary) -
         .filter(|a| !alive.contains(&a.pred))
         .map(|a| format!("`{}`", a.display(vocab)))
         .collect();
-    if dead.is_empty() {
-        return Vec::new();
+    if !dead.is_empty() {
+        out.push(
+            Diagnostic::new(
+                Code::TriviallyIncompleteCheck,
+                Location::Query {
+                    index,
+                    part: QueryPart::Whole,
+                },
+                format!(
+                    "checking `{}` is trivially incomplete for every instance: atom{} {} over \
+                     transitively unguaranteeable relation{}",
+                    vocab.name(q.name),
+                    if dead.len() == 1 { "" } else { "s" },
+                    dead.join(", "),
+                    if dead.len() == 1 { "" } else { "s" },
+                ),
+            )
+            .with_note(
+                "the greatest-fixpoint coverage analysis proves no complete specialization \
+                 exists; asserting a statement for the dead relation is the only repair",
+            ),
+        );
     }
-    vec![Diagnostic::new(
-        Code::TriviallyIncompleteCheck,
-        Location::Query {
-            index,
-            part: QueryPart::Whole,
-        },
-        format!(
-            "checking `{}` is trivially incomplete for every instance: atom{} {} over \
-             transitively unguaranteeable relation{}",
-            vocab.name(q.name),
-            if dead.len() == 1 { "" } else { "s" },
-            dead.join(", "),
-            if dead.len() == 1 { "" } else { "s" },
-        ),
-    )
-    .with_note(
-        "the greatest-fixpoint coverage analysis proves no complete specialization exists; \
-         asserting a statement for the dead relation is the only repair",
-    )]
+    if !magik_completeness::is_complete(q, tcs) {
+        let repair: Vec<String> = magik_completeness::repair_suggestions(q, tcs)
+            .iter()
+            .map(|s| format!("`{}`", s.display(vocab)))
+            .collect();
+        out.push(
+            Diagnostic::new(
+                Code::IncompleteWithRepair,
+                Location::Query {
+                    index,
+                    part: QueryPart::Whole,
+                },
+                format!(
+                    "checking `{}` comes back incomplete under the current statement set",
+                    vocab.name(q.name)
+                ),
+            )
+            .with_note(format!(
+                "minimal repair: assert {}; the set is 1-minimal — removing any one of \
+                 these statements leaves the query incomplete",
+                repair.join(", ")
+            )),
+        );
+    }
+    out
 }
 
 /// Does a statement-head pattern match a stored tuple? Constants must
@@ -405,11 +437,50 @@ mod tests {
         let doc = parse_document("compl pupil(N, C, S) ; class(C, S, L, T).", &mut v).unwrap();
         let q = parse_query("q(N) :- pupil(N, C, S)", &mut v).unwrap();
         let diags = analyze_check(0, &q, &doc.tcs, &v);
-        assert_eq!(codes(&diags), vec![Code::TriviallyIncompleteCheck]);
+        // The doomed check is also plainly incomplete, so the repair
+        // diagnostic rides along.
+        assert_eq!(
+            codes(&diags),
+            vec![Code::TriviallyIncompleteCheck, Code::IncompleteWithRepair]
+        );
         assert!(diags[0].message.contains("pupil"), "{diags:?}");
         // A covered query is clean.
         let doc2 = parse_document("compl pupil(N, C, S) ; true.", &mut v).unwrap();
         assert!(analyze_check(0, &q, &doc2.tcs, &v).is_empty());
+    }
+
+    #[test]
+    fn incomplete_check_with_repair_is_m025() {
+        let mut v = Vocabulary::new();
+        let doc = parse_document(
+            "compl school(S, primary, D) ; true.
+             compl pupil(N, C, S) ; school(S, T, merano).",
+            &mut v,
+        )
+        .unwrap();
+        let q = parse_query(
+            "q(N) :- pupil(N, C, S), school(S, primary, merano), learns(N, L)",
+            &mut v,
+        )
+        .unwrap();
+        let diags = analyze_check(0, &q, &doc.tcs, &v);
+        // `learns` is unguaranteeable, so M022 fires too; M025 carries
+        // the concrete repair.
+        assert!(
+            codes(&diags).contains(&Code::IncompleteWithRepair),
+            "{diags:?}"
+        );
+        let m025 = diags
+            .iter()
+            .find(|d| d.code == Code::IncompleteWithRepair)
+            .unwrap();
+        assert_eq!(m025.severity, crate::Severity::Info);
+        let note = m025.notes.join(" ");
+        assert!(note.contains("compl learns(N, L) ; true"), "{note}");
+        assert!(note.contains("1-minimal"), "{note}");
+        // The complete sibling query stays clean.
+        let q2 = parse_query("q(N) :- pupil(N, C, S), school(S, primary, merano)", &mut v).unwrap();
+        assert!(analyze_check(0, &q2, &doc.tcs, &v).is_empty());
     }
 
     #[test]

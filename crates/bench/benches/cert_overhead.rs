@@ -1,0 +1,175 @@
+//! Experiment A14 — certificate-emission overhead.
+//!
+//! Proof-carrying verdicts must not tax callers that never look at the
+//! evidence. Three layers are measured:
+//!
+//! * **complete polarity** — the plain Theorem 3 decision
+//!   (`is_complete`) against `certify` on a query every atom of which
+//!   is covered, so the certificate is the witnessing binding plus one
+//!   derivation tree per atom and no repair search runs. This is the
+//!   pure emission overhead, expected within a small constant factor
+//!   (≤2x) of the bare verdict, and against `certify` +
+//!   `check_certificate` (emission plus independent re-validation by
+//!   the trusted checker).
+//! * **incomplete polarity** — the same pair on random workloads that
+//!   fail the check. Here `certify` deliberately does more than decide:
+//!   the greedy-then-minimize repair search costs up to 2·|C| extra
+//!   Theorem 3 checks, so the measured factor tracks |C|, not the
+//!   emission machinery. Reported separately so that cost is never
+//!   confused with proof-recording overhead.
+//! * **provenance** — the Datalog fixpoint with proofs off
+//!   (`eval_semi_naive`, the allocation-free hot path) against the
+//!   proof-recording run (`provenance`) on a transitive-closure chain.
+//!   Proofs-off must be unaffected by the existence of the provenance
+//!   machinery; proofs-on pays one justification per derived fact.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use magik::datalog::{Program, Rule};
+use magik::workload::random::{
+    acyclic_tcs, covering_tcs, query, QueryShape, RandomQueryConfig, RandomTcsConfig,
+};
+use magik::{
+    cert_statements, certify, check_certificate, is_complete, Atom, Certificate, Fact, Instance,
+    Term, Vocabulary,
+};
+
+fn bench_polarity(
+    c: &mut Criterion,
+    name: &str,
+    workloads: &[(usize, magik::Query, magik::TcSet)],
+) {
+    let mut group = c.benchmark_group(format!("cert_overhead/{name}"));
+    for (size, q, tcs) in workloads {
+        group.bench_with_input(BenchmarkId::new("plain", size), size, |b, _| {
+            b.iter(|| is_complete(q, tcs));
+        });
+        group.bench_with_input(BenchmarkId::new("certify", size), size, |b, _| {
+            b.iter(|| certify(q, tcs));
+        });
+        let cert_stmts = cert_statements(tcs);
+        group.bench_with_input(BenchmarkId::new("certify_and_check", size), size, |b, _| {
+            b.iter(|| {
+                let cert = certify(q, tcs);
+                check_certificate(q, &cert_stmts, &cert).expect("emitted certificate");
+                cert
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_complete_polarity(c: &mut Criterion) {
+    let workloads: Vec<_> = [2usize, 4, 8]
+        .into_iter()
+        .map(|atoms| {
+            let mut vocab = Vocabulary::new();
+            let q = query(
+                RandomQueryConfig {
+                    shape: QueryShape::Chain,
+                    atoms,
+                    relations: atoms,
+                    ..RandomQueryConfig::default()
+                },
+                &mut vocab,
+            );
+            let tcs = covering_tcs(atoms, atoms, &mut vocab);
+            assert!(is_complete(&q, &tcs), "workload must be complete");
+            (atoms, q, tcs)
+        })
+        .collect();
+    bench_polarity(c, "complete", &workloads);
+}
+
+fn bench_incomplete_polarity(c: &mut Criterion) {
+    let workloads: Vec<_> = [4usize, 16, 64]
+        .into_iter()
+        .map(|statements| {
+            let mut vocab = Vocabulary::new();
+            let q = query(
+                RandomQueryConfig {
+                    shape: QueryShape::Chain,
+                    atoms: 8,
+                    relations: 4,
+                    ..RandomQueryConfig::default()
+                },
+                &mut vocab,
+            );
+            let tcs = acyclic_tcs(
+                RandomTcsConfig {
+                    statements,
+                    relations: 4,
+                    max_condition: 2,
+                    seed: 3,
+                },
+                &mut vocab,
+            );
+            let cert = certify(&q, &tcs);
+            assert!(
+                matches!(cert, Certificate::Incomplete { .. }),
+                "workload must be incomplete"
+            );
+            (statements, q, tcs)
+        })
+        .collect();
+    bench_polarity(c, "incomplete", &workloads);
+}
+
+/// One transitive-closure chain of `len` edges: a model whose derived
+/// paths grow quadratically, so proof recording has real work to do.
+fn chain(len: usize) -> (Program, Instance) {
+    let mut v = Vocabulary::new();
+    let edge = v.pred("edge", 2);
+    let path = v.pred("path", 2);
+    let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+    let program = Program::new(vec![
+        Rule::new(
+            Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
+            vec![Atom::new(edge, vec![Term::Var(x), Term::Var(y)])],
+        ),
+        Rule::new(
+            Atom::new(path, vec![Term::Var(x), Term::Var(z)]),
+            vec![
+                Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(edge, vec![Term::Var(y), Term::Var(z)]),
+            ],
+        ),
+    ])
+    .unwrap();
+    let mut edb = Instance::new();
+    for i in 0..len {
+        edb.insert(Fact::new(
+            edge,
+            vec![v.cst(&format!("n{i}")), v.cst(&format!("n{}", i + 1))],
+        ));
+    }
+    (program, edb)
+}
+
+fn bench_provenance_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cert_overhead/provenance");
+    for len in [16usize, 64] {
+        let (program, edb) = chain(len);
+        let model_len = program.eval_semi_naive(&edb).model.len();
+        group.throughput(Throughput::Elements(model_len as u64));
+        group.bench_with_input(
+            BenchmarkId::new("proofs_off", model_len),
+            &model_len,
+            |b, _| b.iter(|| program.eval_semi_naive(&edb)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("proofs_on", model_len),
+            &model_len,
+            |b, _| b.iter(|| program.provenance(&edb)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_complete_polarity,
+    bench_incomplete_polarity,
+    bench_provenance_overhead
+);
+criterion_main!(benches);

@@ -30,19 +30,27 @@ use std::process::ExitCode;
 mod repl;
 
 use magik::{
-    allow_directives, analyze_document, answers, classify_answers, count_bounds, counterexample,
-    explain_check, explain_code, explain_json, explain_text, filter_suppressed, fix_source,
-    is_complete, is_complete_under, k_mcs, lint, mcg_under, mcg_with_stats, parse_document,
-    publishable_counts, render_counterexample, render_explanation, render_json, render_report,
-    render_sarif, semantics::IncompleteDatabase, tc_apply, Baseline, Code, CompiledQuery,
+    allow_directives, analyze_document, answers, cert_statements, certify, check_certificate,
+    classify_answers, count_bounds, counterexample, explain_check, explain_code, explain_json,
+    explain_text, filter_suppressed, fix_source, is_complete, is_complete_under, k_mcs, lint,
+    mcg_under, mcg_with_stats, parse_document, publishable_counts, render_counterexample,
+    render_explanation_with_locations, render_json, render_report, render_sarif,
+    semantics::IncompleteDatabase, tc_apply, Baseline, Certificate, Code, CompiledQuery,
     Diagnostic, DisplayWith, Document, DurabilityOptions, Engine, ExecStats, FsyncPolicy,
-    KMcsEngine, KMcsOptions, SarifFile, Server, Severity, SourceFile, Vocabulary,
+    KMcsEngine, KMcsOptions, LineIndex, SarifFile, Server, Severity, SourceFile, TcStatement,
+    Vocabulary,
 };
 
 const USAGE: &str = "usage: magik <check|generalize|specialize|eval|explain> <file> [options]
 
 commands:
-  check      <file>                 report COMPLETE/INCOMPLETE per query
+  check      <file> [--why] [--format text|json]
+                                    report COMPLETE/INCOMPLETE per query;
+                                    --why attaches a machine-checkable
+                                    certificate (witness derivations, or a
+                                    counterexample plus a minimal repair),
+                                    validated by magik-cert, as text or
+                                    JSON per --format
   generalize <file>                 compute the MCG of each query
   specialize <file> [-k N] [--naive]
                                     compute the k-MCSs of each query
@@ -112,7 +120,7 @@ fn read_input(path: &str) -> std::io::Result<String> {
     }
 }
 
-fn load(path: &str) -> Result<(Vocabulary, Document), ExitCode> {
+fn load(path: &str) -> Result<(Vocabulary, Document, String), ExitCode> {
     let src = match read_input(path) {
         Ok(src) => src,
         Err(e) => {
@@ -122,12 +130,21 @@ fn load(path: &str) -> Result<(Vocabulary, Document), ExitCode> {
     };
     let mut vocab = Vocabulary::new();
     match parse_document(&src, &mut vocab) {
-        Ok(doc) => Ok((vocab, doc)),
+        Ok(doc) => Ok((vocab, doc, src)),
         Err(e) => {
             eprintln!("magik: {path}:{e}");
             Err(ExitCode::from(2))
         }
     }
+}
+
+/// Maps a statement index to a short, path-free source citation
+/// (`line N`) through the parser's span table.
+fn statement_location(doc: &Document, index: &LineIndex, statement: usize) -> Option<String> {
+    doc.spans.statements.get(statement).map(|s| {
+        let (line, _) = index.line_col(s.item.start);
+        format!("line {line}")
+    })
 }
 
 fn cmd_check(vocab: &Vocabulary, doc: &Document) {
@@ -140,6 +157,167 @@ fn cmd_check(vocab: &Vocabulary, doc: &Document) {
         let verdict = if complete { "COMPLETE" } else { "INCOMPLETE" };
         println!("{verdict}: {}", q.display(vocab));
     }
+}
+
+/// `check --why`: proof-carrying verdicts. Emits a certificate per query
+/// (witness for complete, counterexample + minimal repair for
+/// incomplete), self-validates it with the independent `magik-cert`
+/// checker, and renders it as text or JSON.
+fn cmd_check_why(vocab: &Vocabulary, doc: &Document, src: &str, json: bool) {
+    let index = LineIndex::new(src);
+    if json {
+        print!("{}", check_why_json(vocab, doc, &index));
+        return;
+    }
+    let statements = cert_statements(&doc.tcs);
+    for q in &doc.queries {
+        let cert = certify(q, &doc.tcs);
+        let valid = check_certificate(q, &statements, &cert).is_ok();
+        let e = explain_check(q, &doc.tcs);
+        print!(
+            "{}",
+            render_explanation_with_locations(q, &doc.tcs, &e, vocab, |i| statement_location(
+                doc, &index, i
+            ))
+        );
+        if let Certificate::Incomplete { repair, .. } = &cert {
+            if let Some(db) = counterexample(q, &doc.tcs) {
+                print!("{}", render_counterexample(q, &db, vocab));
+            }
+            if let Some(r) = repair {
+                let adds: Vec<String> = r
+                    .additions
+                    .iter()
+                    .map(|a| {
+                        TcStatement::new(a.clone(), vec![])
+                            .display(vocab)
+                            .to_string()
+                    })
+                    .collect();
+                println!("  minimal repair: add {}", adds.join(", add "));
+                println!("    (removing any one suggested statement leaves the query incomplete)");
+            }
+        }
+        println!(
+            "  certificate: {}",
+            if valid {
+                "valid (checked by magik-cert)"
+            } else {
+                "INVALID"
+            }
+        );
+        println!();
+    }
+}
+
+/// Renders the `check --why` certificates as a JSON array, one object
+/// per query.
+fn check_why_json(vocab: &Vocabulary, doc: &Document, index: &LineIndex) -> String {
+    use std::fmt::Write as _;
+    let statements = cert_statements(&doc.tcs);
+    let mut out = String::from("[");
+    for (qi, q) in doc.queries.iter().enumerate() {
+        if qi > 0 {
+            out.push(',');
+        }
+        let cert = certify(q, &doc.tcs);
+        let valid = check_certificate(q, &statements, &cert).is_ok();
+        let e = explain_check(q, &doc.tcs);
+        let verdict = match &cert {
+            Certificate::Complete(_) => "complete",
+            Certificate::Incomplete { .. } => "incomplete",
+        };
+        let _ = write!(
+            out,
+            "\n  {{\"query\":\"{}\",\"verdict\":\"{verdict}\",\"certificate_valid\":{valid},\"atoms\":[",
+            cli_json_escape(&q.display(vocab).to_string())
+        );
+        for (ai, (atom, witness)) in e.atoms.iter().enumerate() {
+            if ai > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"atom\":\"{}\"",
+                cli_json_escape(&atom.display(vocab).to_string())
+            );
+            match witness {
+                Some(w) => {
+                    let _ = write!(out, ",\"guaranteed\":true,\"statement\":{}", w.statement);
+                    if let Some(loc) = statement_location(doc, index, w.statement) {
+                        let _ = write!(out, ",\"location\":\"{}\"", cli_json_escape(&loc));
+                    }
+                }
+                None => out.push_str(",\"guaranteed\":false"),
+            }
+            out.push('}');
+        }
+        out.push(']');
+        match &cert {
+            Certificate::Complete(c) => {
+                out.push_str(",\"witness\":[");
+                for (i, (var, cst)) in c.theta.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"var\":\"{}\",\"value\":\"{}\"}}",
+                        cli_json_escape(&var.display(vocab).to_string()),
+                        cli_json_escape(&cst.display(vocab).to_string())
+                    );
+                }
+                out.push(']');
+            }
+            Certificate::Incomplete {
+                counterexample: ce,
+                repair,
+            } => {
+                let facts = |fs: &mut dyn Iterator<Item = magik::Fact>| {
+                    let rendered: Vec<String> = fs
+                        .map(|f| {
+                            format!(
+                                "\"{}\"",
+                                cli_json_escape(
+                                    &magik::relalg::unfreeze_fact(&f).display(vocab).to_string()
+                                )
+                            )
+                        })
+                        .collect();
+                    rendered.join(",")
+                };
+                let ideal = magik::canonical_database(q);
+                let _ = write!(
+                    out,
+                    ",\"counterexample\":{{\"ideal\":[{}],\"available\":[{}],\"lost\":\"{}\"}}",
+                    facts(&mut ideal.iter_facts()),
+                    facts(&mut ce.available.iter().cloned()),
+                    cli_json_escape(&ce.target.display(vocab).to_string())
+                );
+                if let Some(r) = repair {
+                    out.push_str(",\"repair\":[");
+                    for (i, a) in r.additions.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(
+                            out,
+                            "\"{}\"",
+                            cli_json_escape(
+                                &TcStatement::new(a.clone(), vec![])
+                                    .display(vocab)
+                                    .to_string()
+                            )
+                        );
+                    }
+                    out.push(']');
+                }
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    out
 }
 
 fn cmd_generalize(vocab: &Vocabulary, doc: &Document) {
@@ -270,10 +448,16 @@ fn cmd_bounds(vocab: &mut Vocabulary, doc: &Document, k: usize) {
     }
 }
 
-fn cmd_why(vocab: &Vocabulary, doc: &Document) {
+fn cmd_why(vocab: &Vocabulary, doc: &Document, src: &str) {
+    let index = LineIndex::new(src);
     for q in &doc.queries {
         let e = explain_check(q, &doc.tcs);
-        print!("{}", render_explanation(q, &doc.tcs, &e, vocab));
+        print!(
+            "{}",
+            render_explanation_with_locations(q, &doc.tcs, &e, vocab, |i| statement_location(
+                doc, &index, i
+            ))
+        );
         if !e.complete {
             if let Some(db) = counterexample(q, &doc.tcs) {
                 print!("{}", render_counterexample(q, &db, vocab));
@@ -679,7 +863,7 @@ fn cmd_explain_plan(args: &[String]) -> ExitCode {
         eprintln!("magik: missing <file>\n{USAGE}");
         return ExitCode::from(1);
     };
-    let (vocab, doc) = match load(&path) {
+    let (vocab, doc, _) = match load(&path) {
         Ok(x) => x,
         Err(code) => return code,
     };
@@ -834,7 +1018,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let exec = magik::Executor::with_threads(threads);
     let preload = match &file {
         Some(path) => {
-            let (vocab, doc) = match load(path) {
+            let (vocab, doc, _) = match load(path) {
                 Ok(x) => x,
                 Err(code) => return code,
             };
@@ -1045,9 +1229,11 @@ fn main() -> ExitCode {
         return ExitCode::from(1);
     };
 
-    // Options (only `specialize` has any today).
+    // Options (`specialize`/`bounds` take -k; `check` takes --why).
     let mut k = 0usize;
     let mut naive = false;
+    let mut why = false;
+    let mut why_json = false;
     let mut rest = args[2..].iter();
     while let Some(opt) = rest.next() {
         match opt.as_str() {
@@ -1059,6 +1245,15 @@ fn main() -> ExitCode {
                 }
             },
             "--naive" => naive = true,
+            "--why" if command == "check" => why = true,
+            "--format" if command == "check" => match rest.next().map(String::as_str) {
+                Some("text") => why_json = false,
+                Some("json") => why_json = true,
+                _ => {
+                    eprintln!("magik: --format requires `text` or `json`");
+                    return ExitCode::from(1);
+                }
+            },
             other => {
                 eprintln!("magik: unknown option `{other}`\n{USAGE}");
                 return ExitCode::from(1);
@@ -1066,17 +1261,18 @@ fn main() -> ExitCode {
         }
     }
 
-    let (mut vocab, doc) = match load(path) {
+    let (mut vocab, doc, src) = match load(path) {
         Ok(x) => x,
         Err(code) => return code,
     };
     match command.as_str() {
+        "check" if why => cmd_check_why(&vocab, &doc, &src, why_json),
         "check" => cmd_check(&vocab, &doc),
         "generalize" => cmd_generalize(&vocab, &doc),
         "specialize" => cmd_specialize(&mut vocab, &doc, k, naive),
         "eval" => cmd_eval(&vocab, &doc),
         "bounds" => cmd_bounds(&mut vocab, &doc, k),
-        "why" => cmd_why(&vocab, &doc),
+        "why" => cmd_why(&vocab, &doc, &src),
         "explain" => cmd_explain(&vocab, &doc),
         "simulate" => cmd_simulate(&vocab, &doc),
         other => {

@@ -17,6 +17,12 @@
 //!   cargo run -p magik-cli -- explain-plan testdata/$f.magik --format json \
 //!     > testdata/golden/${f}_explain_plan.json
 //! done
+//! for f in school repair; do
+//!   cargo run -p magik-cli -- check testdata/$f.magik --why \
+//!     > testdata/golden/${f}_check_why.txt
+//!   cargo run -p magik-cli -- check testdata/$f.magik --why --format json \
+//!     > testdata/golden/${f}_check_why.json
+//! done
 //! ```
 
 use std::process::Command;
@@ -65,6 +71,39 @@ fn classes_outputs_match_goldens() {
     let file = testdata("classes.magik");
     assert_golden(&["check", &file], "classes_check.txt");
     assert_golden(&["explain", &file], "classes_explain.txt");
+}
+
+/// `check --why` output (text and JSON) is golden-pinned on the school
+/// document (one complete query with a witness, one incomplete with a
+/// single-statement repair) and the repair document, whose query needs a
+/// two-statement repair — the golden records both the counterexample and
+/// the minimality footnote.
+#[test]
+fn check_why_outputs_match_goldens() {
+    for fixture in ["school", "repair"] {
+        let file = testdata(&format!("{fixture}.magik"));
+        assert_golden(
+            &["check", &file, "--why"],
+            &format!("{fixture}_check_why.txt"),
+        );
+        assert_golden(
+            &["check", &file, "--why", "--format", "json"],
+            &format!("{fixture}_check_why.json"),
+        );
+    }
+}
+
+/// Every certificate the CLI renders must have passed magik-cert —
+/// guard against the goldens silently recording an invalid one.
+#[test]
+fn check_why_goldens_record_valid_certificates() {
+    for golden in ["school_check_why", "repair_check_why"] {
+        let text = std::fs::read_to_string(testdata(&format!("golden/{golden}.txt"))).unwrap();
+        assert!(!text.contains("INVALID"), "{golden}.txt: {text}");
+        let json = std::fs::read_to_string(testdata(&format!("golden/{golden}.json"))).unwrap();
+        assert!(json.contains(r#""certificate_valid":true"#), "{json}");
+        assert!(!json.contains(r#""certificate_valid":false"#), "{json}");
+    }
 }
 
 /// `explain-plan` output (text and JSON) is golden-pinned on two

@@ -97,6 +97,20 @@ pub fn render_explanation(
     e: &CheckExplanation,
     vocab: &Vocabulary,
 ) -> String {
+    render_explanation_with_locations(q, tcs, e, vocab, |_| None)
+}
+
+/// Like [`render_explanation`], but each witnessing statement is cited
+/// with its source location: `locate(i)` maps a statement index to a
+/// short location string (e.g. `line 5`) when the statement came from a
+/// parsed document. Statements without a location render as before.
+pub fn render_explanation_with_locations(
+    q: &Query,
+    tcs: &TcSet,
+    e: &CheckExplanation,
+    vocab: &Vocabulary,
+    locate: impl Fn(usize) -> Option<String>,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{}", q.display(vocab));
     for (atom, witness) in &e.atoms {
@@ -109,6 +123,9 @@ pub fn render_explanation(
                     w.statement,
                     tcs.statements()[w.statement].display(vocab)
                 );
+                if let Some(loc) = locate(w.statement) {
+                    let _ = write!(out, " ({loc})");
+                }
                 if !w.condition.is_empty() {
                     let conds: Vec<String> = w
                         .condition
@@ -262,6 +279,25 @@ mod tests {
         assert_eq!(e.unguaranteed().count(), 1);
         let rendered = render_explanation(&q, &tcs, &e, &v);
         assert!(rendered.contains("redundant"));
+    }
+
+    #[test]
+    fn rendered_witnesses_cite_statement_locations() {
+        let mut v = Vocabulary::new();
+        let tcs = school_tcs(&mut v);
+        let q = q_ppb(&mut v);
+        let e = explain_check(&q, &tcs);
+        let rendered = render_explanation_with_locations(&q, &tcs, &e, &v, |i| {
+            Some(format!("line {}", i + 4))
+        });
+        // Statement 1 (C_pb) covers pupil, statement 0 (C_sp) covers school.
+        assert!(rendered.contains("(line 5)"), "{rendered}");
+        assert!(rendered.contains("(line 4)"), "{rendered}");
+        // The plain renderer is the no-location specialization.
+        assert_eq!(
+            render_explanation(&q, &tcs, &e, &v),
+            render_explanation_with_locations(&q, &tcs, &e, &v, |_| None)
+        );
     }
 
     #[test]

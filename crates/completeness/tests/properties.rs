@@ -7,11 +7,13 @@
 
 use proptest::prelude::*;
 
+use magik_cert::{check_certificate, check_repair, Certificate};
 use magik_completeness::semantics::IncompleteDatabase;
 use magik_completeness::{
-    complete_unifiers, g_op, is_complete, is_complete_under, is_complete_via_datalog,
-    is_instantiation_of, k_mcs, k_mcs_on, mcg, mcg_under, mcis, tc_apply, tc_apply_datalog,
-    ConstraintSet, FiniteDomain, KMcsEngine, KMcsOptions, TcSet, TcStatement,
+    cert_statements, certify, complete_unifiers, g_op, is_complete, is_complete_under,
+    is_complete_via_datalog, is_instantiation_of, k_mcs, k_mcs_on, mcg, mcg_under, mcis,
+    repair_suggestions, tc_apply, tc_apply_datalog, ConstraintSet, FiniteDomain, KMcsEngine,
+    KMcsOptions, TcSet, TcStatement,
 };
 use magik_exec::Executor;
 use magik_relalg::{
@@ -195,6 +197,51 @@ proptest! {
                 "reasoner claimed incomplete but the canonical witness shows no loss"
             );
         }
+    }
+
+    /// Every verdict carries a certificate, of the matching polarity,
+    /// that the independent `magik-cert` checker accepts: a complete
+    /// verdict's witness derivations check out, an incomplete verdict's
+    /// counterexample checks out, and the attached repair is validated
+    /// as sound *and* 1-minimal.
+    #[test]
+    fn certificates_always_validate(specs in proptest::collection::vec(atcs(), 0..4), qb in proptest::collection::vec(aatom(), 1..4)) {
+        let mut ctx = Ctx::new();
+        let tcs = ctx.tcs(&specs);
+        let q = ctx.query(&qb);
+        let cert = certify(&q, &tcs);
+        let statements = cert_statements(&tcs);
+        prop_assert!(
+            check_certificate(&q, &statements, &cert).is_ok(),
+            "engine emitted a certificate magik-cert rejects"
+        );
+        match &cert {
+            Certificate::Complete(_) => prop_assert!(is_complete(&q, &tcs)),
+            Certificate::Incomplete { repair, .. } => {
+                prop_assert!(!is_complete(&q, &tcs));
+                let r = repair.as_ref().expect("an all-atoms repair always exists");
+                prop_assert!(check_repair(&q, &statements, r).is_ok());
+            }
+        }
+    }
+
+    /// `repair_suggestions` returns exactly the incomplete case's repair:
+    /// empty iff the query is already complete, and asserting the
+    /// suggestions (as unconditional statements) makes it complete.
+    #[test]
+    fn repair_suggestions_repair(specs in proptest::collection::vec(atcs(), 0..4), qb in proptest::collection::vec(aatom(), 1..4)) {
+        let mut ctx = Ctx::new();
+        let tcs = ctx.tcs(&specs);
+        let q = ctx.query(&qb);
+        let repair = repair_suggestions(&q, &tcs);
+        prop_assert_eq!(repair.is_empty(), is_complete(&q, &tcs));
+        let repaired: TcSet = tcs
+            .statements()
+            .iter()
+            .cloned()
+            .chain(repair.iter().cloned())
+            .collect();
+        prop_assert!(is_complete(&q, &repaired));
     }
 
     /// The two completeness checkers agree.

@@ -1,0 +1,283 @@
+//! Lazy per-fact provenance: which rule derived each IDB fact, under
+//! which grounding, from which body facts.
+//!
+//! Provenance is **reconstructed on demand** by a naive recording
+//! fixpoint, never threaded through the semi-naive or DRed hot paths —
+//! when proofs are off, evaluation does not allocate a single extra byte.
+//! The reconstruction is well-founded: a justification is recorded only
+//! the first time a fact is derived, and its body facts are all members
+//! of the pre-round model, so [`Provenance::explain`] always terminates
+//! even on recursive programs.
+//!
+//! After incremental maintenance ([`crate::Materialized::retract`] runs
+//! DRed), [`crate::Materialized::provenance`] rebuilds justifications
+//! from the *current* EDB, so trees never cite retracted facts.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use magik_relalg::{homomorphisms, Cst, Fact, Instance, Substitution, Term, Var};
+
+use crate::program::Program;
+
+/// Why one IDB fact holds: the rule that first derived it, the grounding
+/// of the rule's variables, and the positive body facts it consumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Justification {
+    /// Index of the deriving rule in [`Program::rules`].
+    pub rule: usize,
+    /// The grounding of the rule's variables, sorted by variable.
+    pub binding: Vec<(Var, Cst)>,
+    /// The grounded positive body, in body order. Each fact is itself in
+    /// the model with a strictly earlier justification (or is EDB).
+    pub body: Vec<Fact>,
+}
+
+/// A fully expanded derivation tree for one fact: leaves are EDB facts
+/// (`rule: None`), inner nodes are rule applications whose children
+/// derive the grounded body atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivationTree {
+    /// The derived fact.
+    pub fact: Fact,
+    /// The applied rule, or `None` for an EDB fact.
+    pub rule: Option<usize>,
+    /// The grounding of the rule's variables (empty for EDB facts).
+    pub binding: Vec<(Var, Cst)>,
+    /// One child per positive body atom, in body order.
+    pub children: Vec<DerivationTree>,
+}
+
+impl DerivationTree {
+    /// The number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(DerivationTree::size)
+            .sum::<usize>()
+    }
+}
+
+/// Per-fact provenance for one `(program, edb)` pair: a justification for
+/// every derivable IDB fact, plus the EDB for leaf classification.
+#[derive(Debug, Clone)]
+pub struct Provenance {
+    edb: BTreeSet<Fact>,
+    justifications: BTreeMap<Fact, Justification>,
+}
+
+impl Provenance {
+    /// The recorded justification for a derived fact, or `None` for EDB
+    /// facts and facts outside the model.
+    pub fn justification(&self, fact: &Fact) -> Option<&Justification> {
+        self.justifications.get(fact)
+    }
+
+    /// `true` iff the fact is in the extensional database.
+    pub fn is_edb(&self, fact: &Fact) -> bool {
+        self.edb.contains(fact)
+    }
+
+    /// `true` iff the fact is in the model (EDB or derived).
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.edb.contains(fact) || self.justifications.contains_key(fact)
+    }
+
+    /// The number of facts with a recorded justification.
+    pub fn derived_count(&self) -> usize {
+        self.justifications.len()
+    }
+
+    /// Expands the full derivation tree of a fact: EDB facts become
+    /// leaves, derived facts recurse through their justification. Returns
+    /// `None` for facts outside the model.
+    ///
+    /// Terminates on recursive programs because justifications are
+    /// well-founded (each body fact was derived in an earlier round).
+    pub fn explain(&self, fact: &Fact) -> Option<DerivationTree> {
+        if self.edb.contains(fact) {
+            return Some(DerivationTree {
+                fact: fact.clone(),
+                rule: None,
+                binding: Vec::new(),
+                children: Vec::new(),
+            });
+        }
+        let j = self.justifications.get(fact)?;
+        let children = j
+            .body
+            .iter()
+            .map(|f| self.explain(f).expect("justifications are well-founded"))
+            .collect();
+        Some(DerivationTree {
+            fact: fact.clone(),
+            rule: Some(j.rule),
+            binding: j.binding.clone(),
+            children,
+        })
+    }
+}
+
+fn binding_of(sub: &Substitution) -> Vec<(Var, Cst)> {
+    sub.iter()
+        .filter_map(|(v, t)| match t {
+            Term::Cst(c) => Some((v, c)),
+            Term::Var(_) => None,
+        })
+        .collect()
+}
+
+impl Program {
+    /// Computes per-fact provenance for this program over `edb` by a
+    /// naive recording fixpoint, stratum by stratum.
+    ///
+    /// This is deliberately separate from (and slower than) the
+    /// semi-naive engine: the hot path stays allocation-free when proofs
+    /// are off, and the recording pass is only run when someone asks
+    /// *why* a fact holds. The derived model is identical to
+    /// [`Program::eval_semi_naive`]'s.
+    pub fn provenance(&self, edb: &Instance) -> Provenance {
+        let edb_facts: BTreeSet<Fact> = edb.iter_facts().collect();
+        let mut model = edb.clone();
+        let mut justifications: BTreeMap<Fact, Justification> = BTreeMap::new();
+        for stratum in 0..self.num_strata() {
+            loop {
+                // Collect this round's new derivations against the
+                // pre-round model, then insert them all at once: body
+                // facts of every justification are strictly prior, which
+                // keeps `explain` well-founded.
+                let mut pending: Vec<(Fact, Justification)> = Vec::new();
+                for (ri, rule) in self.rules().iter().enumerate() {
+                    if self.stratum(rule.head.pred) != stratum {
+                        continue;
+                    }
+                    for hom in homomorphisms(&rule.body, &model) {
+                        // Safe negation: every negated variable is bound
+                        // by the positive body, and stratification makes
+                        // the negated (lower-stratum) relations final.
+                        let blocked = rule.negative.iter().any(|n| {
+                            let f = hom.apply_atom(n).to_fact().expect("safe negation grounds");
+                            model.contains(&f)
+                        });
+                        if blocked {
+                            continue;
+                        }
+                        let fact = hom
+                            .apply_atom(&rule.head)
+                            .to_fact()
+                            .expect("range restriction grounds the head");
+                        if model.contains(&fact) || pending.iter().any(|(f, _)| *f == fact) {
+                            continue;
+                        }
+                        let body = rule
+                            .body
+                            .iter()
+                            .map(|a| hom.apply_atom(a).to_fact().expect("hom grounds the body"))
+                            .collect();
+                        pending.push((
+                            fact,
+                            Justification {
+                                rule: ri,
+                                binding: binding_of(&hom),
+                                body,
+                            },
+                        ));
+                    }
+                }
+                if pending.is_empty() {
+                    break;
+                }
+                for (fact, j) in pending {
+                    model.insert(fact.clone());
+                    justifications.insert(fact, j);
+                }
+            }
+        }
+        Provenance {
+            edb: edb_facts,
+            justifications,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Rule;
+    use magik_relalg::{Atom, Vocabulary};
+
+    fn path_program(v: &mut Vocabulary) -> Program {
+        let edge = v.pred("edge", 2);
+        let path = v.pred("path", 2);
+        let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+        Program::new(vec![
+            Rule::new(
+                Atom::new(path, vec![Term::Var(x), Term::Var(y)]),
+                vec![Atom::new(edge, vec![Term::Var(x), Term::Var(y)])],
+            ),
+            Rule::new(
+                Atom::new(path, vec![Term::Var(x), Term::Var(z)]),
+                vec![
+                    Atom::new(edge, vec![Term::Var(x), Term::Var(y)]),
+                    Atom::new(path, vec![Term::Var(y), Term::Var(z)]),
+                ],
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn provenance_matches_semi_naive_model() {
+        let mut v = Vocabulary::new();
+        let prog = path_program(&mut v);
+        let edge = v.pred("edge", 2);
+        let mut edb = Instance::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "d")] {
+            edb.insert(Fact::new(edge, vec![v.cst(a), v.cst(b)]));
+        }
+        let model = prog.eval_semi_naive(&edb).model;
+        let prov = prog.provenance(&edb);
+        for f in model.iter_facts() {
+            assert!(prov.contains(&f), "provenance misses {f:?}");
+        }
+        let path = v.pred("path", 2);
+        // 3 + 2 + 1 path facts, each justified.
+        assert_eq!(prov.derived_count(), 6);
+        let far = Fact::new(path, vec![v.cst("a"), v.cst("d")]);
+        let tree = prov.explain(&far).expect("a→d is derivable");
+        assert_eq!(tree.fact, far);
+        assert_eq!(tree.rule, Some(1));
+        // The tree bottoms out on EDB edges within a bounded size.
+        assert!(tree.size() <= 7, "tree size {}", tree.size());
+        // EDB facts explain as leaves; absent facts do not explain.
+        let e = Fact::new(edge, vec![v.cst("a"), v.cst("b")]);
+        assert_eq!(prov.explain(&e).unwrap().rule, None);
+        assert!(prov
+            .explain(&Fact::new(path, vec![v.cst("d"), v.cst("a")]))
+            .is_none());
+    }
+
+    #[test]
+    fn negation_respects_strata() {
+        let mut v = Vocabulary::new();
+        let node = v.pred("node", 1);
+        let hot = v.pred("hot", 1);
+        let cold = v.pred("cold", 1);
+        let x = v.var("X");
+        let prog = Program::new(vec![Rule::with_negation(
+            Atom::new(cold, vec![Term::Var(x)]),
+            vec![Atom::new(node, vec![Term::Var(x)])],
+            vec![Atom::new(hot, vec![Term::Var(x)])],
+        )])
+        .unwrap();
+        let mut edb = Instance::new();
+        edb.insert(Fact::new(node, vec![v.cst("a")]));
+        edb.insert(Fact::new(node, vec![v.cst("b")]));
+        edb.insert(Fact::new(hot, vec![v.cst("b")]));
+        let prov = prog.provenance(&edb);
+        assert!(prov.contains(&Fact::new(cold, vec![v.cst("a")])));
+        assert!(!prov.contains(&Fact::new(cold, vec![v.cst("b")])));
+        let tree = prov.explain(&Fact::new(cold, vec![v.cst("a")])).unwrap();
+        assert_eq!(tree.children.len(), 1); // only the positive body
+    }
+}

@@ -10,7 +10,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use crate::atom::Atom;
+use crate::atom::{Atom, Pred};
 use crate::exec::{ExecStats, Plan, Projection};
 use crate::instance::Instance;
 use crate::query::Query;
@@ -105,6 +105,84 @@ pub fn has_answer(q: &Query, db: &Instance, target: &[Cst]) -> bool {
     let bound: BTreeSet<Var> = seed.iter().map(|&(v, _)| v).collect();
     let plan = Plan::compile(&q.body, &bound, Some(db));
     plan.first_match(db, &seed, &mut ExecStats::default())
+}
+
+/// One step of the plan that produced a [`Witness`]: which body atom the
+/// op matched and on which predicate, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WitnessStep {
+    /// Index of the matched atom in the source body.
+    pub atom: usize,
+    /// The predicate the op matched against.
+    pub pred: Pred,
+    /// Whether the op probed an index (`true`) or scanned (`false`).
+    pub probed: bool,
+}
+
+/// A witness for a positive [`has_answer`] verdict: the satisfying
+/// assignment together with the plan ops that found it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// The satisfying assignment, one `(variable, constant)` pair per
+    /// body/head variable, sorted by variable for determinism.
+    pub binding: Vec<(Var, Cst)>,
+    /// The plan steps (atom order and access path) that produced it.
+    pub ops: Vec<WitnessStep>,
+}
+
+/// Like [`has_answer`], but on success returns the witnessing binding and
+/// the plan ops that produced it instead of a bare `true`.
+///
+/// Uses the same seeded first-match search as [`has_answer`]; the extra
+/// cost is one row capture on the (single) accepted match, so callers that
+/// only need the boolean should keep using [`has_answer`].
+pub fn has_answer_witness(q: &Query, db: &Instance, target: &[Cst]) -> Option<Witness> {
+    if q.head.len() != target.len() {
+        return None;
+    }
+    let mut seed: Vec<(Var, Cst)> = Vec::new();
+    for (&t, &c) in q.head.iter().zip(target) {
+        match t {
+            Term::Cst(tc) => {
+                if tc != c {
+                    return None;
+                }
+            }
+            Term::Var(v) => match seed.iter().find(|&&(sv, _)| sv == v) {
+                Some(&(_, bound)) => {
+                    if bound != c {
+                        return None;
+                    }
+                }
+                None => seed.push((v, c)),
+            },
+        }
+    }
+    let bound: BTreeSet<Var> = seed.iter().map(|&(v, _)| v).collect();
+    let plan = Plan::compile(&q.body, &bound, Some(db));
+    let mut binding: Option<Vec<(Var, Cst)>> = None;
+    plan.run(db, &seed, &mut ExecStats::default(), &mut |row| {
+        let mut pairs: Vec<(Var, Cst)> = seed.clone();
+        for (v, c) in row.iter() {
+            if !pairs.iter().any(|&(pv, _)| pv == v) {
+                pairs.push((v, c));
+            }
+        }
+        pairs.sort_by_key(|&(v, _)| v);
+        binding = Some(pairs);
+        false // stop at the first witness
+    });
+    let binding = binding?;
+    let ops = plan
+        .ops()
+        .iter()
+        .map(|op| WitnessStep {
+            atom: op.atom,
+            pred: op.pred,
+            probed: matches!(op.access, crate::exec::Access::Probe { .. }),
+        })
+        .collect();
+    Some(Witness { binding, ops })
 }
 
 /// Enumerates all homomorphisms from `body` into `db`, as ground
@@ -311,6 +389,46 @@ mod tests {
         );
         let ans = answers(&q, &db).unwrap();
         assert!(ans.contains(&vec![v.cst("tag"), v.cst("a")]));
+    }
+
+    #[test]
+    fn witness_binding_satisfies_the_body() {
+        let mut v = Vocabulary::new();
+        let db = school_db(&mut v);
+        let pupil = v.pred("pupil", 3);
+        let school = v.pred("school", 3);
+        let (n, c, s, t) = (v.var("N"), v.var("C"), v.var("S"), v.var("T"));
+        let q = Query::new(
+            v.sym("q"),
+            vec![Term::Var(n)],
+            vec![
+                Atom::new(pupil, vec![Term::Var(n), Term::Var(c), Term::Var(s)]),
+                Atom::new(
+                    school,
+                    vec![Term::Var(s), Term::Var(t), Term::Cst(v.cst("merano"))],
+                ),
+            ],
+        );
+        let w = has_answer_witness(&q, &db, &[v.cst("john")]).expect("john is an answer");
+        assert!(has_answer(&q, &db, &[v.cst("john")]));
+        // Binding covers every body variable and substitutes into facts
+        // present in the database.
+        let get = |var: Var| {
+            w.binding
+                .iter()
+                .find(|&&(bv, _)| bv == var)
+                .map(|&(_, bc)| bc)
+                .expect("bound")
+        };
+        assert_eq!(get(n), v.cst("john"));
+        assert_eq!(get(s), v.cst("goethe"));
+        // One witness step per body atom, covering both atoms.
+        let mut atoms: Vec<usize> = w.ops.iter().map(|o| o.atom).collect();
+        atoms.sort_unstable();
+        assert_eq!(atoms, vec![0, 1]);
+        // Negative targets yield no witness, mirroring has_answer.
+        assert!(has_answer_witness(&q, &db, &[v.cst("luca")]).is_none());
+        assert!(has_answer_witness(&q, &db, &[v.cst("john"), v.cst("x")]).is_none());
     }
 
     #[test]

@@ -65,7 +65,10 @@ pub use atom::{Atom, Fact, Pred};
 pub use batch::{Batch, BatchPlan, JoinStrategy};
 pub use containment::{are_equivalent, is_contained_in, is_strictly_contained_in};
 pub use display::{DisplayWith, WithVocab};
-pub use eval::{answers, has_answer, homomorphisms, Answer, AnswerSet, EvalError};
+pub use eval::{
+    answers, has_answer, has_answer_witness, homomorphisms, Answer, AnswerSet, EvalError, Witness,
+    WitnessStep,
+};
 pub use instance::{Instance, Relation, RowRef, Snapshot, StoreView};
 pub use minimize::{is_minimal, minimize, minimize_in_place};
 pub use query::Query;

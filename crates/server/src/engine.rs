@@ -60,8 +60,10 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use magik_analyze::{analyze_check, analyze_query, analyze_state, analyze_statements};
+use magik_cert::{check_certificate, Certificate};
 use magik_completeness::{
-    is_complete, k_mcs_on, mcg, tc_encoding, CanonicalQuery, ConstraintSet, KMcsOptions, TcSet,
+    cert_statements, certify, is_complete, k_mcs_on, mcg, tc_encoding, CanonicalQuery,
+    ConstraintSet, KMcsOptions, TcSet,
 };
 use magik_datalog::Materialized;
 use magik_exec::{CompiledQuery, ExecStats, Executor, PlanCache};
@@ -87,6 +89,8 @@ const PLAN_CACHE_CAP: usize = 256;
 /// keyed by epoch pair, so at most one key is live at a time and the
 /// rest only serve brief races against concurrent writers.
 const ANALYSIS_CACHE_CAP: usize = 8;
+/// Default capacity of the certified-verdict (`why`) cache.
+const WHY_CACHE_CAP: usize = 256;
 
 /// The state-analysis cache: the rendered `analyze state` reply, keyed
 /// by the `(tcs_epoch, data_epoch)` pair it was computed against. The
@@ -183,6 +187,12 @@ pub struct Engine {
     answer_cache: Mutex<LruCache<(CanonicalQuery, u64), Vec<Answer>>>,
     /// Cached `analyze state` replies; see [`AnalysisCache`].
     analysis: Mutex<AnalysisCache>,
+    /// Cached `why` replies (rendered, already-validated certificates).
+    /// A certificate itself depends only on the query and the TCS set,
+    /// but the key conservatively carries both epochs so any mutation
+    /// makes the old entry unreachable, matching the protocol contract
+    /// that `why` replies are stable per `(tcs_epoch, data_epoch)`.
+    why_cache: Mutex<LruCache<(CanonicalQuery, u64, u64), String>>,
     /// Compiled plans keyed by canonical query form alone: canonical
     /// equality implies query equivalence, so a cached plan stays correct
     /// across data-epoch bumps (statistics drift affects only speed). The
@@ -253,6 +263,7 @@ impl Engine {
             verdicts: Mutex::new(LruCache::new(VERDICT_CACHE_CAP)),
             answer_cache: Mutex::new(LruCache::new(ANSWER_CACHE_CAP)),
             analysis: Mutex::new(AnalysisCache::new(ANALYSIS_CACHE_CAP)),
+            why_cache: Mutex::new(LruCache::new(WHY_CACHE_CAP)),
             plans: Mutex::new(PlanCache::new(PLAN_CACHE_CAP)),
             metrics: Arc::new(Metrics::new()),
             durability: None,
@@ -516,6 +527,7 @@ impl Engine {
             "compl" => (Op::Compl, self.req_compl(rest)),
             "guaranteed" => (Op::Guaranteed, self.req_guaranteed(rest)),
             "analyze" => (Op::Analyze, self.req_analyze(rest)),
+            "why" => (Op::Why, self.req_why(rest)),
             "metrics" => {
                 let c = self.exec.counters();
                 (
@@ -590,6 +602,63 @@ impl Engine {
             .expect("cache lock")
             .insert(key, verdict);
         Ok(render_verdict(verdict))
+    }
+
+    /// `why <query>` — the completeness verdict plus a certificate,
+    /// validated by the independent `magik-cert` checker before it is
+    /// rendered (an engine bug that forges an unsound certificate comes
+    /// back as `cert=INVALID`, never as a silently wrong `ok`).
+    fn req_why(&self, src: &str) -> Result<String, (&'static str, String)> {
+        let q = {
+            let mut vocab = self.vocab.lock().expect("vocab lock");
+            parse_query(src, &mut vocab).map_err(|e| ("parse", e.to_string()))?
+        };
+        let canon = CanonicalQuery::of(&q);
+        let snap = self.snapshot();
+        let key = (canon, snap.tcs_epoch, snap.data_epoch);
+        if let Some(reply) = self.why_cache.lock().expect("cache lock").get(&key) {
+            self.metrics.cert_probe(true);
+            return Ok(reply);
+        }
+        self.metrics.cert_probe(false);
+        let cert = certify(&q, &snap.tcs);
+        let statements = cert_statements(&snap.tcs);
+        let valid = check_certificate(&q, &statements, &cert).is_ok();
+        let validity = if valid { "valid" } else { "INVALID" };
+        self.metrics
+            .record_cert(matches!(cert, Certificate::Complete(_)));
+        let reply = {
+            let vocab = self.vocab.lock().expect("vocab lock");
+            match &cert {
+                Certificate::Complete(c) => format!(
+                    "ok complete cert={validity} derivations={}",
+                    c.derivations.len()
+                ),
+                Certificate::Incomplete {
+                    counterexample,
+                    repair,
+                } => {
+                    let suggestions = match repair {
+                        Some(r) => r
+                            .additions
+                            .iter()
+                            .map(|a| format!("compl {} ; true", a.display(&vocab)))
+                            .collect::<Vec<_>>()
+                            .join(" | "),
+                        None => String::new(),
+                    };
+                    format!(
+                        "ok incomplete cert={validity} lost={} repair=[{suggestions}]",
+                        counterexample.target.display(&vocab)
+                    )
+                }
+            }
+        };
+        self.why_cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, reply.clone());
+        Ok(reply)
     }
 
     /// `generalize <query>` — the minimal complete generalization.
@@ -928,6 +997,63 @@ mod tests {
             metrics.contains("verdict_cache.hits=1 verdict_cache.misses=1"),
             "{metrics}"
         );
+    }
+
+    #[test]
+    fn why_emits_validated_certificates() {
+        let e = paper_engine();
+        assert_eq!(
+            e.handle("why q(N) :- pupil(N, C, S), school(S, primary, merano)."),
+            "ok complete cert=valid derivations=2"
+        );
+        let reply =
+            e.handle("why q(N) :- pupil(N, C, S), school(S, primary, merano), learns(N, L).");
+        assert!(
+            reply.starts_with("ok incomplete cert=valid lost=(N')"),
+            "{reply}"
+        );
+        assert!(
+            reply.contains("repair=[compl learns(N, L) ; true]"),
+            "{reply}"
+        );
+        let metrics = e.handle("metrics");
+        assert!(
+            metrics.contains("cert.complete=1 cert.incomplete=1"),
+            "{metrics}"
+        );
+    }
+
+    #[test]
+    fn why_caches_per_epoch_pair() {
+        let e = paper_engine();
+        let q = "why q(N) :- pupil(N, C, S), school(S, primary, merano).";
+        let alpha = "why q(A) :- school(Z, primary, merano), pupil(A, B, Z).";
+        assert_eq!(e.handle(q), "ok complete cert=valid derivations=2");
+        // Alpha-variant at the same epochs: canonicalization makes it hit.
+        assert_eq!(e.handle(alpha), "ok complete cert=valid derivations=2");
+        let metrics = e.handle("metrics");
+        assert!(
+            metrics.contains("cert.cache.hits=1 cert.cache.misses=1"),
+            "{metrics}"
+        );
+        // A data-epoch bump invalidates the cached reply (conservative:
+        // the protocol pins `why` replies to the epoch pair).
+        e.handle("assert school(hofer, primary, merano).");
+        assert_eq!(e.handle(q), "ok complete cert=valid derivations=2");
+        let metrics = e.handle("metrics");
+        assert!(
+            metrics.contains("cert.cache.hits=1 cert.cache.misses=2"),
+            "{metrics}"
+        );
+        // A TCS change flips the verdict itself — no stale reply.
+        let e2 = Engine::new();
+        assert!(e2
+            .handle("why q(N) :- pupil(N, C, S).")
+            .starts_with("ok incomplete"));
+        e2.handle("compl pupil(N, C, S) ; true.");
+        assert!(e2
+            .handle("why q(N) :- pupil(N, C, S).")
+            .starts_with("ok complete"));
     }
 
     #[test]

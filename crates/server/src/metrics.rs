@@ -94,11 +94,13 @@ pub enum Op {
     Guaranteed,
     /// `analyze` requests.
     Analyze,
+    /// `why` requests (certified verdicts).
+    Why,
     /// Everything else (`metrics`, `ping`, protocol errors).
     Other,
 }
 
-const OPS: [(Op, &str); 10] = [
+const OPS: [(Op, &str); 11] = [
     (Op::Check, "check"),
     (Op::Generalize, "generalize"),
     (Op::Specialize, "specialize"),
@@ -108,6 +110,7 @@ const OPS: [(Op, &str); 10] = [
     (Op::Compl, "compl"),
     (Op::Guaranteed, "guaranteed"),
     (Op::Analyze, "analyze"),
+    (Op::Why, "why"),
     (Op::Other, "other"),
 ];
 
@@ -133,6 +136,10 @@ struct Inner {
     plan_misses: u64,
     analysis_hits: u64,
     analysis_misses: u64,
+    cert_hits: u64,
+    cert_misses: u64,
+    cert_complete: u64,
+    cert_incomplete: u64,
     exec_probes: u64,
     exec_scanned: u64,
     exec_backtracks: u64,
@@ -211,6 +218,28 @@ impl Metrics {
             inner.analysis_hits += 1;
         } else {
             inner.analysis_misses += 1;
+        }
+    }
+
+    /// Records a certificate-cache probe outcome (`why` at an unchanged
+    /// `(tcs_epoch, data_epoch)` pair hits).
+    pub fn cert_probe(&self, hit: bool) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        if hit {
+            inner.cert_hits += 1;
+        } else {
+            inner.cert_misses += 1;
+        }
+    }
+
+    /// Records the polarity of one freshly emitted (and validated)
+    /// certificate.
+    pub fn record_cert(&self, complete: bool) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        if complete {
+            inner.cert_complete += 1;
+        } else {
+            inner.cert_incomplete += 1;
         }
     }
 
@@ -334,6 +363,16 @@ impl Metrics {
             inner.analysis_hits,
             inner.analysis_misses,
             rate(inner.analysis_hits, inner.analysis_misses),
+        );
+        let _ = write!(
+            out,
+            " cert.cache.hits={} cert.cache.misses={} cert.cache.rate={:.3} \
+             cert.complete={} cert.incomplete={}",
+            inner.cert_hits,
+            inner.cert_misses,
+            rate(inner.cert_hits, inner.cert_misses),
+            inner.cert_complete,
+            inner.cert_incomplete,
         );
         let _ = write!(
             out,
@@ -465,6 +504,31 @@ mod tests {
             text.contains("checkpoint.count=1 checkpoint.duration_ms=7 recovery.replayed_ops=5"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn render_includes_cert_counters() {
+        let m = Metrics::new();
+        // Certificate fields are always rendered, even at zero.
+        let text = m.render();
+        assert!(
+            text.contains("cert.cache.hits=0 cert.cache.misses=0"),
+            "{text}"
+        );
+        assert!(text.contains("cert.complete=0 cert.incomplete=0"), "{text}");
+        m.cert_probe(true);
+        m.cert_probe(false);
+        m.cert_probe(false);
+        m.record_cert(true);
+        m.record_cert(false);
+        m.record_cert(false);
+        let text = m.render();
+        assert!(
+            text.contains("cert.cache.hits=1 cert.cache.misses=2"),
+            "{text}"
+        );
+        assert!(text.contains("cert.cache.rate=0.333"), "{text}");
+        assert!(text.contains("cert.complete=1 cert.incomplete=2"), "{text}");
     }
 
     #[test]
