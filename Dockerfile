@@ -1,0 +1,24 @@
+# Build stage: compile the CLI (which bundles the server, the replica
+# front end, and every offline tool) with the release profile.
+FROM rust:1-slim AS builder
+WORKDIR /build
+COPY Cargo.toml Cargo.lock ./
+COPY src ./src
+COPY crates ./crates
+COPY vendor ./vendor
+COPY examples ./examples
+COPY tests ./tests
+COPY testdata ./testdata
+RUN cargo build --release -p magik-cli
+
+# Runtime stage: just the static-ish binary on a slim base. The data
+# directory is a volume so WAL segments and checkpoints outlive the
+# container; `docker-compose.yml` wires a primary and two replicas.
+FROM debian:stable-slim
+COPY --from=builder /build/target/release/magik /usr/local/bin/magik
+RUN useradd --system --home /data magik && mkdir -p /data && chown magik /data
+USER magik
+VOLUME /data
+EXPOSE 7171 7172
+ENTRYPOINT ["magik"]
+CMD ["serve", "--addr", "0.0.0.0:7171", "--data-dir", "/data"]

@@ -14,6 +14,8 @@
 //! magik serve [--addr A] [--workers N] [--threads N]
 //!             [--data-dir DIR] [--fsync MODE] [file]
 //!                                 TCP completeness service
+//! magik replicate --from A --data-dir DIR [--addr A]
+//!                                 follow a primary's WAL; serve read-only
 //! magik recover --data-dir DIR [--verify]
 //!                                 inspect (and optionally verify) a
 //!                                 durable data directory
@@ -32,13 +34,13 @@ mod repl;
 use magik::{
     allow_directives, analyze_document, answers, cert_statements, certify, check_certificate,
     classify_answers, count_bounds, counterexample, explain_check, explain_code, explain_json,
-    explain_text, filter_suppressed, fix_source, is_complete, is_complete_under, k_mcs, lint,
-    mcg_under, mcg_with_stats, parse_document, publishable_counts, render_counterexample,
-    render_explanation_with_locations, render_json, render_report, render_sarif,
-    semantics::IncompleteDatabase, tc_apply, Baseline, Certificate, Code, CompiledQuery,
-    Diagnostic, DisplayWith, Document, DurabilityOptions, Engine, ExecStats, FsyncPolicy,
-    KMcsEngine, KMcsOptions, LineIndex, SarifFile, Server, Severity, SourceFile, TcStatement,
-    Vocabulary,
+    explain_text, filter_suppressed, fix_source, initial_sync, is_complete, is_complete_under,
+    k_mcs, lint, mcg_under, mcg_with_stats, parse_document, publishable_counts,
+    render_counterexample, render_explanation_with_locations, render_json, render_report,
+    render_sarif, run_replica, semantics::IncompleteDatabase, tc_apply, Baseline, Certificate,
+    Code, CompiledQuery, Diagnostic, DisplayWith, Document, DurabilityOptions, Engine, ExecStats,
+    FsyncPolicy, KMcsEngine, KMcsOptions, LineIndex, RecoveryReport, ReplicaStatus, SarifFile,
+    Server, ServerConfig, Severity, SourceFile, TcStatement, Vocabulary,
 };
 
 const USAGE: &str = "usage: magik <check|generalize|specialize|eval|explain> <file> [options]
@@ -100,6 +102,18 @@ commands:
                                     `always`), checkpointed every N
                                     logged ops (default 1024, 0 disables),
                                     and recovered on restart
+  replicate  --from HOST:PORT --data-dir DIR [--addr HOST:PORT]
+             [--workers N] [--threads N] [--fsync always|never|interval[:MS]]
+             [--checkpoint-every N] [--segment-bytes N]
+                                    follow a primary's write-ahead log and
+                                    serve its session read-only (default
+                                    addr 127.0.0.1:7172): bootstrap from
+                                    the primary's checkpoint if the local
+                                    DIR is behind its retained log, replay
+                                    shipped ops through normal recovery,
+                                    and reconnect with backoff if the
+                                    primary goes away; the `replication`
+                                    request reports epoch lag
   recover    --data-dir DIR [--verify]
                                     report what crash recovery would use
                                     from DIR (checkpoint, WAL tail, torn
@@ -928,6 +942,35 @@ fn preload_document(engine: &Engine, vocab: &Vocabulary, doc: &Document) -> usiz
     refused
 }
 
+/// Prints the one-line recovery banner for a durable open.
+fn print_recovery(dir: &str, report: &RecoveryReport) {
+    println!(
+        "magik: recovered `{dir}`: epochs (tcs={}, data={}), {} from checkpoint, \
+         {} op(s) replayed{}{}",
+        report.tcs_epoch,
+        report.data_epoch,
+        if report.from_checkpoint {
+            "seeded"
+        } else {
+            "not seeded"
+        },
+        report.replayed_ops,
+        if report.discarded_bytes > 0 {
+            format!(", {} torn byte(s) discarded", report.discarded_bytes)
+        } else {
+            String::new()
+        },
+        if report.checkpoints_skipped > 0 {
+            format!(
+                ", {} corrupt checkpoint generation(s) skipped",
+                report.checkpoints_skipped
+            )
+        } else {
+            String::new()
+        },
+    );
+}
+
 /// `magik serve [--addr HOST:PORT] [--workers N] [--threads N]
 /// [--data-dir DIR] [--fsync MODE] [--checkpoint-every N]
 /// [--segment-bytes N] [file]` — run the TCP completeness service (see
@@ -1042,31 +1085,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                         return ExitCode::from(2);
                     }
                 };
-            println!(
-                "magik: recovered `{dir}`: epochs (tcs={}, data={}), {} from checkpoint, \
-                 {} op(s) replayed{}{}",
-                report.tcs_epoch,
-                report.data_epoch,
-                if report.from_checkpoint {
-                    "seeded"
-                } else {
-                    "not seeded"
-                },
-                report.replayed_ops,
-                if report.discarded_bytes > 0 {
-                    format!(", {} torn byte(s) discarded", report.discarded_bytes)
-                } else {
-                    String::new()
-                },
-                if report.checkpoints_skipped > 0 {
-                    format!(
-                        ", {} corrupt checkpoint generation(s) skipped",
-                        report.checkpoints_skipped
-                    )
-                } else {
-                    String::new()
-                },
-            );
+            print_recovery(dir, &report);
             if let Some((vocab, doc)) = &preload {
                 let virgin = !report.from_checkpoint
                     && report.replayed_ops == 0
@@ -1103,6 +1122,163 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     println!(
         "magik: serving on {bound} with {workers} workers and {threads} reasoning \
          threads (try `nc {} {}` then `ping`)",
+        bound.ip(),
+        bound.port()
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// `magik replicate --from HOST:PORT --data-dir DIR [--addr HOST:PORT]
+/// [--workers N] [--threads N] [--fsync MODE] [--checkpoint-every N]
+/// [--segment-bytes N]` — run a read-only replica of a primary started
+/// with `magik serve --data-dir`. Blocks until killed.
+///
+/// Before serving, the replica compares its local position with the
+/// primary: if the primary's retained WAL no longer covers that
+/// position, the primary's newest checkpoint is downloaded and installed
+/// first (`initial sync`). The local directory is then recovered through
+/// the exact same code path as a primary restart, and a follower thread
+/// streams the primary's WAL, replaying each op and verifying it
+/// re-derives the epochs the primary logged. Mutations over the wire are
+/// refused with `err readonly …`; the `replication` request reports
+/// connection state and epoch lag.
+fn cmd_replicate(args: &[String]) -> ExitCode {
+    let mut from: Option<String> = None;
+    let mut addr = "127.0.0.1:7172".to_string();
+    let mut workers = 4usize;
+    let mut threads = std::env::var("MAGIK_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(magik::available_parallelism);
+    let mut data_dir: Option<String> = None;
+    let mut durability = DurabilityOptions::default();
+    let mut rest = args.iter();
+    while let Some(opt) = rest.next() {
+        match opt.as_str() {
+            "--from" => match rest.next() {
+                Some(a) => from = Some(a.clone()),
+                None => {
+                    eprintln!("magik: --from requires HOST:PORT");
+                    return ExitCode::from(1);
+                }
+            },
+            "--addr" => match rest.next() {
+                Some(a) => addr = a.clone(),
+                None => {
+                    eprintln!("magik: --addr requires HOST:PORT");
+                    return ExitCode::from(1);
+                }
+            },
+            "--workers" => match rest.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => workers = n,
+                _ => {
+                    eprintln!("magik: --workers requires a positive integer");
+                    return ExitCode::from(1);
+                }
+            },
+            "--threads" => match rest.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("magik: --threads requires a positive integer");
+                    return ExitCode::from(1);
+                }
+            },
+            "--data-dir" => match rest.next() {
+                Some(d) => data_dir = Some(d.clone()),
+                None => {
+                    eprintln!("magik: --data-dir requires a directory path");
+                    return ExitCode::from(1);
+                }
+            },
+            "--fsync" => match rest.next().and_then(|v| FsyncPolicy::parse(v)) {
+                Some(policy) => durability.fsync = policy,
+                None => {
+                    eprintln!("magik: --fsync requires `always`, `never` or `interval[:MILLIS]`");
+                    return ExitCode::from(1);
+                }
+            },
+            "--checkpoint-every" => match rest.next().and_then(|v| v.parse().ok()) {
+                Some(n) => durability.checkpoint_every = n,
+                None => {
+                    eprintln!("magik: --checkpoint-every requires a non-negative integer");
+                    return ExitCode::from(1);
+                }
+            },
+            "--segment-bytes" => match rest.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => durability.segment_bytes = n,
+                _ => {
+                    eprintln!("magik: --segment-bytes requires a positive integer");
+                    return ExitCode::from(1);
+                }
+            },
+            other => {
+                eprintln!("magik: unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let Some(from) = from else {
+        eprintln!("magik: replicate requires --from HOST:PORT\n{USAGE}");
+        return ExitCode::from(1);
+    };
+    let Some(dir) = data_dir else {
+        eprintln!("magik: replicate requires --data-dir DIR (replicas replay through the same durable recovery path as a primary)\n{USAGE}");
+        return ExitCode::from(1);
+    };
+    // Bootstrap: if the primary's retained log no longer reaches our
+    // position, install its newest checkpoint before opening.
+    match initial_sync(&from, std::path::Path::new(&dir)) {
+        Ok(Some((te, de))) => {
+            println!("magik: installed checkpoint (tcs={te}, data={de}) from {from}");
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("magik: initial sync with `{from}` failed: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let exec = magik::Executor::with_threads(threads);
+    let (engine, report) = match Engine::open_durable(std::path::Path::new(&dir), durability, exec)
+    {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("magik: cannot open data dir `{dir}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print_recovery(&dir, &report);
+    let engine = std::sync::Arc::new(engine);
+    let status = std::sync::Arc::new(ReplicaStatus::new());
+    let server = match Server::start_with(
+        std::sync::Arc::clone(&engine),
+        addr.as_str(),
+        ServerConfig {
+            workers,
+            read_only: true,
+            replica_status: Some(std::sync::Arc::clone(&status)),
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("magik: cannot bind `{addr}`: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let bound = server.local_addr();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    {
+        let engine = std::sync::Arc::clone(&engine);
+        let primary = from.clone();
+        let status = std::sync::Arc::clone(&status);
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || run_replica(&engine, &primary, &status, &stop));
+    }
+    println!(
+        "magik: replica of {from} serving read-only on {bound} with {workers} workers and \
+         {threads} reasoning threads (try `nc {} {}` then `replication`)",
         bound.ip(),
         bound.port()
     );
@@ -1204,6 +1380,9 @@ fn main() -> ExitCode {
     }
     if command == "serve" {
         return cmd_serve(&args[1..]);
+    }
+    if command == "replicate" {
+        return cmd_replicate(&args[1..]);
     }
     if command == "recover" {
         return cmd_recover(&args[1..]);

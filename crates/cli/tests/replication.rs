@@ -1,0 +1,270 @@
+//! Multi-process replication e2e: a real `magik serve` primary and real
+//! `magik replicate` replica processes talking TCP, exactly as deployed.
+//!
+//! The scenario the test pins down end to end:
+//!
+//! 1. two replicas follow a durable primary and converge,
+//! 2. all three nodes answer queries byte-identically,
+//! 3. one replica is SIGKILLed (no shutdown hook, like a crash),
+//! 4. the primary keeps writing until checkpointing prunes the dead
+//!    replica's log position away,
+//! 5. the replica restarts over its stale data dir, bootstraps from the
+//!    primary's shipped checkpoint, and converges again,
+//! 6. verdicts are byte-identical across all three nodes once more.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+fn data_dir(name: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "magik-repl-e2e-{name}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn wait_until(what: &str, timeout: Duration, mut pred: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !pred() {
+        assert!(start.elapsed() < timeout, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// A `magik` server process (primary or replica) plus the address it
+/// bound, parsed from its startup banner.
+struct Proc {
+    child: Child,
+    addr: String,
+    /// Banner lines printed before the serving line — the restart
+    /// scenario asserts the checkpoint-bootstrap line appears here.
+    banner: Vec<String>,
+}
+
+impl Proc {
+    /// Spawns a durable primary with aggressive checkpointing and tiny
+    /// segments, so the log's front is pruned quickly mid-test.
+    fn primary(dir: &Path) -> Proc {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_magik"));
+        cmd.args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--threads",
+            "1",
+        ])
+        .arg("--data-dir")
+        .arg(dir)
+        .args([
+            "--fsync",
+            "always",
+            "--checkpoint-every",
+            "8",
+            "--segment-bytes",
+            "512",
+        ]);
+        Proc::spawn(cmd, "serving on ")
+    }
+
+    /// Spawns a read-only replica of `primary` over `dir`.
+    fn replica(dir: &Path, primary: &str) -> Proc {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_magik"));
+        cmd.args(["replicate", "--from", primary])
+            .arg("--data-dir")
+            .arg(dir)
+            .args(["--addr", "127.0.0.1:0", "--workers", "2", "--threads", "1"]);
+        Proc::spawn(cmd, "serving read-only on ")
+    }
+
+    fn spawn(mut cmd: Command, marker: &str) -> Proc {
+        let mut child = cmd
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("magik spawns");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let mut banner = Vec::new();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("magik prints its address before exiting")
+                .expect("magik stdout is text");
+            if let Some(rest) = line.split(marker).nth(1) {
+                break rest.split_whitespace().next().expect("address").to_string();
+            }
+            banner.push(line);
+        };
+        Proc {
+            child,
+            addr,
+            banner,
+        }
+    }
+
+    /// SIGKILL — no shutdown hook runs, exactly like a crash.
+    fn kill(&mut self) {
+        self.child.kill().expect("kill");
+        self.child.wait().expect("reap");
+    }
+}
+
+impl Drop for Proc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn connect(addr: &str) -> Conn {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        Conn {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn req(&mut self, line: &str) -> String {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("reply");
+        reply.trim_end().to_string()
+    }
+}
+
+/// Whether the primary would answer a `replicate` handshake at history
+/// position `(te, de)` with a checkpoint instead of a log stream — i.e.
+/// checkpointing has pruned that position out of the retained log. Uses
+/// the public wire protocol only; the probe connection is then dropped.
+fn position_pruned(primary: &str, te: u64, de: u64) -> bool {
+    let mut probe = Conn::connect(primary);
+    probe
+        .req(&format!("replicate {te} {de}"))
+        .starts_with("ok replicate snapshot")
+}
+
+/// The queries every node must answer byte-identically.
+const PROBES: [&str; 4] = [
+    "check q(S) :- school(S, primary, bz).",
+    "check q(N) :- pupil(N, C, S), school(S, primary, bz).",
+    "eval q(S) :- school(S, primary, bz).",
+    "eval q(N) :- pupil(N, c1, hofer).",
+];
+
+fn assert_nodes_agree(primary: &mut Conn, replicas: &mut [(&str, &mut Conn)]) {
+    for q in PROBES {
+        let expect = primary.req(q);
+        for (name, conn) in replicas.iter_mut() {
+            assert_eq!(conn.req(q), expect, "{name} diverges from primary on `{q}`");
+        }
+    }
+}
+
+/// Polls a replica's `replication` status until it reports the expected
+/// local position with zero lag while connected.
+fn await_converged(conn: &mut Conn, name: &str, te: u64, de: u64) {
+    let tail = format!(" tcs={te} data={de} lag=0");
+    wait_until(
+        &format!("{name} convergence to ({te}, {de})"),
+        Duration::from_secs(30),
+        || {
+            let status = conn.req("replication");
+            status.starts_with("ok role=replica connected=true") && status.ends_with(&tail)
+        },
+    );
+}
+
+#[test]
+fn killed_replica_rejoins_from_a_checkpoint_and_reconverges() {
+    let primary_dir = data_dir("primary");
+    let replica1_dir = data_dir("replica1");
+    let replica2_dir = data_dir("replica2");
+
+    let primary = Proc::primary(&primary_dir);
+    let mut p = Conn::connect(&primary.addr);
+    assert_eq!(p.req("compl school(S, T, D) ; true."), "ok epoch=1");
+    for i in 0..40 {
+        assert_eq!(
+            p.req(&format!("assert school(s{i}, primary, bz).")),
+            "ok inserted"
+        );
+    }
+
+    // Two replica processes join and converge on (1, 40).
+    let mut replica1 = Proc::replica(&replica1_dir, &primary.addr);
+    let replica2 = Proc::replica(&replica2_dir, &primary.addr);
+    let mut r1 = Conn::connect(&replica1.addr);
+    let mut r2 = Conn::connect(&replica2.addr);
+    await_converged(&mut r1, "replica1", 1, 40);
+    await_converged(&mut r2, "replica2", 1, 40);
+    assert_nodes_agree(&mut p, &mut [("replica1", &mut r1), ("replica2", &mut r2)]);
+
+    // Replicas refuse writes on their own wire.
+    let refused = r1.req("assert school(rogue, primary, bz).");
+    assert!(
+        refused.starts_with("err readonly"),
+        "replica1 accepted a write: {refused}"
+    );
+
+    // Crash replica1 (SIGKILL: no shutdown hook, its data dir keeps
+    // whatever was durable), then write until checkpointing has pruned
+    // its last position (1, 40) out of the primary's retained log.
+    drop(r1);
+    replica1.kill();
+    for i in 0..300 {
+        assert_eq!(
+            p.req(&format!("assert pupil(p{i}, c1, hofer).")),
+            "ok inserted"
+        );
+    }
+    wait_until(
+        "the primary to prune position (1, 40)",
+        Duration::from_secs(30),
+        || position_pruned(&primary.addr, 1, 40),
+    );
+
+    // Restart over the stale dir: the replica must bootstrap from the
+    // primary's shipped checkpoint (the log alone can no longer serve
+    // it) and then stream the tail to full convergence.
+    let replica1 = Proc::replica(&replica1_dir, &primary.addr);
+    assert!(
+        replica1
+            .banner
+            .iter()
+            .any(|l| l.contains("installed checkpoint")),
+        "rejoining replica did not bootstrap from a checkpoint; banner: {:?}",
+        replica1.banner
+    );
+    let mut r1 = Conn::connect(&replica1.addr);
+    await_converged(&mut r1, "replica1 (rejoined)", 1, 340);
+
+    // The survivor converges too, and all three nodes agree byte for
+    // byte — including on the facts written while replica1 was down.
+    await_converged(&mut r2, "replica2", 1, 340);
+    assert_nodes_agree(&mut p, &mut [("replica1", &mut r1), ("replica2", &mut r2)]);
+
+    for dir in [primary_dir, replica1_dir, replica2_dir] {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

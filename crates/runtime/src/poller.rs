@@ -1,0 +1,533 @@
+//! Readiness polling for non-blocking sockets — a `mio`-sized poller.
+//!
+//! [`Poller`] watches file descriptors for read/write readiness so one
+//! thread can multiplex many non-blocking connections (the server's
+//! event-loop front end). On Linux it wraps `epoll` through four
+//! `extern "C"` declarations against the libc that `std` already links —
+//! the only unsafe code in the workspace, confined to this module's
+//! `linux` backend and enforced by `ci/check_hygiene.sh`. On every other
+//! Unix a fully safe fallback reports all registered descriptors as
+//! (possibly spuriously) ready on a short tick; since non-blocking I/O
+//! answers a spurious wake with `WouldBlock`, callers cannot observe the
+//! difference except as extra polling.
+//!
+//! The poller is **level-triggered**: a descriptor keeps reporting ready
+//! until the condition is drained, so a handler that processes only part
+//! of its input is re-notified on the next [`Poller::wait`]. A built-in
+//! waker ([`Poller::wake`], a self-pipe) interrupts a blocked `wait`
+//! from any thread — worker threads use it to hand results back to the
+//! loop.
+
+use std::io;
+use std::os::fd::AsRawFd;
+use std::time::Duration;
+
+/// Which readiness to watch a descriptor for.
+///
+/// Errors and hangups are always reported (as both readable and
+/// writable, so whichever direction the handler tries next observes the
+/// failure immediately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Report when the descriptor becomes readable.
+    pub read: bool,
+    /// Report when the descriptor becomes writable.
+    pub write: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    /// Writable only.
+    pub const WRITE: Interest = Interest {
+        read: false,
+        write: true,
+    };
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest {
+        read: true,
+        write: true,
+    };
+    /// Neither — only errors and hangups surface. Used to park a
+    /// connection under backpressure without deregistering it.
+    pub const NONE: Interest = Interest {
+        read: false,
+        write: false,
+    };
+}
+
+/// One readiness event delivered by [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the descriptor was registered with.
+    pub token: usize,
+    /// A read will make progress (data, EOF, or a pending error).
+    pub readable: bool,
+    /// A write will make progress (buffer space or a pending error).
+    pub writable: bool,
+}
+
+/// The token value reserved for the internal waker.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// A level-triggered readiness poller over raw file descriptors.
+///
+/// All methods take `&self`; [`Poller::wake`] is safe to call from any
+/// thread while another thread blocks in [`Poller::wait`].
+#[derive(Debug)]
+pub struct Poller {
+    inner: imp::Poller,
+}
+
+impl Poller {
+    /// Creates a poller (and its internal waker pipe).
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            inner: imp::Poller::new()?,
+        })
+    }
+
+    /// Starts watching `fd` with the given `token` and `interest`.
+    ///
+    /// `token` is echoed back in every [`Event`] for this descriptor;
+    /// `usize::MAX` is reserved for the internal waker.
+    pub fn register(&self, fd: &impl AsRawFd, token: usize, interest: Interest) -> io::Result<()> {
+        if token as u64 == WAKE_TOKEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "token usize::MAX is reserved",
+            ));
+        }
+        self.inner.register(fd.as_raw_fd(), token, interest)
+    }
+
+    /// Changes the interest (and/or token) of an already registered `fd`.
+    pub fn reregister(
+        &self,
+        fd: &impl AsRawFd,
+        token: usize,
+        interest: Interest,
+    ) -> io::Result<()> {
+        if token as u64 == WAKE_TOKEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "token usize::MAX is reserved",
+            ));
+        }
+        self.inner.reregister(fd.as_raw_fd(), token, interest)
+    }
+
+    /// Stops watching `fd`. Must be called before the descriptor is
+    /// closed on the fallback backend (epoll forgets closed fds itself).
+    pub fn deregister(&self, fd: &impl AsRawFd) -> io::Result<()> {
+        self.inner.deregister(fd.as_raw_fd())
+    }
+
+    /// Blocks until at least one descriptor is ready, the timeout lapses,
+    /// or [`Poller::wake`] is called; clears and refills `events`.
+    ///
+    /// A return with empty `events` means timeout, wake-up, or a signal —
+    /// callers should re-check their own state and loop.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        self.inner.wait(events, timeout)
+    }
+
+    /// Interrupts a concurrent [`Poller::wait`]. Coalesces: many wakes
+    /// before the next `wait` cost one wake-up.
+    pub fn wake(&self) -> io::Result<()> {
+        self.inner.wake()
+    }
+}
+
+/// Linux backend: `epoll`, via `extern "C"` declarations against the
+/// libc `std` already links. This module is the workspace's only unsafe
+/// code (`ci/check_hygiene.sh` keeps it that way).
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod imp {
+    use super::{Event, Interest, WAKE_TOKEN};
+    use std::io::{self, Read, Write};
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::os::unix::net::UnixStream;
+    use std::time::Duration;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o200_0000;
+    const MAX_EVENTS: usize = 1024;
+
+    /// Kernel ABI: packed on x86-64, naturally aligned elsewhere
+    /// (mirrors `EPOLL_PACKED` in the kernel uapi header).
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    }
+
+    #[derive(Debug)]
+    pub(super) struct Poller {
+        ep: OwnedFd,
+        wake_r: UnixStream,
+        wake_w: UnixStream,
+    }
+
+    impl Poller {
+        pub(super) fn new() -> io::Result<Poller> {
+            // SAFETY: epoll_create1 allocates a new descriptor we then
+            // own; a negative return is an error, checked below.
+            let raw = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if raw < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            // SAFETY: `raw` is a freshly created, valid epoll fd owned
+            // by nobody else.
+            let ep = unsafe { OwnedFd::from_raw_fd(raw) };
+            let (wake_r, wake_w) = UnixStream::pair()?;
+            wake_r.set_nonblocking(true)?;
+            wake_w.set_nonblocking(true)?;
+            let poller = Poller { ep, wake_r, wake_w };
+            poller.ctl(
+                EPOLL_CTL_ADD,
+                poller.wake_r.as_raw_fd(),
+                EPOLLIN,
+                WAKE_TOKEN,
+            )?;
+            Ok(poller)
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+            let mut ev = EpollEvent { events, data };
+            // SAFETY: `ev` is a live, properly laid out epoll_event and
+            // both descriptors are open for the duration of the call.
+            let rc = unsafe { epoll_ctl(self.ep.as_raw_fd(), op, fd, &mut ev) };
+            if rc < 0 {
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(())
+            }
+        }
+
+        fn mask(interest: Interest) -> u32 {
+            let mut bits = 0;
+            if interest.read {
+                bits |= EPOLLIN | EPOLLRDHUP;
+            }
+            if interest.write {
+                bits |= EPOLLOUT;
+            }
+            bits
+        }
+
+        pub(super) fn register(
+            &self,
+            fd: RawFd,
+            token: usize,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, Self::mask(interest), token as u64)
+        }
+
+        pub(super) fn reregister(
+            &self,
+            fd: RawFd,
+            token: usize,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, Self::mask(interest), token as u64)
+        }
+
+        pub(super) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            // A non-null event pointer keeps pre-2.6.9 kernels happy.
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        pub(super) fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let timeout_ms = timeout.map_or(-1i32, |d| {
+                // Round sub-millisecond timeouts up so they still sleep.
+                let ms = d.as_millis().max(u128::from(u32::from(!d.is_zero())));
+                i32::try_from(ms).unwrap_or(i32::MAX)
+            });
+            let mut buf = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+            // SAFETY: `buf` provides MAX_EVENTS writable epoll_event
+            // slots; the kernel writes at most `maxevents` of them.
+            let n = unsafe {
+                epoll_wait(
+                    self.ep.as_raw_fd(),
+                    buf.as_mut_ptr(),
+                    MAX_EVENTS as i32,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for raw in buf.iter().take(n as usize) {
+                // Copy fields out by value: the struct may be packed.
+                let bits = raw.events;
+                let data = raw.data;
+                if data == WAKE_TOKEN {
+                    self.drain_waker();
+                    continue;
+                }
+                events.push(Event {
+                    token: data as usize,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(())
+        }
+
+        fn drain_waker(&self) {
+            let mut sink = [0u8; 256];
+            while matches!((&self.wake_r).read(&mut sink), Ok(n) if n > 0) {}
+        }
+
+        pub(super) fn wake(&self) -> io::Result<()> {
+            match (&self.wake_w).write(&[1]) {
+                Ok(_) => Ok(()),
+                // Pipe already full: a wake-up is pending, nothing to do.
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(()),
+                Err(e) => Err(e),
+            }
+        }
+    }
+}
+
+/// Portable fallback (non-Linux Unix, or anywhere `epoll` is absent):
+/// keeps the registration table in a mutex and reports every registered
+/// descriptor as ready on a short tick. Spurious readiness is resolved
+/// by the caller's non-blocking I/O (`WouldBlock`), so behaviour is
+/// identical, just with polling overhead. No unsafe code.
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::{Event, Interest};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::{Condvar, Mutex};
+    use std::time::Duration;
+
+    /// How long `wait` sleeps before spuriously reporting readiness.
+    const TICK: Duration = Duration::from_millis(2);
+
+    #[derive(Debug)]
+    struct State {
+        fds: HashMap<RawFd, (usize, Interest)>,
+        woken: bool,
+    }
+
+    #[derive(Debug)]
+    pub(super) struct Poller {
+        state: Mutex<State>,
+        cv: Condvar,
+    }
+
+    impl Poller {
+        pub(super) fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                state: Mutex::new(State {
+                    fds: HashMap::new(),
+                    woken: false,
+                }),
+                cv: Condvar::new(),
+            })
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+            self.state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+
+        pub(super) fn register(
+            &self,
+            fd: RawFd,
+            token: usize,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.lock().fds.insert(fd, (token, interest));
+            Ok(())
+        }
+
+        pub(super) fn reregister(
+            &self,
+            fd: RawFd,
+            token: usize,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.lock().fds.insert(fd, (token, interest));
+            Ok(())
+        }
+
+        pub(super) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.lock().fds.remove(&fd);
+            Ok(())
+        }
+
+        pub(super) fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let sleep = timeout.map_or(TICK, |t| t.min(TICK));
+            let mut guard = self.lock();
+            if !guard.woken && !sleep.is_zero() {
+                let (g, _) = self
+                    .cv
+                    .wait_timeout(guard, sleep)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                guard = g;
+            }
+            guard.woken = false;
+            for &(token, interest) in guard.fds.values() {
+                if interest.read || interest.write {
+                    events.push(Event {
+                        token,
+                        readable: interest.read,
+                        writable: interest.write,
+                    });
+                }
+            }
+            Ok(())
+        }
+
+        pub(super) fn wake(&self) -> io::Result<()> {
+            self.lock().woken = true;
+            self.cv.notify_all();
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::{Duration, Instant};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let a = TcpStream::connect(addr).expect("connect");
+        let (b, _) = listener.accept().expect("accept");
+        (a, b)
+    }
+
+    /// Waits until `pred` matches an event batch or the deadline lapses.
+    fn wait_for(
+        poller: &Poller,
+        pred: impl Fn(&[Event]) -> bool,
+        deadline: Duration,
+    ) -> Vec<Event> {
+        let start = Instant::now();
+        let mut events = Vec::new();
+        while start.elapsed() < deadline {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(50)))
+                .expect("wait");
+            if pred(&events) {
+                return events;
+            }
+        }
+        panic!("no matching event within {deadline:?}: {events:?}");
+    }
+
+    #[test]
+    fn data_arrival_is_reported_readable() {
+        let poller = Poller::new().expect("poller");
+        let (a, mut b) = pair();
+        a.set_nonblocking(true).expect("nonblocking");
+        poller.register(&a, 7, Interest::READ).expect("register");
+
+        b.write_all(b"hi").expect("write");
+        let events = wait_for(
+            &poller,
+            |evs| evs.iter().any(|e| e.token == 7 && e.readable),
+            Duration::from_secs(5),
+        );
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+
+        // Level-triggered: still readable until drained.
+        let again = wait_for(
+            &poller,
+            |evs| evs.iter().any(|e| e.token == 7 && e.readable),
+            Duration::from_secs(5),
+        );
+        assert!(again.iter().any(|e| e.token == 7));
+        let mut buf = [0u8; 8];
+        let n = (&a).read(&mut buf).expect("read");
+        assert_eq!(&buf[..n], b"hi");
+        poller.deregister(&a).expect("deregister");
+    }
+
+    #[test]
+    fn write_interest_is_reported_on_an_idle_socket() {
+        let poller = Poller::new().expect("poller");
+        let (a, _b) = pair();
+        a.set_nonblocking(true).expect("nonblocking");
+        poller.register(&a, 3, Interest::BOTH).expect("register");
+        let events = wait_for(
+            &poller,
+            |evs| evs.iter().any(|e| e.token == 3 && e.writable),
+            Duration::from_secs(5),
+        );
+        assert!(events.iter().any(|e| e.token == 3 && e.writable));
+        poller.deregister(&a).expect("deregister");
+    }
+
+    #[test]
+    fn wake_interrupts_a_blocked_wait() {
+        let poller = std::sync::Arc::new(Poller::new().expect("poller"));
+        let waker = std::sync::Arc::clone(&poller);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.wake().expect("wake");
+        });
+        let mut events = Vec::new();
+        let start = Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(30)))
+            .expect("wait");
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "wait did not return promptly after wake()"
+        );
+        handle.join().expect("join");
+    }
+
+    #[test]
+    fn reserved_token_is_rejected() {
+        let poller = Poller::new().expect("poller");
+        let (a, _b) = pair();
+        assert!(poller.register(&a, usize::MAX, Interest::READ).is_err());
+    }
+}

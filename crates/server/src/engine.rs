@@ -56,7 +56,7 @@
 
 use std::path::Path;
 use std::sync::atomic::Ordering;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 
 use magik_analyze::{analyze_check, analyze_query, analyze_state, analyze_statements};
@@ -78,6 +78,7 @@ use std::sync::Arc;
 use crate::cache::LruCache;
 use crate::durability::{Durability, DurabilityOptions, RecoveryReport};
 use crate::metrics::{Metrics, Op};
+use crate::replication::ReplicationHub;
 
 /// Default capacity of the verdict cache.
 const VERDICT_CACHE_CAP: usize = 1024;
@@ -212,6 +213,10 @@ pub struct Engine {
     /// it. Distinct from the server's connection pool, so reasoning tasks
     /// never compete with (or deadlock against) connection handlers.
     exec: Executor,
+    /// The live mutation feed for log-shipping replication: every
+    /// WAL-appended record is published here under the writer mutex (so
+    /// feed order is log order). Streamers subscribe per replica.
+    repl: Arc<ReplicationHub>,
 }
 
 impl Default for Engine {
@@ -269,6 +274,7 @@ impl Engine {
             durability: None,
             checkpointer: None,
             exec,
+            repl: Arc::new(ReplicationHub::default()),
         }
     }
 
@@ -353,11 +359,87 @@ impl Engine {
         Ok(engine)
     }
 
+    /// Locks an engine mutex, recovering from poison instead of
+    /// propagating it. A handler that panicked while holding a lock must
+    /// not become a permanent denial of service — `Mutex::lock` returns
+    /// `Err` forever after a poisoning panic, and the old `.expect(...)`
+    /// calls turned that into a panic on *every* subsequent request.
+    /// `on_poison` repairs the guarded state where the abandoned value
+    /// cannot be trusted (caches are cleared; see the per-lock
+    /// accessors); every recovery is counted in the `lock.poisoned`
+    /// metric.
+    fn lock_recovering<'a, T>(
+        &self,
+        mutex: &'a Mutex<T>,
+        on_poison: fn(&mut T),
+    ) -> MutexGuard<'a, T> {
+        match mutex.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                mutex.clear_poison();
+                let mut guard = poisoned.into_inner();
+                on_poison(&mut guard);
+                self.metrics.record_lock_poisoned();
+                guard
+            }
+        }
+    }
+
+    /// The vocabulary, poison-recovering: interning is append-only, so
+    /// state abandoned mid-parse is at worst a superset of the names any
+    /// request needs — safe to keep.
+    fn lock_vocab(&self) -> MutexGuard<'_, Vocabulary> {
+        self.lock_recovering(&self.vocab, |_| {})
+    }
+
+    /// The writer state, poison-recovering. Mutations publish only at
+    /// the end of their critical section, so a panic mid-mutation leaves
+    /// the last *published* snapshot (what every reader sees) intact;
+    /// keeping the master copy is the availability-preserving choice.
+    fn lock_writer(&self) -> MutexGuard<'_, WriterState> {
+        self.lock_recovering(&self.writer, |_| {})
+    }
+
+    /// The snapshot swap point, poison-recovering: it only ever holds a
+    /// fully published `Arc`, swapped atomically, so the value is valid
+    /// no matter where a holder panicked.
+    fn lock_current(&self) -> MutexGuard<'_, Arc<StateSnapshot>> {
+        self.lock_recovering(&self.current, |_| {})
+    }
+
+    /// The verdict cache, poison-recovering by **clearing**: an entry
+    /// half-inserted by a panicking thread must never be served, and a
+    /// cold cache costs only recomputation.
+    fn lock_verdicts(&self) -> MutexGuard<'_, LruCache<(CanonicalQuery, u64), bool>> {
+        self.lock_recovering(&self.verdicts, LruCache::clear)
+    }
+
+    /// The answer cache, poison-recovering by clearing (see
+    /// [`Engine::lock_verdicts`]).
+    fn lock_answers(&self) -> MutexGuard<'_, LruCache<(CanonicalQuery, u64), Vec<Answer>>> {
+        self.lock_recovering(&self.answer_cache, LruCache::clear)
+    }
+
+    /// The state-analysis cache, poison-recovering by clearing.
+    fn lock_analysis(&self) -> MutexGuard<'_, AnalysisCache> {
+        self.lock_recovering(&self.analysis, LruCache::clear)
+    }
+
+    /// The `why` cache, poison-recovering by clearing.
+    fn lock_why(&self) -> MutexGuard<'_, LruCache<(CanonicalQuery, u64, u64), String>> {
+        self.lock_recovering(&self.why_cache, LruCache::clear)
+    }
+
+    /// The plan cache, poison-recovering by clearing.
+    fn lock_plans(&self) -> MutexGuard<'_, PlanCache<CanonicalQuery>> {
+        self.lock_recovering(&self.plans, PlanCache::clear)
+    }
+
     /// Seeds the epoch counters from a recovered checkpoint and
     /// republishes, so replay and caching see the restored history
     /// position instead of a fresh session's (0, 0).
     fn set_epochs(&self, tcs_epoch: u64, data_epoch: u64) {
-        let mut writer = self.writer.lock().expect("writer lock");
+        let mut writer = self.lock_writer();
         writer.tcs_epoch = tcs_epoch;
         writer.data_epoch = data_epoch;
         self.swap(&writer);
@@ -378,7 +460,7 @@ impl Engine {
             )));
         }
         let snap = self.snapshot();
-        let vocab = self.vocab.lock().expect("vocab lock").clone();
+        let vocab = self.lock_vocab().clone();
         // One store guard across mark + flush + checkpoint serializes
         // against any in-flight background checkpoint.
         let mut store = d.store();
@@ -422,6 +504,10 @@ impl Engine {
         };
         let append = d.append(&rec).map_err(|e| ("storage", e.to_string()))?;
         self.metrics.record_wal(append.bytes, append.synced);
+        // Feed the record to replication streamers after it is safely in
+        // the log; still under the writer mutex, so feed order is log
+        // order and the live stream is gap-free.
+        self.repl.publish(&rec);
         Ok(())
     }
 
@@ -449,7 +535,7 @@ impl Engine {
         }
         let pending = d.since_checkpoint.swap(0, Ordering::SeqCst);
         let snap = self.snapshot();
-        let vocab = self.vocab.lock().expect("vocab lock").clone();
+        let vocab = self.lock_vocab().clone();
         let worker = Arc::clone(d);
         let metrics = Arc::clone(&self.metrics);
         pool.execute(move || {
@@ -488,6 +574,42 @@ impl Engine {
         &self.exec
     }
 
+    /// Whether this engine has a durability layer. Replication requires
+    /// one: the WAL *is* the replication log.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The live replication feed; streamers subscribe one per replica.
+    pub(crate) fn replication_hub(&self) -> &Arc<ReplicationHub> {
+        &self.repl
+    }
+
+    /// The retained WAL ops strictly past history position `from_sum`
+    /// (epoch sum), in log order — replication catch-up. Errors on a
+    /// memory-only engine.
+    pub(crate) fn wal_records_since(&self, from_sum: u64) -> Result<Vec<WalRecord>, StorageError> {
+        let Some(d) = &self.durability else {
+            return Err(StorageError::Io(std::io::Error::other(
+                "memory-only engine has no WAL",
+            )));
+        };
+        d.store().records_since(from_sum)
+    }
+
+    /// The newest on-disk checkpoint as raw image bytes plus its epochs —
+    /// the snapshot bootstrap for a replica whose position the log no
+    /// longer covers. `None` when no checkpoint exists (or the engine is
+    /// memory-only).
+    pub(crate) fn newest_checkpoint_raw(
+        &self,
+    ) -> Result<Option<(u64, u64, Vec<u8>)>, StorageError> {
+        let Some(d) = &self.durability else {
+            return Ok(None);
+        };
+        d.store().newest_checkpoint_raw()
+    }
+
     /// The current `(tcs_epoch, data_epoch)` pair.
     pub fn epochs(&self) -> (u64, u64) {
         let snap = self.snapshot();
@@ -498,13 +620,13 @@ impl Engine {
     /// lock is held only for the `Arc` clone; everything the caller does
     /// with the snapshot afterwards is lock-free.
     fn snapshot(&self) -> Arc<StateSnapshot> {
-        Arc::clone(&self.current.lock().expect("swap lock"))
+        Arc::clone(&self.lock_current())
     }
 
     /// Publishes `writer`'s state as the new current snapshot. Called
     /// with the writer mutex held, so snapshots appear in write order.
     fn swap(&self, writer: &WriterState) {
-        *self.current.lock().expect("swap lock") = writer.publish();
+        *self.lock_current() = writer.publish();
     }
 
     /// Handles one protocol request line and returns the response line
@@ -545,8 +667,8 @@ impl Engine {
                 // Plan-cache introspection: one `<query>:joins=[...]` item
                 // per cached entry, recording the join operator the cost
                 // model chose for each join op of the plan.
-                let vocab = self.vocab.lock().expect("vocab lock");
-                let plans = self.plans.lock().expect("cache lock");
+                let vocab = self.lock_vocab();
+                let plans = self.lock_plans();
                 let mut items: Vec<String> = plans
                     .entries()
                     .map(|(_, p)| {
@@ -585,22 +707,19 @@ impl Engine {
     /// `check <query>` — is the query complete under the current TCS set?
     fn req_check(&self, src: &str) -> Result<String, (&'static str, String)> {
         let q = {
-            let mut vocab = self.vocab.lock().expect("vocab lock");
+            let mut vocab = self.lock_vocab();
             parse_query(src, &mut vocab).map_err(|e| ("parse", e.to_string()))?
         };
         let canon = CanonicalQuery::of(&q);
         let snap = self.snapshot();
         let key = (canon, snap.tcs_epoch);
-        if let Some(verdict) = self.verdicts.lock().expect("cache lock").get(&key) {
+        if let Some(verdict) = self.lock_verdicts().get(&key) {
             self.metrics.verdict_probe(true);
             return Ok(render_verdict(verdict));
         }
         self.metrics.verdict_probe(false);
         let verdict = is_complete(&q, &snap.tcs);
-        self.verdicts
-            .lock()
-            .expect("cache lock")
-            .insert(key, verdict);
+        self.lock_verdicts().insert(key, verdict);
         Ok(render_verdict(verdict))
     }
 
@@ -610,13 +729,13 @@ impl Engine {
     /// back as `cert=INVALID`, never as a silently wrong `ok`).
     fn req_why(&self, src: &str) -> Result<String, (&'static str, String)> {
         let q = {
-            let mut vocab = self.vocab.lock().expect("vocab lock");
+            let mut vocab = self.lock_vocab();
             parse_query(src, &mut vocab).map_err(|e| ("parse", e.to_string()))?
         };
         let canon = CanonicalQuery::of(&q);
         let snap = self.snapshot();
         let key = (canon, snap.tcs_epoch, snap.data_epoch);
-        if let Some(reply) = self.why_cache.lock().expect("cache lock").get(&key) {
+        if let Some(reply) = self.lock_why().get(&key) {
             self.metrics.cert_probe(true);
             return Ok(reply);
         }
@@ -628,7 +747,7 @@ impl Engine {
         self.metrics
             .record_cert(matches!(cert, Certificate::Complete(_)));
         let reply = {
-            let vocab = self.vocab.lock().expect("vocab lock");
+            let vocab = self.lock_vocab();
             match &cert {
                 Certificate::Complete(c) => format!(
                     "ok complete cert={validity} derivations={}",
@@ -654,24 +773,21 @@ impl Engine {
                 }
             }
         };
-        self.why_cache
-            .lock()
-            .expect("cache lock")
-            .insert(key, reply.clone());
+        self.lock_why().insert(key, reply.clone());
         Ok(reply)
     }
 
     /// `generalize <query>` — the minimal complete generalization.
     fn req_generalize(&self, src: &str) -> Result<String, (&'static str, String)> {
         let q = {
-            let mut vocab = self.vocab.lock().expect("vocab lock");
+            let mut vocab = self.lock_vocab();
             parse_query(src, &mut vocab).map_err(|e| ("parse", e.to_string()))?
         };
         let snap = self.snapshot();
         // Generalization only drops atoms, so rendering needs no names
         // beyond those the parse interned.
         let result = mcg(&q, &snap.tcs);
-        let vocab = self.vocab.lock().expect("vocab lock");
+        let vocab = self.lock_vocab();
         Ok(match result {
             Some(g) => format!("ok {}", print_query(&g, &vocab)),
             None => "ok none".to_string(),
@@ -691,7 +807,7 @@ impl Engine {
             .parse()
             .map_err(|_| ("proto", format!("invalid k `{k_str}`")))?;
         let (q, mut vocab) = {
-            let mut vocab = self.vocab.lock().expect("vocab lock");
+            let mut vocab = self.lock_vocab();
             let q = parse_query(src, &mut vocab).map_err(|e| ("parse", e.to_string()))?;
             (q, vocab.clone())
         };
@@ -716,18 +832,18 @@ impl Engine {
     /// on the snapshot — concurrent writers proceed undisturbed.
     fn req_eval(&self, src: &str) -> Result<String, (&'static str, String)> {
         let q = {
-            let mut vocab = self.vocab.lock().expect("vocab lock");
+            let mut vocab = self.lock_vocab();
             parse_query(src, &mut vocab).map_err(|e| ("parse", e.to_string()))?
         };
         let canon = CanonicalQuery::of(&q);
         let snap = self.snapshot();
         let key = (canon.clone(), snap.data_epoch);
-        let cached = self.answer_cache.lock().expect("cache lock").get(&key);
+        let cached = self.lock_answers().get(&key);
         self.metrics.answer_probe(cached.is_some());
         let answer_list = match cached {
             Some(list) => list,
             None => {
-                let plan = self.plans.lock().expect("cache lock").get(&canon);
+                let plan = self.lock_plans().get(&canon);
                 self.metrics.plan_probe(plan.is_some());
                 let plan = match plan {
                     Some(plan) => plan,
@@ -737,10 +853,7 @@ impl Engine {
                         let compiled = CompiledQuery::compile(&q, Some(&snap.db))
                             .map_err(|e| ("eval", format!("{e:?}")))?;
                         let plan = Arc::new(compiled);
-                        self.plans
-                            .lock()
-                            .expect("cache lock")
-                            .insert(canon, Arc::clone(&plan));
+                        self.lock_plans().insert(canon, Arc::clone(&plan));
                         plan
                     }
                 };
@@ -754,14 +867,11 @@ impl Engine {
                     (stats.join_nested, stats.join_hash, stats.join_merge),
                 );
                 let list: Vec<Answer> = set.into_iter().collect();
-                self.answer_cache
-                    .lock()
-                    .expect("cache lock")
-                    .insert(key, list.clone());
+                self.lock_answers().insert(key, list.clone());
                 list
             }
         };
-        let vocab = self.vocab.lock().expect("vocab lock");
+        let vocab = self.lock_vocab();
         let rendered: Vec<String> = answer_list
             .iter()
             .map(|t| t.display(&vocab).to_string())
@@ -776,7 +886,7 @@ impl Engine {
     /// *before* it is applied: an append failure leaves memory untouched.
     fn req_assert(&self, src: &str) -> Result<String, (&'static str, String)> {
         let fact = self.parse_fact(src)?;
-        let mut writer = self.writer.lock().expect("writer lock");
+        let mut writer = self.lock_writer();
         if writer.db.contains(&fact) {
             return Ok("ok duplicate".to_string());
         }
@@ -798,7 +908,7 @@ impl Engine {
     /// `dred.*` metrics.
     fn req_retract(&self, src: &str) -> Result<String, (&'static str, String)> {
         let fact = self.parse_fact(src)?;
-        let mut writer = self.writer.lock().expect("writer lock");
+        let mut writer = self.lock_writer();
         if !writer.db.contains(&fact) {
             return Ok("ok absent".to_string());
         }
@@ -827,9 +937,9 @@ impl Engine {
     /// `compl <tcs>` — add a TC statement; bumps the TCS epoch and
     /// rebuilds the T_C encoding.
     fn req_compl(&self, src: &str) -> Result<String, (&'static str, String)> {
-        let mut vocab = self.vocab.lock().expect("vocab lock");
+        let mut vocab = self.lock_vocab();
         let stmt = parse_tcs(src, &mut vocab).map_err(|e| ("parse", e.to_string()))?;
-        let mut writer = self.writer.lock().expect("writer lock");
+        let mut writer = self.lock_writer();
         self.log_mutation(OpKind::Compl, src, writer.tcs_epoch + 1, writer.data_epoch)?;
         Arc::make_mut(&mut writer.tcs).push(stmt);
         writer.tcs_epoch += 1;
@@ -840,8 +950,8 @@ impl Engine {
         // dropped too: `compl` is the one request that reshapes the
         // session's predicate landscape, and a cold plan cache costs only
         // one recompile per canonical query.
-        self.verdicts.lock().expect("cache lock").clear();
-        self.plans.lock().expect("cache lock").clear();
+        self.lock_verdicts().clear();
+        self.lock_plans().clear();
         let epoch = writer.tcs_epoch;
         drop(writer);
         drop(vocab);
@@ -882,15 +992,15 @@ impl Engine {
         }
         if let Some(qsrc) = rest.strip_prefix("state ") {
             let q = {
-                let mut vocab = self.vocab.lock().expect("vocab lock");
+                let mut vocab = self.lock_vocab();
                 parse_query(qsrc, &mut vocab).map_err(|e| ("parse", e.to_string()))?
             };
             let snap = self.snapshot();
-            let vocab = self.vocab.lock().expect("vocab lock");
+            let vocab = self.lock_vocab();
             return Ok(render_diags(&analyze_check(0, &q, &snap.tcs, &vocab)));
         }
         let constraints = ConstraintSet::default();
-        let mut vocab = self.vocab.lock().expect("vocab lock");
+        let mut vocab = self.lock_vocab();
         let query = if rest.is_empty() {
             None
         } else {
@@ -911,25 +1021,22 @@ impl Engine {
     fn analyze_state_cached(&self) -> Result<String, (&'static str, String)> {
         let snap = self.snapshot();
         let key = (snap.tcs_epoch, snap.data_epoch);
-        if let Some(reply) = self.analysis.lock().expect("cache lock").get(&key) {
+        if let Some(reply) = self.lock_analysis().get(&key) {
             self.metrics.analysis_probe(true);
             return Ok(reply);
         }
         self.metrics.analysis_probe(false);
         let facts: Vec<Fact> = snap.db.iter_facts().collect();
-        let vocab = self.vocab.lock().expect("vocab lock");
+        let vocab = self.lock_vocab();
         let diags = analyze_state(&snap.tcs, &ConstraintSet::default(), &facts, &vocab);
         drop(vocab);
         let reply = render_diags(&diags);
-        self.analysis
-            .lock()
-            .expect("cache lock")
-            .insert(key, reply.clone());
+        self.lock_analysis().insert(key, reply.clone());
         Ok(reply)
     }
 
     fn parse_fact(&self, src: &str) -> Result<Fact, (&'static str, String)> {
-        let mut vocab = self.vocab.lock().expect("vocab lock");
+        let mut vocab = self.lock_vocab();
         let src = src.strip_suffix('.').unwrap_or(src);
         let atom = parse_atom(src, &mut vocab).map_err(|e| ("parse", e.to_string()))?;
         atom.to_fact()
@@ -1314,6 +1421,37 @@ mod tests {
         // over-deleted; nothing else derives it, so nothing comes back.
         assert!(field("dred.overdeleted") >= 1, "{metrics}");
         assert_eq!(field("dred.rederived"), 0, "{metrics}");
+    }
+
+    #[test]
+    fn poisoned_cache_lock_is_recovered_not_fatal() {
+        let e = Arc::new(paper_engine());
+        let q = "check q(N) :- pupil(N, C, S), school(S, primary, merano).";
+        assert_eq!(e.handle(q), "ok complete");
+        // Panic while holding the verdict-cache lock, as a buggy handler
+        // on another worker would.
+        let holder = Arc::clone(&e);
+        let _ = std::thread::spawn(move || {
+            let _guard = holder.verdicts.lock().unwrap();
+            panic!("die holding the verdict cache lock");
+        })
+        .join();
+        // Pre-fix this panicked on `.expect("cache lock")` — every later
+        // request hitting the cache died, a permanent denial of service
+        // from one handler panic. Post-fix the lock is reclaimed, the
+        // cache cleared, and the request served.
+        assert_eq!(e.handle(q), "ok complete");
+        let metrics = e.handle("metrics");
+        assert!(metrics.contains("lock.poisoned=1"), "{metrics}");
+        // The recovered cache was cleared: the reply above was a miss,
+        // not a stale (possibly half-inserted) entry.
+        assert!(metrics.contains("verdict_cache.misses=2"), "{metrics}");
+        // Recovery is per-incident, not permanent degradation: the next
+        // probe hits again.
+        assert_eq!(e.handle(q), "ok complete");
+        let metrics = e.handle("metrics");
+        assert!(metrics.contains("verdict_cache.hits=1"), "{metrics}");
+        assert!(metrics.contains("lock.poisoned=1"), "{metrics}");
     }
 
     #[test]

@@ -13,13 +13,22 @@
 //!   published as immutable snapshots behind a swap point, so read
 //!   requests evaluate without holding any lock — a slow `specialize`
 //!   never blocks a concurrent `check`, and writers proceed undisturbed.
-//! * [`Server`] — `std::net` front end: one request line in, one response
-//!   line out (`ok …` / `err <code> …`); grammar in `PROTOCOL.md`.
+//! * [`Server`] — `std::net` front end: by default an event-loop reactor
+//!   (one thread multiplexes every connection over a non-blocking
+//!   poller, requests may be pipelined, and a length-prefixed binary
+//!   framing can be negotiated in-band), with the original
+//!   thread-per-connection path kept as [`Server::start_blocking`].
+//!   Grammar in `PROTOCOL.md`.
 //! * [`ThreadPool`] — the shared `magik-runtime` work-stealing pool the
-//!   connection handlers run on. The engine's *compute* pool (its
+//!   request handlers run on. The engine's *compute* pool (its
 //!   [`Executor`](magik_exec::Executor)) is a separate instance: blocking
 //!   connection handlers must never occupy the workers that reasoning
 //!   fan-outs need, and vice versa.
+//! * [`ServerConfig`] / [`ReplicaStatus`] / [`initial_sync`] /
+//!   [`run_replica`] — WAL log-shipping replication: a primary streams
+//!   its write-ahead log to read-only replicas from a snapshot-consistent
+//!   position; replicas replay through the normal recovery path and
+//!   report their epoch lag via the `replication` command.
 //! * [`Metrics`] / [`Histogram`] — per-op counters and fixed-bucket
 //!   latency quantiles, reported by the `metrics` request (together with
 //!   the compute pool's `runtime.tasks`/`runtime.steals`/`pool.panics`
@@ -56,12 +65,15 @@
 mod cache;
 mod durability;
 mod engine;
+mod event_loop;
 mod metrics;
 mod net;
+mod replication;
 
 pub use cache::LruCache;
 pub use durability::{DurabilityOptions, RecoveryReport};
 pub use engine::Engine;
 pub use magik_runtime::ThreadPool;
 pub use metrics::{Histogram, Metrics, Op};
-pub use net::Server;
+pub use net::{Server, ServerConfig};
+pub use replication::{initial_sync, run_replica, ReplicaStatus};

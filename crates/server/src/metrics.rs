@@ -8,7 +8,7 @@
 //! error, which is plenty for a `metrics` endpoint.
 
 use std::fmt::Write as _;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 /// The number of histogram buckets: bucket `i` counts latencies in
@@ -156,6 +156,11 @@ struct Inner {
     checkpoint_count: u64,
     checkpoint_duration_ms: u64,
     recovery_replayed: u64,
+    accept_errors: u64,
+    lock_poisoned: u64,
+    repl_records_shipped: u64,
+    repl_records_applied: u64,
+    repl_snapshots_shipped: u64,
 }
 
 /// Shared, thread-safe server metrics.
@@ -170,10 +175,19 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// Locks the counter state, recovering from a poisoned mutex: the
+    /// counters are plain integers, so state abandoned by a panicking
+    /// recorder is still internally consistent (at worst one sample
+    /// short). Metrics must never become a secondary outage after a
+    /// handler panic.
+    fn inner(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Records one completed request: its operation, latency, and whether
     /// it produced an error response.
     pub fn record(&self, op: Op, latency: Duration, is_error: bool) {
-        let mut inner = self.inner.lock().expect("metrics lock");
+        let mut inner = self.inner();
         let stats = &mut inner.ops[op_index(op)];
         stats.count += 1;
         stats.errors += u64::from(is_error);
@@ -182,7 +196,7 @@ impl Metrics {
 
     /// Records a verdict-cache probe outcome.
     pub fn verdict_probe(&self, hit: bool) {
-        let mut inner = self.inner.lock().expect("metrics lock");
+        let mut inner = self.inner();
         if hit {
             inner.verdict_hits += 1;
         } else {
@@ -192,7 +206,7 @@ impl Metrics {
 
     /// Records an answer-cache probe outcome.
     pub fn answer_probe(&self, hit: bool) {
-        let mut inner = self.inner.lock().expect("metrics lock");
+        let mut inner = self.inner();
         if hit {
             inner.answer_hits += 1;
         } else {
@@ -202,7 +216,7 @@ impl Metrics {
 
     /// Records a plan-cache probe outcome.
     pub fn plan_probe(&self, hit: bool) {
-        let mut inner = self.inner.lock().expect("metrics lock");
+        let mut inner = self.inner();
         if hit {
             inner.plan_hits += 1;
         } else {
@@ -213,7 +227,7 @@ impl Metrics {
     /// Records a state-analysis-cache probe outcome (`analyze state` at
     /// an unchanged epoch pair hits).
     pub fn analysis_probe(&self, hit: bool) {
-        let mut inner = self.inner.lock().expect("metrics lock");
+        let mut inner = self.inner();
         if hit {
             inner.analysis_hits += 1;
         } else {
@@ -224,7 +238,7 @@ impl Metrics {
     /// Records a certificate-cache probe outcome (`why` at an unchanged
     /// `(tcs_epoch, data_epoch)` pair hits).
     pub fn cert_probe(&self, hit: bool) {
-        let mut inner = self.inner.lock().expect("metrics lock");
+        let mut inner = self.inner();
         if hit {
             inner.cert_hits += 1;
         } else {
@@ -235,7 +249,7 @@ impl Metrics {
     /// Records the polarity of one freshly emitted (and validated)
     /// certificate.
     pub fn record_cert(&self, complete: bool) {
-        let mut inner = self.inner.lock().expect("metrics lock");
+        let mut inner = self.inner();
         if complete {
             inner.cert_complete += 1;
         } else {
@@ -246,7 +260,7 @@ impl Metrics {
     /// Accumulates executor counters from one plan run (plain integers so
     /// the metrics layer stays decoupled from the execution crate).
     pub fn record_exec(&self, probes: u64, scanned: u64, backtracks: u64) {
-        let mut inner = self.inner.lock().expect("metrics lock");
+        let mut inner = self.inner();
         inner.exec_probes += probes;
         inner.exec_scanned += scanned;
         inner.exec_backtracks += backtracks;
@@ -256,7 +270,7 @@ impl Metrics {
     /// started, rows materialized across all operators, and how many join
     /// operators executed under each strategy.
     pub fn record_batch_exec(&self, batches: u64, batch_rows: u64, joins: (u64, u64, u64)) {
-        let mut inner = self.inner.lock().expect("metrics lock");
+        let mut inner = self.inner();
         inner.exec_batches += batches;
         inner.exec_batch_rows += batch_rows;
         inner.exec_join_nested += joins.0;
@@ -268,14 +282,14 @@ impl Metrics {
     /// many facts the over-deletion pass removed and how many the
     /// re-derivation pass restored.
     pub fn record_dred(&self, overdeleted: u64, rederived: u64) {
-        let mut inner = self.inner.lock().expect("metrics lock");
+        let mut inner = self.inner();
         inner.dred_overdeleted += overdeleted;
         inner.dred_rederived += rederived;
     }
 
     /// Records one WAL append: its frame size and whether it fsynced.
     pub fn record_wal(&self, bytes: u64, synced: bool) {
-        let mut inner = self.inner.lock().expect("metrics lock");
+        let mut inner = self.inner();
         inner.wal_appends += 1;
         inner.wal_bytes += bytes;
         inner.wal_fsyncs += u64::from(synced);
@@ -283,14 +297,42 @@ impl Metrics {
 
     /// Records one completed checkpoint and how long it took.
     pub fn record_checkpoint(&self, took: Duration) {
-        let mut inner = self.inner.lock().expect("metrics lock");
+        let mut inner = self.inner();
         inner.checkpoint_count += 1;
         inner.checkpoint_duration_ms += u64::try_from(took.as_millis()).unwrap_or(u64::MAX);
     }
 
     /// Records how many WAL ops crash recovery replayed at startup.
     pub fn set_replayed(&self, ops: u64) {
-        self.inner.lock().expect("metrics lock").recovery_replayed = ops;
+        self.inner().recovery_replayed = ops;
+    }
+
+    /// Records one failed `accept(2)` (the listener stays up and backs
+    /// off; see the server's accept-backoff policy).
+    pub fn record_accept_error(&self) {
+        self.inner().accept_errors += 1;
+    }
+
+    /// Records one recovery from a poisoned engine mutex (a handler
+    /// panicked while holding it; the lock was reclaimed and any cache it
+    /// guarded cleared).
+    pub fn record_lock_poisoned(&self) {
+        self.inner().lock_poisoned += 1;
+    }
+
+    /// Records WAL records shipped to replicas over replication streams.
+    pub fn record_repl_shipped(&self, records: u64) {
+        self.inner().repl_records_shipped += records;
+    }
+
+    /// Records one replicated op applied by this (replica) server.
+    pub fn record_repl_applied(&self) {
+        self.inner().repl_records_applied += 1;
+    }
+
+    /// Records one checkpoint image shipped to bootstrap a replica.
+    pub fn record_repl_snapshot(&self) {
+        self.inner().repl_snapshots_shipped += 1;
     }
 
     /// Renders all metrics as one line of `key=value` fields: per-op
@@ -298,7 +340,7 @@ impl Metrics {
     /// requests are omitted) plus cache hit/miss counters and hit rates
     /// (verdict, answer, and plan caches) and aggregate executor counters.
     pub fn render(&self) -> String {
-        let inner = self.inner.lock().expect("metrics lock");
+        let inner = self.inner();
         let mut out = String::new();
         for (i, (_, name)) in OPS.iter().enumerate() {
             let s = &inner.ops[i];
@@ -389,6 +431,16 @@ impl Metrics {
             inner.checkpoint_count,
             inner.checkpoint_duration_ms,
             inner.recovery_replayed,
+        );
+        let _ = write!(
+            out,
+            " accept.errors={} lock.poisoned={} repl.shipped={} repl.applied={} \
+             repl.snapshots={}",
+            inner.accept_errors,
+            inner.lock_poisoned,
+            inner.repl_records_shipped,
+            inner.repl_records_applied,
+            inner.repl_snapshots_shipped,
         );
         out
     }
@@ -529,6 +581,45 @@ mod tests {
         );
         assert!(text.contains("cert.cache.rate=0.333"), "{text}");
         assert!(text.contains("cert.complete=1 cert.incomplete=2"), "{text}");
+    }
+
+    #[test]
+    fn render_includes_accept_lock_and_replication_counters() {
+        let m = Metrics::new();
+        // Always rendered, even at zero, so scrapers can rely on them.
+        let text = m.render();
+        assert!(text.contains("accept.errors=0 lock.poisoned=0"), "{text}");
+        assert!(
+            text.contains("repl.shipped=0 repl.applied=0 repl.snapshots=0"),
+            "{text}"
+        );
+        m.record_accept_error();
+        m.record_accept_error();
+        m.record_lock_poisoned();
+        m.record_repl_shipped(5);
+        m.record_repl_applied();
+        m.record_repl_snapshot();
+        let text = m.render();
+        assert!(text.contains("accept.errors=2 lock.poisoned=1"), "{text}");
+        assert!(
+            text.contains("repl.shipped=5 repl.applied=1 repl.snapshots=1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn metrics_survive_a_poisoned_lock() {
+        let m = std::sync::Arc::new(Metrics::new());
+        let clone = std::sync::Arc::clone(&m);
+        // Panic while holding the counter mutex; recording must keep
+        // working afterwards instead of propagating the poison.
+        let _ = std::thread::spawn(move || {
+            let _guard = clone.inner();
+            panic!("poison the metrics lock");
+        })
+        .join();
+        m.record_accept_error();
+        assert!(m.render().contains("accept.errors=1"));
     }
 
     #[test]

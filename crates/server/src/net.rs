@@ -1,15 +1,23 @@
-//! The line-oriented TCP front end.
+//! The TCP front end: an event-loop reactor by default, with the legacy
+//! thread-per-connection path kept for comparison.
 //!
-//! One accept loop hands each connection to a worker from a fixed
-//! [`ThreadPool`] (the shared `magik-runtime` pool: panic-isolated
-//! workers, so a handler panic never kills the server); the worker owns
-//! the connection for its lifetime (thread-per-connection, bounded by the
-//! pool size — connections beyond the pool queue until a worker frees
-//! up). This pool is distinct from the engine's compute [`Executor`]
-//! (crate docs explain why). Requests are single lines, responses are
-//! single lines; see `PROTOCOL.md` for the grammar.
+//! [`Server::start`] runs the reactor in [`crate::event_loop`]: one
+//! thread multiplexes every connection over a non-blocking
+//! [`Poller`](magik_runtime::poller::Poller) and dispatches parsed
+//! requests to a fixed [`ThreadPool`], so thousands of idle or slow
+//! connections cost buffers, not threads. [`Server::start_blocking`] is
+//! the original front end — one pooled worker owns each connection for
+//! its lifetime — retained as the saturation baseline (bench A15) and
+//! for platforms where a readiness loop is not wanted.
 //!
-//! [`Executor`]: magik_exec::Executor
+//! Both paths speak the same protocol (grammar in `PROTOCOL.md`):
+//! requests in, replies out, in order. The reactor additionally supports
+//! request *pipelining* (many requests in flight per connection, replies
+//! strictly in request order) and a length-prefixed *binary framing*
+//! negotiated in-band with `frames binary`. Command handling shared by
+//! both paths lives in [`intercept`], so `quit`, `replication`, framing
+//! negotiation, read-only enforcement and the `replicate` handoff cannot
+//! drift between front ends.
 
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -18,21 +26,190 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// How often an idle connection handler wakes up to check the stop flag.
-const STOP_POLL_INTERVAL: Duration = Duration::from_millis(50);
-
-/// The most bytes one request line may hold (newline excluded). A client
-/// streaming bytes with no newline would otherwise grow the line buffer
-/// without bound; at the cap the server replies `err line too long` and
-/// drops the connection (see `PROTOCOL.md`).
-const MAX_LINE_BYTES: usize = 1 << 20;
-
+use magik_runtime::poller::Poller;
 use magik_runtime::ThreadPool;
 
 use crate::engine::Engine;
+use crate::replication::{self, ReplicaStatus};
 
-/// A running server: an accept loop plus a worker pool, all sharing one
-/// [`Engine`].
+/// How often an idle connection handler wakes up to check the stop flag.
+pub(crate) const STOP_POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// The most bytes one request may hold — the line before its newline, or
+/// a binary frame payload. A client streaming bytes with no terminator
+/// would otherwise grow the buffer without bound; at the cap the server
+/// replies `err line too long` (or `err proto frame exceeds the size
+/// cap`) and drops the connection (see `PROTOCOL.md`).
+pub(crate) const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// How long one blocking reply write may go without transferring a
+/// single byte before the peer is declared a non-reader and dropped.
+/// Without it, a client that stops draining its socket pins a pool
+/// worker in `write` forever — with a small pool that is a trivial
+/// denial of service (the slow-reader bug this release fixes).
+pub(crate) const WRITE_DEADLINE: Duration = Duration::from_secs(2);
+
+/// How request and reply bytes are framed on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Framing {
+    /// `\n`-terminated UTF-8 lines (the default).
+    Line,
+    /// `[len: u32 LE][payload]` frames, one request or reply per frame.
+    Binary,
+}
+
+impl Framing {
+    /// The name used in `frames` negotiation replies.
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            Framing::Line => "line",
+            Framing::Binary => "binary",
+        }
+    }
+}
+
+/// Configuration for [`Server::start_with`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing engine requests (min 1).
+    pub workers: usize,
+    /// Refuse mutations (`assert`, `retract`, `compl`) with
+    /// `err readonly …`. Replicas serve with this set.
+    pub read_only: bool,
+    /// When serving as a replica, the shared status handle the
+    /// `replication` command reports from.
+    pub replica_status: Option<Arc<ReplicaStatus>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            read_only: false,
+            replica_status: None,
+        }
+    }
+}
+
+/// What the front end should do with one parsed request.
+pub(crate) enum Action {
+    /// Reply immediately without touching the engine.
+    Reply(String),
+    /// Hand the request to `Engine::handle` on a worker.
+    Dispatch,
+    /// Answer with [`replication_status`] at the request's execution
+    /// turn, not at parse time — a pipelined status must reflect every
+    /// request ahead of it.
+    Status,
+    /// Reply, then close the connection.
+    Close(String),
+    /// Ack in the current framing, then parse and reply with the new one.
+    Switch(Framing, String),
+    /// Hand the connection to a WAL streamer starting after this
+    /// `(tcs_epoch, data_epoch)` position.
+    Replicate((u64, u64)),
+}
+
+/// Classifies one request line for a front end. Everything that is not a
+/// connection-level command (`quit`, `frames`, `replication`,
+/// `replicate`, read-only enforcement) is [`Action::Dispatch`]ed to the
+/// engine. Shared by the reactor and the blocking path so their
+/// protocol behaviour cannot diverge.
+pub(crate) fn intercept(cmd: &str, cfg: &ServerConfig, current: Framing) -> Action {
+    let (verb, rest) = match cmd.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (cmd, ""),
+    };
+    match verb {
+        "quit" => Action::Close("ok bye".to_string()),
+        "frames" => match rest {
+            "" => Action::Reply(format!("ok frames={}", current.name())),
+            "binary" => Action::Switch(Framing::Binary, "ok frames=binary".to_string()),
+            "line" => Action::Switch(Framing::Line, "ok frames=line".to_string()),
+            other => Action::Reply(format!("err proto unknown framing `{other}`")),
+        },
+        "replication" => Action::Status,
+        "replicate" => {
+            let mut parts = rest.split_whitespace();
+            match (
+                parts.next().and_then(|s| s.parse::<u64>().ok()),
+                parts.next().and_then(|s| s.parse::<u64>().ok()),
+                parts.next(),
+            ) {
+                (Some(te), Some(de), None) => Action::Replicate((te, de)),
+                _ => {
+                    Action::Reply("err proto usage: replicate <tcs-epoch> <data-epoch>".to_string())
+                }
+            }
+        }
+        "assert" | "retract" | "compl" if cfg.read_only => Action::Reply(
+            "err readonly this replica serves reads only; send writes to the primary".to_string(),
+        ),
+        _ => Action::Dispatch,
+    }
+}
+
+/// Renders the `replication` status line for this node's role.
+pub(crate) fn replication_status(engine: &Engine, cfg: &ServerConfig) -> String {
+    let (te, de) = engine.epochs();
+    match &cfg.replica_status {
+        Some(status) => {
+            let (pte, pde) = status.primary_epochs();
+            let lag = (pte + pde).saturating_sub(te + de);
+            format!(
+                "ok role=replica connected={} primary_tcs={pte} primary_data={pde} \
+                 tcs={te} data={de} lag={lag}",
+                status.is_connected()
+            )
+        }
+        None => format!(
+            "ok role=primary durable={} tcs={te} data={de} subscribers={}",
+            engine.is_durable(),
+            engine.replication_hub().subscribers()
+        ),
+    }
+}
+
+/// Exponential backoff policy for failed `accept` calls.
+///
+/// `accept` fails persistently under descriptor exhaustion (`EMFILE` /
+/// `ENFILE`): the pending connection stays queued, so retrying
+/// immediately fails again and the old `continue`-on-error loop spins a
+/// core at 100% while serving nothing. The policy is pure (no clock, no
+/// sleeping) so it can be unit-tested exactly: delays double from
+/// [`AcceptBackoff::START`] to [`AcceptBackoff::CAP`], and one
+/// successful accept resets the ladder.
+#[derive(Debug)]
+pub(crate) struct AcceptBackoff {
+    next: Duration,
+}
+
+impl AcceptBackoff {
+    /// Delay after the first error in a streak.
+    pub(crate) const START: Duration = Duration::from_millis(10);
+    /// Largest delay the ladder reaches.
+    pub(crate) const CAP: Duration = Duration::from_secs(1);
+
+    /// A fresh ladder, starting at [`AcceptBackoff::START`].
+    pub(crate) fn new() -> AcceptBackoff {
+        AcceptBackoff { next: Self::START }
+    }
+
+    /// Reports one failed accept; returns how long to back off before
+    /// retrying.
+    pub(crate) fn on_error(&mut self) -> Duration {
+        let delay = self.next;
+        self.next = (self.next * 2).min(Self::CAP);
+        delay
+    }
+
+    /// Reports one successful accept; resets the ladder.
+    pub(crate) fn on_success(&mut self) {
+        self.next = Self::START;
+    }
+}
+
+/// A running server front end sharing one [`Engine`].
 #[derive(Debug)]
 pub struct Server {
     local_addr: SocketAddr,
@@ -41,13 +218,66 @@ pub struct Server {
     /// Kept so shutdown can flush the engine's durability layer after
     /// the last in-flight request has finished.
     engine: Arc<Engine>,
+    /// The reactor's poller, when running the event-loop front end;
+    /// `stop` wakes the loop through it. The blocking front end has no
+    /// poller and is unblocked with a throwaway connection instead.
+    poller: Option<Arc<Poller>>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:7171`, or port `0` for an ephemeral
-    /// port) and starts accepting connections on a background thread,
-    /// serving requests against `engine` with `workers` worker threads.
+    /// port) and starts the event-loop front end with `workers` request
+    /// workers: connections are multiplexed on one reactor thread,
+    /// requests may be pipelined, and binary framing can be negotiated.
     pub fn start(
+        engine: Arc<Engine>,
+        addr: impl ToSocketAddrs,
+        workers: usize,
+    ) -> std::io::Result<Server> {
+        Server::start_with(
+            engine,
+            addr,
+            ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    /// [`Server::start`] with full [`ServerConfig`] control (read-only
+    /// replicas, replication status reporting).
+    pub fn start_with(
+        engine: Arc<Engine>,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let poller = Arc::new(Poller::new()?);
+        let loop_stop = Arc::clone(&stop);
+        let loop_engine = Arc::clone(&engine);
+        let loop_poller = Arc::clone(&poller);
+        let accept_thread = std::thread::Builder::new()
+            .name("magik-reactor".to_string())
+            .spawn(move || {
+                crate::event_loop::run(listener, loop_poller, loop_engine, cfg, loop_stop);
+            })?;
+        Ok(Server {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            engine,
+            poller: Some(poller),
+        })
+    }
+
+    /// Starts the legacy blocking front end: one accept loop hands each
+    /// connection to a worker from a fixed pool, and the worker owns the
+    /// connection for its lifetime (connections beyond the pool queue
+    /// until a worker frees up). No pipelining, no binary framing. Kept
+    /// as the A15 saturation baseline.
+    pub fn start_blocking(
         engine: Arc<Engine>,
         addr: impl ToSocketAddrs,
         workers: usize,
@@ -57,19 +287,38 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let accept_engine = Arc::clone(&engine);
+        let cfg = Arc::new(ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        });
         let accept_thread = std::thread::Builder::new()
             .name("magik-accept".to_string())
             .spawn(move || {
                 let pool = ThreadPool::new(workers);
+                let mut backoff = AcceptBackoff::new();
                 for conn in listener.incoming() {
                     if stop_flag.load(Ordering::SeqCst) {
                         break;
                     }
-                    let Ok(stream) = conn else { continue };
+                    let stream = match conn {
+                        Ok(stream) => {
+                            backoff.on_success();
+                            stream
+                        }
+                        Err(_) => {
+                            // Persistent failures (EMFILE/ENFILE) fail
+                            // again immediately — back off instead of
+                            // spinning the accept thread at 100%.
+                            accept_engine.metrics().record_accept_error();
+                            std::thread::sleep(backoff.on_error());
+                            continue;
+                        }
+                    };
                     let engine = Arc::clone(&accept_engine);
                     let stop = Arc::clone(&stop_flag);
+                    let cfg = Arc::clone(&cfg);
                     pool.execute(move || {
-                        let _ = serve_connection(stream, &engine, &stop);
+                        let _ = serve_connection(stream, &engine, &stop, &cfg);
                     });
                 }
                 // `pool` drops here: all in-flight connections finish.
@@ -79,6 +328,7 @@ impl Server {
             stop,
             accept_thread: Some(accept_thread),
             engine,
+            poller: None,
         })
     }
 
@@ -88,8 +338,8 @@ impl Server {
     }
 
     /// Stops the server: no new connections are accepted, idle
-    /// connections are closed (handlers poll the stop flag between
-    /// reads), and in-flight requests finish before their workers exit.
+    /// connections are closed, and in-flight requests finish before
+    /// their workers exit.
     pub fn stop(mut self) {
         self.shutdown();
     }
@@ -98,20 +348,30 @@ impl Server {
         if self.stop.swap(true, Ordering::SeqCst) {
             return; // already stopped
         }
-        // Unblock the accept loop with a throwaway connection. Under a
-        // wildcard bind `local_addr` is the unspecified address
-        // (`0.0.0.0` / `::`), which is not connectable everywhere —
-        // rewrite it to the loopback of the same family, which always
-        // reaches a listener bound to the wildcard.
-        let ip = if self.local_addr.ip().is_unspecified() {
-            match self.local_addr {
-                SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
-                SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        match &self.poller {
+            // The reactor blocks in `Poller::wait`; the waker interrupts
+            // it from here.
+            Some(poller) => {
+                let _ = poller.wake();
             }
-        } else {
-            self.local_addr.ip()
-        };
-        let _ = TcpStream::connect(SocketAddr::new(ip, self.local_addr.port()));
+            // Unblock the blocking accept loop with a throwaway
+            // connection. Under a wildcard bind `local_addr` is the
+            // unspecified address (`0.0.0.0` / `::`), which is not
+            // connectable everywhere — rewrite it to the loopback of the
+            // same family, which always reaches a listener bound to the
+            // wildcard.
+            None => {
+                let ip = if self.local_addr.ip().is_unspecified() {
+                    match self.local_addr {
+                        SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                        SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+                    }
+                } else {
+                    self.local_addr.ip()
+                };
+                let _ = TcpStream::connect(SocketAddr::new(ip, self.local_addr.port()));
+            }
+        }
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -183,17 +443,70 @@ fn read_bounded_line(
     }
 }
 
-/// Serves one connection: read request lines, write response lines, until
-/// `quit`, EOF, server shutdown, an oversized line, or an I/O error.
+/// Writes all of `buf`, tolerating slow-but-draining peers: each
+/// [`WRITE_DEADLINE`] window must transfer at least one byte (the socket
+/// carries a write timeout), or the peer is declared a non-reader and
+/// the write fails with `TimedOut`. Checks `stop` between windows so a
+/// server shutdown is not held up by a stalled peer.
+fn write_all_deadline(
+    stream: &mut TcpStream,
+    mut buf: &[u8],
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    while !buf.is_empty() {
+        if stop.load(Ordering::SeqCst) {
+            return Err(std::io::Error::new(
+                ErrorKind::Interrupted,
+                "server stopping",
+            ));
+        }
+        match stream.write(buf) {
+            Ok(0) => return Err(ErrorKind::WriteZero.into()),
+            Ok(n) => buf = &buf[n..],
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // A full deadline window passed with zero bytes moved:
+                // the peer has stopped draining replies.
+                return Err(std::io::Error::new(
+                    ErrorKind::TimedOut,
+                    "peer stopped draining replies",
+                ));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Writes one reply line under the write deadline.
+fn write_reply(writer: &mut TcpStream, reply: &str, stop: &AtomicBool) -> std::io::Result<()> {
+    let mut framed = Vec::with_capacity(reply.len() + 1);
+    framed.extend_from_slice(reply.as_bytes());
+    framed.push(b'\n');
+    write_all_deadline(writer, &framed, stop)
+}
+
+/// Serves one connection on the blocking path: read request lines, write
+/// response lines, until `quit`, EOF, server shutdown, an oversized
+/// line, or an I/O error.
 ///
-/// Reads use a short timeout so an idle connection notices `stop` instead
-/// of pinning its worker in a blocking read forever; a partially received
-/// line survives the poll and is completed on a later iteration. Request
-/// lines are capped at [`MAX_LINE_BYTES`] — past the cap the handler
-/// replies `err line too long` and drops the connection, so a client
-/// streaming an endless unterminated line cannot grow server memory.
-fn serve_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> std::io::Result<()> {
+/// Reads use a short timeout so an idle connection notices `stop`
+/// instead of pinning its worker in a blocking read forever; a partially
+/// received line survives the poll and is completed on a later
+/// iteration. Writes run under [`WRITE_DEADLINE`] so a non-reading peer
+/// is dropped rather than pinning the worker (see
+/// [`write_all_deadline`]). Request lines are capped at
+/// [`MAX_LINE_BYTES`] — past the cap the handler replies `err line too
+/// long` and drops the connection, so a client streaming an endless
+/// unterminated line cannot grow server memory.
+fn serve_connection(
+    stream: TcpStream,
+    engine: &Arc<Engine>,
+    stop: &AtomicBool,
+    cfg: &ServerConfig,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(STOP_POLL_INTERVAL))?;
+    stream.set_write_timeout(Some(WRITE_DEADLINE))?;
     // Replies are single small lines; without TCP_NODELAY every round
     // trip stalls on Nagle + delayed-ACK (~40 ms).
     stream.set_nodelay(true)?;
@@ -205,7 +518,7 @@ fn serve_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> st
             Ok(LineRead::Eof) => return Ok(()),
             Ok(LineRead::Line) => {}
             Ok(LineRead::TooLong) => {
-                writer.write_all(b"err line too long\n")?;
+                write_reply(&mut writer, "err line too long", stop)?;
                 return Ok(());
             }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
@@ -219,15 +532,141 @@ fn serve_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> st
         let trimmed = String::from_utf8_lossy(&line);
         let trimmed = trimmed.trim();
         if !trimmed.is_empty() {
-            if trimmed == "quit" {
-                writer.write_all(b"ok bye\n")?;
-                return Ok(());
+            match intercept(trimmed, cfg, Framing::Line) {
+                Action::Reply(reply) => write_reply(&mut writer, &reply, stop)?,
+                // Requests execute strictly in arrival order here, so
+                // "at its execution turn" is simply now.
+                Action::Status => {
+                    write_reply(&mut writer, &replication_status(engine, cfg), stop)?;
+                }
+                Action::Dispatch => {
+                    let reply = engine.handle(trimmed);
+                    write_reply(&mut writer, &reply, stop)?;
+                }
+                Action::Close(reply) => {
+                    write_reply(&mut writer, &reply, stop)?;
+                    return Ok(());
+                }
+                Action::Switch(..) => write_reply(
+                    &mut writer,
+                    "err proto binary framing requires the event-loop front end",
+                    stop,
+                )?,
+                Action::Replicate(from) => {
+                    // The streamer writes the handshake itself and owns
+                    // the socket from here; drop the read timeout so its
+                    // blocking writes are governed only by the streamer's
+                    // own deadlines.
+                    drop(writer);
+                    let stream = reader.into_inner();
+                    stream.set_read_timeout(None)?;
+                    return replication::serve_replica(stream, engine, stop, from);
+                }
             }
-            let reply = engine.handle(trimmed);
-            writer.write_all(reply.as_bytes())?;
-            writer.write_all(b"\n")?;
-            writer.flush()?;
         }
         line.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_backoff_doubles_to_the_cap() {
+        let mut b = AcceptBackoff::new();
+        let mut expected = AcceptBackoff::START;
+        for _ in 0..12 {
+            let delay = b.on_error();
+            assert_eq!(delay, expected);
+            expected = (expected * 2).min(AcceptBackoff::CAP);
+        }
+        // Long past doubling range: pinned at the cap.
+        assert_eq!(b.on_error(), AcceptBackoff::CAP);
+        assert_eq!(b.on_error(), AcceptBackoff::CAP);
+    }
+
+    #[test]
+    fn accept_backoff_resets_after_a_success() {
+        let mut b = AcceptBackoff::new();
+        for _ in 0..20 {
+            b.on_error();
+        }
+        assert_eq!(b.on_error(), AcceptBackoff::CAP);
+        b.on_success();
+        assert_eq!(b.on_error(), AcceptBackoff::START);
+        assert_eq!(b.on_error(), AcceptBackoff::START * 2);
+    }
+
+    #[test]
+    fn intercept_classifies_connection_commands() {
+        let engine = Engine::new();
+        let cfg = ServerConfig::default();
+        assert!(matches!(
+            intercept("quit", &cfg, Framing::Line),
+            Action::Close(r) if r == "ok bye"
+        ));
+        assert!(matches!(
+            intercept("frames binary", &cfg, Framing::Line),
+            Action::Switch(Framing::Binary, r) if r == "ok frames=binary"
+        ));
+        assert!(matches!(
+            intercept("frames", &cfg, Framing::Binary),
+            Action::Reply(r) if r == "ok frames=binary"
+        ));
+        assert!(matches!(
+            intercept("replicate 3 7", &cfg, Framing::Line),
+            Action::Replicate((3, 7))
+        ));
+        assert!(matches!(
+            intercept("replicate x", &cfg, Framing::Line),
+            Action::Reply(r) if r.starts_with("err proto usage")
+        ));
+        assert!(matches!(
+            intercept("check q() :- p().", &cfg, Framing::Line),
+            Action::Dispatch
+        ));
+        assert!(matches!(
+            intercept("replication", &cfg, Framing::Line),
+            Action::Status
+        ));
+        let status = replication_status(&engine, &cfg);
+        assert!(
+            status.starts_with("ok role=primary durable=false tcs=0 data=0"),
+            "unexpected status: {status}"
+        );
+    }
+
+    #[test]
+    fn intercept_enforces_read_only() {
+        let engine = Engine::new();
+        let cfg = ServerConfig {
+            read_only: true,
+            replica_status: Some(Arc::new(ReplicaStatus::new())),
+            ..ServerConfig::default()
+        };
+        for cmd in ["assert p(a).", "retract p(a).", "compl p(X) ; true."] {
+            assert!(
+                matches!(
+                    intercept(cmd, &cfg, Framing::Line),
+                    Action::Reply(r) if r.starts_with("err readonly")
+                ),
+                "{cmd} should be refused"
+            );
+        }
+        // Reads still dispatch.
+        assert!(matches!(
+            intercept("check q() :- p().", &cfg, Framing::Line),
+            Action::Dispatch
+        ));
+        assert!(matches!(
+            intercept("replication", &cfg, Framing::Line),
+            Action::Status
+        ));
+        let status = replication_status(&engine, &cfg);
+        assert!(
+            status.starts_with("ok role=replica connected=false"),
+            "unexpected status: {status}"
+        );
     }
 }

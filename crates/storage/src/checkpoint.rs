@@ -132,6 +132,31 @@ pub(crate) fn write(dir: &Path, image: &CheckpointImage) -> std::io::Result<Path
     Ok(final_path)
 }
 
+/// Installs a checkpoint image received as raw file bytes — the snapshot
+/// bootstrap of log-shipping replication. The bytes are written to a
+/// temp file, fully validated by [`read`], and atomically renamed to the
+/// epoch-stamped name they declare, so a torn or corrupt transfer can
+/// never impersonate a valid checkpoint. Returns the image's epochs.
+pub fn install_checkpoint(dir: &Path, bytes: &[u8]) -> Result<(u64, u64), StorageError> {
+    std::fs::create_dir_all(dir)?;
+    let tmp_path = dir.join("ckpt-install.tmp");
+    let mut tmp = File::create(&tmp_path)?;
+    tmp.write_all(bytes)?;
+    tmp.sync_all()?;
+    drop(tmp);
+    let image = match read(&tmp_path) {
+        Ok(image) => image,
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp_path);
+            return Err(e);
+        }
+    };
+    let final_path = checkpoint_path(dir, image.tcs_epoch, image.data_epoch);
+    std::fs::rename(&tmp_path, &final_path)?;
+    sync_dir(dir)?;
+    Ok((image.tcs_epoch, image.data_epoch))
+}
+
 /// Reads and validates a checkpoint file. Truncation, CRC mismatches,
 /// version skew and undecodable bodies all come back as
 /// [`StorageError::Corrupt`].

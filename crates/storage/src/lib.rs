@@ -39,10 +39,10 @@ mod wal;
 use std::fmt;
 use std::path::PathBuf;
 
-pub use checkpoint::CheckpointImage;
+pub use checkpoint::{install_checkpoint, CheckpointImage};
 pub use crc::crc32;
 pub use store::{CheckpointOutcome, Recovery, Store, StoreOptions};
-pub use wal::{Append, FsyncPolicy, OpKind, WalRecord};
+pub use wal::{Append, FsyncPolicy, OpKind, WalRecord, MAX_FRAME_PAYLOAD};
 
 /// Why a storage operation failed.
 #[derive(Debug)]

@@ -154,6 +154,42 @@ impl Store {
         Ok(self.wal.sync()?)
     }
 
+    /// All mutation-op records strictly past history position `from_sum`
+    /// (an epoch sum), in append order — the catch-up read of log-shipping
+    /// replication. Marks are skipped (they do not advance the history).
+    ///
+    /// Scans every segment tolerantly (torn tails discarded, like the
+    /// recovery scan), so records pruned by checkpointing or lost to a
+    /// pre-recovery crash simply do not appear; the caller must check the
+    /// result starts at `from_sum + 1` and fall back to shipping a
+    /// checkpoint when it does not.
+    pub fn records_since(&self, from_sum: u64) -> Result<Vec<WalRecord>, StorageError> {
+        let mut out = Vec::new();
+        for (_, path) in list_segments(&self.dir)? {
+            let scan = scan_segment(&path, true)?;
+            for rec in scan.records {
+                if matches!(rec, WalRecord::Op { .. }) && rec.epoch_sum() > from_sum {
+                    out.push(rec);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The newest checkpoint that validates, as `(tcs_epoch, data_epoch,
+    /// raw file bytes)` — what a primary ships to bootstrap a replica too
+    /// far behind the retained log. Corrupt generations are skipped, like
+    /// in recovery.
+    pub fn newest_checkpoint_raw(&self) -> Result<Option<(u64, u64, Vec<u8>)>, StorageError> {
+        let ckpts = checkpoint::list_checkpoints(&self.dir)?;
+        for (te, de, path) in ckpts.iter().rev() {
+            if checkpoint::read(path).is_ok() {
+                return Ok(Some((*te, *de, std::fs::read(path)?)));
+            }
+        }
+        Ok(None)
+    }
+
     /// Writes a checkpoint of `image`, prunes old generations, and
     /// truncates WAL segments fully covered by the **oldest retained**
     /// checkpoint. Skips entirely when the newest on-disk checkpoint
@@ -525,6 +561,79 @@ mod tests {
         assert_eq!(recovery.replayed_ops(), 1);
         assert_eq!(recovery.tail.len(), 2);
         assert_eq!(recovery.final_epochs(), (0, 1));
+    }
+
+    #[test]
+    fn records_since_returns_the_tail_past_a_position() {
+        let dir = test_dir("store-since");
+        let opts = StoreOptions {
+            fsync: FsyncPolicy::Never,
+            segment_bytes: 64, // force rotation across several segments
+            ..StoreOptions::default()
+        };
+        let (mut store, _) = Store::open(&dir, opts).unwrap();
+        for i in 0..6 {
+            store.append(&assert_op(i, i + 1)).unwrap();
+        }
+        store
+            .append(&WalRecord::Mark {
+                tcs_epoch: 0,
+                data_epoch: 6,
+            })
+            .unwrap();
+        store.flush().unwrap();
+        let recs = store.records_since(2).unwrap();
+        assert_eq!(recs.len(), 4, "{recs:?}");
+        for (i, rec) in recs.iter().enumerate() {
+            assert!(matches!(rec, WalRecord::Op { .. }));
+            assert_eq!(rec.epoch_sum(), 3 + i as u64);
+        }
+        assert_eq!(store.records_since(0).unwrap().len(), 6);
+        assert!(store.records_since(6).unwrap().is_empty());
+        assert!(store.records_since(99).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pruned_log_is_a_detectable_gap_and_ships_as_a_checkpoint() {
+        let dir = test_dir("store-ship");
+        let opts = StoreOptions {
+            fsync: FsyncPolicy::Never,
+            segment_bytes: 64,
+            checkpoints_kept: 2,
+        };
+        let (mut store, _) = Store::open(&dir, opts).unwrap();
+        let mut de = 0;
+        for _ in 0..3 {
+            for _ in 0..4 {
+                de += 1;
+                store.append(&assert_op(de, de)).unwrap();
+            }
+            store.checkpoint(&image_at(0, de)).unwrap();
+        }
+        // Early records were pruned: a replica starting from 0 sees a gap.
+        let recs = store.records_since(0).unwrap();
+        assert!(
+            recs.first().is_none_or(|r| r.epoch_sum() > 1),
+            "pruning left record 1 in place: {recs:?}"
+        );
+        // The newest checkpoint ships as raw bytes and installs cleanly
+        // into a fresh replica directory, which then recovers from it.
+        let (te, de_ck, bytes) = store.newest_checkpoint_raw().unwrap().expect("checkpoint");
+        assert_eq!((te, de_ck), (0, 12));
+        let replica_dir = test_dir("store-ship-replica");
+        let installed = checkpoint::install_checkpoint(&replica_dir, &bytes).unwrap();
+        assert_eq!(installed, (0, 12));
+        let (_, recovery) = Store::open(&replica_dir, opts).unwrap();
+        assert_eq!(recovery.final_epochs(), (0, 12));
+        assert_eq!(recovery.replayed_ops(), 0);
+    }
+
+    #[test]
+    fn install_checkpoint_rejects_garbage_without_leaving_files() {
+        let dir = test_dir("store-badinstall");
+        let err = checkpoint::install_checkpoint(&dir, b"not a checkpoint").unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
+        assert!(std::fs::read_dir(&dir).unwrap().next().is_none());
     }
 
     #[test]

@@ -39,8 +39,10 @@ use crate::StorageError;
 pub(crate) const SEGMENT_MAGIC: &[u8; 8] = b"MGKWAL01";
 
 /// The largest payload a frame may declare. Request lines are capped at
-/// 1 MiB by the server; anything past this is corrupt or torn.
-const MAX_FRAME_PAYLOAD: u32 = 1 << 24;
+/// 1 MiB by the server; anything past this is corrupt or torn. Public so
+/// the replication stream (which reuses the frame layout over TCP) can
+/// enforce the same bound.
+pub const MAX_FRAME_PAYLOAD: u32 = 1 << 24;
 
 /// When (if ever) appends flush to stable storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,6 +162,24 @@ impl WalRecord {
     pub fn epoch_sum(&self) -> u64 {
         let (t, d) = self.epochs();
         t + d
+    }
+
+    /// Serializes the record as a frame payload. Log-shipping replication
+    /// sends these over TCP wrapped in the same
+    /// `[payload_len: u32 LE][crc32: u32 LE][payload]` framing that
+    /// segment files use, so a replica validates network frames with the
+    /// exact code path that validates disk frames.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes a frame payload produced by [`WalRecord::encode_payload`]
+    /// (or the WAL writer). The caller is expected to have verified the
+    /// frame CRC already; this rejects structurally invalid payloads.
+    pub fn decode_payload(payload: &[u8]) -> Result<WalRecord, String> {
+        WalRecord::decode(payload).map_err(|e| e.to_string())
     }
 
     fn encode(&self, out: &mut Vec<u8>) {

@@ -123,7 +123,10 @@ pub use magik_relalg::{
     is_strictly_contained_in, minimize, Atom, Cst, DisplayWith, Fact, Instance, Pred, Query,
     Snapshot, StoreView, Substitution, Term, Var, Vocabulary, Witness, WitnessStep,
 };
-pub use magik_server::{DurabilityOptions, Engine, RecoveryReport, Server};
+pub use magik_server::{
+    initial_sync, run_replica, DurabilityOptions, Engine, RecoveryReport, ReplicaStatus, Server,
+    ServerConfig,
+};
 pub use magik_storage::{
     CheckpointImage, FsyncPolicy, StorageError, Store, StoreOptions, WalRecord,
 };
